@@ -1,0 +1,89 @@
+//! EIM: the sampling loop vs the sequential baseline and the fallback
+//! behaviour when k is large relative to n (Figures 3b / 4b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcenter_core::prelude::*;
+use kcenter_data::DatasetSpec;
+use kcenter_metric::VecSpace;
+use std::hint::black_box;
+
+/// ε close to 1/ln n minimises the sampling threshold, so sampling actually
+/// happens at bench scale.
+const BENCH_EPSILON: f64 = 0.12;
+
+fn bench_eim_vs_gon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eim/vs_gon");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let space = VecSpace::new(DatasetSpec::Gau { n: 30_000, k_prime: 25 }.generate(1));
+    for k in [2usize, 5] {
+        group.bench_with_input(BenchmarkId::new("eim_sampling", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    EimConfig::new(k)
+                        .with_machines(50)
+                        .with_epsilon(BENCH_EPSILON)
+                        .with_seed(1)
+                        .run(&space)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gon", k), &k, |b, &k| {
+            b.iter(|| black_box(GonzalezConfig::new(k).solve(&space).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eim_fallback_regime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eim/fallback_when_k_large");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let space = VecSpace::new(DatasetSpec::Gau { n: 10_000, k_prime: 50 }.generate(2));
+    // With k = 100 the threshold exceeds n, so EIM degenerates to GON on the
+    // whole input (the Figure 3b / 4b regime).
+    group.bench_function("eim_k100_fallback", |b| {
+        b.iter(|| {
+            black_box(
+                EimConfig::new(100)
+                    .with_machines(50)
+                    .with_seed(2)
+                    .run(&space)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("gon_k100", |b| {
+        b.iter(|| black_box(GonzalezConfig::new(100).solve(&space).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_eim_machine_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eim/machine_count");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let space = VecSpace::new(DatasetSpec::Unif { n: 30_000 }.generate(3));
+    for m in [8usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(
+                    EimConfig::new(2)
+                        .with_machines(m)
+                        .with_epsilon(BENCH_EPSILON)
+                        .with_seed(3)
+                        .run(&space)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eim_vs_gon, bench_eim_fallback_regime, bench_eim_machine_count);
+criterion_main!(benches);

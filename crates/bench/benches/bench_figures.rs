@@ -1,0 +1,84 @@
+//! Scaled-down versions of the paper's runtime figures, exercised through
+//! the same experiment harness the `repro` binary uses.
+//!
+//! Figure 2 (runtime vs k), Figure 3 (runtime vs k with the EIM fallback),
+//! and Figure 4 (runtime vs n) are each represented by one benchmark group;
+//! the full-scale series are produced by `repro figure2a ... --scale 1.0`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcenter_bench::experiments::{find_experiment, run_experiment, RunOptions};
+use kcenter_bench::measure::{run, Algorithm, MeasureConfig};
+use kcenter_data::DatasetSpec;
+use kcenter_metric::VecSpace;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.01;
+
+fn options() -> RunOptions {
+    RunOptions { scale: SCALE, machines: 50, repeats: 1, seed: 1 }
+}
+
+fn bench_figure2_runtime_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/figure2_runtime_vs_k");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    // GAU workload of Figure 2a at reduced scale.
+    let space = VecSpace::new(
+        DatasetSpec::Gau { n: 1_000_000, k_prime: 25 }
+            .scaled(SCALE)
+            .generate(1),
+    );
+    let config = MeasureConfig { machines: 50, seed: 1, epsilon: 0.1 };
+    for k in [10usize, 100] {
+        for algo in Algorithm::paper_trio() {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), k),
+                &k,
+                |b, &k| b.iter(|| black_box(run(&space, algo, k, config))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_figure4_runtime_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/figure4_runtime_vs_n");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let config = MeasureConfig { machines: 50, seed: 1, epsilon: 0.1 };
+    for n in [10_000usize, 50_000] {
+        let space = VecSpace::new(DatasetSpec::Unif { n }.generate(2));
+        for algo in Algorithm::paper_trio() {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), n),
+                &n,
+                |b, _| b.iter(|| black_box(run(&space, algo, 10, config))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_experiment_harness(c: &mut Criterion) {
+    // One end-to-end experiment through the registry, to keep the harness
+    // itself under benchmark (catching regressions in the orchestration).
+    let mut group = c.benchmark_group("figures/harness_end_to_end");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let exp = find_experiment("table3").expect("table3 is registered");
+    group.bench_function("table3_at_1_percent_scale", |b| {
+        b.iter(|| black_box(run_experiment(&exp, options())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure2_runtime_vs_k,
+    bench_figure4_runtime_vs_n,
+    bench_full_experiment_harness
+);
+criterion_main!(benches);

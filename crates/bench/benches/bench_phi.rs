@@ -1,0 +1,63 @@
+//! The φ trade-off of Tables 6 and 7: lowering φ below the guarantee
+//! threshold (5.15) speeds EIM up substantially while keeping solution
+//! values acceptable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcenter_core::prelude::*;
+use kcenter_data::DatasetSpec;
+use kcenter_metric::VecSpace;
+use std::hint::black_box;
+
+fn bench_phi_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eim/phi_sweep");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    // A scaled-down Table 6/7 workload (GAU with k' = 25 inherent clusters).
+    let space = VecSpace::new(DatasetSpec::Gau { n: 30_000, k_prime: 25 }.generate(1));
+    for phi in [1.0f64, 4.0, 6.0, 8.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, &phi| {
+            b.iter(|| {
+                black_box(
+                    EimConfig::new(5)
+                        .with_machines(50)
+                        .with_epsilon(0.12)
+                        .with_phi(phi)
+                        .with_seed(1)
+                        .run(&space)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_phi_effect_on_sample_size(c: &mut Criterion) {
+    // Not a timing benchmark per se: measures the end-to-end run while the
+    // per-iteration pivot depth varies, which is what Table 7 reports.
+    let mut group = c.benchmark_group("eim/phi_with_larger_k");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let space = VecSpace::new(DatasetSpec::Gau { n: 30_000, k_prime: 25 }.generate(2));
+    for phi in [1.0f64, 8.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, &phi| {
+            b.iter(|| {
+                black_box(
+                    EimConfig::new(2)
+                        .with_machines(50)
+                        .with_epsilon(0.12)
+                        .with_phi(phi)
+                        .with_seed(2)
+                        .run(&space)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phi_sweep, bench_phi_effect_on_sample_size);
+criterion_main!(benches);

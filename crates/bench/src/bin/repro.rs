@@ -1,0 +1,110 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro list
+//! repro table2 [--scale 0.05] [--machines 50] [--repeats 2] [--seed 1]
+//! repro all    [--scale 0.02] ...
+//! repro all --out EXPERIMENTS_RAW.md
+//! ```
+//!
+//! `--scale 1.0` reproduces the paper's workload sizes (up to a million
+//! points); smaller scales shrink every `n` proportionally so the full suite
+//! finishes quickly while keeping the qualitative shape.
+
+use kcenter_bench::experiments::{all_experiments, find_experiment, run_experiment, RunOptions};
+use kcenter_bench::report::{render_all, render_result};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let command = args[0].clone();
+    if command == "list" {
+        for e in all_experiments() {
+            println!("{:10}  {}", e.id, e.title);
+        }
+        return;
+    }
+    if command == "--help" || command == "-h" || command == "help" {
+        print_usage();
+        return;
+    }
+
+    let (options, out_path) = match parse_options(&args[1..]) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    let output = if command == "all" {
+        let results: Vec<_> = all_experiments()
+            .iter()
+            .map(|e| {
+                eprintln!("running {} ...", e.id);
+                run_experiment(e, options)
+            })
+            .collect();
+        render_all(&results)
+    } else {
+        match find_experiment(&command) {
+            Some(e) => render_result(&run_experiment(&e, options)),
+            None => {
+                eprintln!("error: unknown experiment {command:?}; use `repro list`");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    match out_path {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("cannot create output file");
+            f.write_all(output.as_bytes()).expect("cannot write output file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{output}"),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<(RunOptions, Option<String>), String> {
+    let mut options = RunOptions::default();
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--scale" => options.scale = value.parse().map_err(|_| format!("bad --scale {value:?}"))?,
+            "--machines" => {
+                options.machines = value.parse().map_err(|_| format!("bad --machines {value:?}"))?
+            }
+            "--repeats" => {
+                options.repeats = value.parse().map_err(|_| format!("bad --repeats {value:?}"))?
+            }
+            "--seed" => options.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
+            "--out" => out = Some(value.clone()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if options.scale <= 0.0 {
+        return Err("--scale must be positive".to_string());
+    }
+    if options.machines == 0 || options.repeats == 0 {
+        return Err("--machines and --repeats must be at least 1".to_string());
+    }
+    Ok((options, out))
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <experiment-id | all | list> [--scale F] [--machines M] [--repeats R] [--seed S] [--out FILE]\n\
+         experiment ids: table1..table7, figure1, figure2a, figure2b, figure3a, figure3b, figure4a, figure4b"
+    );
+}

@@ -1,0 +1,361 @@
+//! Command-line argument parsing for the `kcenter` tool.
+//!
+//! Hand-rolled parsing keeps the dependency set to the workspace-approved
+//! crates; the grammar is small enough that a parser combinator library
+//! would be overkill.
+
+use kcenter_data::DatasetSpec;
+use std::fmt;
+
+/// The parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+/// The available subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic workload and write it to CSV.
+    Generate(GenerateArgs),
+    /// Run a k-center algorithm on a CSV point file.
+    Solve(SolveArgs),
+    /// Print statistics about a CSV point file.
+    Info(InfoArgs),
+    /// Print the usage text.
+    Help,
+}
+
+/// Arguments of the `generate` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// The workload to generate.
+    pub spec: DatasetSpec,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output CSV path.
+    pub output: String,
+}
+
+/// Which algorithm the `solve` subcommand runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// Sequential Gonzalez (2-approximation).
+    Gon,
+    /// MapReduce Gonzalez (typically two rounds, 4-approximation).
+    Mrg,
+    /// Iterative sampling (10-approximation w.h.p.).
+    Eim,
+    /// Hochbaum–Shmoys bottleneck search (2-approximation, quadratic).
+    HochbaumShmoys,
+}
+
+impl SolverChoice {
+    /// Parses an algorithm name as used on the command line.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "gon" | "gonzalez" => Some(SolverChoice::Gon),
+            "mrg" => Some(SolverChoice::Mrg),
+            "eim" => Some(SolverChoice::Eim),
+            "hs" | "hochbaum-shmoys" => Some(SolverChoice::HochbaumShmoys),
+            _ => None,
+        }
+    }
+}
+
+/// Arguments of the `solve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveArgs {
+    /// The algorithm to run.
+    pub algorithm: SolverChoice,
+    /// Input CSV path.
+    pub input: String,
+    /// Number of centers.
+    pub k: usize,
+    /// Number of simulated machines (parallel algorithms only).
+    pub machines: usize,
+    /// EIM's φ parameter.
+    pub phi: f64,
+    /// EIM's ε parameter.
+    pub epsilon: f64,
+    /// Seed for algorithm-internal randomness.
+    pub seed: u64,
+    /// Number of trailing CSV columns to ignore (e.g. class labels).
+    pub skip_columns: usize,
+    /// Optional path to write the per-point assignment to.
+    pub assignment_out: Option<String>,
+}
+
+/// Arguments of the `info` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoArgs {
+    /// Input CSV path.
+    pub input: String,
+    /// Number of trailing CSV columns to ignore.
+    pub skip_columns: usize,
+}
+
+/// A command-line parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `kcenter help`.
+pub const USAGE: &str = "\
+kcenter — parallel k-center clustering (McClintock & Wirth, ICPP 2016)
+
+USAGE:
+  kcenter generate <unif|gau|unb|poker|kdd> --n N [--k-prime K'] [--seed S] --out FILE.csv
+  kcenter solve <gon|mrg|eim|hs> --input FILE.csv --k K [--machines M] [--phi P]
+                [--epsilon E] [--seed S] [--skip-columns C] [--assign OUT.csv]
+  kcenter info --input FILE.csv [--skip-columns C]
+  kcenter help
+";
+
+/// Parses the full argument vector (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Cli { command: Command::Help }),
+        Some("generate") => Command::Generate(parse_generate(&args[1..])?),
+        Some("solve") => Command::Solve(parse_solve(&args[1..])?),
+        Some("info") => Command::Info(parse_info(&args[1..])?),
+        Some(other) => return Err(ParseError(format!("unknown subcommand {other:?}"))),
+    };
+    Ok(Cli { command })
+}
+
+/// Collects `--flag value` pairs after the positional arguments.
+fn collect_flags(args: &[String]) -> Result<Vec<(String, String)>, ParseError> {
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        if !flag.starts_with("--") {
+            return Err(ParseError(format!("expected a --flag, found {flag:?}")));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| ParseError(format!("{flag} requires a value")))?;
+        flags.push((flag.clone(), value.clone()));
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseError> {
+    value
+        .parse()
+        .map_err(|_| ParseError(format!("invalid value {value:?} for {flag}")))
+}
+
+fn parse_generate(args: &[String]) -> Result<GenerateArgs, ParseError> {
+    let family = args
+        .first()
+        .ok_or_else(|| ParseError("generate needs a workload family".into()))?;
+    let flags = collect_flags(&args[1..])?;
+    let mut n: Option<usize> = None;
+    let mut k_prime: usize = 25;
+    let mut seed: u64 = 1;
+    let mut output: Option<String> = None;
+    for (flag, value) in &flags {
+        match flag.as_str() {
+            "--n" => n = Some(parse_number(flag, value)?),
+            "--k-prime" => k_prime = parse_number(flag, value)?,
+            "--seed" => seed = parse_number(flag, value)?,
+            "--out" => output = Some(value.clone()),
+            other => return Err(ParseError(format!("unknown flag {other:?} for generate"))),
+        }
+    }
+    let n = n.ok_or_else(|| ParseError("generate requires --n".into()))?;
+    let output = output.ok_or_else(|| ParseError("generate requires --out".into()))?;
+    let spec = match family.to_ascii_lowercase().as_str() {
+        "unif" => DatasetSpec::Unif { n },
+        "gau" => DatasetSpec::Gau { n, k_prime },
+        "unb" => DatasetSpec::Unb { n, k_prime },
+        "poker" => DatasetSpec::PokerHand { n },
+        "kdd" => DatasetSpec::KddCup { n },
+        other => return Err(ParseError(format!("unknown workload family {other:?}"))),
+    };
+    Ok(GenerateArgs { spec, seed, output })
+}
+
+fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
+    let algo_name = args
+        .first()
+        .ok_or_else(|| ParseError("solve needs an algorithm (gon|mrg|eim|hs)".into()))?;
+    let algorithm = SolverChoice::parse(algo_name)
+        .ok_or_else(|| ParseError(format!("unknown algorithm {algo_name:?}")))?;
+    let flags = collect_flags(&args[1..])?;
+    let mut input: Option<String> = None;
+    let mut k: Option<usize> = None;
+    let mut machines: usize = 50;
+    let mut phi: f64 = 8.0;
+    let mut epsilon: f64 = 0.1;
+    let mut seed: u64 = 0;
+    let mut skip_columns: usize = 0;
+    let mut assignment_out: Option<String> = None;
+    for (flag, value) in &flags {
+        match flag.as_str() {
+            "--input" => input = Some(value.clone()),
+            "--k" => k = Some(parse_number(flag, value)?),
+            "--machines" => machines = parse_number(flag, value)?,
+            "--phi" => phi = parse_number(flag, value)?,
+            "--epsilon" => epsilon = parse_number(flag, value)?,
+            "--seed" => seed = parse_number(flag, value)?,
+            "--skip-columns" => skip_columns = parse_number(flag, value)?,
+            "--assign" => assignment_out = Some(value.clone()),
+            other => return Err(ParseError(format!("unknown flag {other:?} for solve"))),
+        }
+    }
+    Ok(SolveArgs {
+        algorithm,
+        input: input.ok_or_else(|| ParseError("solve requires --input".into()))?,
+        k: k.ok_or_else(|| ParseError("solve requires --k".into()))?,
+        machines,
+        phi,
+        epsilon,
+        seed,
+        skip_columns,
+        assignment_out,
+    })
+}
+
+fn parse_info(args: &[String]) -> Result<InfoArgs, ParseError> {
+    let flags = collect_flags(args)?;
+    let mut input: Option<String> = None;
+    let mut skip_columns = 0;
+    for (flag, value) in &flags {
+        match flag.as_str() {
+            "--input" => input = Some(value.clone()),
+            "--skip-columns" => skip_columns = parse_number(flag, value)?,
+            other => return Err(ParseError(format!("unknown flag {other:?} for info"))),
+        }
+    }
+    Ok(InfoArgs {
+        input: input.ok_or_else(|| ParseError("info requires --input".into()))?,
+        skip_columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help_map_to_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn unknown_subcommand_is_rejected() {
+        let err = parse(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn generate_parses_every_family() {
+        let cli = parse(&argv("generate gau --n 1000 --k-prime 7 --seed 3 --out /tmp/x.csv")).unwrap();
+        match cli.command {
+            Command::Generate(g) => {
+                assert_eq!(g.spec, DatasetSpec::Gau { n: 1000, k_prime: 7 });
+                assert_eq!(g.seed, 3);
+                assert_eq!(g.output, "/tmp/x.csv");
+            }
+            _ => panic!("expected generate"),
+        }
+        for fam in ["unif", "poker", "kdd", "unb"] {
+            let cli = parse(&argv(&format!("generate {fam} --n 10 --out o.csv"))).unwrap();
+            assert!(matches!(cli.command, Command::Generate(_)));
+        }
+    }
+
+    #[test]
+    fn generate_requires_n_and_out() {
+        assert!(parse(&argv("generate unif --out x.csv")).is_err());
+        assert!(parse(&argv("generate unif --n 10")).is_err());
+        assert!(parse(&argv("generate martian --n 10 --out x.csv")).is_err());
+    }
+
+    #[test]
+    fn solve_parses_defaults_and_overrides() {
+        let cli = parse(&argv("solve mrg --input pts.csv --k 10")).unwrap();
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(s.algorithm, SolverChoice::Mrg);
+                assert_eq!(s.k, 10);
+                assert_eq!(s.machines, 50);
+                assert_eq!(s.phi, 8.0);
+                assert_eq!(s.epsilon, 0.1);
+                assert_eq!(s.assignment_out, None);
+            }
+            _ => panic!("expected solve"),
+        }
+        let cli = parse(&argv(
+            "solve eim --input pts.csv --k 5 --machines 10 --phi 4 --epsilon 0.2 --seed 9 --skip-columns 1 --assign a.csv",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(s.algorithm, SolverChoice::Eim);
+                assert_eq!(s.machines, 10);
+                assert_eq!(s.phi, 4.0);
+                assert_eq!(s.epsilon, 0.2);
+                assert_eq!(s.seed, 9);
+                assert_eq!(s.skip_columns, 1);
+                assert_eq!(s.assignment_out.as_deref(), Some("a.csv"));
+            }
+            _ => panic!("expected solve"),
+        }
+    }
+
+    #[test]
+    fn solve_rejects_missing_or_bad_arguments() {
+        assert!(parse(&argv("solve mrg --k 5")).is_err());
+        assert!(parse(&argv("solve mrg --input x.csv")).is_err());
+        assert!(parse(&argv("solve quantum --input x.csv --k 5")).is_err());
+        assert!(parse(&argv("solve mrg --input x.csv --k five")).is_err());
+        assert!(parse(&argv("solve mrg --input x.csv --k 5 --bogus 1")).is_err());
+        assert!(parse(&argv("solve mrg --input x.csv --k")).is_err());
+    }
+
+    #[test]
+    fn solver_choice_aliases() {
+        assert_eq!(SolverChoice::parse("GON"), Some(SolverChoice::Gon));
+        assert_eq!(SolverChoice::parse("gonzalez"), Some(SolverChoice::Gon));
+        assert_eq!(SolverChoice::parse("hochbaum-shmoys"), Some(SolverChoice::HochbaumShmoys));
+        assert_eq!(SolverChoice::parse("hs"), Some(SolverChoice::HochbaumShmoys));
+        assert_eq!(SolverChoice::parse("xyz"), None);
+    }
+
+    #[test]
+    fn info_parses() {
+        let cli = parse(&argv("info --input pts.csv --skip-columns 2")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Info(InfoArgs { input: "pts.csv".into(), skip_columns: 2 })
+        );
+        assert!(parse(&argv("info")).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_all_subcommands() {
+        for word in ["generate", "solve", "info", "gon", "mrg", "eim"] {
+            assert!(USAGE.contains(word), "usage text is missing {word}");
+        }
+    }
+}

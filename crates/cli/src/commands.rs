@@ -1,0 +1,300 @@
+//! Execution of the parsed CLI commands.
+
+use crate::args::{Cli, Command, GenerateArgs, InfoArgs, SolveArgs, SolverChoice, USAGE};
+use kcenter_core::evaluate::{assign, cluster_sizes};
+use kcenter_core::prelude::*;
+use kcenter_data::csv::{load_points, save_points, CsvOptions};
+use kcenter_metric::{BoundingBox, MetricSpace, PointId, VecSpace};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Reading or parsing the input CSV failed.
+    Csv(kcenter_data::csv::CsvError),
+    /// Writing an output file failed.
+    Io(std::io::Error),
+    /// The clustering algorithm reported an error.
+    Algorithm(KCenterError),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::Csv(e) => write!(f, "CSV error: {e}"),
+            CommandError::Io(e) => write!(f, "I/O error: {e}"),
+            CommandError::Algorithm(e) => write!(f, "algorithm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<kcenter_data::csv::CsvError> for CommandError {
+    fn from(e: kcenter_data::csv::CsvError) -> Self {
+        CommandError::Csv(e)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+impl From<KCenterError> for CommandError {
+    fn from(e: KCenterError) -> Self {
+        CommandError::Algorithm(e)
+    }
+}
+
+/// Runs the parsed command, writing human-readable output to `out`.
+pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), CommandError> {
+    match &cli.command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Generate(args) => generate(args, out),
+        Command::Solve(args) => solve(args, out),
+        Command::Info(args) => info(args, out),
+    }
+}
+
+fn generate<W: Write>(args: &GenerateArgs, out: &mut W) -> Result<(), CommandError> {
+    let points = args.spec.generate(args.seed);
+    save_points(Path::new(&args.output), &points)?;
+    writeln!(
+        out,
+        "wrote {} points ({}), seed {}, to {}",
+        points.len(),
+        args.spec.describe(),
+        args.seed,
+        args.output
+    )?;
+    Ok(())
+}
+
+fn load_space(path: &str, skip_columns: usize) -> Result<VecSpace, CommandError> {
+    let options = CsvOptions { skip_trailing_columns: skip_columns, ..Default::default() };
+    let points = load_points(Path::new(path), &options)?;
+    Ok(VecSpace::new(points))
+}
+
+fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
+    let space = load_space(&args.input, args.skip_columns)?;
+    writeln!(
+        out,
+        "loaded {} points of dimension {} from {}",
+        space.len(),
+        space.dim().unwrap_or(0),
+        args.input
+    )?;
+
+    let (centers, radius): (Vec<PointId>, f64) = match args.algorithm {
+        SolverChoice::Gon => {
+            let sol = GonzalezConfig::new(args.k).with_parallel_scan(true).solve(&space)?;
+            writeln!(out, "GON (sequential 2-approximation)")?;
+            (sol.centers, sol.radius)
+        }
+        SolverChoice::HochbaumShmoys => {
+            let sol = HochbaumShmoysConfig::new(args.k).solve(&space)?;
+            writeln!(out, "Hochbaum-Shmoys (sequential 2-approximation)")?;
+            (sol.centers, sol.radius)
+        }
+        SolverChoice::Mrg => {
+            let result = MrgConfig::new(args.k)
+                .with_machines(args.machines)
+                .with_unchecked_capacity()
+                .with_first_center(FirstCenter::Seeded(args.seed))
+                .run(&space)?;
+            writeln!(
+                out,
+                "MRG on {} machines: {} MapReduce rounds, proven factor {}, simulated time {:?}, wall time {:?}",
+                args.machines,
+                result.mapreduce_rounds,
+                result.approximation_factor,
+                result.stats.simulated_time(),
+                result.stats.wall_time(),
+            )?;
+            for round in result.stats.rounds() {
+                writeln!(
+                    out,
+                    "  round {}: {} ({} machines, {} items, max machine time {:?})",
+                    round.round + 1,
+                    round.label,
+                    round.machines_used,
+                    round.items_in,
+                    round.simulated_time,
+                )?;
+            }
+            (result.solution.centers, result.solution.radius)
+        }
+        SolverChoice::Eim => {
+            let result = EimConfig::new(args.k)
+                .with_machines(args.machines)
+                .with_phi(args.phi)
+                .with_epsilon(args.epsilon)
+                .with_seed(args.seed)
+                .run(&space)?;
+            writeln!(
+                out,
+                "EIM (phi = {}, epsilon = {}) on {} machines: {} iterations, {} MapReduce rounds, sample size {}{}",
+                args.phi,
+                args.epsilon,
+                args.machines,
+                result.iterations,
+                result.mapreduce_rounds,
+                result.sample_size,
+                if result.fell_back_to_sequential { " (fell back to sequential GON)" } else { "" },
+            )?;
+            writeln!(
+                out,
+                "  simulated time {:?}, wall time {:?}",
+                result.stats.simulated_time(),
+                result.stats.wall_time()
+            )?;
+            (result.solution.centers, result.solution.radius)
+        }
+    };
+
+    writeln!(out, "covering radius (solution value): {radius:.6}")?;
+    writeln!(out, "centers (point indices): {centers:?}")?;
+
+    if let Some(path) = &args.assignment_out {
+        let assignment = assign(&space, &centers);
+        let sizes = cluster_sizes(&assignment, centers.len());
+        let mut file = std::fs::File::create(path)?;
+        writeln!(file, "point,center_index,center_point_id")?;
+        for (point, &c) in assignment.iter().enumerate() {
+            writeln!(file, "{point},{c},{}", centers[c])?;
+        }
+        writeln!(out, "wrote assignment of {} points to {path}", assignment.len())?;
+        writeln!(
+            out,
+            "cluster sizes: min {}, max {}",
+            sizes.iter().min().unwrap(),
+            sizes.iter().max().unwrap()
+        )?;
+    }
+    Ok(())
+}
+
+fn info<W: Write>(args: &InfoArgs, out: &mut W) -> Result<(), CommandError> {
+    let space = load_space(&args.input, args.skip_columns)?;
+    writeln!(out, "file: {}", args.input)?;
+    writeln!(out, "points: {}", space.len())?;
+    writeln!(out, "dimension: {}", space.dim().unwrap_or(0))?;
+    if let Some(bbox) = BoundingBox::par_of(space.points()) {
+        writeln!(out, "bounding box diagonal: {:.6}", bbox.diagonal())?;
+        writeln!(out, "bounding box min: {:?}", bbox.min())?;
+        writeln!(out, "bounding box max: {:?}", bbox.max())?;
+    }
+    // Cheap diameter estimate: two passes of the farthest-point heuristic.
+    if space.len() >= 2 {
+        let far1 = (1..space.len())
+            .max_by(|&a, &b| space.distance(0, a).total_cmp(&space.distance(0, b)))
+            .unwrap();
+        let far2 = (0..space.len())
+            .max_by(|&a, &b| space.distance(far1, a).total_cmp(&space.distance(far1, b)))
+            .unwrap();
+        writeln!(out, "diameter estimate (double sweep): {:.6}", space.distance(far1, far2))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn run_cli(cmdline: &str) -> Result<String, CommandError> {
+        let cli = parse(&argv(cmdline)).expect("command line should parse");
+        let mut out = Vec::new();
+        run(&cli, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("kcenter-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli("help").unwrap();
+        assert!(out.contains("kcenter"));
+        assert!(out.contains("solve"));
+    }
+
+    #[test]
+    fn generate_then_info_then_solve_round_trip() {
+        let csv = temp_path("gau.csv");
+        let out = run_cli(&format!("generate gau --n 800 --k-prime 4 --seed 2 --out {csv}")).unwrap();
+        assert!(out.contains("800 points"));
+
+        let info = run_cli(&format!("info --input {csv}")).unwrap();
+        assert!(info.contains("points: 800"));
+        assert!(info.contains("dimension: 3"));
+        assert!(info.contains("diameter estimate"));
+
+        let solved = run_cli(&format!("solve gon --input {csv} --k 4")).unwrap();
+        assert!(solved.contains("covering radius"));
+        assert!(solved.contains("GON"));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn solve_mrg_reports_rounds_and_writes_assignment() {
+        let csv = temp_path("unif.csv");
+        let assignment = temp_path("assignment.csv");
+        run_cli(&format!("generate unif --n 600 --seed 1 --out {csv}")).unwrap();
+        let out = run_cli(&format!(
+            "solve mrg --input {csv} --k 5 --machines 6 --assign {assignment}"
+        ))
+        .unwrap();
+        assert!(out.contains("MRG on 6 machines"));
+        assert!(out.contains("MapReduce rounds"));
+        assert!(out.contains("wrote assignment of 600 points"));
+        let written = std::fs::read_to_string(&assignment).unwrap();
+        assert!(written.starts_with("point,center_index,center_point_id"));
+        assert_eq!(written.lines().count(), 601);
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&assignment).ok();
+    }
+
+    #[test]
+    fn solve_eim_and_hs_work_on_small_files() {
+        let csv = temp_path("poker.csv");
+        run_cli(&format!("generate poker --n 300 --seed 3 --out {csv}")).unwrap();
+        let eim = run_cli(&format!("solve eim --input {csv} --k 3 --machines 4 --phi 4 --seed 7")).unwrap();
+        assert!(eim.contains("EIM (phi = 4"));
+        let hs = run_cli(&format!("solve hs --input {csv} --k 3")).unwrap();
+        assert!(hs.contains("Hochbaum-Shmoys"));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn missing_input_file_is_a_csv_error() {
+        let err = run_cli("solve gon --input /definitely/not/there.csv --k 2").unwrap_err();
+        assert!(matches!(err, CommandError::Csv(_)));
+        assert!(err.to_string().contains("CSV error"));
+    }
+
+    #[test]
+    fn algorithm_errors_are_reported() {
+        let csv = temp_path("tiny.csv");
+        run_cli(&format!("generate unif --n 5 --seed 1 --out {csv}")).unwrap();
+        // k = 0 is rejected by the algorithm layer.
+        let err = run_cli(&format!("solve gon --input {csv} --k 0")).unwrap_err();
+        assert!(matches!(err, CommandError::Algorithm(KCenterError::ZeroK)));
+        std::fs::remove_file(&csv).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! Library backing the `kcenter` command-line tool.
+//!
+//! The CLI has three subcommands:
+//!
+//! * `generate` — write one of the paper's workloads (UNIF, GAU, UNB, the
+//!   Poker Hand or KDD Cup surrogates) to a CSV file;
+//! * `solve` — run GON, MRG, EIM, or Hochbaum–Shmoys on a CSV point file
+//!   and print the chosen centers, the covering radius, and (for the
+//!   parallel algorithms) the round-by-round cost accounting;
+//! * `info` — print basic statistics of a CSV point file (row count,
+//!   dimension, bounding box, diameter estimate).
+//!
+//! All argument parsing and command execution lives in this library so it
+//! can be unit-tested without spawning processes; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command, GenerateArgs, InfoArgs, ParseError, SolveArgs, SolverChoice};
+pub use commands::{run, CommandError};

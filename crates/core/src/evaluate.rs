@@ -1,0 +1,213 @@
+//! Solution evaluation: covering radius, assignments, and cluster sizes.
+//!
+//! The paper reports the k-center objective (which it calls the *solution
+//! value*): the maximum, over all points of the instance, of the distance to
+//! the nearest chosen center.  These scans are linear in `n · |centers|` and
+//! are the single most common operation in the experiment harness, so a
+//! rayon-parallel implementation is provided and used by default above a
+//! small size threshold.
+
+use kcenter_metric::{MetricSpace, PointId};
+use rayon::prelude::*;
+
+/// Below this many (point, center) pairs the sequential scan is used; above
+/// it the rayon-parallel scan is used.
+const PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// The covering radius of `centers` over the entire space: the paper's
+/// solution value.  Returns `0.0` for an empty space and `f64::INFINITY`
+/// when `centers` is empty but the space is not.
+pub fn covering_radius<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) -> f64 {
+    let ids: Vec<PointId> = (0..space.len()).collect();
+    covering_radius_subset(space, &ids, centers)
+}
+
+/// The covering radius of `centers` over an explicit subset of the space.
+/// Used by the multi-round algorithms, whose intermediate rounds only cover
+/// the points assigned to one machine.
+pub fn covering_radius_subset<S: MetricSpace + ?Sized>(
+    space: &S,
+    subset: &[PointId],
+    centers: &[PointId],
+) -> f64 {
+    if subset.is_empty() {
+        return 0.0;
+    }
+    if centers.is_empty() {
+        return f64::INFINITY;
+    }
+    let work = subset.len().saturating_mul(centers.len());
+    if work >= PARALLEL_THRESHOLD {
+        subset
+            .par_iter()
+            .map(|&p| space.distance_to_set(p, centers))
+            .reduce(|| 0.0, f64::max)
+    } else {
+        subset
+            .iter()
+            .map(|&p| space.distance_to_set(p, centers))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Assigns every point of the space to its nearest center, breaking ties by
+/// the smaller center position (consistent with the paper's "breaking ties
+/// arbitrarily but consistently").  Returns, for each point, the index into
+/// `centers` of its assigned center.
+///
+/// # Panics
+///
+/// Panics if `centers` is empty while the space is not.
+pub fn assign<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) -> Vec<usize> {
+    if space.len() == 0 {
+        return Vec::new();
+    }
+    assert!(!centers.is_empty(), "cannot assign points to an empty center set");
+    let assign_one = |p: PointId| -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (ci, &c) in centers.iter().enumerate() {
+            let d = space.distance(p, c);
+            if d < best_d {
+                best_d = d;
+                best = ci;
+            }
+        }
+        best
+    };
+    let work = space.len().saturating_mul(centers.len());
+    if work >= PARALLEL_THRESHOLD {
+        (0..space.len()).into_par_iter().map(assign_one).collect()
+    } else {
+        (0..space.len()).map(assign_one).collect()
+    }
+}
+
+/// Number of points assigned to each center, given an assignment produced by
+/// [`assign`].
+pub fn cluster_sizes(assignment: &[usize], num_centers: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; num_centers];
+    for &a in assignment {
+        assert!(a < num_centers, "assignment index out of range");
+        sizes[a] += 1;
+    }
+    sizes
+}
+
+/// The per-point distance to the nearest center, for all points — useful for
+/// diagnostics and for the EIM distance cache tests.
+pub fn distances_to_centers<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) -> Vec<f64> {
+    let ids: Vec<PointId> = (0..space.len()).collect();
+    if centers.is_empty() {
+        return vec![f64::INFINITY; ids.len()];
+    }
+    if ids.len().saturating_mul(centers.len()) >= PARALLEL_THRESHOLD {
+        ids.par_iter().map(|&p| space.distance_to_set(p, centers)).collect()
+    } else {
+        ids.iter().map(|&p| space.distance_to_set(p, centers)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::{Point, VecSpace};
+
+    fn line(n: usize) -> VecSpace {
+        VecSpace::new((0..n).map(|i| Point::xy(i as f64, 0.0)).collect())
+    }
+
+    #[test]
+    fn covering_radius_of_line_with_endpoints_as_centers() {
+        let s = line(11);
+        let r = covering_radius(&s, &[0, 10]);
+        assert!((r - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covering_radius_zero_when_every_point_is_a_center() {
+        let s = line(5);
+        let r = covering_radius(&s, &[0, 1, 2, 3, 4]);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn covering_radius_empty_center_set_is_infinite() {
+        let s = line(3);
+        assert!(covering_radius(&s, &[]).is_infinite());
+    }
+
+    #[test]
+    fn covering_radius_of_empty_space_is_zero() {
+        let s = VecSpace::new(vec![]);
+        assert_eq!(covering_radius(&s, &[]), 0.0);
+    }
+
+    #[test]
+    fn covering_radius_subset_only_counts_subset_points() {
+        let s = line(100);
+        // Center at 0, subset only near it: the far points do not count.
+        let r = covering_radius_subset(&s, &[0, 1, 2], &[0]);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_agree() {
+        // Large enough to cross PARALLEL_THRESHOLD with 3 centers.
+        let s = line(20_000);
+        let centers = vec![0, 10_000, 19_999];
+        let par = covering_radius(&s, &centers);
+        let seq: f64 = (0..20_000)
+            .map(|p| s.distance_to_set(p, &centers))
+            .fold(0.0, f64::max);
+        assert!((par - seq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_picks_nearest_center_with_consistent_ties() {
+        let s = line(5);
+        let a = assign(&s, &[0, 4]);
+        assert_eq!(a, vec![0, 0, 0, 1, 1]); // point 2 ties -> smaller index 0
+    }
+
+    #[test]
+    #[should_panic(expected = "empty center set")]
+    fn assign_rejects_empty_centers() {
+        assign(&line(3), &[]);
+    }
+
+    #[test]
+    fn assign_of_empty_space_is_empty() {
+        let s = VecSpace::new(vec![]);
+        assert!(assign(&s, &[]).is_empty());
+    }
+
+    #[test]
+    fn cluster_sizes_counts_assignments() {
+        let sizes = cluster_sizes(&[0, 0, 1, 2, 1, 0], 3);
+        assert_eq!(sizes, vec![3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cluster_sizes_rejects_bad_assignment() {
+        cluster_sizes(&[0, 5], 2);
+    }
+
+    #[test]
+    fn distances_to_centers_matches_covering_radius() {
+        let s = line(50);
+        let centers = vec![10, 40];
+        let d = distances_to_centers(&s, &centers);
+        let max = d.iter().copied().fold(0.0, f64::max);
+        assert!((max - covering_radius(&s, &centers)).abs() < 1e-12);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d[10], 0.0);
+    }
+
+    #[test]
+    fn distances_to_centers_with_no_centers_is_infinite() {
+        let d = distances_to_centers(&line(3), &[]);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+}

@@ -1,0 +1,125 @@
+//! `Select(H, S)` — Algorithm 3 of the paper, with the new parameter φ.
+//!
+//! Given the candidate set `H` (with each candidate's distance to the
+//! current sample `S`), order the candidates from farthest to closest and
+//! return the one in position `φ · log n`.  The original scheme of Ene et
+//! al. effectively fixes `φ = 8`; the paper shows the probabilistic
+//! guarantee survives for `φ > 5.15` and experiments with φ ∈ {1, 4, 6, 8}
+//! to trade approximation quality for speed.
+
+use kcenter_metric::PointId;
+
+/// The pivot threshold above which the Section 6 analysis guarantees the
+/// 10-approximation with sufficient probability (`φ > 5.15`).
+pub const PHI_GUARANTEE_THRESHOLD: f64 = 5.15;
+
+/// The effective φ of the original Ene et al. scheme.
+pub const PHI_ORIGINAL: f64 = 8.0;
+
+/// Selects the pivot: the `φ·log n`-th farthest candidate from the sample.
+///
+/// `candidates` pairs every point of `H` with its distance `d(x, S)`;
+/// `n` is the size of the full instance (the paper's `log n` is the natural
+/// logarithm of the instance size, not of `|H|`).
+///
+/// Returns `None` when `H` is empty.  When `φ·log n` exceeds `|H|`, the
+/// closest candidate is returned (the deepest cut available), mirroring the
+/// clamping any implementation must perform on small candidate sets.
+pub fn select_pivot(candidates: &[(PointId, f64)], phi: f64, n: usize) -> Option<(PointId, f64)> {
+    assert!(phi > 0.0 && phi.is_finite(), "phi must be positive and finite");
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut ordered: Vec<(PointId, f64)> = candidates.to_vec();
+    // Farthest first; ties broken by point id for determinism.
+    ordered.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let rank = pivot_rank(phi, n, ordered.len());
+    Some(ordered[rank])
+}
+
+/// The 0-based index into the farthest-first ordering that
+/// [`select_pivot`] picks: `min(⌈φ·ln n⌉, |H|) - 1`.
+pub fn pivot_rank(phi: f64, n: usize, h_len: usize) -> usize {
+    assert!(h_len > 0, "pivot rank needs a non-empty candidate set");
+    let log_n = (n.max(2) as f64).ln();
+    let target = (phi * log_n).ceil() as usize;
+    target.clamp(1, h_len) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates(dists: &[f64]) -> Vec<(PointId, f64)> {
+        dists.iter().enumerate().map(|(i, &d)| (i, d)).collect()
+    }
+
+    #[test]
+    fn empty_candidate_set_has_no_pivot() {
+        assert_eq!(select_pivot(&[], 8.0, 1000), None);
+    }
+
+    #[test]
+    fn pivot_rank_grows_with_phi() {
+        let n = 10_000; // ln ≈ 9.2
+        let r1 = pivot_rank(1.0, n, 1_000);
+        let r8 = pivot_rank(8.0, n, 1_000);
+        assert!(r1 < r8);
+        assert_eq!(r1, (1.0f64 * (n as f64).ln()).ceil() as usize - 1);
+    }
+
+    #[test]
+    fn pivot_rank_clamps_to_candidate_count() {
+        assert_eq!(pivot_rank(8.0, 1_000_000, 5), 4);
+        assert_eq!(pivot_rank(0.0001, 1_000_000, 5), 0);
+    }
+
+    #[test]
+    fn select_pivot_orders_farthest_first() {
+        // phi tiny -> rank 0 -> farthest point.
+        let c = candidates(&[1.0, 9.0, 3.0, 7.0]);
+        let (id, d) = select_pivot(&c, 0.0001, 100).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(d, 9.0);
+    }
+
+    #[test]
+    fn select_pivot_with_large_phi_returns_closest() {
+        let c = candidates(&[1.0, 9.0, 3.0, 7.0]);
+        let (id, d) = select_pivot(&c, 1_000.0, 100).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn larger_phi_never_selects_a_farther_pivot() {
+        let c = candidates(&[5.0, 2.0, 8.0, 1.0, 9.0, 4.0, 3.0, 7.0, 6.0, 0.5]);
+        let mut last = f64::INFINITY;
+        for phi in [0.5, 1.0, 2.0, 4.0, 6.0, 8.0] {
+            let (_, d) = select_pivot(&c, phi, 50).unwrap();
+            assert!(d <= last + 1e-12, "pivot distance increased as phi grew");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        let c = vec![(7, 3.0), (2, 3.0), (9, 3.0)];
+        let a = select_pivot(&c, 0.0001, 10).unwrap();
+        let b = select_pivot(&c, 0.0001, 10).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.0, 2, "ties must prefer the smaller point id");
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be positive")]
+    fn select_pivot_rejects_nonpositive_phi() {
+        select_pivot(&candidates(&[1.0]), 0.0, 10);
+    }
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(PHI_ORIGINAL, 8.0);
+        assert!((PHI_GUARANTEE_THRESHOLD - 5.15).abs() < 1e-12);
+    }
+}

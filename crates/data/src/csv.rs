@@ -1,0 +1,250 @@
+//! Minimal CSV reading and writing for point clouds.
+//!
+//! The real UCI data sets the paper uses are distributed as comma-separated
+//! numeric files.  This module lets users swap our simulated surrogates for
+//! the genuine files: every row becomes one [`Point`], non-numeric trailing
+//! columns (such as the KDD Cup class label) can be skipped, and the loader
+//! validates that all rows share one dimension.
+
+use kcenter_metric::Point;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Options controlling how a CSV file is interpreted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvOptions {
+    /// Skip this many header lines before parsing data rows.
+    pub skip_header_lines: usize,
+    /// Ignore this many trailing columns (e.g. a class label).
+    pub skip_trailing_columns: usize,
+    /// Silently drop columns that fail to parse as numbers instead of
+    /// raising an error (useful for mixed categorical/numeric files).
+    pub drop_non_numeric_columns: bool,
+    /// Field delimiter, a comma by default.
+    pub delimiter: char,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            skip_header_lines: 0,
+            skip_trailing_columns: 0,
+            drop_non_numeric_columns: false,
+            delimiter: ',',
+        }
+    }
+}
+
+/// Errors raised while loading points from CSV input.
+#[derive(Debug)]
+pub enum CsvError {
+    /// An I/O error occurred.
+    Io(std::io::Error),
+    /// A field could not be parsed as a finite number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// The offending field text.
+        field: String,
+    },
+    /// A row had a different number of usable columns from earlier rows.
+    InconsistentDimension {
+        /// 1-based line number.
+        line: usize,
+        /// Number of columns found.
+        found: usize,
+        /// Number of columns expected.
+        expected: usize,
+    },
+    /// No data rows were found.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, column, field } => {
+                write!(f, "line {line}, column {column}: cannot parse {field:?} as a finite number")
+            }
+            CsvError::InconsistentDimension { line, found, expected } => {
+                write!(f, "line {line}: found {found} columns, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "no data rows found"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses points from any reader using the given options.
+pub fn parse_points<R: Read>(reader: R, options: &CsvOptions) -> Result<Vec<Point>, CsvError> {
+    let reader = BufReader::new(reader);
+    let mut points = Vec::new();
+    let mut expected_dim: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if idx < options.skip_header_lines {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(options.delimiter).collect();
+        let usable = fields.len().saturating_sub(options.skip_trailing_columns);
+        let mut coords = Vec::with_capacity(usable);
+        for (col, field) in fields[..usable].iter().enumerate() {
+            match field.trim().parse::<f64>() {
+                Ok(v) if v.is_finite() => coords.push(v),
+                _ if options.drop_non_numeric_columns => continue,
+                _ => {
+                    return Err(CsvError::Parse {
+                        line: idx + 1,
+                        column: col,
+                        field: field.to_string(),
+                    })
+                }
+            }
+        }
+        if coords.is_empty() {
+            continue;
+        }
+        match expected_dim {
+            None => expected_dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(CsvError::InconsistentDimension {
+                    line: idx + 1,
+                    found: coords.len(),
+                    expected: d,
+                })
+            }
+            _ => {}
+        }
+        points.push(Point::new(coords));
+    }
+    if points.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(points)
+}
+
+/// Loads points from a CSV file on disk.
+pub fn load_points<P: AsRef<Path>>(path: P, options: &CsvOptions) -> Result<Vec<Point>, CsvError> {
+    parse_points(File::open(path)?, options)
+}
+
+/// Writes points to a writer as plain CSV (one row per point).
+pub fn write_points<W: Write>(writer: W, points: &[Point]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for p in points {
+        let row: Vec<String> = p.coords().iter().map(|c| format!("{c}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Writes points to a CSV file on disk.
+pub fn save_points<P: AsRef<Path>>(path: P, points: &[Point]) -> std::io::Result<()> {
+    write_points(File::create(path)?, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_rows() {
+        let data = "1.0,2.0\n3.5,-4.25\n";
+        let pts = parse_points(data.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(pts, vec![Point::xy(1.0, 2.0), Point::xy(3.5, -4.25)]);
+    }
+
+    #[test]
+    fn parse_skips_header_and_blank_lines() {
+        let data = "x,y\n\n1,2\n\n3,4\n";
+        let opts = CsvOptions { skip_header_lines: 1, ..Default::default() };
+        let pts = parse_points(data.as_bytes(), &opts).unwrap();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn parse_skips_trailing_label_column() {
+        let data = "1,2,normal\n3,4,attack\n";
+        let opts = CsvOptions { skip_trailing_columns: 1, ..Default::default() };
+        let pts = parse_points(data.as_bytes(), &opts).unwrap();
+        assert_eq!(pts, vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn parse_can_drop_non_numeric_columns() {
+        let data = "tcp,1,2\nudp,3,4\n";
+        let opts = CsvOptions { drop_non_numeric_columns: true, ..Default::default() };
+        let pts = parse_points(data.as_bytes(), &opts).unwrap();
+        assert_eq!(pts, vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn parse_reports_bad_field() {
+        let err = parse_points("1,abc\n".as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, column: 1, .. }));
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn parse_reports_inconsistent_dimension() {
+        let err = parse_points("1,2\n1,2,3\n".as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::InconsistentDimension { line: 2, found: 3, expected: 2 }));
+    }
+
+    #[test]
+    fn parse_reports_empty_input() {
+        let err = parse_points("".as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn parse_supports_alternative_delimiters() {
+        let opts = CsvOptions { delimiter: ';', ..Default::default() };
+        let pts = parse_points("1;2\n3;4\n".as_bytes(), &opts).unwrap();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let pts = vec![Point::xyz(1.0, 2.5, -3.0), Point::xyz(0.0, 0.125, 7.0)];
+        let mut buf = Vec::new();
+        write_points(&mut buf, &pts).unwrap();
+        let parsed = parse_points(buf.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(parsed, pts);
+    }
+
+    #[test]
+    fn save_and_load_round_trips_via_disk() {
+        let dir = std::env::temp_dir().join("kcenter-data-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.csv");
+        let pts = vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0)];
+        save_points(&path, &pts).unwrap();
+        let loaded = load_points(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(loaded, pts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let err = load_points("/nonexistent/definitely/missing.csv", &CsvOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CsvError::Io(_)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Seeded random-number helpers shared by every generator.
+//!
+//! The generators must be deterministic given a seed so that the paper's
+//! protocol — "we generate three graphs of each size and type, and run the
+//! algorithms twice over each data set, taking the average" — is exactly
+//! reproducible.  All randomness flows through [`rand::rngs::StdRng`] seeded
+//! from a `u64`; Gaussian offsets use the Box–Muller transform implemented
+//! here so we do not need an extra distribution crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a base seed and a stream index.
+///
+/// Used to give every simulated machine / cluster / iteration its own
+/// independent stream while staying reproducible.  The mixing is a
+/// SplitMix64 step, which is enough to decorrelate consecutive indices.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "standard deviation must be non-negative");
+    mean + sigma * standard_normal(rng)
+}
+
+/// Samples from a (truncated) power-law on `[min, max]` with exponent
+/// `alpha > 1`, used by the KDD Cup surrogate to mimic heavy-tailed traffic
+/// feature values.
+pub fn power_law<R: Rng + ?Sized>(rng: &mut R, min: f64, max: f64, alpha: f64) -> f64 {
+    assert!(min > 0.0 && max > min, "power-law support must satisfy 0 < min < max");
+    assert!(alpha > 1.0, "power-law exponent must exceed 1");
+    let u: f64 = rng.gen();
+    let one_minus = 1.0 - alpha;
+    let lo = min.powf(one_minus);
+    let hi = max.powf(one_minus);
+    (lo + u * (hi - lo)).powf(1.0 / one_minus)
+}
+
+/// Chooses an index in `0..weights.len()` with probability proportional to
+/// the weights.  Used by the UNB generator's biased cluster assignment.
+pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_choice needs at least one weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(w >= 0.0, "weights must be non-negative");
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<u32> = (0..10).map(|_| seeded(42).gen()).collect();
+        let b: Vec<u32> = (0..10).map(|_| seeded(42).gen()).collect();
+        assert_eq!(a, b);
+        let mut r1 = seeded(1);
+        let mut r2 = seeded(2);
+        assert_ne!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let s: Vec<u64> = (0..100).map(|i| derive_seed(7, i)).collect();
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100, "derived seeds must be distinct");
+    }
+
+    #[test]
+    fn standard_normal_has_roughly_zero_mean_unit_variance() {
+        let mut rng = seeded(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean too far from 0: {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance too far from 1: {var}");
+    }
+
+    #[test]
+    fn normal_respects_mean_and_sigma() {
+        let mut rng = seeded(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 0.1)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.01);
+        assert!(samples.iter().all(|x| (x - 5.0).abs() < 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn normal_rejects_negative_sigma() {
+        normal(&mut seeded(0), 0.0, -1.0);
+    }
+
+    #[test]
+    fn power_law_stays_in_support() {
+        let mut rng = seeded(5);
+        for _ in 0..10_000 {
+            let x = power_law(&mut rng, 1.0, 1000.0, 2.5);
+            assert!((1.0..=1000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed_toward_min() {
+        let mut rng = seeded(6);
+        let n = 20_000;
+        let below_ten = (0..n)
+            .filter(|_| power_law(&mut rng, 1.0, 1000.0, 2.5) < 10.0)
+            .count();
+        // For alpha = 2.5 the vast majority of mass is near the minimum.
+        assert!(below_ten as f64 / n as f64 > 0.9);
+    }
+
+    #[test]
+    fn weighted_choice_follows_weights() {
+        let mut rng = seeded(7);
+        let weights = [0.5, 0.0, 0.25, 0.25];
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[weighted_choice(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert!((counts[2] as f64 / n as f64 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn weighted_choice_rejects_empty() {
+        weighted_choice(&mut seeded(0), &[]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Declarative data-set specifications for the experiment harness.
+//!
+//! Every table and figure in the paper is defined by a workload (which
+//! generator, which parameters) and an algorithm sweep.  [`DatasetSpec`]
+//! captures the workload half so the bench harness and the `repro` binary
+//! can describe experiments as data, and so the exact configuration ends up
+//! serialised next to the measured results.
+
+use crate::real::{KddCupSim, PokerHandSim};
+use crate::synthetic::{GauGenerator, UnbGenerator, UnifGenerator};
+use crate::PointGenerator;
+use kcenter_metric::{Point, VecSpace};
+use serde::{Deserialize, Serialize};
+
+/// A declarative description of one of the paper's workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetSpec {
+    /// UNIF: `n` points uniform in a two-dimensional square.
+    Unif {
+        /// Number of points.
+        n: usize,
+    },
+    /// GAU: `n` points in `k_prime` balanced Gaussian clusters.
+    Gau {
+        /// Number of points.
+        n: usize,
+        /// Number of inherent clusters (the paper's `k'`).
+        k_prime: usize,
+    },
+    /// UNB: like GAU but with half of the mass in one cluster.
+    Unb {
+        /// Number of points.
+        n: usize,
+        /// Number of inherent clusters.
+        k_prime: usize,
+    },
+    /// Simulated Poker Hand training set.
+    PokerHand {
+        /// Number of rows (the UCI training set has 25,010).
+        n: usize,
+    },
+    /// Simulated KDD Cup 1999 10 % sample.
+    KddCup {
+        /// Number of rows (the UCI 10 % sample has ~494k).
+        n: usize,
+    },
+}
+
+impl DatasetSpec {
+    /// The workload name as used in the paper.
+    pub fn family(&self) -> &'static str {
+        match self {
+            DatasetSpec::Unif { .. } => "UNIF",
+            DatasetSpec::Gau { .. } => "GAU",
+            DatasetSpec::Unb { .. } => "UNB",
+            DatasetSpec::PokerHand { .. } => "POKER HAND",
+            DatasetSpec::KddCup { .. } => "KDD CUP 1999",
+        }
+    }
+
+    /// Number of points the specification will generate.
+    pub fn n(&self) -> usize {
+        match *self {
+            DatasetSpec::Unif { n }
+            | DatasetSpec::Gau { n, .. }
+            | DatasetSpec::Unb { n, .. }
+            | DatasetSpec::PokerHand { n }
+            | DatasetSpec::KddCup { n } => n,
+        }
+    }
+
+    /// Returns a copy of the spec scaled to `round(n * factor)` points,
+    /// preserving every other parameter.  Used to run the paper's
+    /// experiments at reduced scale in CI while keeping the same shape.
+    pub fn scaled(&self, factor: f64) -> DatasetSpec {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(1);
+        match *self {
+            DatasetSpec::Unif { n } => DatasetSpec::Unif { n: scale(n) },
+            DatasetSpec::Gau { n, k_prime } => DatasetSpec::Gau { n: scale(n), k_prime },
+            DatasetSpec::Unb { n, k_prime } => DatasetSpec::Unb { n: scale(n), k_prime },
+            DatasetSpec::PokerHand { n } => DatasetSpec::PokerHand { n: scale(n) },
+            DatasetSpec::KddCup { n } => DatasetSpec::KddCup { n: scale(n) },
+        }
+    }
+
+    /// Generates the point cloud for this spec and seed.
+    pub fn generate(&self, seed: u64) -> Vec<Point> {
+        match *self {
+            DatasetSpec::Unif { n } => UnifGenerator::new(n).generate(seed),
+            DatasetSpec::Gau { n, k_prime } => GauGenerator::new(n, k_prime).generate(seed),
+            DatasetSpec::Unb { n, k_prime } => UnbGenerator::new(n, k_prime).generate(seed),
+            DatasetSpec::PokerHand { n } => PokerHandSim::with_rows(n).generate(seed),
+            DatasetSpec::KddCup { n } => KddCupSim::with_rows(n).generate(seed),
+        }
+    }
+
+    /// Generates the point cloud and wraps it in a Euclidean [`VecSpace`],
+    /// together with the metadata the experiment harness records.
+    pub fn build(&self, seed: u64) -> GeneratedDataset {
+        let points = self.generate(seed);
+        GeneratedDataset {
+            spec: self.clone(),
+            seed,
+            space: VecSpace::new(points),
+        }
+    }
+
+    /// A human-readable description including all parameters.
+    pub fn describe(&self) -> String {
+        match *self {
+            DatasetSpec::Unif { n } => format!("UNIF (n = {n})"),
+            DatasetSpec::Gau { n, k_prime } => format!("GAU (n = {n}, k' = {k_prime})"),
+            DatasetSpec::Unb { n, k_prime } => format!("UNB (n = {n}, k' = {k_prime})"),
+            DatasetSpec::PokerHand { n } => format!("POKER HAND (n = {n})"),
+            DatasetSpec::KddCup { n } => format!("KDD CUP 1999 (n = {n})"),
+        }
+    }
+}
+
+/// A generated data set: the spec, the seed, and the resulting metric space.
+#[derive(Clone)]
+pub struct GeneratedDataset {
+    /// The specification the data was generated from.
+    pub spec: DatasetSpec,
+    /// The seed used.
+    pub seed: u64,
+    /// The generated points wrapped in a Euclidean metric space.
+    pub space: VecSpace,
+}
+
+impl GeneratedDataset {
+    /// Number of generated points.
+    pub fn len(&self) -> usize {
+        kcenter_metric::MetricSpace::len(&self.space)
+    }
+
+    /// Whether the data set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_reports_family_and_size() {
+        assert_eq!(DatasetSpec::Unif { n: 10 }.family(), "UNIF");
+        assert_eq!(DatasetSpec::Gau { n: 10, k_prime: 2 }.family(), "GAU");
+        assert_eq!(DatasetSpec::Unb { n: 10, k_prime: 2 }.family(), "UNB");
+        assert_eq!(DatasetSpec::PokerHand { n: 10 }.family(), "POKER HAND");
+        assert_eq!(DatasetSpec::KddCup { n: 10 }.family(), "KDD CUP 1999");
+        assert_eq!(DatasetSpec::KddCup { n: 123 }.n(), 123);
+    }
+
+    #[test]
+    fn generate_produces_requested_sizes() {
+        for spec in [
+            DatasetSpec::Unif { n: 50 },
+            DatasetSpec::Gau { n: 50, k_prime: 3 },
+            DatasetSpec::Unb { n: 50, k_prime: 3 },
+            DatasetSpec::PokerHand { n: 50 },
+            DatasetSpec::KddCup { n: 50 },
+        ] {
+            assert_eq!(spec.generate(1).len(), 50, "{}", spec.describe());
+        }
+    }
+
+    #[test]
+    fn build_wraps_points_in_a_space() {
+        let ds = DatasetSpec::Gau { n: 40, k_prime: 2 }.build(5);
+        assert_eq!(ds.len(), 40);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.seed, 5);
+        assert_eq!(ds.spec, DatasetSpec::Gau { n: 40, k_prime: 2 });
+    }
+
+    #[test]
+    fn scaled_changes_only_n() {
+        let spec = DatasetSpec::Gau { n: 1_000_000, k_prime: 25 };
+        assert_eq!(spec.scaled(0.01), DatasetSpec::Gau { n: 10_000, k_prime: 25 });
+        assert_eq!(spec.scaled(1.0), spec);
+        // Scaling never drops to zero points.
+        assert_eq!(DatasetSpec::Unif { n: 10 }.scaled(0.001).n(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_nonpositive_factor() {
+        DatasetSpec::Unif { n: 10 }.scaled(0.0);
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        let s = DatasetSpec::Gau { n: 200_000, k_prime: 25 }.describe();
+        assert!(s.contains("200000") && s.contains("25"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = DatasetSpec::Unb { n: 77, k_prime: 5 };
+        assert_eq!(spec.generate(4), spec.generate(4));
+        assert_ne!(spec.generate(4), spec.generate(5));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the data generators: every generator must
+//! produce exactly the requested number of points, in a consistent
+//! dimension, deterministically per seed, with all coordinates finite.
+
+use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
+use proptest::prelude::*;
+
+fn small_spec() -> impl Strategy<Value = DatasetSpec> {
+    prop_oneof![
+        (1usize..200).prop_map(|n| DatasetSpec::Unif { n }),
+        (1usize..200, 1usize..8).prop_map(|(n, k)| DatasetSpec::Gau { n, k_prime: k }),
+        (1usize..200, 1usize..8).prop_map(|(n, k)| DatasetSpec::Unb { n, k_prime: k }),
+        (1usize..200).prop_map(|n| DatasetSpec::PokerHand { n }),
+        (1usize..200).prop_map(|n| DatasetSpec::KddCup { n }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generators_produce_exactly_n_finite_points(spec in small_spec(), seed in 0u64..1000) {
+        let points = spec.generate(seed);
+        prop_assert_eq!(points.len(), spec.n());
+        let dim = points[0].dim();
+        for p in &points {
+            prop_assert_eq!(p.dim(), dim);
+            prop_assert!(p.coords().iter().all(|c| c.is_finite()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(spec in small_spec(), seed in 0u64..1000) {
+        prop_assert_eq!(spec.generate(seed), spec.generate(seed));
+    }
+
+    #[test]
+    fn different_seeds_differ_for_nontrivial_sizes(spec in small_spec(), seed in 0u64..1000) {
+        prop_assume!(spec.n() >= 5);
+        prop_assert_ne!(spec.generate(seed), spec.generate(seed.wrapping_add(1)));
+    }
+
+    #[test]
+    fn scaling_preserves_family_and_adjusts_size(spec in small_spec(), factor in 0.1f64..3.0) {
+        let scaled = spec.scaled(factor);
+        prop_assert_eq!(scaled.family(), spec.family());
+        let expected = ((spec.n() as f64 * factor).round() as usize).max(1);
+        prop_assert_eq!(scaled.n(), expected);
+    }
+
+    #[test]
+    fn unif_points_lie_in_the_declared_square(n in 1usize..300, side in 1.0f64..500.0, seed in 0u64..100) {
+        let g = UnifGenerator::with_dim_and_side(n, 2, side);
+        for p in g.generate(seed) {
+            for &c in p.coords() {
+                prop_assert!((0.0..=side).contains(&c));
+            }
+        }
+    }
+}

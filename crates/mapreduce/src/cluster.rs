@@ -1,0 +1,309 @@
+//! The simulated cluster: parallel reducer execution with the paper's
+//! per-round cost accounting.
+
+use crate::config::ClusterConfig;
+use crate::error::MapReduceError;
+use crate::stats::{JobStats, RoundStats};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A simulated MapReduce cluster.
+///
+/// A round is executed by handing every partition to one reducer closure;
+/// reducers run in parallel through rayon (the machine actually has multiple
+/// cores), but the round is charged `max_i t_i` — the processing time of the
+/// slowest simulated machine — exactly as in the paper's experimental setup.
+/// The accumulated [`JobStats`] additionally record the fully sequential
+/// cost (`Σ_i t_i`) and the real wall-clock time so all three views can be
+/// reported.
+pub struct SimulatedCluster {
+    config: ClusterConfig,
+    stats: JobStats,
+    enforce_capacity: bool,
+}
+
+impl SimulatedCluster {
+    /// Creates a cluster with the given configuration; partition sizes are
+    /// checked against the per-machine capacity on every round.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self { config, stats: JobStats::new(), enforce_capacity: true }
+    }
+
+    /// Creates a cluster that records statistics but does not enforce the
+    /// capacity limit.  The paper's experiments effectively run in this mode
+    /// (its single test machine has plenty of RAM); the strict mode is what
+    /// the multi-round analysis needs.
+    pub fn unchecked(config: ClusterConfig) -> Self {
+        Self { config, stats: JobStats::new(), enforce_capacity: false }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Whether capacity limits are enforced.
+    pub fn enforces_capacity(&self) -> bool {
+        self.enforce_capacity
+    }
+
+    /// Statistics of every round executed so far.
+    pub fn stats(&self) -> &JobStats {
+        &self.stats
+    }
+
+    /// Consumes the cluster, returning the accumulated statistics.
+    pub fn into_stats(self) -> JobStats {
+        self.stats
+    }
+
+    /// Executes one MapReduce round.
+    ///
+    /// `partitions[i]` is the input of reducer `i`; `reduce(i, &partitions[i])`
+    /// produces its output.  Outputs are returned in partition order.  The
+    /// `count_out` closure tells the accounting how many items each output
+    /// contributes to the next shuffle.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapReduceError::EmptyRound`] if no partitions are supplied.
+    /// * [`MapReduceError::TooManyPartitions`] if there are more partitions
+    ///   than machines.
+    /// * [`MapReduceError::CapacityExceeded`] if any partition exceeds the
+    ///   per-machine capacity (only when capacity is enforced).
+    pub fn run_round<T, R, F, C>(
+        &mut self,
+        label: &str,
+        partitions: &[Vec<T>],
+        reduce: F,
+        count_out: C,
+    ) -> Result<Vec<R>, MapReduceError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+        C: Fn(&R) -> usize,
+    {
+        if partitions.is_empty() {
+            return Err(MapReduceError::EmptyRound);
+        }
+        if partitions.len() > self.config.machines {
+            return Err(MapReduceError::TooManyPartitions {
+                partitions: partitions.len(),
+                machines: self.config.machines,
+            });
+        }
+        if self.enforce_capacity {
+            for (machine, part) in partitions.iter().enumerate() {
+                if part.len() > self.config.capacity {
+                    return Err(MapReduceError::CapacityExceeded {
+                        machine,
+                        items: part.len(),
+                        capacity: self.config.capacity,
+                    });
+                }
+            }
+        }
+
+        let wall_start = Instant::now();
+        // Run every reducer in parallel, timing each one individually: the
+        // per-reducer time is the "simulated machine" processing time.
+        let timed: Vec<(R, Duration)> = partitions
+            .par_iter()
+            .enumerate()
+            .map(|(i, part)| {
+                let start = Instant::now();
+                let out = reduce(i, part);
+                (out, start.elapsed())
+            })
+            .collect();
+        let wall_time = wall_start.elapsed();
+
+        let simulated_time = timed.iter().map(|(_, t)| *t).max().unwrap_or_default();
+        let sequential_time = timed.iter().map(|(_, t)| *t).sum();
+        let items_in: usize = partitions.iter().map(Vec::len).sum();
+        let max_machine_items = partitions.iter().map(Vec::len).max().unwrap_or(0);
+        let outputs: Vec<R> = timed.into_iter().map(|(r, _)| r).collect();
+        let items_out: usize = outputs.iter().map(&count_out).sum();
+
+        self.stats.push(RoundStats {
+            round: 0,
+            label: label.to_string(),
+            machines_used: partitions.len(),
+            items_in,
+            max_machine_items,
+            items_out,
+            simulated_time,
+            sequential_time,
+            wall_time,
+        });
+        Ok(outputs)
+    }
+
+    /// Executes a round whose input all goes to a **single** reducer — the
+    /// final aggregation step of MRG and EIM ("the mapper sends all points
+    /// in S to a single reducer").
+    pub fn run_single<T, R, F, C>(
+        &mut self,
+        label: &str,
+        items: Vec<T>,
+        reduce: F,
+        count_out: C,
+    ) -> Result<R, MapReduceError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+        C: Fn(&R) -> usize,
+    {
+        let partitions = vec![items];
+        let mut out = self.run_round(label, &partitions, |_, part| reduce(part), count_out)?;
+        Ok(out.pop().expect("single-reducer round returns exactly one output"))
+    }
+
+    /// Checks that `n` items fit in the cluster at all.
+    pub fn check_fits(&self, n: usize) -> Result<(), MapReduceError> {
+        if self.enforce_capacity && !self.config.fits(n) {
+            return Err(MapReduceError::ClusterTooSmall {
+                items: n,
+                total_capacity: self.config.total_capacity(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+
+    fn config(machines: usize, capacity: usize) -> ClusterConfig {
+        ClusterConfig::new(machines, capacity)
+    }
+
+    #[test]
+    fn run_round_returns_outputs_in_partition_order() {
+        let mut cluster = SimulatedCluster::new(config(4, 100));
+        let parts: Vec<Vec<u64>> = vec![vec![1, 2], vec![3], vec![4, 5, 6]];
+        let sums = cluster
+            .run_round("sum", &parts, |_, xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        assert_eq!(sums, vec![3, 3, 15]);
+        let stats = cluster.stats();
+        assert_eq!(stats.num_rounds(), 1);
+        let r = &stats.rounds()[0];
+        assert_eq!(r.items_in, 6);
+        assert_eq!(r.max_machine_items, 3);
+        assert_eq!(r.items_out, 3);
+        assert_eq!(r.machines_used, 3);
+        assert_eq!(r.label, "sum");
+    }
+
+    #[test]
+    fn run_round_rejects_empty_input() {
+        let mut cluster = SimulatedCluster::new(config(2, 10));
+        let err = cluster
+            .run_round::<u32, u32, _, _>("x", &[], |_, _| 0, |_| 0)
+            .unwrap_err();
+        assert_eq!(err, MapReduceError::EmptyRound);
+    }
+
+    #[test]
+    fn run_round_rejects_too_many_partitions() {
+        let mut cluster = SimulatedCluster::new(config(2, 10));
+        let parts = vec![vec![1], vec![2], vec![3]];
+        let err = cluster
+            .run_round("x", &parts, |_, xs: &[i32]| xs.len(), |_| 0)
+            .unwrap_err();
+        assert_eq!(err, MapReduceError::TooManyPartitions { partitions: 3, machines: 2 });
+    }
+
+    #[test]
+    fn run_round_enforces_capacity() {
+        let mut cluster = SimulatedCluster::new(config(2, 2));
+        let parts = vec![vec![1, 2, 3]];
+        let err = cluster
+            .run_round("x", &parts, |_, xs: &[i32]| xs.len(), |_| 0)
+            .unwrap_err();
+        assert_eq!(err, MapReduceError::CapacityExceeded { machine: 0, items: 3, capacity: 2 });
+    }
+
+    #[test]
+    fn unchecked_cluster_ignores_capacity() {
+        let mut cluster = SimulatedCluster::unchecked(config(2, 2));
+        assert!(!cluster.enforces_capacity());
+        let parts = vec![vec![1, 2, 3, 4, 5]];
+        let out = cluster
+            .run_round("x", &parts, |_, xs: &[i32]| xs.len(), |_| 0)
+            .unwrap();
+        assert_eq!(out, vec![5]);
+        assert!(cluster.check_fits(1_000_000).is_ok());
+    }
+
+    #[test]
+    fn run_single_funnels_everything_to_one_reducer() {
+        let mut cluster = SimulatedCluster::new(config(8, 100));
+        let total = cluster
+            .run_single("final", (1..=10u64).collect(), |xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        assert_eq!(total, 55);
+        assert_eq!(cluster.stats().rounds()[0].machines_used, 1);
+    }
+
+    #[test]
+    fn check_fits_detects_undersized_cluster() {
+        let cluster = SimulatedCluster::new(config(2, 3));
+        assert!(cluster.check_fits(6).is_ok());
+        assert_eq!(
+            cluster.check_fits(7).unwrap_err(),
+            MapReduceError::ClusterTooSmall { items: 7, total_capacity: 6 }
+        );
+    }
+
+    #[test]
+    fn simulated_time_is_at_most_sequential_time() {
+        let mut cluster = SimulatedCluster::new(config(8, 100_000));
+        let items: Vec<u64> = (0..80_000).collect();
+        let parts = partition::chunks(&items, 8);
+        cluster
+            .run_round(
+                "busy",
+                &parts,
+                |_, xs| xs.iter().map(|x| x.wrapping_mul(2654435761)).sum::<u64>(),
+                |_| 1,
+            )
+            .unwrap();
+        let r = &cluster.stats().rounds()[0];
+        assert!(r.simulated_time <= r.sequential_time);
+        assert!(r.simulated_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_round_job_accumulates_stats() {
+        let mut cluster = SimulatedCluster::new(config(4, 1000));
+        let items: Vec<u64> = (0..1000).collect();
+        let parts = partition::chunks(&items, 4);
+        let partials = cluster
+            .run_round("sum parts", &parts, |_, xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        let total = cluster
+            .run_single("combine", partials, |xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        assert_eq!(total, 499_500);
+        assert_eq!(cluster.stats().num_rounds(), 2);
+        assert_eq!(cluster.stats().rounds()[1].items_in, 4);
+        let stats = cluster.into_stats();
+        assert_eq!(stats.num_rounds(), 2);
+    }
+
+    #[test]
+    fn reducer_index_is_passed_through() {
+        let mut cluster = SimulatedCluster::new(config(3, 10));
+        let parts = vec![vec![0u8], vec![0u8], vec![0u8]];
+        let ids = cluster
+            .run_round("ids", &parts, |i, _| i, |_| 0)
+            .unwrap();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

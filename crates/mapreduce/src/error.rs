@@ -1,0 +1,84 @@
+//! Error types for the simulated MapReduce substrate.
+
+use std::fmt;
+
+/// Errors raised by the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapReduceError {
+    /// A reducer was handed more points than one machine can hold.
+    CapacityExceeded {
+        /// Index of the offending reducer/machine.
+        machine: usize,
+        /// Number of items assigned to it.
+        items: usize,
+        /// The per-machine capacity.
+        capacity: usize,
+    },
+    /// More partitions were supplied than there are machines.
+    TooManyPartitions {
+        /// Number of partitions supplied.
+        partitions: usize,
+        /// Number of machines available.
+        machines: usize,
+    },
+    /// The whole input does not fit in the cluster (`m · c < n`).
+    ClusterTooSmall {
+        /// Total number of items.
+        items: usize,
+        /// Total cluster capacity.
+        total_capacity: usize,
+    },
+    /// A round was started with no input partitions.
+    EmptyRound,
+}
+
+impl fmt::Display for MapReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapReduceError::CapacityExceeded { machine, items, capacity } => write!(
+                f,
+                "machine {machine} was assigned {items} items but has capacity {capacity}"
+            ),
+            MapReduceError::TooManyPartitions { partitions, machines } => write!(
+                f,
+                "{partitions} partitions supplied but the cluster has only {machines} machines"
+            ),
+            MapReduceError::ClusterTooSmall { items, total_capacity } => write!(
+                f,
+                "input of {items} items exceeds the total cluster capacity of {total_capacity}"
+            ),
+            MapReduceError::EmptyRound => write!(f, "a MapReduce round needs at least one partition"),
+        }
+    }
+}
+
+impl std::error::Error for MapReduceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_numbers() {
+        let e = MapReduceError::CapacityExceeded { machine: 3, items: 100, capacity: 50 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("100") && s.contains("50"));
+
+        let e = MapReduceError::TooManyPartitions { partitions: 10, machines: 5 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('5'));
+
+        let e = MapReduceError::ClusterTooSmall { items: 7, total_capacity: 6 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('6'));
+
+        assert!(MapReduceError::EmptyRound.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MapReduceError::EmptyRound, MapReduceError::EmptyRound);
+        assert_ne!(
+            MapReduceError::EmptyRound,
+            MapReduceError::TooManyPartitions { partitions: 1, machines: 1 }
+        );
+    }
+}

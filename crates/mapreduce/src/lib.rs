@@ -1,0 +1,40 @@
+//! Simulated MapReduce substrate.
+//!
+//! The paper evaluates its parallel k-center algorithms in the MapReduce
+//! model of Karloff et al., but runs the experiments by *simulating* the
+//! parallel machines on a single box: "We simulate the parallel machines
+//! sequentially on a single machine, taking the longest processing time of
+//! the simulated machines as the processing time for that MapReduce round",
+//! and "we adopt a MapReduce approach, but do not record the cost of moving
+//! data between machines" (Section 7.1).
+//!
+//! This crate reproduces that model:
+//!
+//! * a [`ClusterConfig`] describes the number of simulated machines `m` and
+//!   the per-machine capacity `c` (measured in points);
+//! * a [`SimulatedCluster`] executes *rounds*: the caller supplies one input
+//!   partition per reducer and a reduce closure, the reducers actually run
+//!   in parallel through rayon, and the round is **charged** the maximum
+//!   per-reducer processing time — exactly the paper's accounting — while
+//!   the wall-clock time is recorded alongside;
+//! * [`partition`] provides the mapper side: deterministic chunking,
+//!   round-robin, and seeded random partitioners;
+//! * [`JobStats`] / [`RoundStats`] accumulate per-round accounting
+//!   (simulated time, wall time, items processed and shuffled) so the bench
+//!   harness can report both the paper's metric and real elapsed time;
+//! * capacity violations surface as [`MapReduceError`] instead of silently
+//!   producing results a real cluster could not have produced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod partition;
+pub mod stats;
+
+pub use cluster::SimulatedCluster;
+pub use config::ClusterConfig;
+pub use error::MapReduceError;
+pub use stats::{JobStats, RoundStats};

@@ -1,0 +1,158 @@
+//! Per-round and per-job cost accounting.
+//!
+//! The paper charges a MapReduce round the processing time of its slowest
+//! simulated machine and does not charge data movement; we record both that
+//! quantity ([`RoundStats::simulated_time`]) and the real wall-clock time of
+//! the parallel execution, plus item counts so shuffle volume can be
+//! inspected even though it is not charged.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Accounting for a single MapReduce round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// 0-based index of the round within its job.
+    pub round: usize,
+    /// Human-readable label (e.g. `"MRG round 1: parallel GON"`).
+    pub label: String,
+    /// Number of reducers (simulated machines) that received input.
+    pub machines_used: usize,
+    /// Total number of input items across all reducers.
+    pub items_in: usize,
+    /// Largest number of input items on any single reducer.
+    pub max_machine_items: usize,
+    /// Total number of output items emitted by all reducers (the shuffle
+    /// volume of the next round).
+    pub items_out: usize,
+    /// The paper's charged time for the round: the maximum processing time
+    /// over the simulated machines.
+    pub simulated_time: Duration,
+    /// Sum of all per-machine processing times (what a fully sequential
+    /// simulation would have cost).
+    pub sequential_time: Duration,
+    /// Real elapsed wall-clock time of the parallel execution.
+    pub wall_time: Duration,
+}
+
+/// Accounting for a complete multi-round job.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobStats {
+    rounds: Vec<RoundStats>,
+}
+
+impl JobStats {
+    /// Creates an empty job record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finished round.
+    pub fn push(&mut self, mut round: RoundStats) {
+        round.round = self.rounds.len();
+        self.rounds.push(round);
+    }
+
+    /// All recorded rounds in execution order.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Number of MapReduce rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total simulated time: the paper's runtime metric, i.e. the sum over
+    /// rounds of the slowest machine's processing time.
+    pub fn simulated_time(&self) -> Duration {
+        self.rounds.iter().map(|r| r.simulated_time).sum()
+    }
+
+    /// Total per-machine processing time over all rounds (the cost of a
+    /// fully sequential simulation).
+    pub fn sequential_time(&self) -> Duration {
+        self.rounds.iter().map(|r| r.sequential_time).sum()
+    }
+
+    /// Total real wall-clock time over all rounds.
+    pub fn wall_time(&self) -> Duration {
+        self.rounds.iter().map(|r| r.wall_time).sum()
+    }
+
+    /// Total number of items shuffled into reducers over all rounds.
+    pub fn total_items_in(&self) -> usize {
+        self.rounds.iter().map(|r| r.items_in).sum()
+    }
+
+    /// Merges another job's rounds after this one's (used when an algorithm
+    /// is composed of sub-jobs, e.g. EIM's sampling loop followed by the
+    /// final clean-up round).
+    pub fn extend(&mut self, other: JobStats) {
+        for r in other.rounds {
+            self.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(label: &str, sim_ms: u64, seq_ms: u64, items: usize) -> RoundStats {
+        RoundStats {
+            round: 0,
+            label: label.to_string(),
+            machines_used: 4,
+            items_in: items,
+            max_machine_items: items / 4 + 1,
+            items_out: items / 10,
+            simulated_time: Duration::from_millis(sim_ms),
+            sequential_time: Duration::from_millis(seq_ms),
+            wall_time: Duration::from_millis(sim_ms + 1),
+        }
+    }
+
+    #[test]
+    fn push_renumbers_rounds_sequentially() {
+        let mut job = JobStats::new();
+        job.push(round("a", 10, 40, 100));
+        job.push(round("b", 20, 60, 50));
+        assert_eq!(job.num_rounds(), 2);
+        assert_eq!(job.rounds()[0].round, 0);
+        assert_eq!(job.rounds()[1].round, 1);
+        assert_eq!(job.rounds()[1].label, "b");
+    }
+
+    #[test]
+    fn totals_sum_over_rounds() {
+        let mut job = JobStats::new();
+        job.push(round("a", 10, 40, 100));
+        job.push(round("b", 20, 60, 50));
+        assert_eq!(job.simulated_time(), Duration::from_millis(30));
+        assert_eq!(job.sequential_time(), Duration::from_millis(100));
+        assert_eq!(job.wall_time(), Duration::from_millis(32));
+        assert_eq!(job.total_items_in(), 150);
+    }
+
+    #[test]
+    fn empty_job_has_zero_totals() {
+        let job = JobStats::new();
+        assert_eq!(job.num_rounds(), 0);
+        assert_eq!(job.simulated_time(), Duration::ZERO);
+        assert_eq!(job.total_items_in(), 0);
+    }
+
+    #[test]
+    fn extend_appends_and_renumbers() {
+        let mut a = JobStats::new();
+        a.push(round("a", 10, 10, 10));
+        let mut b = JobStats::new();
+        b.push(round("b", 5, 5, 5));
+        b.push(round("c", 5, 5, 5));
+        a.extend(b);
+        assert_eq!(a.num_rounds(), 3);
+        assert_eq!(a.rounds()[2].round, 2);
+        assert_eq!(a.simulated_time(), Duration::from_millis(20));
+    }
+}

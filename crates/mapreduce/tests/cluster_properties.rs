@@ -1,0 +1,96 @@
+//! Property-based tests for the MapReduce substrate: partitioners must
+//! cover their input exactly once within the size bound, and the simulated
+//! cluster's accounting must be internally consistent.
+
+use kcenter_mapreduce::{partition, ClusterConfig, SimulatedCluster};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_partitioner_covers_input_exactly_once(
+        items in prop::collection::vec(any::<u32>(), 0..400),
+        parts in 1usize..60,
+        seed in any::<u64>()
+    ) {
+        for strategy in ["chunks", "round_robin", "random"] {
+            let out = match strategy {
+                "chunks" => partition::chunks(&items, parts),
+                "round_robin" => partition::round_robin(&items, parts),
+                _ => partition::random(&items, parts, seed),
+            };
+            // Exactly-once coverage (as multisets).
+            let mut flattened: Vec<u32> = out.iter().flatten().copied().collect();
+            let mut expected = items.clone();
+            flattened.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(&flattened, &expected, "strategy {} lost or duplicated items", strategy);
+            // Never more partitions than requested, never an empty partition.
+            prop_assert!(out.len() <= parts);
+            prop_assert!(out.iter().all(|p| !p.is_empty()));
+            // Size bound the MRG analysis relies on.
+            let bound = partition::max_partition_size(items.len(), parts);
+            prop_assert!(out.iter().all(|p| p.len() <= bound), "strategy {} exceeded ceil(n/m)", strategy);
+        }
+    }
+
+    #[test]
+    fn cluster_round_preserves_all_items_through_identity_reduce(
+        items in prop::collection::vec(any::<u32>(), 1..300),
+        machines in 1usize..50
+    ) {
+        let config = ClusterConfig::new(machines, items.len().max(1));
+        let mut cluster = SimulatedCluster::new(config);
+        let parts = partition::chunks(&items, machines);
+        let outputs = cluster
+            .run_round("identity", &parts, |_, xs| xs.to_vec(), |v| v.len())
+            .unwrap();
+        let mut flattened: Vec<u32> = outputs.into_iter().flatten().collect();
+        let mut expected = items.clone();
+        flattened.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(flattened, expected);
+
+        let stats = cluster.stats();
+        prop_assert_eq!(stats.num_rounds(), 1);
+        let round = &stats.rounds()[0];
+        prop_assert_eq!(round.items_in, items.len());
+        prop_assert_eq!(round.items_out, items.len());
+        prop_assert!(round.machines_used <= machines);
+        prop_assert!(round.simulated_time <= round.sequential_time + std::time::Duration::from_micros(1));
+    }
+
+    #[test]
+    fn capacity_enforcement_matches_partition_sizes(
+        n in 1usize..500,
+        machines in 1usize..20,
+        capacity in 1usize..100
+    ) {
+        let items: Vec<u32> = (0..n as u32).collect();
+        let parts = partition::chunks(&items, machines);
+        let max_part = parts.iter().map(Vec::len).max().unwrap_or(0);
+        let mut cluster = SimulatedCluster::new(ClusterConfig::new(machines, capacity));
+        let result = cluster.run_round("check", &parts, |_, xs| xs.len(), |_| 0);
+        if max_part <= capacity {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn rounds_needed_is_consistent_with_two_round_predicate(
+        n in 1usize..2_000_000,
+        k in 1usize..500,
+        machines in 1usize..100,
+        capacity in 1usize..100_000
+    ) {
+        let config = ClusterConfig::new(machines, capacity);
+        if config.allows_two_round(n, k) {
+            let rounds = config.rounds_needed(n, k);
+            prop_assert!(rounds.is_some());
+            prop_assert!(rounds.unwrap() <= 2, "two-round precondition met but {} rounds predicted", rounds.unwrap());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Axis-aligned bounding boxes and cheap diameter estimates.
+//!
+//! The synthetic generators place points in unit squares/cubes and the
+//! experiment harness reports objective values whose scale depends on the
+//! spread of the data; a bounding box gives a cheap, deterministic way to
+//! normalise and sanity-check those scales (e.g. the covering radius can
+//! never exceed the box diagonal).
+
+use crate::point::Point;
+use rayon::prelude::*;
+
+/// An axis-aligned bounding box in `R^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// Computes the bounding box of a non-empty point slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn of(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let dim = first.dim();
+        let mut min = first.coords().to_vec();
+        let mut max = first.coords().to_vec();
+        for p in &points[1..] {
+            assert_eq!(p.dim(), dim, "dimension mismatch in bounding box");
+            for (i, &c) in p.coords().iter().enumerate() {
+                if c < min[i] {
+                    min[i] = c;
+                }
+                if c > max[i] {
+                    max[i] = c;
+                }
+            }
+        }
+        Some(Self { min, max })
+    }
+
+    /// Parallel variant of [`BoundingBox::of`] for large point sets.
+    pub fn par_of(points: &[Point]) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        points
+            .par_chunks(4096)
+            .filter_map(BoundingBox::of)
+            .reduce_with(|a, b| a.merged(&b))
+    }
+
+    /// The smallest box containing both `self` and `other`.
+    pub fn merged(&self, other: &BoundingBox) -> BoundingBox {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in merge");
+        BoundingBox {
+            min: self
+                .min
+                .iter()
+                .zip(other.min.iter())
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+            max: self
+                .max
+                .iter()
+                .zip(other.max.iter())
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        }
+    }
+
+    /// The coordinate dimension of the box.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Minimum corner.
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Maximum corner.
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Side length along dimension `i`.
+    pub fn extent(&self, i: usize) -> f64 {
+        self.max[i] - self.min[i]
+    }
+
+    /// Length of the box diagonal — an upper bound on any pairwise distance
+    /// (and therefore on the optimal k-center radius).
+    pub fn diagonal(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(lo, hi)| {
+                let d = hi - lo;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Whether the point lies inside (or on the boundary of) the box.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.dim() == self.dim()
+            && p.coords()
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| c >= self.min[i] - 1e-12 && c <= self.max[i] + 1e-12)
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.min
+                .iter()
+                .zip(self.max.iter())
+                .map(|(lo, hi)| (lo + hi) / 2.0)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud() -> Vec<Point> {
+        vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(2.0, 1.0),
+            Point::xy(-1.0, 3.0),
+            Point::xy(1.0, -2.0),
+        ]
+    }
+
+    #[test]
+    fn of_empty_is_none() {
+        assert_eq!(BoundingBox::of(&[]), None);
+        assert_eq!(BoundingBox::par_of(&[]), None);
+    }
+
+    #[test]
+    fn of_single_point_is_degenerate() {
+        let b = BoundingBox::of(&[Point::xy(1.0, 2.0)]).unwrap();
+        assert_eq!(b.min(), &[1.0, 2.0]);
+        assert_eq!(b.max(), &[1.0, 2.0]);
+        assert_eq!(b.diagonal(), 0.0);
+    }
+
+    #[test]
+    fn of_covers_all_points() {
+        let pts = cloud();
+        let b = BoundingBox::of(&pts).unwrap();
+        assert_eq!(b.min(), &[-1.0, -2.0]);
+        assert_eq!(b.max(), &[2.0, 3.0]);
+        assert!(pts.iter().all(|p| b.contains(p)));
+        assert!(!b.contains(&Point::xy(10.0, 0.0)));
+    }
+
+    #[test]
+    fn par_of_matches_sequential() {
+        let pts: Vec<Point> = (0..10_000)
+            .map(|i| Point::xy((i % 173) as f64, ((i * 7) % 311) as f64))
+            .collect();
+        assert_eq!(BoundingBox::of(&pts), BoundingBox::par_of(&pts));
+    }
+
+    #[test]
+    fn merged_covers_both() {
+        let a = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)]).unwrap();
+        let b = BoundingBox::of(&[Point::xy(-5.0, 2.0), Point::xy(0.5, 3.0)]).unwrap();
+        let m = a.merged(&b);
+        assert_eq!(m.min(), &[-5.0, 0.0]);
+        assert_eq!(m.max(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn diagonal_and_extent() {
+        let b = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(3.0, 4.0)]).unwrap();
+        assert!((b.diagonal() - 5.0).abs() < 1e-12);
+        assert_eq!(b.extent(0), 3.0);
+        assert_eq!(b.extent(1), 4.0);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(2.0, 4.0)]).unwrap();
+        assert_eq!(b.center(), Point::xy(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn of_rejects_mixed_dimensions() {
+        BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xyz(0.0, 0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Distance functions.
+//!
+//! The clustering algorithms are generic over a [`Distance`], but the paper's
+//! experiments all use the Euclidean metric computed on demand from point
+//! coordinates (Section 7.3).  Additional metrics are provided both for
+//! completeness (the real data sets are partly categorical, where an
+//! overlap/Hamming distance is the natural choice) and to exercise the
+//! genericity of the core algorithms in tests.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A distance function over [`Point`]s.
+///
+/// Implementations used with the k-center approximation algorithms must be
+/// *metrics* (non-negative, zero iff equal up to representation, symmetric,
+/// triangle inequality); the approximation factors of GON, MRG and EIM all
+/// rely on the triangle inequality.  [`SquaredEuclidean`] is provided for
+/// nearest-neighbour style comparisons but is **not** a metric and is
+/// rejected by the algorithms unless explicitly allowed.
+pub trait Distance: Send + Sync {
+    /// Computes the distance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the points have different dimensions.
+    fn distance(&self, a: &Point, b: &Point) -> f64;
+
+    /// Whether this distance satisfies the triangle inequality.
+    ///
+    /// The k-center algorithms assert this before running, since their
+    /// approximation guarantees are meaningless otherwise.
+    fn is_metric(&self) -> bool {
+        true
+    }
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The Euclidean (`L2`) metric — the distance used throughout the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Euclidean;
+
+impl Distance for Euclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        let mut sum = 0.0;
+        for (x, y) in a.coords().iter().zip(b.coords().iter()) {
+            let d = x - y;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Squared Euclidean distance.  Cheaper than [`Euclidean`] (no square root)
+/// and order-equivalent to it, but **not** a metric: the triangle inequality
+/// fails, so it must not be used with the approximation algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquaredEuclidean;
+
+impl Distance for SquaredEuclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        let mut sum = 0.0;
+        for (x, y) in a.coords().iter().zip(b.coords().iter()) {
+            let d = x - y;
+            sum += d * d;
+        }
+        sum
+    }
+
+    fn is_metric(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "squared-euclidean"
+    }
+}
+
+/// The Manhattan (`L1`) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manhattan;
+
+impl Distance for Manhattan {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+}
+
+/// The Chebyshev (`L∞`) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chebyshev;
+
+impl Distance for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn name(&self) -> &'static str {
+        "chebyshev"
+    }
+}
+
+/// The Minkowski (`Lp`) metric for a configurable exponent `p >= 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates an `Lp` metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 1` (the triangle inequality fails for `p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0 && p.is_finite(), "Minkowski exponent must be finite and >= 1");
+        Self { p }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Distance for Minkowski {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        let sum: f64 = a
+            .coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum();
+        sum.powf(1.0 / self.p)
+    }
+
+    fn name(&self) -> &'static str {
+        "minkowski"
+    }
+}
+
+/// Hamming / overlap distance: the number of coordinates in which the two
+/// points differ.  The natural metric for categorical attributes such as the
+/// suits and ranks of the Poker Hand data set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hamming;
+
+impl Distance for Hamming {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords().iter())
+            .filter(|(x, y)| x != y)
+            .count() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::new(coords.to_vec())
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let d = Euclidean.distance(&p(&[0.0, 0.0]), &p(&[3.0, 4.0]));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_is_zero_on_identical_points() {
+        let a = p(&[1.5, -2.5, 3.0]);
+        assert_eq!(Euclidean.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn squared_euclidean_is_square_of_euclidean() {
+        let a = p(&[1.0, 2.0]);
+        let b = p(&[4.0, 6.0]);
+        let e = Euclidean.distance(&a, &b);
+        let s = SquaredEuclidean.distance(&a, &b);
+        assert!((s - e * e).abs() < 1e-9);
+        assert!(!SquaredEuclidean.is_metric());
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        let d = Manhattan.distance(&p(&[1.0, 2.0]), &p(&[4.0, -2.0]));
+        assert!((d - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_takes_max_coordinate_gap() {
+        let d = Chebyshev.distance(&p(&[1.0, 2.0, 3.0]), &p(&[2.0, 10.0, 3.5]));
+        assert!((d - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_p1_equals_manhattan_p2_equals_euclidean() {
+        let a = p(&[1.0, -2.0, 0.5]);
+        let b = p(&[-3.0, 4.0, 2.0]);
+        let m1 = Minkowski::new(1.0).distance(&a, &b);
+        let m2 = Minkowski::new(2.0).distance(&a, &b);
+        assert!((m1 - Manhattan.distance(&a, &b)).abs() < 1e-9);
+        assert!((m2 - Euclidean.distance(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Minkowski exponent")]
+    fn minkowski_rejects_p_below_one() {
+        Minkowski::new(0.5);
+    }
+
+    #[test]
+    fn hamming_counts_differing_coordinates() {
+        let d = Hamming.distance(&p(&[1.0, 2.0, 3.0, 4.0]), &p(&[1.0, 5.0, 3.0, 0.0]));
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn all_metrics_report_names() {
+        assert_eq!(Euclidean.name(), "euclidean");
+        assert_eq!(Manhattan.name(), "manhattan");
+        assert_eq!(Chebyshev.name(), "chebyshev");
+        assert_eq!(Hamming.name(), "hamming");
+        assert_eq!(Minkowski::new(3.0).name(), "minkowski");
+        assert_eq!(SquaredEuclidean.name(), "squared-euclidean");
+    }
+
+    #[test]
+    fn metric_flags() {
+        assert!(Euclidean.is_metric());
+        assert!(Manhattan.is_metric());
+        assert!(Chebyshev.is_metric());
+        assert!(Hamming.is_metric());
+        assert!(Minkowski::new(4.0).is_metric());
+    }
+}

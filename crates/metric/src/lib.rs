@@ -1,0 +1,49 @@
+//! Metric-space substrate for the parallel k-center reproduction.
+//!
+//! The k-center problem is defined over a metric space: a set of points `V`
+//! together with a distance function `d` satisfying identity, symmetry and
+//! the triangle inequality.  The paper (McClintock & Wirth, ICPP 2016)
+//! computes Euclidean distances on demand from point coordinates rather than
+//! materialising the full distance matrix (Section 7.3); its real data sets
+//! are higher-dimensional and partly categorical.
+//!
+//! This crate provides:
+//!
+//! * [`Point`] — a dense, owned coordinate vector with cheap slicing.
+//! * [`Distance`] implementations — [`Euclidean`], [`SquaredEuclidean`],
+//!   [`Manhattan`], [`Chebyshev`], [`Minkowski`], [`Hamming`].
+//! * [`MetricSpace`] — the trait the clustering algorithms are written
+//!   against, with a concrete on-demand [`VecSpace`] and a fully
+//!   materialised [`MatrixSpace`].
+//! * [`DistanceMatrix`] — an explicit symmetric matrix representation (the
+//!   "matrix representation of a graph" the paper mentions and argues
+//!   against shipping between machines).
+//! * [`BoundingBox`] and diameter estimation utilities.
+//! * [`lower_bound`] — simple instance lower bounds used to sanity-check
+//!   approximation factors in tests.
+//!
+//! All heavy scans expose rayon-parallel variants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod distance;
+pub mod lower_bound;
+pub mod matrix;
+pub mod point;
+pub mod space;
+
+pub use bbox::BoundingBox;
+pub use distance::{Chebyshev, Distance, Euclidean, Hamming, Manhattan, Minkowski, SquaredEuclidean};
+pub use lower_bound::{pairwise_lower_bound, scaled_diameter_lower_bound};
+pub use matrix::DistanceMatrix;
+pub use point::Point;
+pub use space::{MatrixSpace, MetricSpace, VecSpace};
+
+/// Index of a point inside a data set / metric space.
+///
+/// All algorithms in the workspace refer to points by index so that only
+/// indices (not coordinate vectors) need to travel between simulated
+/// MapReduce machines.
+pub type PointId = usize;

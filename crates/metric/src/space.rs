@@ -1,0 +1,319 @@
+//! Metric spaces: a point collection plus a distance.
+//!
+//! The clustering algorithms address points by [`PointId`] and only ever ask
+//! the space for distances between indexed points.  Two concrete spaces are
+//! provided:
+//!
+//! * [`VecSpace`] computes distances on demand from coordinates — the
+//!   representation the paper uses for its experiments, because shipping a
+//!   full `n × n` matrix between simulated machines would be wasteful.
+//! * [`MatrixSpace`] pre-computes the full symmetric [`DistanceMatrix`] —
+//!   only viable for small `n` but convenient for exact tests and for graphs
+//!   given directly by edge weights.
+
+use crate::distance::{Distance, Euclidean};
+use crate::matrix::DistanceMatrix;
+use crate::point::Point;
+use crate::PointId;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A finite metric space addressable by point index.
+pub trait MetricSpace: Send + Sync {
+    /// Number of points in the space.
+    fn len(&self) -> usize;
+
+    /// Whether the space contains no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between the points with indices `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    fn distance(&self, a: PointId, b: PointId) -> f64;
+
+    /// Name of the underlying distance function (for reports).
+    fn distance_name(&self) -> &'static str;
+
+    /// Whether the underlying distance satisfies the metric axioms.
+    fn is_metric(&self) -> bool;
+
+    /// For each point in `targets`, its distance to point `from`.
+    fn distances_from(&self, from: PointId, targets: &[PointId]) -> Vec<f64> {
+        targets.iter().map(|&t| self.distance(from, t)).collect()
+    }
+
+    /// Minimum distance from point `from` to any point in `to`.
+    ///
+    /// Returns `f64::INFINITY` when `to` is empty (no center yet covers the
+    /// point), mirroring the convention used by Gonzalez-style algorithms.
+    fn distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
+        to.iter()
+            .map(|&t| self.distance(from, t))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A metric space backed by an owned point collection and a distance
+/// function evaluated on demand.
+///
+/// Cloning a `VecSpace` is cheap: the point storage is shared through an
+/// [`Arc`], which is exactly what the simulated MapReduce machines need
+/// (each reducer sees the same immutable point table and works on its own
+/// index subset).
+#[derive(Clone)]
+pub struct VecSpace<D: Distance = Euclidean> {
+    points: Arc<Vec<Point>>,
+    dist: D,
+}
+
+impl<D: Distance> VecSpace<D> {
+    /// Creates a space over `points` with the given distance function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points do not all share the same dimension.
+    pub fn with_distance(points: Vec<Point>, dist: D) -> Self {
+        if let Some(first) = points.first() {
+            let d0 = first.dim();
+            assert!(
+                points.iter().all(|p| p.dim() == d0),
+                "all points in a VecSpace must share one dimension"
+            );
+        }
+        Self { points: Arc::new(points), dist }
+    }
+
+    /// The coordinate dimension of the points, or `None` if the space is
+    /// empty.
+    pub fn dim(&self) -> Option<usize> {
+        self.points.first().map(Point::dim)
+    }
+
+    /// The point with index `id`.
+    pub fn point(&self, id: PointId) -> &Point {
+        &self.points[id]
+    }
+
+    /// All points, in index order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The distance function.
+    pub fn metric(&self) -> &D {
+        &self.dist
+    }
+
+    /// Distance between two explicit points (not necessarily members of the
+    /// space).
+    pub fn point_distance(&self, a: &Point, b: &Point) -> f64 {
+        self.dist.distance(a, b)
+    }
+
+    /// Parallel computation of `distance_to_set` for every point index in
+    /// `from`, using rayon.  This is the hot inner scan of Gonzalez's
+    /// algorithm when run on large partitions.
+    pub fn par_distances_to_set(&self, from: &[PointId], to: &[PointId]) -> Vec<f64> {
+        from.par_iter()
+            .map(|&f| self.distance_to_set(f, to))
+            .collect()
+    }
+
+    /// Materialises the full distance matrix of this space.
+    ///
+    /// Intended for small instances (tests, brute-force OPT); memory is
+    /// `O(n^2)`.
+    pub fn to_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_space(self)
+    }
+}
+
+impl<D: Distance> std::fmt::Debug for VecSpace<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VecSpace(n={}, dim={:?}, distance={})",
+            self.points.len(),
+            self.dim(),
+            self.dist.name()
+        )
+    }
+}
+
+impl VecSpace<Euclidean> {
+    /// Creates a Euclidean space over `points` — the configuration used by
+    /// every experiment in the paper.
+    pub fn new(points: Vec<Point>) -> Self {
+        Self::with_distance(points, Euclidean)
+    }
+}
+
+impl<D: Distance> MetricSpace for VecSpace<D> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn distance(&self, a: PointId, b: PointId) -> f64 {
+        self.dist.distance(&self.points[a], &self.points[b])
+    }
+
+    fn distance_name(&self) -> &'static str {
+        self.dist.name()
+    }
+
+    fn is_metric(&self) -> bool {
+        self.dist.is_metric()
+    }
+}
+
+/// A metric space backed by a fully materialised [`DistanceMatrix`].
+///
+/// Useful when the input is given as a weighted complete graph rather than
+/// as coordinates, and for exact verification on small instances.
+#[derive(Clone)]
+pub struct MatrixSpace {
+    matrix: Arc<DistanceMatrix>,
+    metric: bool,
+}
+
+impl MatrixSpace {
+    /// Wraps a distance matrix, declaring whether it satisfies the metric
+    /// axioms (callers can check with [`DistanceMatrix::verify_metric`]).
+    pub fn new(matrix: DistanceMatrix) -> Self {
+        let metric = matrix.verify_metric(1e-9).is_ok();
+        Self { matrix: Arc::new(matrix), metric }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+}
+
+impl MetricSpace for MatrixSpace {
+    fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    #[inline]
+    fn distance(&self, a: PointId, b: PointId) -> f64 {
+        self.matrix.get(a, b)
+    }
+
+    fn distance_name(&self) -> &'static str {
+        "precomputed-matrix"
+    }
+
+    fn is_metric(&self) -> bool {
+        self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Manhattan;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(0.0, 1.0),
+            Point::xy(1.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn vecspace_basic_queries() {
+        let s = VecSpace::new(square());
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.dim(), Some(2));
+        assert!((s.distance(0, 3) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.distance_name(), "euclidean");
+        assert!(s.is_metric());
+    }
+
+    #[test]
+    fn vecspace_with_alternative_distance() {
+        let s = VecSpace::with_distance(square(), Manhattan);
+        assert!((s.distance(0, 3) - 2.0).abs() < 1e-12);
+        assert_eq!(s.distance_name(), "manhattan");
+    }
+
+    #[test]
+    fn empty_space_is_empty() {
+        let s = VecSpace::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.dim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimension")]
+    fn mixed_dimensions_rejected() {
+        VecSpace::new(vec![Point::xy(0.0, 0.0), Point::xyz(0.0, 0.0, 0.0)]);
+    }
+
+    #[test]
+    fn distance_to_set_takes_minimum_and_handles_empty() {
+        let s = VecSpace::new(square());
+        assert_eq!(s.distance_to_set(3, &[]), f64::INFINITY);
+        let d = s.distance_to_set(3, &[0, 1]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_from_matches_pointwise() {
+        let s = VecSpace::new(square());
+        let d = s.distances_from(0, &[1, 2, 3]);
+        assert_eq!(d.len(), 3);
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!((d[2] - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn par_distances_to_set_matches_sequential() {
+        let s = VecSpace::new(square());
+        let from = vec![0, 1, 2, 3];
+        let to = vec![0];
+        let par = s.par_distances_to_set(&from, &to);
+        let seq: Vec<f64> = from.iter().map(|&f| s.distance_to_set(f, &to)).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn clone_shares_point_storage() {
+        let s = VecSpace::new(square());
+        let c = s.clone();
+        assert!(Arc::ptr_eq(&s.points, &c.points));
+    }
+
+    #[test]
+    fn matrix_space_round_trips_vecspace_distances() {
+        let s = VecSpace::new(square());
+        let m = MatrixSpace::new(s.to_matrix());
+        assert_eq!(m.len(), 4);
+        assert!(m.is_metric());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!((m.distance(a, b) - s.distance(a, b)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_space_detects_non_metric() {
+        // Distances violating the triangle inequality: d(0,2) > d(0,1)+d(1,2).
+        let mut m = DistanceMatrix::zeros(3);
+        m.set(0, 1, 1.0);
+        m.set(1, 2, 1.0);
+        m.set(0, 2, 10.0);
+        let space = MatrixSpace::new(m);
+        assert!(!space.is_metric());
+    }
+}

@@ -1,0 +1,61 @@
+//! Multi-round MRG (Section 3.3): when one machine cannot hold the k·m
+//! centers produced by the first round, MRG keeps reducing for additional
+//! rounds, paying +2 in the approximation factor per extra round.  This
+//! example shrinks the per-machine capacity step by step and reports how the
+//! round count, the proven factor, and the actual solution value react.
+//!
+//! ```text
+//! cargo run --release --example multi_round
+//! ```
+
+use kcenter::prelude::*;
+
+fn main() {
+    let n = 60_000;
+    let k = 20;
+    let machines = 40;
+    println!("UNIF data set: n = {n}, k = {k}, m = {machines} machines\n");
+    let points = UnifGenerator::new(n).generate(9);
+    let space = VecSpace::new(points);
+
+    let gon = GonzalezConfig::new(k).solve(&space).expect("GON failed");
+    println!("GON baseline: value = {:.4}\n", gon.radius);
+
+    println!(
+        "{:>10} {:>18} {:>10} {:>14} {:>14}",
+        "capacity", "two-round ok?", "rounds", "proven factor", "value"
+    );
+    // From a comfortable two-round capacity down to barely above n/m.
+    let per_machine = n / machines;
+    let capacities = [
+        per_machine + k * machines, // the paper's two-round capacity
+        per_machine + k * machines / 2,
+        per_machine + k * machines / 4,
+        per_machine + k * 4,
+        per_machine + k + 1,
+    ];
+    for capacity in capacities {
+        let cluster = ClusterConfig::new(machines, capacity);
+        let two_round_ok = cluster.allows_two_round(n, k);
+        match MrgConfig::new(k)
+            .with_machines(machines)
+            .with_capacity(capacity)
+            .run(&space)
+        {
+            Ok(result) => println!(
+                "{:>10} {:>18} {:>10} {:>14} {:>14.4}",
+                capacity,
+                if two_round_ok { "yes" } else { "no" },
+                result.mapreduce_rounds,
+                result.approximation_factor,
+                result.solution.radius,
+            ),
+            Err(e) => println!("{:>10} {:>18} failed: {e}", capacity, if two_round_ok { "yes" } else { "no" }),
+        }
+    }
+
+    println!(
+        "\nEvery extra reduction round adds 2 to the proven approximation factor (Lemma 3), yet the\n\
+         measured solution values barely move — the same observation the paper makes for the two-round case."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: cluster a synthetic Gaussian data set with all three
+//! algorithm families from the paper and compare their solution values and
+//! (simulated) runtimes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kcenter::prelude::*;
+
+fn main() {
+    // The paper's GAU family: n points spread over k' Gaussian clusters
+    // whose centers are uniform in a cube (sigma = 1/10 of the cube side).
+    let n = 50_000;
+    let k_prime = 25;
+    let k = 25;
+    println!("generating GAU data set: n = {n}, k' = {k_prime}");
+    let points = GauGenerator::new(n, k_prime).generate(42);
+    let space = VecSpace::new(points);
+
+    // Sequential baseline: Gonzalez's greedy 2-approximation (GON).
+    let start = std::time::Instant::now();
+    let gon = GonzalezConfig::new(k).solve(&space).expect("GON failed");
+    let gon_time = start.elapsed();
+    println!(
+        "GON  : value = {:10.4}   wall = {:8.3?}   (2-approximation, sequential)",
+        gon.radius, gon_time
+    );
+
+    // MRG: MapReduce Gonzalez on 50 simulated machines, two rounds.
+    let mrg = MrgConfig::new(k).run(&space).expect("MRG failed");
+    println!(
+        "MRG  : value = {:10.4}   simulated = {:8.3?}   wall = {:8.3?}   rounds = {}   ({}-approximation)",
+        mrg.solution.radius,
+        mrg.stats.simulated_time(),
+        mrg.stats.wall_time(),
+        mrg.mapreduce_rounds,
+        mrg.approximation_factor,
+    );
+
+    // EIM: the iterative-sampling scheme with the original phi = 8.
+    let eim = EimConfig::new(k).with_seed(7).run(&space).expect("EIM failed");
+    println!(
+        "EIM  : value = {:10.4}   simulated = {:8.3?}   wall = {:8.3?}   rounds = {}   sample = {}{}",
+        eim.solution.radius,
+        eim.stats.simulated_time(),
+        eim.stats.wall_time(),
+        eim.mapreduce_rounds,
+        eim.sample_size,
+        if eim.fell_back_to_sequential { "   (fell back to sequential GON)" } else { "" },
+    );
+
+    // Where did the points go?  Report the largest and smallest cluster.
+    let assignment = kcenter::algorithms::evaluate::assign(&space, &mrg.solution.centers);
+    let sizes = kcenter::algorithms::evaluate::cluster_sizes(&assignment, mrg.solution.centers.len());
+    println!(
+        "MRG cluster sizes: min = {}, max = {} (over {} clusters)",
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap(),
+        sizes.len()
+    );
+}

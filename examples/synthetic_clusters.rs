@@ -1,0 +1,48 @@
+//! Recovering planted clusters: generates the paper's three synthetic
+//! families (UNIF, GAU, UNB) and checks how well each algorithm's solution
+//! value tracks the planted structure as k crosses the true cluster count
+//! k' — the effect behind Tables 2 and 4 (the objective collapses once
+//! k ≥ k').
+//!
+//! ```text
+//! cargo run --release --example synthetic_clusters
+//! ```
+
+use kcenter::prelude::*;
+
+fn report(space: &VecSpace, family: &str, k_values: &[usize]) {
+    println!("\n=== {family} (n = {}) ===", kcenter_metric::MetricSpace::len(space));
+    println!("{:>6} {:>14} {:>14} {:>14}", "k", "MRG", "EIM", "GON");
+    for &k in k_values {
+        let mrg = MrgConfig::new(k)
+            .with_unchecked_capacity()
+            .run(space)
+            .expect("MRG failed");
+        let eim = EimConfig::new(k).with_seed(3).run(space).expect("EIM failed");
+        let gon = GonzalezConfig::new(k).solve(space).expect("GON failed");
+        println!(
+            "{:>6} {:>14.4} {:>14.4} {:>14.4}",
+            k, mrg.solution.radius, eim.solution.radius, gon.radius
+        );
+    }
+}
+
+fn main() {
+    let n = 30_000;
+    let k_prime = 10;
+    let ks = [2usize, 5, 10, 20, 40];
+
+    let unif = VecSpace::new(UnifGenerator::new(n).generate(1));
+    report(&unif, "UNIF (no planted clusters)", &ks);
+
+    let gau = VecSpace::new(GauGenerator::new(n, k_prime).generate(1));
+    report(&gau, "GAU (10 balanced planted clusters)", &ks);
+
+    let unb = VecSpace::new(UnbGenerator::new(n, k_prime).generate(1));
+    report(&unb, "UNB (half the points in one cluster)", &ks);
+
+    println!(
+        "\nNote how the clustered families show a sharp drop in the objective once k reaches k' = {k_prime},\n\
+         while UNIF decreases smoothly — the same qualitative picture as Tables 2-4 in the paper."
+    );
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: generators → metric space → parallel
+//! algorithms → evaluation, on every workload family of the paper.
+
+use kcenter::algorithms::evaluate::{assign, cluster_sizes, covering_radius};
+use kcenter::prelude::*;
+
+fn families() -> Vec<(&'static str, VecSpace)> {
+    vec![
+        ("UNIF", VecSpace::new(UnifGenerator::new(3_000).generate(1))),
+        ("GAU", VecSpace::new(GauGenerator::new(3_000, 10).generate(1))),
+        ("UNB", VecSpace::new(UnbGenerator::new(3_000, 10).generate(1))),
+        ("POKER", VecSpace::new(PokerHandSim::with_rows(2_000).generate(1))),
+        ("KDD", VecSpace::new(KddCupSim::with_rows(2_000).generate(1))),
+    ]
+}
+
+#[test]
+fn all_algorithms_run_on_every_workload_family() {
+    for (family, space) in families() {
+        let k = 8;
+        let gon = GonzalezConfig::new(k).solve(&space).unwrap();
+        let mrg = MrgConfig::new(k)
+            .with_machines(10)
+            .with_unchecked_capacity()
+            .run(&space)
+            .unwrap();
+        let eim = EimConfig::new(k).with_machines(10).with_seed(2).run(&space).unwrap();
+
+        for (name, radius) in [("GON", gon.radius), ("MRG", mrg.solution.radius), ("EIM", eim.solution.radius)] {
+            assert!(radius.is_finite() && radius >= 0.0, "{family}/{name} produced a bad radius");
+        }
+        // All three are constant-factor approximations of the same optimum:
+        // MRG <= 4*OPT <= 4*GON and GON <= 2*OPT <= 2*MRG, so the ratio
+        // between any two values is bounded by 8 (10 for EIM, loosely).
+        let values = [gon.radius, mrg.solution.radius, eim.solution.radius];
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min.max(1e-12) <= 10.0,
+            "{family}: algorithm values diverge implausibly (min {min}, max {max})"
+        );
+    }
+}
+
+#[test]
+fn mrg_two_round_structure_on_paper_sized_machine_count() {
+    let space = VecSpace::new(GauGenerator::new(20_000, 25).generate(3));
+    let result = MrgConfig::new(25).run(&space).unwrap();
+    assert_eq!(result.mapreduce_rounds, 2, "paper-default capacity must give the two-round case");
+    assert_eq!(result.approximation_factor, 4.0);
+    assert_eq!(result.solution.centers.len(), 25);
+    // Round accounting: first round processes all n points over 50
+    // machines, the final round processes k*m = 1250 centers on one machine.
+    let rounds = result.stats.rounds();
+    assert_eq!(rounds.len(), 2);
+    assert_eq!(rounds[0].items_in, 20_000);
+    assert_eq!(rounds[0].machines_used, 50);
+    assert_eq!(rounds[1].items_in, 25 * 50);
+    assert_eq!(rounds[1].machines_used, 1);
+}
+
+#[test]
+fn eim_samples_on_large_instances_and_falls_back_on_small_ones() {
+    // Small n, large k: threshold exceeds n, no sampling.
+    let small = VecSpace::new(UnifGenerator::new(2_000).generate(4));
+    let fallback = EimConfig::new(100).with_machines(10).run(&small).unwrap();
+    assert!(fallback.fell_back_to_sequential);
+    assert_eq!(fallback.mapreduce_rounds, 1);
+
+    // Large n, small k (with epsilon near 1/ln n): sampling kicks in.
+    let large = VecSpace::new(UnifGenerator::new(20_000).generate(4));
+    let sampled = EimConfig::new(2)
+        .with_machines(10)
+        .with_epsilon(0.11)
+        .with_seed(5)
+        .run(&large)
+        .unwrap();
+    assert!(!sampled.fell_back_to_sequential);
+    assert!(sampled.iterations >= 1);
+    assert!(sampled.sample_size < 20_000);
+    assert_eq!(sampled.mapreduce_rounds, 3 * sampled.iterations + 1);
+}
+
+#[test]
+fn assignments_cover_every_point_within_the_reported_radius() {
+    let space = VecSpace::new(UnbGenerator::new(5_000, 8).generate(6));
+    let result = MrgConfig::new(8).with_machines(16).with_unchecked_capacity().run(&space).unwrap();
+    let assignment = assign(&space, &result.solution.centers);
+    assert_eq!(assignment.len(), 5_000);
+    let sizes = cluster_sizes(&assignment, result.solution.centers.len());
+    assert_eq!(sizes.iter().sum::<usize>(), 5_000);
+    for (point, &center_idx) in assignment.iter().enumerate() {
+        let d = space.distance(point, result.solution.centers[center_idx]);
+        assert!(d <= result.solution.radius + 1e-9);
+    }
+    // The reported radius is exactly the covering radius of the centers.
+    let radius = covering_radius(&space, &result.solution.centers);
+    assert!((radius - result.solution.radius).abs() < 1e-9);
+}
+
+#[test]
+fn results_are_deterministic_given_seeds() {
+    let spec = DatasetSpec::Gau { n: 4_000, k_prime: 5 };
+    let a = VecSpace::new(spec.generate(7));
+    let b = VecSpace::new(spec.generate(7));
+    let mrg_a = MrgConfig::new(5).with_machines(10).with_unchecked_capacity().run(&a).unwrap();
+    let mrg_b = MrgConfig::new(5).with_machines(10).with_unchecked_capacity().run(&b).unwrap();
+    assert_eq!(mrg_a.solution, mrg_b.solution);
+
+    let eim_a = EimConfig::new(5).with_machines(10).with_seed(11).run(&a).unwrap();
+    let eim_b = EimConfig::new(5).with_machines(10).with_seed(11).run(&b).unwrap();
+    assert_eq!(eim_a.solution, eim_b.solution);
+    assert_eq!(eim_a.sample_size, eim_b.sample_size);
+}
+
+#[test]
+fn hochbaum_shmoys_final_round_is_interchangeable_with_gonzalez() {
+    let space = VecSpace::new(GauGenerator::new(4_000, 10).generate(8));
+    let gon_final = MrgConfig::new(10)
+        .with_machines(10)
+        .with_unchecked_capacity()
+        .run(&space)
+        .unwrap();
+    let hs_final = MrgConfig::new(10)
+        .with_machines(10)
+        .with_unchecked_capacity()
+        .with_solver(SequentialSolver::HochbaumShmoys)
+        .run(&space)
+        .unwrap();
+    // Both sub-procedures are 2-approximations on the sample, so the final
+    // values are within a small constant factor of each other.
+    let ratio = gon_final.solution.radius / hs_final.solution.radius.max(1e-12);
+    assert!(ratio < 4.0 && ratio > 0.25, "implausible ratio {ratio}");
+}
+
+#[test]
+fn capacity_errors_surface_instead_of_being_silently_ignored() {
+    let space = VecSpace::new(UnifGenerator::new(10_000).generate(9));
+    // 5 machines x 100 capacity cannot even hold the input.
+    let err = MrgConfig::new(5)
+        .with_machines(5)
+        .with_capacity(100)
+        .run(&space)
+        .unwrap_err();
+    assert!(matches!(err, KCenterError::MapReduce(_)));
+}
