@@ -31,7 +31,7 @@ fn bench_covering_radius(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     for n in [1_000usize, 10_000, 50_000] {
-        let space = VecSpace::new(DatasetSpec::Gau { n, k_prime: 10 }.generate(7));
+        let space = VecSpace::from_flat(DatasetSpec::Gau { n, k_prime: 10 }.generate_flat(7));
         let centers: Vec<usize> = (0..10).map(|i| i * (n / 10)).collect();
         group.bench_with_input(BenchmarkId::new("10_centers", n), &n, |b, _| {
             b.iter(|| black_box(covering_radius(&space, &centers)))
@@ -45,7 +45,7 @@ fn bench_distance_to_set(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Unif { n: 10_000 }.generate(3));
+    let space = VecSpace::from_flat(DatasetSpec::Unif { n: 10_000 }.generate_flat(3));
     for set_size in [1usize, 10, 100] {
         let centers: Vec<usize> = (0..set_size).collect();
         group.bench_with_input(BenchmarkId::from_parameter(set_size), &set_size, |b, _| {
@@ -55,5 +55,10 @@ fn bench_distance_to_set(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pairwise_distance, bench_covering_radius, bench_distance_to_set);
+criterion_group!(
+    benches,
+    bench_pairwise_distance,
+    bench_covering_radius,
+    bench_distance_to_set
+);
 criterion_main!(benches);

@@ -16,7 +16,13 @@ fn bench_eim_vs_gon(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Gau { n: 30_000, k_prime: 25 }.generate(1));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 30_000,
+            k_prime: 25,
+        }
+        .generate_flat(1),
+    );
     for k in [2usize, 5] {
         group.bench_with_input(BenchmarkId::new("eim_sampling", k), &k, |b, &k| {
             b.iter(|| {
@@ -42,7 +48,13 @@ fn bench_eim_fallback_regime(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Gau { n: 10_000, k_prime: 50 }.generate(2));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 10_000,
+            k_prime: 50,
+        }
+        .generate_flat(2),
+    );
     // With k = 100 the threshold exceeds n, so EIM degenerates to GON on the
     // whole input (the Figure 3b / 4b regime).
     group.bench_function("eim_k100_fallback", |b| {
@@ -67,7 +79,7 @@ fn bench_eim_machine_count(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Unif { n: 30_000 }.generate(3));
+    let space = VecSpace::from_flat(DatasetSpec::Unif { n: 30_000 }.generate_flat(3));
     for m in [8usize, 50, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
             b.iter(|| {
@@ -85,5 +97,10 @@ fn bench_eim_machine_count(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eim_vs_gon, bench_eim_fallback_regime, bench_eim_machine_count);
+criterion_group!(
+    benches,
+    bench_eim_vs_gon,
+    bench_eim_fallback_regime,
+    bench_eim_machine_count
+);
 criterion_main!(benches);

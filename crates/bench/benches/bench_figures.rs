@@ -15,7 +15,12 @@ use std::hint::black_box;
 const SCALE: f64 = 0.01;
 
 fn options() -> RunOptions {
-    RunOptions { scale: SCALE, machines: 50, repeats: 1, seed: 1 }
+    RunOptions {
+        scale: SCALE,
+        machines: 50,
+        repeats: 1,
+        seed: 1,
+    }
 }
 
 fn bench_figure2_runtime_vs_k(c: &mut Criterion) {
@@ -24,19 +29,24 @@ fn bench_figure2_runtime_vs_k(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     // GAU workload of Figure 2a at reduced scale.
-    let space = VecSpace::new(
-        DatasetSpec::Gau { n: 1_000_000, k_prime: 25 }
-            .scaled(SCALE)
-            .generate(1),
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 1_000_000,
+            k_prime: 25,
+        }
+        .scaled(SCALE)
+        .generate_flat(1),
     );
-    let config = MeasureConfig { machines: 50, seed: 1, epsilon: 0.1 };
+    let config = MeasureConfig {
+        machines: 50,
+        seed: 1,
+        epsilon: 0.1,
+    };
     for k in [10usize, 100] {
         for algo in Algorithm::paper_trio() {
-            group.bench_with_input(
-                BenchmarkId::new(algo.label(), k),
-                &k,
-                |b, &k| b.iter(|| black_box(run(&space, algo, k, config))),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.label(), k), &k, |b, &k| {
+                b.iter(|| black_box(run(&space, algo, k, config)))
+            });
         }
     }
     group.finish();
@@ -47,15 +57,17 @@ fn bench_figure4_runtime_vs_n(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let config = MeasureConfig { machines: 50, seed: 1, epsilon: 0.1 };
+    let config = MeasureConfig {
+        machines: 50,
+        seed: 1,
+        epsilon: 0.1,
+    };
     for n in [10_000usize, 50_000] {
-        let space = VecSpace::new(DatasetSpec::Unif { n }.generate(2));
+        let space = VecSpace::from_flat(DatasetSpec::Unif { n }.generate_flat(2));
         for algo in Algorithm::paper_trio() {
-            group.bench_with_input(
-                BenchmarkId::new(algo.label(), n),
-                &n,
-                |b, _| b.iter(|| black_box(run(&space, algo, 10, config))),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.label(), n), &n, |b, _| {
+                b.iter(|| black_box(run(&space, algo, 10, config)))
+            });
         }
     }
     group.finish();

@@ -1,0 +1,46 @@
+//! Flat SoA layout vs the old pointer-chasing `Vec<Point>` layout on the
+//! hot nearest-center scan (one Gonzalez iteration: relax + argmax).
+//!
+//! Grid: n ∈ {10k, 100k, 1M} × d ∈ {2, 16}, plus the chunked-parallel flat
+//! variant.  `cargo run --release -p kcenter-bench --bin flat_report`
+//! produces the committed `BENCH_flat.json` from the same scan code.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcenter_bench::flatbench::{flat_iteration, flat_par_iteration, old_iteration};
+use kcenter_data::{PointGenerator, UnifGenerator};
+use kcenter_metric::VecSpace;
+
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+const DIMS: [usize; 2] = [2, 16];
+
+fn bench_nearest_center_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat/nearest_center_scan");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &dim in &DIMS {
+        for &n in &SIZES {
+            let flat = UnifGenerator::with_dim_and_side(n, dim, 1000.0).generate_flat(42);
+            let points = flat.to_points();
+            let space = VecSpace::from_flat(flat);
+            let label = format!("n{n}_d{dim}");
+
+            group.bench_with_input(BenchmarkId::new("old_vec_point", &label), &n, |b, _| {
+                let mut nearest = vec![f64::INFINITY; n];
+                b.iter(|| black_box(old_iteration(&points, 0, &mut nearest)))
+            });
+            group.bench_with_input(BenchmarkId::new("flat", &label), &n, |b, _| {
+                let mut nearest = vec![f64::INFINITY; n];
+                b.iter(|| black_box(flat_iteration(&space, 0, &mut nearest)))
+            });
+            group.bench_with_input(BenchmarkId::new("flat_par", &label), &n, |b, _| {
+                let mut nearest = vec![f64::INFINITY; n];
+                b.iter(|| black_box(flat_par_iteration(&space, 0, &mut nearest)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nearest_center_scan);
+criterion_main!(benches);

@@ -13,7 +13,7 @@ fn bench_gonzalez_scaling_in_n(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     for n in [2_000usize, 10_000, 50_000] {
-        let space = VecSpace::new(DatasetSpec::Unif { n }.generate(1));
+        let space = VecSpace::from_flat(DatasetSpec::Unif { n }.generate_flat(1));
         group.bench_with_input(BenchmarkId::new("k10", n), &n, |b, _| {
             b.iter(|| black_box(GonzalezConfig::new(10).solve(&space).unwrap()))
         });
@@ -26,7 +26,13 @@ fn bench_gonzalez_scaling_in_k(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Gau { n: 20_000, k_prime: 25 }.generate(2));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 20_000,
+            k_prime: 25,
+        }
+        .generate_flat(2),
+    );
     for k in [2usize, 10, 50, 100] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| black_box(GonzalezConfig::new(k).solve(&space).unwrap()))
@@ -40,7 +46,7 @@ fn bench_parallel_scan_ablation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Unif { n: 100_000 }.generate(3));
+    let space = VecSpace::from_flat(DatasetSpec::Unif { n: 100_000 }.generate_flat(3));
     group.bench_function("sequential_scan", |b| {
         b.iter(|| black_box(GonzalezConfig::new(25).solve(&space).unwrap()))
     });

@@ -13,7 +13,13 @@ fn bench_mrg_vs_gon(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Gau { n: 50_000, k_prime: 25 }.generate(1));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 50_000,
+            k_prime: 25,
+        }
+        .generate_flat(1),
+    );
     for k in [10usize, 25] {
         group.bench_with_input(BenchmarkId::new("mrg_50_machines", k), &k, |b, &k| {
             b.iter(|| {
@@ -38,7 +44,7 @@ fn bench_mrg_machine_count(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Unif { n: 50_000 }.generate(2));
+    let space = VecSpace::from_flat(DatasetSpec::Unif { n: 50_000 }.generate_flat(2));
     for m in [1usize, 8, 50, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
             b.iter(|| {
@@ -60,7 +66,13 @@ fn bench_mrg_forced_multi_round(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Gau { n: 20_000, k_prime: 10 }.generate(3));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 20_000,
+            k_prime: 10,
+        }
+        .generate_flat(3),
+    );
     // Two-round capacity vs a capacity small enough to force a third round.
     group.bench_function("two_round", |b| {
         b.iter(|| {
@@ -92,7 +104,13 @@ fn bench_final_solver_ablation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Gau { n: 20_000, k_prime: 25 }.generate(4));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 20_000,
+            k_prime: 25,
+        }
+        .generate_flat(4),
+    );
     group.bench_function("gonzalez_final", |b| {
         b.iter(|| {
             black_box(

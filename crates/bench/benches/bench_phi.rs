@@ -14,7 +14,13 @@ fn bench_phi_sweep(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     // A scaled-down Table 6/7 workload (GAU with k' = 25 inherent clusters).
-    let space = VecSpace::new(DatasetSpec::Gau { n: 30_000, k_prime: 25 }.generate(1));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 30_000,
+            k_prime: 25,
+        }
+        .generate_flat(1),
+    );
     for phi in [1.0f64, 4.0, 6.0, 8.0] {
         group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, &phi| {
             b.iter(|| {
@@ -40,7 +46,13 @@ fn bench_phi_effect_on_sample_size(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let space = VecSpace::new(DatasetSpec::Gau { n: 30_000, k_prime: 25 }.generate(2));
+    let space = VecSpace::from_flat(
+        DatasetSpec::Gau {
+            n: 30_000,
+            k_prime: 25,
+        }
+        .generate_flat(2),
+    );
     for phi in [1.0f64, 8.0] {
         group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, &phi| {
             b.iter(|| {

@@ -1,0 +1,147 @@
+//! Writes `BENCH_flat.json`: throughput of the hot nearest-center scan on
+//! the old `Vec<Point>` layout vs the new flat SoA kernels.
+//!
+//! Usage: `cargo run --release -p kcenter-bench --bin flat_report [out.json]`
+//!
+//! Each configuration is warmed up, then measured as the best-of-`REPEATS`
+//! wall time of one full scan (relax + argmax over all n points), matching
+//! the `bench_flat` Criterion bench.
+
+use kcenter_bench::flatbench::{
+    flat_iteration, flat_par_iteration, old_iteration, to_points_aged_heap,
+};
+use kcenter_data::{PointGenerator, UnifGenerator};
+use kcenter_metric::VecSpace;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+const DIMS: [usize; 2] = [2, 16];
+const WARMUP: usize = 2;
+const REPEATS: usize = 7;
+/// Scans per timed block: one block = one `select_centers(k = SCANS + 1)`
+/// worth of consecutive nearest-center scans, the way the solver actually
+/// runs them (so each layout sees its own true cache residency).
+const SCANS: usize = 8;
+
+/// Best-of-`REPEATS` wall times of the three scan variants, measured
+/// **interleaved** (old, flat, par, old, flat, par, …) after `WARMUP`
+/// untimed rounds.  Interleaving plus best-of damps the scheduling and
+/// bandwidth noise of shared machines, which would otherwise skew a ratio
+/// whose sides were measured at different times.
+fn best_interleaved(variants: &mut [&mut dyn FnMut()]) -> Vec<u128> {
+    let mut best = vec![u128::MAX; variants.len()];
+    for round in 0..WARMUP + REPEATS {
+        for (slot, f) in best.iter_mut().zip(variants.iter_mut()) {
+            let start = Instant::now();
+            f();
+            let t = start.elapsed().as_nanos();
+            if round >= WARMUP {
+                *slot = (*slot).min(t);
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_flat.json".to_string());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    for &dim in &DIMS {
+        for &n in &SIZES {
+            let flat = UnifGenerator::with_dim_and_side(n, dim, 1000.0).generate_flat(42);
+            // "fresh": per-point Vecs allocated sequentially (the best case
+            // for the old layout); "aged": allocation order shuffled, the
+            // layout a parallel generator / long-lived heap produces.
+            let points_fresh = flat.to_points();
+            let points_aged = to_points_aged_heap(&flat, 7);
+            let space = VecSpace::from_flat(flat);
+            let nearest = std::cell::RefCell::new(vec![f64::INFINITY; n]);
+
+            // Centers spread across the instance, as successive Gonzalez
+            // picks would be.
+            let centers: Vec<usize> = (0..SCANS).map(|i| i * (n / SCANS)).collect();
+            let block = |scan: &mut dyn FnMut(usize)| {
+                let mut nearest = nearest.borrow_mut();
+                nearest.fill(f64::INFINITY);
+                drop(nearest);
+                for &c in &centers {
+                    scan(c);
+                }
+            };
+            let timed = best_interleaved(&mut [
+                &mut || {
+                    block(&mut |c| {
+                        black_box(old_iteration(&points_fresh, c, &mut nearest.borrow_mut()));
+                    })
+                },
+                &mut || {
+                    block(&mut |c| {
+                        black_box(old_iteration(&points_aged, c, &mut nearest.borrow_mut()));
+                    })
+                },
+                &mut || {
+                    block(&mut |c| {
+                        black_box(flat_iteration(&space, c, &mut nearest.borrow_mut()));
+                    })
+                },
+                &mut || {
+                    block(&mut |c| {
+                        black_box(flat_par_iteration(&space, c, &mut nearest.borrow_mut()));
+                    })
+                },
+            ]);
+            let per_scan: Vec<u128> = timed.iter().map(|t| t / SCANS as u128).collect();
+            let (fresh_ns, aged_ns, flat_ns, par_ns) =
+                (per_scan[0], per_scan[1], per_scan[2], per_scan[3]);
+
+            let mpts = |ns: u128| n as f64 / (ns as f64 / 1e9) / 1e6;
+            eprintln!(
+                "n={n:>9} d={dim:>2}  old_fresh {:>9} ns ({:>6.1} Mpt/s)  old_aged {:>9} ns  flat {:>9} ns ({:>6.1} Mpt/s, {:.2}x/{:.2}x)  flat_par {:>9} ns ({:.2}x/{:.2}x)",
+                fresh_ns, mpts(fresh_ns), aged_ns, flat_ns, mpts(flat_ns),
+                fresh_ns as f64 / flat_ns as f64,
+                aged_ns as f64 / flat_ns as f64,
+                par_ns,
+                fresh_ns as f64 / par_ns as f64,
+                aged_ns as f64 / par_ns as f64,
+            );
+            rows.push((n, dim, fresh_ns, aged_ns, flat_ns, par_ns));
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"benchmark\": \"nearest-center scan (relax + argmax, one Gonzalez iteration)\",\n",
+    );
+    json.push_str("  \"baseline_fresh\": \"Vec<Point>, per-point heap Vecs allocated sequentially (allocator best case), sqrt per pair, two passes\",\n");
+    json.push_str("  \"baseline_aged\": \"Vec<Point>, allocation order shuffled (parallel-generator / aged-heap layout), sqrt per pair, two passes\",\n");
+    json.push_str("  \"candidate\": \"FlatPoints SoA rows, fused squared-distance kernel (relax_all_max)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"metric\": \"best-of-{REPEATS} interleaved wall nanoseconds per full n-point scan, {SCANS} consecutive scans per timed block ({WARMUP} warm-up rounds)\","
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"results\": [\n");
+    for (i, (n, dim, fresh_ns, aged_ns, flat_ns, par_ns)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {n}, \"dim\": {dim}, \"old_fresh_ns\": {fresh_ns}, \"old_aged_ns\": {aged_ns}, \"flat_ns\": {flat_ns}, \"flat_par_ns\": {par_ns}, \"speedup_vs_fresh\": {:.3}, \"speedup_vs_aged\": {:.3}, \"speedup_par_vs_aged\": {:.3}}}",
+            *fresh_ns as f64 / *flat_ns as f64,
+            *aged_ns as f64 / *flat_ns as f64,
+            *aged_ns as f64 / *par_ns as f64,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_flat.json");
+    println!("wrote {out_path}");
+}

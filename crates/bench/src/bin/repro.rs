@@ -65,7 +65,8 @@ fn main() {
     match out_path {
         Some(path) => {
             let mut f = std::fs::File::create(&path).expect("cannot create output file");
-            f.write_all(output.as_bytes()).expect("cannot write output file");
+            f.write_all(output.as_bytes())
+                .expect("cannot write output file");
             eprintln!("wrote {path}");
         }
         None => print!("{output}"),
@@ -78,16 +79,28 @@ fn parse_options(args: &[String]) -> Result<(RunOptions, Option<String>), String
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
-        let value = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
-            "--scale" => options.scale = value.parse().map_err(|_| format!("bad --scale {value:?}"))?,
+            "--scale" => {
+                options.scale = value
+                    .parse()
+                    .map_err(|_| format!("bad --scale {value:?}"))?
+            }
             "--machines" => {
-                options.machines = value.parse().map_err(|_| format!("bad --machines {value:?}"))?
+                options.machines = value
+                    .parse()
+                    .map_err(|_| format!("bad --machines {value:?}"))?
             }
             "--repeats" => {
-                options.repeats = value.parse().map_err(|_| format!("bad --repeats {value:?}"))?
+                options.repeats = value
+                    .parse()
+                    .map_err(|_| format!("bad --repeats {value:?}"))?
             }
-            "--seed" => options.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
+            "--seed" => {
+                options.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?
+            }
             "--out" => out = Some(value.clone()),
             other => return Err(format!("unknown flag {other:?}")),
         }

@@ -132,7 +132,12 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { scale: 1.0, machines: 50, repeats: 1, seed: 1 }
+        Self {
+            scale: 1.0,
+            machines: 50,
+            repeats: 1,
+            seed: 1,
+        }
     }
 }
 
@@ -148,7 +153,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "table2",
             title: "Table 2: solution value over k for GAU (n = 1,000,000, k' = 25)",
             kind: ExperimentKind::SolutionValueVsK {
-                spec: DatasetSpec::Gau { n: 1_000_000, k_prime: 25 },
+                spec: DatasetSpec::Gau {
+                    n: 1_000_000,
+                    k_prime: 25,
+                },
                 ks: TABLE_KS.to_vec(),
             },
         },
@@ -164,7 +172,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "table4",
             title: "Table 4: solution value over k for UNB (n = 200,000, k' = 25)",
             kind: ExperimentKind::SolutionValueVsK {
-                spec: DatasetSpec::Unb { n: 200_000, k_prime: 25 },
+                spec: DatasetSpec::Unb {
+                    n: 200_000,
+                    k_prime: 25,
+                },
                 ks: TABLE_KS.to_vec(),
             },
         },
@@ -180,7 +191,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "table6",
             title: "Table 6: average EIM solution value over phi for GAU (n = 200,000, k' = 25)",
             kind: ExperimentKind::PhiSweep {
-                spec: DatasetSpec::Gau { n: 200_000, k_prime: 25 },
+                spec: DatasetSpec::Gau {
+                    n: 200_000,
+                    k_prime: 25,
+                },
                 ks: TABLE_KS.to_vec(),
                 phis: PHIS.to_vec(),
                 report_runtime: false,
@@ -190,7 +204,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "table7",
             title: "Table 7: average EIM runtime over phi for GAU (n = 200,000, k' = 25)",
             kind: ExperimentKind::PhiSweep {
-                spec: DatasetSpec::Gau { n: 200_000, k_prime: 25 },
+                spec: DatasetSpec::Gau {
+                    n: 200_000,
+                    k_prime: 25,
+                },
                 ks: TABLE_KS.to_vec(),
                 phis: PHIS.to_vec(),
                 report_runtime: true,
@@ -208,7 +225,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "figure2a",
             title: "Figure 2a: runtimes over k, GAU (n = 1,000,000, k' = 25)",
             kind: ExperimentKind::RuntimeVsK {
-                spec: DatasetSpec::Gau { n: 1_000_000, k_prime: 25 },
+                spec: DatasetSpec::Gau {
+                    n: 1_000_000,
+                    k_prime: 25,
+                },
                 ks: FIGURE_KS.to_vec(),
             },
         },
@@ -224,7 +244,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "figure3a",
             title: "Figure 3a: runtimes over k, GAU (n = 1,000,000, k' = 50)",
             kind: ExperimentKind::RuntimeVsK {
-                spec: DatasetSpec::Gau { n: 1_000_000, k_prime: 50 },
+                spec: DatasetSpec::Gau {
+                    n: 1_000_000,
+                    k_prime: 50,
+                },
                 ks: FIGURE_KS.to_vec(),
             },
         },
@@ -232,7 +255,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "figure3b",
             title: "Figure 3b: runtimes over k, GAU (n = 50,000, k' = 50)",
             kind: ExperimentKind::RuntimeVsK {
-                spec: DatasetSpec::Gau { n: 50_000, k_prime: 50 },
+                spec: DatasetSpec::Gau {
+                    n: 50_000,
+                    k_prime: 50,
+                },
                 ks: FIGURE_KS.to_vec(),
             },
         },
@@ -240,7 +266,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "figure4a",
             title: "Figure 4a: runtimes over n (10k to 1M), k = 10, UNIF",
             kind: ExperimentKind::RuntimeVsN {
-                specs: FIGURE4_NS.iter().map(|&n| DatasetSpec::Unif { n }).collect(),
+                specs: FIGURE4_NS
+                    .iter()
+                    .map(|&n| DatasetSpec::Unif { n })
+                    .collect(),
                 k: 10,
             },
         },
@@ -248,7 +277,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "figure4b",
             title: "Figure 4b: runtimes over n (10k to 1M), k = 100, UNIF",
             kind: ExperimentKind::RuntimeVsN {
-                specs: FIGURE4_NS.iter().map(|&n| DatasetSpec::Unif { n }).collect(),
+                specs: FIGURE4_NS
+                    .iter()
+                    .map(|&n| DatasetSpec::Unif { n })
+                    .collect(),
                 k: 100,
             },
         },
@@ -279,8 +311,10 @@ pub fn run_experiment(experiment: &Experiment, options: RunOptions) -> Experimen
             sweep_k(experiment, spec, ks, true, config, options)
         }
         ExperimentKind::RuntimeVsN { specs, k } => {
-            let columns: Vec<String> =
-                Algorithm::paper_trio().iter().map(Algorithm::label).collect();
+            let columns: Vec<String> = Algorithm::paper_trio()
+                .iter()
+                .map(Algorithm::label)
+                .collect();
             let mut rows = Vec::new();
             for spec in specs {
                 let scaled = spec.scaled(options.scale);
@@ -289,7 +323,10 @@ pub fn run_experiment(experiment: &Experiment, options: RunOptions) -> Experimen
                     .into_iter()
                     .map(|a| run_averaged(&dataset.space, a, *k, config, options.repeats))
                     .collect();
-                rows.push(ResultRow { coordinate: format!("n={}", scaled.n()), measurements });
+                rows.push(ResultRow {
+                    coordinate: format!("n={}", scaled.n()),
+                    measurements,
+                });
             }
             ExperimentResult {
                 id: experiment.id.to_string(),
@@ -300,7 +337,12 @@ pub fn run_experiment(experiment: &Experiment, options: RunOptions) -> Experimen
                 scale: options.scale,
             }
         }
-        ExperimentKind::PhiSweep { spec, ks, phis, report_runtime } => {
+        ExperimentKind::PhiSweep {
+            spec,
+            ks,
+            phis,
+            report_runtime,
+        } => {
             let scaled = spec.scaled(options.scale);
             let dataset = scaled.build(options.seed);
             let columns: Vec<String> = phis.iter().map(|p| format!("phi={p}")).collect();
@@ -309,10 +351,19 @@ pub fn run_experiment(experiment: &Experiment, options: RunOptions) -> Experimen
                 let measurements = phis
                     .iter()
                     .map(|&phi| {
-                        run_averaged(&dataset.space, Algorithm::Eim { phi }, k, config, options.repeats)
+                        run_averaged(
+                            &dataset.space,
+                            Algorithm::Eim { phi },
+                            k,
+                            config,
+                            options.repeats,
+                        )
                     })
                     .collect();
-                rows.push(ResultRow { coordinate: format!("k={k}"), measurements });
+                rows.push(ResultRow {
+                    coordinate: format!("k={k}"),
+                    measurements,
+                });
             }
             ExperimentResult {
                 id: experiment.id.to_string(),
@@ -336,14 +387,20 @@ fn sweep_k(
 ) -> ExperimentResult {
     let scaled = spec.scaled(options.scale);
     let dataset = scaled.build(options.seed);
-    let columns: Vec<String> = Algorithm::paper_trio().iter().map(Algorithm::label).collect();
+    let columns: Vec<String> = Algorithm::paper_trio()
+        .iter()
+        .map(Algorithm::label)
+        .collect();
     let mut rows = Vec::new();
     for &k in ks {
         let measurements = Algorithm::paper_trio()
             .into_iter()
             .map(|a| run_averaged(&dataset.space, a, k, config, options.repeats))
             .collect();
-        rows.push(ResultRow { coordinate: format!("k={k}"), measurements });
+        rows.push(ResultRow {
+            coordinate: format!("k={k}"),
+            measurements,
+        });
     }
     ExperimentResult {
         id: experiment.id.to_string(),
@@ -399,8 +456,8 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-            "figure1", "figure2a", "figure2b", "figure3a", "figure3b", "figure4a", "figure4b",
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "figure1",
+            "figure2a", "figure2b", "figure3a", "figure3b", "figure4a", "figure4b",
         ] {
             assert!(ids.contains(&expected), "missing experiment {expected}");
         }
@@ -418,14 +475,24 @@ mod tests {
         let t2 = find_experiment("table2").unwrap();
         match t2.kind {
             ExperimentKind::SolutionValueVsK { spec, ks } => {
-                assert_eq!(spec, DatasetSpec::Gau { n: 1_000_000, k_prime: 25 });
+                assert_eq!(
+                    spec,
+                    DatasetSpec::Gau {
+                        n: 1_000_000,
+                        k_prime: 25
+                    }
+                );
                 assert_eq!(ks, TABLE_KS.to_vec());
             }
             _ => panic!("table2 must be a solution-value sweep"),
         }
         let t7 = find_experiment("table7").unwrap();
         match t7.kind {
-            ExperimentKind::PhiSweep { phis, report_runtime, .. } => {
+            ExperimentKind::PhiSweep {
+                phis,
+                report_runtime,
+                ..
+            } => {
                 assert_eq!(phis, PHIS.to_vec());
                 assert!(report_runtime);
             }
@@ -458,7 +525,12 @@ mod tests {
     #[test]
     fn tiny_scale_solution_value_sweep_runs_end_to_end() {
         let exp = find_experiment("table3").unwrap();
-        let options = RunOptions { scale: 0.005, machines: 8, repeats: 1, seed: 2 };
+        let options = RunOptions {
+            scale: 0.005,
+            machines: 8,
+            repeats: 1,
+            seed: 2,
+        };
         let result = run_experiment(&exp, options);
         assert_eq!(result.columns, vec!["MRG", "EIM", "GON"]);
         assert_eq!(result.rows.len(), TABLE_KS.len());
@@ -470,16 +542,28 @@ mod tests {
             }
         }
         // Values decrease (weakly) as k grows, as in every paper table.
-        let mrg_values: Vec<f64> = result.rows.iter().map(|r| r.measurements[0].value).collect();
+        let mrg_values: Vec<f64> = result
+            .rows
+            .iter()
+            .map(|r| r.measurements[0].value)
+            .collect();
         for w in mrg_values.windows(2) {
-            assert!(w[1] <= w[0] * 1.5 + 1e-9, "values should broadly decrease with k");
+            assert!(
+                w[1] <= w[0] * 1.5 + 1e-9,
+                "values should broadly decrease with k"
+            );
         }
     }
 
     #[test]
     fn tiny_scale_phi_sweep_runs_end_to_end() {
         let exp = find_experiment("table6").unwrap();
-        let options = RunOptions { scale: 0.004, machines: 8, repeats: 1, seed: 3 };
+        let options = RunOptions {
+            scale: 0.004,
+            machines: 8,
+            repeats: 1,
+            seed: 3,
+        };
         let result = run_experiment(&exp, options);
         assert_eq!(result.columns.len(), PHIS.len());
         assert_eq!(result.rows.len(), TABLE_KS.len());
@@ -489,7 +573,12 @@ mod tests {
     #[test]
     fn tiny_scale_runtime_vs_n_sweep_runs_end_to_end() {
         let exp = find_experiment("figure4a").unwrap();
-        let options = RunOptions { scale: 0.002, machines: 8, repeats: 1, seed: 4 };
+        let options = RunOptions {
+            scale: 0.002,
+            machines: 8,
+            repeats: 1,
+            seed: 4,
+        };
         let result = run_experiment(&exp, options);
         assert!(result.is_runtime);
         assert_eq!(result.rows.len(), FIGURE4_NS.len());
@@ -501,6 +590,12 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn run_experiment_rejects_bad_scale() {
         let exp = find_experiment("table2").unwrap();
-        run_experiment(&exp, RunOptions { scale: 0.0, ..Default::default() });
+        run_experiment(
+            &exp,
+            RunOptions {
+                scale: 0.0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -1,0 +1,137 @@
+//! The flat-layout micro-benchmark: old pointer-chasing scan vs the new
+//! SoA kernels.
+//!
+//! Both `bench_flat` (Criterion) and the `flat_report` binary (which writes
+//! `BENCH_flat.json`) measure the same operation — one Gonzalez iteration,
+//! i.e. one "relax nearest-center distances against a new center" pass plus
+//! the farthest-point argmax — on the two layouts:
+//!
+//! * **old**: `Vec<Point>` (one heap allocation per point), Euclidean
+//!   distance with a `sqrt` per point-center pair, separate relax and
+//!   argmax passes — a faithful replica of the pre-flat implementation;
+//! * **flat**: the fused `relax_nearest_max` pass over [`FlatPoints`] rows
+//!   in squared space — exactly what `select_centers` now runs — plus the
+//!   chunked-parallel variant.
+
+use kcenter_metric::kernel;
+use kcenter_metric::{Distance, Euclidean, FlatPoints, MetricSpace, Point, VecSpace};
+
+/// Materialises the rows of `flat` as owned `Point`s whose heap allocations
+/// happen in a (deterministically) shuffled order, while the resulting
+/// vector stays in row order.
+///
+/// A freshly built `Vec<Point>` gets its coordinate buffers laid out
+/// sequentially by the allocator — the best possible case for the old
+/// layout, and not the one a real run sees: the seed generators allocated
+/// points from parallel workers (interleaving per-thread arenas), and any
+/// long-lived process ages its heap.  Scanning shuffled-order allocations
+/// shows the pointer-chasing cost the flat store removes by construction.
+pub fn to_points_aged_heap(flat: &FlatPoints, seed: u64) -> Vec<Point> {
+    let n = flat.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Deterministic Fisher–Yates on a SplitMix64 stream.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    let mut slots: Vec<Option<Point>> = (0..n).map(|_| None).collect();
+    for &row in &perm {
+        slots[row] = Some(flat.point(row));
+    }
+    slots
+        .into_iter()
+        .map(|p| p.expect("every row placed"))
+        .collect()
+}
+
+/// The old-layout scan: for every point, re-derive its distance to the new
+/// center through the per-point `Vec<f64>` and a `sqrt`, and relax the
+/// running nearest-center array.  The center is re-indexed per pair, just
+/// as the pre-flat `space.distance(p, new_center)` call did.
+pub fn old_relax_nearest(points: &[Point], center: usize, nearest: &mut [f64]) {
+    for (slot, p) in nearest.iter_mut().zip(points) {
+        let d = Euclidean.distance(p, &points[center]);
+        if d < *slot {
+            *slot = d;
+        }
+    }
+}
+
+/// The old-layout argmax (identical logic to [`kernel::argmax`]; the layout
+/// difference is entirely in the relaxation scan).
+pub fn old_argmax(nearest: &[f64]) -> Option<(usize, f64)> {
+    kernel::argmax(nearest)
+}
+
+/// One Gonzalez iteration on the old layout (two passes); returns the
+/// farthest point so the compiler cannot discard the work.
+pub fn old_iteration(points: &[Point], center: usize, nearest: &mut [f64]) -> (usize, f64) {
+    old_relax_nearest(points, center, nearest);
+    old_argmax(nearest).expect("non-empty scan")
+}
+
+/// One Gonzalez iteration on the flat layout: the fused row-streaming pass
+/// `select_centers` runs on the full space.
+pub fn flat_iteration(space: &VecSpace, center: usize, nearest: &mut [f64]) -> (usize, f64) {
+    space.relax_all_max(center, nearest)
+}
+
+/// One Gonzalez iteration on the flat layout, chunked-parallel variant.
+pub fn flat_par_iteration(space: &VecSpace, center: usize, nearest: &mut [f64]) -> (usize, f64) {
+    space.par_relax_all_max(center, nearest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_data::{PointGenerator, UnifGenerator};
+
+    #[test]
+    fn old_and_flat_iterations_pick_the_same_farthest_point() {
+        let g = UnifGenerator::with_dim_and_side(2_000, 3, 100.0);
+        let flat = g.generate_flat(5);
+        let points = flat.to_points();
+        let space = VecSpace::from_flat(flat);
+        let mut old_nearest = vec![f64::INFINITY; points.len()];
+        let mut flat_nearest = vec![f64::INFINITY; points.len()];
+        let (old_far, old_d) = old_iteration(&points, 0, &mut old_nearest);
+        let (flat_far, flat_d) = flat_iteration(&space, 0, &mut flat_nearest);
+        assert_eq!(old_far, flat_far, "layouts disagree on the farthest point");
+        // Old scan reports a distance, flat scan a squared distance.
+        assert!((old_d * old_d - flat_d).abs() <= 1e-9 * (1.0 + flat_d));
+        let mut par_nearest = vec![f64::INFINITY; points.len()];
+        let (par_far, par_d) = flat_par_iteration(&space, 0, &mut par_nearest);
+        assert_eq!((flat_far, flat_d), (par_far, par_d));
+        assert_eq!(flat_nearest, par_nearest);
+    }
+
+    #[test]
+    fn fused_iteration_matches_separate_relax_and_argmax() {
+        let g = UnifGenerator::with_dim_and_side(3_000, 2, 50.0);
+        let space = VecSpace::from_flat(g.generate_flat(9));
+        let subset: Vec<usize> = (0..space.len()).collect();
+        let mut fused = vec![f64::INFINITY; subset.len()];
+        let mut separate = fused.clone();
+        for center in [0usize, 77, 1_500] {
+            let got = flat_iteration(&space, center, &mut fused);
+            space.relax_nearest(&subset, center, &mut separate);
+            let want = kernel::argmax(&separate).unwrap();
+            assert_eq!(got, want);
+        }
+        assert_eq!(fused, separate);
+        // The subset-based fused path agrees with the identity fast path.
+        let mut via_subset = vec![f64::INFINITY; subset.len()];
+        for center in [0usize, 77, 1_500] {
+            space.relax_nearest_max(&subset, center, &mut via_subset);
+        }
+        assert_eq!(fused, via_subset);
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod flatbench;
 pub mod measure;
 pub mod report;
 

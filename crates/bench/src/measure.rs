@@ -74,7 +74,11 @@ pub struct MeasureConfig {
 
 impl Default for MeasureConfig {
     fn default() -> Self {
-        Self { machines: 50, seed: 0, epsilon: 0.1 }
+        Self {
+            machines: 50,
+            seed: 0,
+            epsilon: 0.1,
+        }
     }
 }
 
@@ -159,7 +163,10 @@ pub fn run_averaged(
     assert!(repeats > 0, "at least one repeat is required");
     let mut acc: Option<Measurement> = None;
     for r in 0..repeats {
-        let config = MeasureConfig { seed: base_config.seed.wrapping_add(r as u64), ..base_config };
+        let config = MeasureConfig {
+            seed: base_config.seed.wrapping_add(r as u64),
+            ..base_config
+        };
         let m = run(space, algorithm, k, config);
         acc = Some(match acc {
             None => m,
@@ -186,7 +193,7 @@ mod tests {
     use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
 
     fn small_space() -> VecSpace {
-        VecSpace::new(UnifGenerator::new(400).generate(1))
+        VecSpace::from_flat(UnifGenerator::new(400).generate_flat(1))
     }
 
     #[test]
@@ -201,7 +208,10 @@ mod tests {
     #[test]
     fn all_three_algorithms_produce_comparable_values() {
         let space = small_space();
-        let config = MeasureConfig { machines: 8, ..Default::default() };
+        let config = MeasureConfig {
+            machines: 8,
+            ..Default::default()
+        };
         let measurements: Vec<Measurement> = Algorithm::paper_trio()
             .into_iter()
             .map(|a| run(&space, a, 5, config))
@@ -215,14 +225,23 @@ mod tests {
         // All three are constant-factor approximations of the same optimum,
         // so their values are within a factor of 10 of one another.
         let max = measurements.iter().map(|m| m.value).fold(0.0, f64::max);
-        let min = measurements.iter().map(|m| m.value).fold(f64::INFINITY, f64::min);
-        assert!(max / min < 10.0, "values diverge implausibly: {min} vs {max}");
+        let min = measurements
+            .iter()
+            .map(|m| m.value)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 10.0,
+            "values diverge implausibly: {min} vs {max}"
+        );
     }
 
     #[test]
     fn mrg_reports_mapreduce_rounds_gon_does_not() {
         let space = small_space();
-        let config = MeasureConfig { machines: 8, ..Default::default() };
+        let config = MeasureConfig {
+            machines: 8,
+            ..Default::default()
+        };
         let gon = run(&space, Algorithm::Gon, 3, config);
         let mrg = run(&space, Algorithm::Mrg, 3, config);
         assert_eq!(gon.mapreduce_rounds, 0);
@@ -232,7 +251,10 @@ mod tests {
     #[test]
     fn averaging_reduces_to_single_run_for_one_repeat() {
         let space = small_space();
-        let config = MeasureConfig { machines: 4, ..Default::default() };
+        let config = MeasureConfig {
+            machines: 4,
+            ..Default::default()
+        };
         let a = run(&space, Algorithm::Mrg, 4, config);
         let b = run_averaged(&space, Algorithm::Mrg, 4, config, 1);
         assert_eq!(a.value, b.value);
@@ -240,8 +262,11 @@ mod tests {
 
     #[test]
     fn averaged_measurements_average_the_value() {
-        let space = VecSpace::new(DatasetSpec::Gau { n: 600, k_prime: 4 }.generate(3));
-        let config = MeasureConfig { machines: 4, ..Default::default() };
+        let space = VecSpace::from_flat(DatasetSpec::Gau { n: 600, k_prime: 4 }.generate_flat(3));
+        let config = MeasureConfig {
+            machines: 4,
+            ..Default::default()
+        };
         let avg = run_averaged(&space, Algorithm::Eim { phi: 8.0 }, 4, config, 3);
         assert!(avg.value.is_finite() && avg.value > 0.0);
     }
@@ -249,6 +274,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one repeat")]
     fn zero_repeats_is_rejected() {
-        run_averaged(&small_space(), Algorithm::Gon, 2, MeasureConfig::default(), 0);
+        run_averaged(
+            &small_space(),
+            Algorithm::Gon,
+            2,
+            MeasureConfig::default(),
+            0,
+        );
     }
 }

@@ -35,7 +35,11 @@ pub fn render_result(result: &ExperimentResult) -> String {
         out,
         "\n(scale = {}, metric = {})\n",
         result.scale,
-        if result.is_runtime { "runtime in seconds (max simulated machine time per round)" } else { "solution value (covering radius)" }
+        if result.is_runtime {
+            "runtime in seconds (max simulated machine time per round)"
+        } else {
+            "solution value (covering radius)"
+        }
     );
 
     // Header.
@@ -54,7 +58,11 @@ pub fn render_result(result: &ExperimentResult) -> String {
     for row in &result.rows {
         let _ = write!(out, "| {} |", row.coordinate);
         for m in &row.measurements {
-            let v = if result.is_runtime { m.runtime_seconds } else { m.value };
+            let v = if result.is_runtime {
+                m.runtime_seconds
+            } else {
+                m.value
+            };
             let _ = write!(out, " {} |", format_value(v));
         }
         let _ = writeln!(out);
@@ -64,7 +72,11 @@ pub fn render_result(result: &ExperimentResult) -> String {
 
 /// Renders several results back to back (the `repro all` output).
 pub fn render_all(results: &[ExperimentResult]) -> String {
-    results.iter().map(render_result).collect::<Vec<_>>().join("\n")
+    results
+        .iter()
+        .map(render_result)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn sweep_header(result: &ExperimentResult) -> &'static str {

@@ -124,7 +124,11 @@ USAGE:
 pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut it = args.iter();
     let command = match it.next().map(String::as_str) {
-        None | Some("help") | Some("--help") | Some("-h") => return Ok(Cli { command: Command::Help }),
+        None | Some("help") | Some("--help") | Some("-h") => {
+            return Ok(Cli {
+                command: Command::Help,
+            })
+        }
         Some("generate") => Command::Generate(parse_generate(&args[1..])?),
         Some("solve") => Command::Solve(parse_solve(&args[1..])?),
         Some("info") => Command::Info(parse_info(&args[1..])?),
@@ -269,10 +273,19 @@ mod tests {
 
     #[test]
     fn generate_parses_every_family() {
-        let cli = parse(&argv("generate gau --n 1000 --k-prime 7 --seed 3 --out /tmp/x.csv")).unwrap();
+        let cli = parse(&argv(
+            "generate gau --n 1000 --k-prime 7 --seed 3 --out /tmp/x.csv",
+        ))
+        .unwrap();
         match cli.command {
             Command::Generate(g) => {
-                assert_eq!(g.spec, DatasetSpec::Gau { n: 1000, k_prime: 7 });
+                assert_eq!(
+                    g.spec,
+                    DatasetSpec::Gau {
+                        n: 1000,
+                        k_prime: 7
+                    }
+                );
                 assert_eq!(g.seed, 3);
                 assert_eq!(g.output, "/tmp/x.csv");
             }
@@ -337,8 +350,14 @@ mod tests {
     fn solver_choice_aliases() {
         assert_eq!(SolverChoice::parse("GON"), Some(SolverChoice::Gon));
         assert_eq!(SolverChoice::parse("gonzalez"), Some(SolverChoice::Gon));
-        assert_eq!(SolverChoice::parse("hochbaum-shmoys"), Some(SolverChoice::HochbaumShmoys));
-        assert_eq!(SolverChoice::parse("hs"), Some(SolverChoice::HochbaumShmoys));
+        assert_eq!(
+            SolverChoice::parse("hochbaum-shmoys"),
+            Some(SolverChoice::HochbaumShmoys)
+        );
+        assert_eq!(
+            SolverChoice::parse("hs"),
+            Some(SolverChoice::HochbaumShmoys)
+        );
         assert_eq!(SolverChoice::parse("xyz"), None);
     }
 
@@ -347,7 +366,10 @@ mod tests {
         let cli = parse(&argv("info --input pts.csv --skip-columns 2")).unwrap();
         assert_eq!(
             cli.command,
-            Command::Info(InfoArgs { input: "pts.csv".into(), skip_columns: 2 })
+            Command::Info(InfoArgs {
+                input: "pts.csv".into(),
+                skip_columns: 2
+            })
         );
         assert!(parse(&argv("info")).is_err());
     }

@@ -78,7 +78,10 @@ fn generate<W: Write>(args: &GenerateArgs, out: &mut W) -> Result<(), CommandErr
 }
 
 fn load_space(path: &str, skip_columns: usize) -> Result<VecSpace, CommandError> {
-    let options = CsvOptions { skip_trailing_columns: skip_columns, ..Default::default() };
+    let options = CsvOptions {
+        skip_trailing_columns: skip_columns,
+        ..Default::default()
+    };
     let points = load_points(Path::new(path), &options)?;
     Ok(VecSpace::new(points))
 }
@@ -95,7 +98,9 @@ fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
 
     let (centers, radius): (Vec<PointId>, f64) = match args.algorithm {
         SolverChoice::Gon => {
-            let sol = GonzalezConfig::new(args.k).with_parallel_scan(true).solve(&space)?;
+            let sol = GonzalezConfig::new(args.k)
+                .with_parallel_scan(true)
+                .solve(&space)?;
             writeln!(out, "GON (sequential 2-approximation)")?;
             (sol.centers, sol.radius)
         }
@@ -171,7 +176,11 @@ fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
         for (point, &c) in assignment.iter().enumerate() {
             writeln!(file, "{point},{c},{}", centers[c])?;
         }
-        writeln!(out, "wrote assignment of {} points to {path}", assignment.len())?;
+        writeln!(
+            out,
+            "wrote assignment of {} points to {path}",
+            assignment.len()
+        )?;
         writeln!(
             out,
             "cluster sizes: min {}, max {}",
@@ -187,7 +196,7 @@ fn info<W: Write>(args: &InfoArgs, out: &mut W) -> Result<(), CommandError> {
     writeln!(out, "file: {}", args.input)?;
     writeln!(out, "points: {}", space.len())?;
     writeln!(out, "dimension: {}", space.dim().unwrap_or(0))?;
-    if let Some(bbox) = BoundingBox::par_of(space.points()) {
+    if let Some(bbox) = BoundingBox::par_of_flat(space.flat()) {
         writeln!(out, "bounding box diagonal: {:.6}", bbox.diagonal())?;
         writeln!(out, "bounding box min: {:?}", bbox.min())?;
         writeln!(out, "bounding box max: {:?}", bbox.max())?;
@@ -200,7 +209,11 @@ fn info<W: Write>(args: &InfoArgs, out: &mut W) -> Result<(), CommandError> {
         let far2 = (0..space.len())
             .max_by(|&a, &b| space.distance(far1, a).total_cmp(&space.distance(far1, b)))
             .unwrap();
-        writeln!(out, "diameter estimate (double sweep): {:.6}", space.distance(far1, far2))?;
+        writeln!(
+            out,
+            "diameter estimate (double sweep): {:.6}",
+            space.distance(far1, far2)
+        )?;
     }
     Ok(())
 }
@@ -237,7 +250,10 @@ mod tests {
     #[test]
     fn generate_then_info_then_solve_round_trip() {
         let csv = temp_path("gau.csv");
-        let out = run_cli(&format!("generate gau --n 800 --k-prime 4 --seed 2 --out {csv}")).unwrap();
+        let out = run_cli(&format!(
+            "generate gau --n 800 --k-prime 4 --seed 2 --out {csv}"
+        ))
+        .unwrap();
         assert!(out.contains("800 points"));
 
         let info = run_cli(&format!("info --input {csv}")).unwrap();
@@ -274,7 +290,10 @@ mod tests {
     fn solve_eim_and_hs_work_on_small_files() {
         let csv = temp_path("poker.csv");
         run_cli(&format!("generate poker --n 300 --seed 3 --out {csv}")).unwrap();
-        let eim = run_cli(&format!("solve eim --input {csv} --k 3 --machines 4 --phi 4 --seed 7")).unwrap();
+        let eim = run_cli(&format!(
+            "solve eim --input {csv} --k 3 --machines 4 --phi 4 --seed 7"
+        ))
+        .unwrap();
         assert!(eim.contains("EIM (phi = 4"));
         let hs = run_cli(&format!("solve hs --input {csv} --k 3")).unwrap();
         assert!(hs.contains("Hochbaum-Shmoys"));

@@ -36,7 +36,9 @@ pub fn optimal_solution<S: MetricSpace + ?Sized>(
     if n > MAX_BRUTE_FORCE_POINTS {
         return Err(KCenterError::InvalidParameter {
             name: "n",
-            message: format!("brute force supports at most {MAX_BRUTE_FORCE_POINTS} points, got {n}"),
+            message: format!(
+                "brute force supports at most {MAX_BRUTE_FORCE_POINTS} points, got {n}"
+            ),
         });
     }
     if k >= n {
@@ -47,7 +49,14 @@ pub fn optimal_solution<S: MetricSpace + ?Sized>(
     let mut best_radius = f64::INFINITY;
     let mut best_centers: Vec<PointId> = Vec::new();
     let mut current: Vec<PointId> = Vec::with_capacity(k);
-    enumerate(space, k, 0, &mut current, &mut best_radius, &mut best_centers);
+    enumerate(
+        space,
+        k,
+        0,
+        &mut current,
+        &mut best_radius,
+        &mut best_centers,
+    );
     Ok(KCenterSolution::new(k, best_centers, best_radius))
 }
 
@@ -135,8 +144,14 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         let empty = VecSpace::new(vec![]);
-        assert_eq!(optimal_solution(&empty, 1).unwrap_err(), KCenterError::EmptyInput);
-        assert_eq!(optimal_solution(&line(3), 0).unwrap_err(), KCenterError::ZeroK);
+        assert_eq!(
+            optimal_solution(&empty, 1).unwrap_err(),
+            KCenterError::EmptyInput
+        );
+        assert_eq!(
+            optimal_solution(&line(3), 0).unwrap_err(),
+            KCenterError::ZeroK
+        );
         let big = line(MAX_BRUTE_FORCE_POINTS + 1);
         assert!(matches!(
             optimal_solution(&big, 2).unwrap_err(),
@@ -149,7 +164,10 @@ mod tests {
         let s = line(12);
         let radii: Vec<f64> = (1..=5).map(|k| optimal_radius(&s, k).unwrap()).collect();
         for w in radii.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "optimal radius must not increase with k");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "optimal radius must not increase with k"
+            );
         }
     }
 }

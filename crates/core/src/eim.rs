@@ -182,7 +182,9 @@ impl EimConfig {
         let n = space.len();
         self.validate(n)?;
         if !space.is_metric() {
-            return Err(KCenterError::NotAMetric { distance: space.distance_name() });
+            return Err(KCenterError::NotAMetric {
+                distance: space.distance_name(),
+            });
         }
 
         let nf = n.max(2) as f64;
@@ -198,7 +200,10 @@ impl EimConfig {
         let mut sample: Vec<PointId> = Vec::new();
         let mut in_sample = vec![false; n];
         let mut remaining: Vec<PointId> = (0..n).collect();
-        // Incremental cache of d(x, S) for every point.
+        // Incremental cache of d(x, S) for every point, kept in comparison
+        // space (squared for Euclidean): Select and the round-3 filter only
+        // ever *compare* these values, so the monotone surrogate gives the
+        // same pivot and the same removals without a sqrt per pair.
         let mut dist_to_sample = vec![f64::INFINITY; n];
 
         let mut iterations = 0usize;
@@ -256,7 +261,12 @@ impl EimConfig {
                 |h| {
                     let with_dist: Vec<(PointId, f64)> = h
                         .iter()
-                        .map(|&x| (x, distance_with_additions(space, x, dist_ref[x], additions_ref)))
+                        .map(|&x| {
+                            (
+                                x,
+                                distance_with_additions(space, x, dist_ref[x], additions_ref),
+                            )
+                        })
                         .collect();
                     select_pivot(&with_dist, phi, n)
                 },
@@ -341,7 +351,7 @@ impl EimConfig {
     }
 }
 
-/// `d(x, S ∪ additions)` given the cached `d(x, S)`.
+/// Comparison-space `d(x, S ∪ additions)` given the cached value for `S`.
 #[inline]
 fn distance_with_additions<S: MetricSpace + ?Sized>(
     space: &S,
@@ -351,7 +361,7 @@ fn distance_with_additions<S: MetricSpace + ?Sized>(
 ) -> f64 {
     let mut best = cached;
     for &y in additions {
-        let d = space.distance(x, y);
+        let d = space.cmp_distance(x, y);
         if d < best {
             best = d;
         }
@@ -418,7 +428,10 @@ mod tests {
     /// actually happens at test scale (ε near 1/ln n minimises the
     /// threshold (4/ε)·k·n^ε·log n).
     fn sampling_config(k: usize) -> EimConfig {
-        EimConfig::new(k).with_epsilon(0.13).with_machines(8).with_seed(1)
+        EimConfig::new(k)
+            .with_epsilon(0.13)
+            .with_machines(8)
+            .with_seed(1)
     }
 
     #[test]
@@ -441,12 +454,18 @@ mod tests {
     fn sampling_kicks_in_for_small_k_and_shrinks_the_instance() {
         let space = cloud(4_000, 2);
         let config = sampling_config(1);
-        assert!(config.sampling_threshold(4_000) < 4_000.0, "test setup: threshold must be below n");
+        assert!(
+            config.sampling_threshold(4_000) < 4_000.0,
+            "test setup: threshold must be below n"
+        );
         let result = config.run(&space).unwrap();
         assert!(!result.fell_back_to_sequential);
         assert!(result.iterations >= 1);
         assert_eq!(result.mapreduce_rounds, 3 * result.iterations + 1);
-        assert!(result.sample_size < 4_000, "sampling should shrink the instance");
+        assert!(
+            result.sample_size < 4_000,
+            "sampling should shrink the instance"
+        );
         assert_eq!(result.solution.centers.len(), 1);
         assert!(result.solution.radius.is_finite() && result.solution.radius > 0.0);
     }
@@ -499,8 +518,10 @@ mod tests {
         let space = cloud(4_000, 6);
         let small = sampling_config(1).with_phi(1.0).run(&space).unwrap();
         let large = sampling_config(1).with_phi(8.0).run(&space).unwrap();
-        assert!(small.stats.total_items_in() <= large.stats.total_items_in() * 2,
-            "phi=1 should not process dramatically more items than phi=8");
+        assert!(
+            small.stats.total_items_in() <= large.stats.total_items_in() * 2,
+            "phi=1 should not process dramatically more items than phi=8"
+        );
     }
 
     #[test]
@@ -518,15 +539,27 @@ mod tests {
     fn rejects_invalid_parameters() {
         let space = cloud(100, 8);
         let empty = VecSpace::new(vec![]);
-        assert_eq!(EimConfig::new(2).run(&empty).unwrap_err(), KCenterError::EmptyInput);
-        assert_eq!(EimConfig::new(0).run(&space).unwrap_err(), KCenterError::ZeroK);
+        assert_eq!(
+            EimConfig::new(2).run(&empty).unwrap_err(),
+            KCenterError::EmptyInput
+        );
+        assert_eq!(
+            EimConfig::new(0).run(&space).unwrap_err(),
+            KCenterError::ZeroK
+        );
         assert!(matches!(
             EimConfig::new(2).with_epsilon(0.0).run(&space).unwrap_err(),
-            KCenterError::InvalidParameter { name: "epsilon", .. }
+            KCenterError::InvalidParameter {
+                name: "epsilon",
+                ..
+            }
         ));
         assert!(matches!(
             EimConfig::new(2).with_epsilon(1.5).run(&space).unwrap_err(),
-            KCenterError::InvalidParameter { name: "epsilon", .. }
+            KCenterError::InvalidParameter {
+                name: "epsilon",
+                ..
+            }
         ));
         assert!(matches!(
             EimConfig::new(2).with_phi(0.0).run(&space).unwrap_err(),
@@ -534,9 +567,15 @@ mod tests {
         ));
         assert!(matches!(
             EimConfig::new(2).with_machines(0).run(&space).unwrap_err(),
-            KCenterError::InvalidParameter { name: "machines", .. }
+            KCenterError::InvalidParameter {
+                name: "machines",
+                ..
+            }
         ));
-        let sq = VecSpace::with_distance(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)], SquaredEuclidean);
+        let sq = VecSpace::with_distance(
+            vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)],
+            SquaredEuclidean,
+        );
         assert!(matches!(
             EimConfig::new(1).run(&sq).unwrap_err(),
             KCenterError::NotAMetric { .. }
@@ -549,7 +588,12 @@ mod tests {
         let result = sampling_config(1).run(&space).unwrap();
         assert_eq!(result.stats.num_rounds(), result.mapreduce_rounds);
         // Round labels follow the iteration structure.
-        let labels: Vec<&str> = result.stats.rounds().iter().map(|r| r.label.as_str()).collect();
+        let labels: Vec<&str> = result
+            .stats
+            .rounds()
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
         assert!(labels[0].contains("round 1"));
         assert!(labels[1].contains("round 2"));
         assert!(labels[2].contains("round 3"));

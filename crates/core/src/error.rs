@@ -79,12 +79,20 @@ mod tests {
     fn display_messages_are_informative() {
         assert!(KCenterError::EmptyInput.to_string().contains("empty"));
         assert!(KCenterError::ZeroK.to_string().contains("k"));
-        assert!(KCenterError::NotAMetric { distance: "squared-euclidean" }
-            .to_string()
-            .contains("squared-euclidean"));
-        let e = KCenterError::NoProgress { sample_size: 500, capacity: 100 };
+        assert!(KCenterError::NotAMetric {
+            distance: "squared-euclidean"
+        }
+        .to_string()
+        .contains("squared-euclidean"));
+        let e = KCenterError::NoProgress {
+            sample_size: 500,
+            capacity: 100,
+        };
         assert!(e.to_string().contains("500") && e.to_string().contains("100"));
-        let e = KCenterError::InvalidParameter { name: "epsilon", message: "must be positive".into() };
+        let e = KCenterError::InvalidParameter {
+            name: "epsilon",
+            message: "must be positive".into(),
+        };
         assert!(e.to_string().contains("epsilon"));
     }
 

@@ -6,6 +6,13 @@
 //! are the single most common operation in the experiment harness, so a
 //! rayon-parallel implementation is provided and used by default above a
 //! small size threshold.
+//!
+//! The scans run in comparison space (squared distances for Euclidean
+//! spaces) and prune with the early-exit `cmp_distance_to_set_bounded`:
+//! while computing a max-of-mins, a point whose running minimum has already
+//! dropped to the current maximum can stop scanning centers — it cannot
+//! raise the maximum.  The winner is converted back to a real distance once
+//! at the end, so exactly one `sqrt` is taken per evaluation.
 
 use kcenter_metric::{MetricSpace, PointId};
 use rayon::prelude::*;
@@ -20,6 +27,23 @@ const PARALLEL_THRESHOLD: usize = 1 << 14;
 pub fn covering_radius<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) -> f64 {
     let ids: Vec<PointId> = (0..space.len()).collect();
     covering_radius_subset(space, &ids, centers)
+}
+
+/// Max-of-mins over one contiguous block of points, in comparison space,
+/// pruning each point's center scan at the block's running maximum.
+fn cmp_radius_block<S: MetricSpace + ?Sized>(
+    space: &S,
+    block: &[PointId],
+    centers: &[PointId],
+) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for &p in block {
+        let d = space.cmp_distance_to_set_bounded(p, centers, max);
+        if d > max {
+            max = d;
+        }
+    }
+    max
 }
 
 /// The covering radius of `centers` over an explicit subset of the space.
@@ -37,16 +61,39 @@ pub fn covering_radius_subset<S: MetricSpace + ?Sized>(
         return f64::INFINITY;
     }
     let work = subset.len().saturating_mul(centers.len());
-    if work >= PARALLEL_THRESHOLD {
+    let cmp_max = if work >= PARALLEL_THRESHOLD {
         subset
-            .par_iter()
-            .map(|&p| space.distance_to_set(p, centers))
-            .reduce(|| 0.0, f64::max)
+            .par_chunks(1 << 12)
+            .map(|block| cmp_radius_block(space, block, centers))
+            .reduce(|| f64::NEG_INFINITY, f64::max)
     } else {
-        subset
-            .iter()
-            .map(|&p| space.distance_to_set(p, centers))
-            .fold(0.0, f64::max)
+        cmp_radius_block(space, subset, centers)
+    };
+    space.cmp_to_distance(cmp_max.max(0.0))
+}
+
+/// Whether every point of the space lies within `radius` of some center —
+/// the coverage check behind the approximation-factor probes.  Uses the
+/// early-exit scan: each point stops at the first center within `radius`.
+pub fn covered_within<S: MetricSpace + ?Sized>(
+    space: &S,
+    centers: &[PointId],
+    radius: f64,
+) -> bool {
+    if space.len() == 0 {
+        return true;
+    }
+    if centers.is_empty() {
+        return false;
+    }
+    let cmp_radius = space.distance_to_cmp(radius);
+    let check =
+        |p: PointId| space.cmp_distance_to_set_bounded(p, centers, cmp_radius) <= cmp_radius;
+    if space.len().saturating_mul(centers.len()) >= PARALLEL_THRESHOLD {
+        // `all` terminates early across workers on the first uncovered point.
+        (0..space.len()).into_par_iter().all(check)
+    } else {
+        (0..space.len()).all(check)
     }
 }
 
@@ -62,12 +109,16 @@ pub fn assign<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) -> Vec<us
     if space.len() == 0 {
         return Vec::new();
     }
-    assert!(!centers.is_empty(), "cannot assign points to an empty center set");
+    assert!(
+        !centers.is_empty(),
+        "cannot assign points to an empty center set"
+    );
+    // Argmin is order-invariant, so the scan runs in comparison space.
     let assign_one = |p: PointId| -> usize {
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
         for (ci, &c) in centers.iter().enumerate() {
-            let d = space.distance(p, c);
+            let d = space.cmp_distance(p, c);
             if d < best_d {
                 best_d = d;
                 best = ci;
@@ -101,10 +152,12 @@ pub fn distances_to_centers<S: MetricSpace + ?Sized>(space: &S, centers: &[Point
     if centers.is_empty() {
         return vec![f64::INFINITY; ids.len()];
     }
+    // Min in comparison space, one conversion per point at the end.
+    let one = |p: PointId| space.cmp_to_distance(space.cmp_distance_to_set(p, centers));
     if ids.len().saturating_mul(centers.len()) >= PARALLEL_THRESHOLD {
-        ids.par_iter().map(|&p| space.distance_to_set(p, centers)).collect()
+        ids.par_iter().map(|&p| one(p)).collect()
     } else {
-        ids.iter().map(|&p| space.distance_to_set(p, centers)).collect()
+        ids.iter().map(|&p| one(p)).collect()
     }
 }
 

@@ -15,8 +15,8 @@
 use crate::error::KCenterError;
 use crate::evaluate::covering_radius;
 use crate::solution::KCenterSolution;
+use kcenter_metric::space::is_identity_subset;
 use kcenter_metric::{MetricSpace, PointId};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// How GON chooses its (arbitrary) first center.
@@ -82,7 +82,11 @@ pub struct GonzalezConfig {
 impl GonzalezConfig {
     /// GON with `k` centers, first center at position 0, sequential scan.
     pub fn new(k: usize) -> Self {
-        Self { k, first_center: FirstCenter::default(), parallel_scan: false }
+        Self {
+            k,
+            first_center: FirstCenter::default(),
+            parallel_scan: false,
+        }
     }
 
     /// Sets the first-center policy.
@@ -99,7 +103,10 @@ impl GonzalezConfig {
 
     /// Runs GON on the whole space and evaluates the covering radius over
     /// the whole space.
-    pub fn solve<S: MetricSpace + ?Sized>(&self, space: &S) -> Result<KCenterSolution, KCenterError> {
+    pub fn solve<S: MetricSpace + ?Sized>(
+        &self,
+        space: &S,
+    ) -> Result<KCenterSolution, KCenterError> {
         if space.len() == 0 {
             return Err(KCenterError::EmptyInput);
         }
@@ -107,7 +114,9 @@ impl GonzalezConfig {
             return Err(KCenterError::ZeroK);
         }
         if !space.is_metric() {
-            return Err(KCenterError::NotAMetric { distance: space.distance_name() });
+            return Err(KCenterError::NotAMetric {
+                distance: space.distance_name(),
+            });
         }
         let ids: Vec<PointId> = (0..space.len()).collect();
         let centers = select_centers(space, &ids, self.k, self.first_center, self.parallel_scan);
@@ -143,50 +152,32 @@ pub fn select_centers<S: MetricSpace + ?Sized>(
     let first_center = subset[first_pos];
     centers.push(first_center);
 
-    // dist[i] = distance from subset[i] to the nearest chosen center.
-    let mut dist: Vec<f64> = if parallel_scan && subset.len() >= PARALLEL_SCAN_THRESHOLD {
-        subset.par_iter().map(|&p| space.distance(p, first_center)).collect()
-    } else {
-        subset.iter().map(|&p| space.distance(p, first_center)).collect()
-    };
-
+    // The whole selection runs in *comparison space* (squared distances for
+    // Euclidean spaces — see `kcenter_metric::space`): farthest-point
+    // selection only needs the ordering, so no `sqrt` is ever taken here.
+    // Each iteration is ONE fused pass (`relax_nearest_max`): relax every
+    // point's nearest-center entry against the newest center and track the
+    // farthest survivor in the same walk over the flat rows.
+    let parallel = parallel_scan && subset.len() >= PARALLEL_SCAN_THRESHOLD;
+    // Detecting the full-space case once lets every iteration stream rows
+    // without per-point id loads (and without re-checking per call).
+    let identity = is_identity_subset(subset, space.len());
+    let mut nearest: Vec<f64> = vec![f64::INFINITY; subset.len()];
+    let mut newest = first_center;
     while centers.len() < k {
-        // Find the farthest point from the current centers.
-        let (far_pos, far_dist) = if parallel_scan && subset.len() >= PARALLEL_SCAN_THRESHOLD {
-            dist.par_iter()
-                .cloned()
-                .enumerate()
-                .reduce(|| (0, f64::NEG_INFINITY), |a, b| if b.1 > a.1 { b } else { a })
-        } else {
-            dist.iter()
-                .cloned()
-                .enumerate()
-                .fold((0, f64::NEG_INFINITY), |a, b| if b.1 > a.1 { b } else { a })
+        let (far_pos, far_dist) = match (identity, parallel) {
+            (true, true) => space.par_relax_all_max(newest, &mut nearest),
+            (true, false) => space.relax_all_max(newest, &mut nearest),
+            (false, true) => space.par_relax_nearest_max(subset, newest, &mut nearest),
+            (false, false) => space.relax_nearest_max(subset, newest, &mut nearest),
         };
         // All remaining points coincide with existing centers: no point in
         // adding duplicates (the covering radius is already 0).
         if far_dist <= 0.0 {
             break;
         }
-        let new_center = subset[far_pos];
-        centers.push(new_center);
-
-        // Relax distances against the new center.
-        if parallel_scan && subset.len() >= PARALLEL_SCAN_THRESHOLD {
-            dist.par_iter_mut().zip(subset.par_iter()).for_each(|(d, &p)| {
-                let nd = space.distance(p, new_center);
-                if nd < *d {
-                    *d = nd;
-                }
-            });
-        } else {
-            for (d, &p) in dist.iter_mut().zip(subset.iter()) {
-                let nd = space.distance(p, new_center);
-                if nd < *d {
-                    *d = nd;
-                }
-            }
-        }
+        newest = subset[far_pos];
+        centers.push(newest);
     }
     centers
 }
@@ -218,7 +209,11 @@ mod tests {
         let sol = GonzalezConfig::new(2).solve(&space).unwrap();
         assert_eq!(sol.centers.len(), 2);
         // One center from each group.
-        let groups: Vec<usize> = sol.centers.iter().map(|&c| if c < 3 { 0 } else { 1 }).collect();
+        let groups: Vec<usize> = sol
+            .centers
+            .iter()
+            .map(|&c| if c < 3 { 0 } else { 1 })
+            .collect();
         assert_ne!(groups[0], groups[1]);
         assert!(sol.radius < 1.0);
     }
@@ -242,12 +237,21 @@ mod tests {
     #[test]
     fn rejects_empty_input_zero_k_and_non_metrics() {
         let empty = VecSpace::new(vec![]);
-        assert_eq!(GonzalezConfig::new(2).solve(&empty).unwrap_err(), KCenterError::EmptyInput);
+        assert_eq!(
+            GonzalezConfig::new(2).solve(&empty).unwrap_err(),
+            KCenterError::EmptyInput
+        );
 
         let space = two_clusters();
-        assert_eq!(GonzalezConfig::new(0).solve(&space).unwrap_err(), KCenterError::ZeroK);
+        assert_eq!(
+            GonzalezConfig::new(0).solve(&space).unwrap_err(),
+            KCenterError::ZeroK
+        );
 
-        let sq = VecSpace::with_distance(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)], SquaredEuclidean);
+        let sq = VecSpace::with_distance(
+            vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)],
+            SquaredEuclidean,
+        );
         assert!(matches!(
             GonzalezConfig::new(1).solve(&sq).unwrap_err(),
             KCenterError::NotAMetric { .. }
@@ -307,7 +311,10 @@ mod tests {
         let space = two_clusters();
         assert!(select_centers(&space, &[], 3, FirstCenter::default(), false).is_empty());
         assert!(select_centers(&space, &[0, 1], 0, FirstCenter::default(), false).is_empty());
-        assert_eq!(select_centers(&space, &[1, 2], 5, FirstCenter::default(), false), vec![1, 2]);
+        assert_eq!(
+            select_centers(&space, &[1, 2], 5, FirstCenter::default(), false),
+            vec![1, 2]
+        );
     }
 
     #[test]
@@ -323,7 +330,10 @@ mod tests {
             .collect();
         let space = VecSpace::new(pts);
         let seq = GonzalezConfig::new(8).solve(&space).unwrap();
-        let par = GonzalezConfig::new(8).with_parallel_scan(true).solve(&space).unwrap();
+        let par = GonzalezConfig::new(8)
+            .with_parallel_scan(true)
+            .solve(&space)
+            .unwrap();
         assert_eq!(seq.centers, par.centers);
         assert_eq!(seq.radius, par.radius);
     }

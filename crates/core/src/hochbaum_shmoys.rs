@@ -34,7 +34,10 @@ impl HochbaumShmoysConfig {
     }
 
     /// Runs the algorithm on the whole space.
-    pub fn solve<S: MetricSpace + ?Sized>(&self, space: &S) -> Result<KCenterSolution, KCenterError> {
+    pub fn solve<S: MetricSpace + ?Sized>(
+        &self,
+        space: &S,
+    ) -> Result<KCenterSolution, KCenterError> {
         if space.len() == 0 {
             return Err(KCenterError::EmptyInput);
         }
@@ -42,7 +45,9 @@ impl HochbaumShmoysConfig {
             return Err(KCenterError::ZeroK);
         }
         if !space.is_metric() {
-            return Err(KCenterError::NotAMetric { distance: space.distance_name() });
+            return Err(KCenterError::NotAMetric {
+                distance: space.distance_name(),
+            });
         }
         let ids: Vec<PointId> = (0..space.len()).collect();
         let centers = select_centers(space, &ids, self.k);
@@ -83,7 +88,11 @@ fn greedy_cover<S: MetricSpace + ?Sized>(
 /// Selects at most `k` centers from `subset` using the bottleneck binary
 /// search.  This is the routine exposed to MRG/EIM as an alternative
 /// final-round sub-procedure.
-pub fn select_centers<S: MetricSpace + ?Sized>(space: &S, subset: &[PointId], k: usize) -> Vec<PointId> {
+pub fn select_centers<S: MetricSpace + ?Sized>(
+    space: &S,
+    subset: &[PointId],
+    k: usize,
+) -> Vec<PointId> {
     if subset.is_empty() || k == 0 {
         return Vec::new();
     }
@@ -206,9 +215,18 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         let empty = VecSpace::new(vec![]);
-        assert_eq!(HochbaumShmoysConfig::new(1).solve(&empty).unwrap_err(), KCenterError::EmptyInput);
-        assert_eq!(HochbaumShmoysConfig::new(0).solve(&grid(2)).unwrap_err(), KCenterError::ZeroK);
-        let sq = VecSpace::with_distance(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)], SquaredEuclidean);
+        assert_eq!(
+            HochbaumShmoysConfig::new(1).solve(&empty).unwrap_err(),
+            KCenterError::EmptyInput
+        );
+        assert_eq!(
+            HochbaumShmoysConfig::new(0).solve(&grid(2)).unwrap_err(),
+            KCenterError::ZeroK
+        );
+        let sq = VecSpace::with_distance(
+            vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)],
+            SquaredEuclidean,
+        );
         assert!(matches!(
             HochbaumShmoysConfig::new(1).solve(&sq).unwrap_err(),
             KCenterError::NotAMetric { .. }

@@ -118,7 +118,9 @@ impl MrgConfig {
             return Err(KCenterError::ZeroK);
         }
         if !space.is_metric() {
-            return Err(KCenterError::NotAMetric { distance: space.distance_name() });
+            return Err(KCenterError::NotAMetric {
+                distance: space.distance_name(),
+            });
         }
         if self.machines == 0 {
             return Err(KCenterError::InvalidParameter {
@@ -156,8 +158,12 @@ impl MrgConfig {
                 sample.len().div_ceil(capacity).clamp(1, self.machines)
             };
             let parts = partition::chunks(&sample, machines_this_round);
-            let label = format!("MRG reduction round {} ({} on {} machines)",
-                reduction_rounds + 1, solver.name(), parts.len());
+            let label = format!(
+                "MRG reduction round {} ({} on {} machines)",
+                reduction_rounds + 1,
+                solver.name(),
+                parts.len()
+            );
             let outputs = cluster.run_round(
                 &label,
                 &parts,
@@ -168,7 +174,10 @@ impl MrgConfig {
             if next.len() >= sample.len() {
                 // k is too close to the capacity: the sample no longer
                 // shrinks (the situation discussed after Lemma 3).
-                return Err(KCenterError::NoProgress { sample_size: sample.len(), capacity });
+                return Err(KCenterError::NoProgress {
+                    sample_size: sample.len(),
+                    capacity,
+                });
             }
             sample = next;
             reduction_rounds += 1;
@@ -258,7 +267,11 @@ mod tests {
     #[test]
     fn small_input_that_fits_on_one_machine_degenerates_to_gon() {
         let space = cloud(100, 2);
-        let result = MrgConfig::new(4).with_machines(10).with_capacity(1_000).run(&space).unwrap();
+        let result = MrgConfig::new(4)
+            .with_machines(10)
+            .with_capacity(1_000)
+            .run(&space)
+            .unwrap();
         assert_eq!(result.reduction_rounds, 0);
         assert_eq!(result.mapreduce_rounds, 1);
         assert_eq!(result.approximation_factor, 2.0);
@@ -279,8 +292,15 @@ mod tests {
             .with_capacity(160)
             .run(&space)
             .unwrap();
-        assert!(result.reduction_rounds >= 2, "expected >= 2 reduction rounds, got {}", result.reduction_rounds);
-        assert_eq!(result.approximation_factor, 2.0 * (result.reduction_rounds as f64 + 1.0));
+        assert!(
+            result.reduction_rounds >= 2,
+            "expected >= 2 reduction rounds, got {}",
+            result.reduction_rounds
+        );
+        assert_eq!(
+            result.approximation_factor,
+            2.0 * (result.reduction_rounds as f64 + 1.0)
+        );
         assert_eq!(result.solution.centers.len(), 10);
         // The solution is still a valid covering.
         assert!(result.solution.radius.is_finite());
@@ -339,16 +359,28 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         let empty = VecSpace::new(vec![]);
-        assert_eq!(MrgConfig::new(3).run(&empty).unwrap_err(), KCenterError::EmptyInput);
+        assert_eq!(
+            MrgConfig::new(3).run(&empty).unwrap_err(),
+            KCenterError::EmptyInput
+        );
 
         let space = cloud(50, 6);
-        assert_eq!(MrgConfig::new(0).run(&space).unwrap_err(), KCenterError::ZeroK);
+        assert_eq!(
+            MrgConfig::new(0).run(&space).unwrap_err(),
+            KCenterError::ZeroK
+        );
         assert!(matches!(
             MrgConfig::new(2).with_machines(0).run(&space).unwrap_err(),
-            KCenterError::InvalidParameter { name: "machines", .. }
+            KCenterError::InvalidParameter {
+                name: "machines",
+                ..
+            }
         ));
 
-        let sq = VecSpace::with_distance(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)], SquaredEuclidean);
+        let sq = VecSpace::with_distance(
+            vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)],
+            SquaredEuclidean,
+        );
         assert!(matches!(
             MrgConfig::new(1).run(&sq).unwrap_err(),
             KCenterError::NotAMetric { .. }
@@ -367,7 +399,11 @@ mod tests {
         assert_eq!(result.solution.centers.len(), 4);
         assert!(result.solution.radius.is_finite());
         // Comparable to the GON-based run (both within constant factors).
-        let gon_based = MrgConfig::new(4).with_machines(8).with_capacity(60).run(&space).unwrap();
+        let gon_based = MrgConfig::new(4)
+            .with_machines(8)
+            .with_capacity(60)
+            .run(&space)
+            .unwrap();
         assert!(result.solution.radius <= 4.0 * gon_based.solution.radius + 1e-9);
     }
 
@@ -376,7 +412,10 @@ mod tests {
         let config = MrgConfig::new(100);
         // max(ceil(n/m), k*m) with m = 50: ceil(1M/50) = 20,000 > 100*50.
         assert_eq!(config.effective_capacity(1_000_000), 20_000);
-        assert_eq!(MrgConfig::new(2).with_capacity(7).effective_capacity(1_000), 7);
+        assert_eq!(
+            MrgConfig::new(2).with_capacity(7).effective_capacity(1_000),
+            7
+        );
     }
 
     #[test]

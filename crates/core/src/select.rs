@@ -26,7 +26,10 @@ pub const PHI_ORIGINAL: f64 = 8.0;
 /// closest candidate is returned (the deepest cut available), mirroring the
 /// clamping any implementation must perform on small candidate sets.
 pub fn select_pivot(candidates: &[(PointId, f64)], phi: f64, n: usize) -> Option<(PointId, f64)> {
-    assert!(phi > 0.0 && phi.is_finite(), "phi must be positive and finite");
+    assert!(
+        phi > 0.0 && phi.is_finite(),
+        "phi must be positive and finite"
+    );
     if candidates.is_empty() {
         return None;
     }

@@ -26,8 +26,14 @@ impl KCenterSolution {
     /// Panics if more than `k` centers are supplied, if the radius is
     /// negative or not finite, or if the same center appears twice.
     pub fn new(k: usize, centers: Vec<PointId>, radius: f64) -> Self {
-        assert!(centers.len() <= k, "a k-center solution may contain at most k centers");
-        assert!(radius.is_finite() && radius >= 0.0, "covering radius must be finite and non-negative");
+        assert!(
+            centers.len() <= k,
+            "a k-center solution may contain at most k centers"
+        );
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "covering radius must be finite and non-negative"
+        );
         let mut sorted = centers.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -73,7 +73,11 @@ mod tests {
         for solver in [SequentialSolver::Gonzalez, SequentialSolver::HochbaumShmoys] {
             let centers = solver.select_centers(&space, &subset, 2, FirstCenter::default());
             assert_eq!(centers.len(), 2, "{}", solver.name());
-            assert!(centers.iter().all(|c| subset.contains(c)), "{}", solver.name());
+            assert!(
+                centers.iter().all(|c| subset.contains(c)),
+                "{}",
+                solver.name()
+            );
         }
     }
 }

@@ -21,11 +21,12 @@
 
 use crate::brute_force::optimal_radius;
 use crate::error::KCenterError;
+use crate::evaluate::covered_within;
 use crate::gonzalez::FirstCenter;
 use crate::mrg::MrgConfig;
 use kcenter_metric::{Point, VecSpace};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -50,7 +51,13 @@ impl TightnessProbe {
     /// cluster (3 machines, capacity forcing at least one reduction round
     /// for any instance larger than the capacity).
     pub fn new(k: usize, trials: usize) -> Self {
-        Self { k, machines: 3, capacity: 8, trials, seed: 0 }
+        Self {
+            k,
+            machines: 3,
+            capacity: 8,
+            trials,
+            seed: 0,
+        }
     }
 
     /// Sets the cluster geometry.
@@ -121,6 +128,19 @@ impl TightnessProbe {
                 .with_unchecked_capacity()
                 .with_first_center(FirstCenter::Seeded(trial_seed))
                 .run(&space)?;
+
+            // Guard the measurement itself: the reported radius must cover
+            // every point.  The early-exit scan makes this check cheap (each
+            // point stops at the first center within the radius).  The
+            // margin is relative: the check squares the radius internally,
+            // so an absolute epsilon would vanish against the sqrt/square
+            // round-trip error on large-coordinate instances.
+            let margin = result.solution.radius * (1.0 + 1e-9) + 1e-9;
+            assert!(
+                covered_within(&space, &result.solution.centers, margin),
+                "trial {trial}: covering radius {} does not cover the instance",
+                result.solution.radius
+            );
 
             let ratio = if opt_lower_bound > 0.0 {
                 result.solution.radius / opt_lower_bound
@@ -209,11 +229,21 @@ mod tests {
 
     #[test]
     fn probe_never_observes_a_bound_violation() {
-        let report = TightnessProbe::new(3, 60).with_seed(1).run(&instance()).unwrap();
+        let report = TightnessProbe::new(3, 60)
+            .with_seed(1)
+            .run(&instance())
+            .unwrap();
         assert_eq!(report.trials, 60);
-        assert!(report.worst_ratio >= 1.0 - 1e-9, "no algorithm can beat OPT");
-        assert!(!report.bound_violated(), "worst ratio {} exceeded the proven factor {}",
-            report.worst_ratio, report.proven_factor);
+        assert!(
+            report.worst_ratio >= 1.0 - 1e-9,
+            "no algorithm can beat OPT"
+        );
+        assert!(
+            !report.bound_violated(),
+            "worst ratio {} exceeded the proven factor {}",
+            report.worst_ratio,
+            report.proven_factor
+        );
         assert!(report.best_ratio <= report.mean_ratio && report.mean_ratio <= report.worst_ratio);
     }
 
@@ -222,7 +252,10 @@ mod tests {
         // The empirical answer to the paper's future-work question: across
         // many random assignments and seedings the observed ratio on a
         // benign instance stays far below 4.
-        let report = TightnessProbe::new(4, 80).with_seed(2).run(&instance()).unwrap();
+        let report = TightnessProbe::new(4, 80)
+            .with_seed(2)
+            .run(&instance())
+            .unwrap();
         assert!(report.proven_factor >= 4.0);
         assert!(
             report.mean_ratio < 0.75 * report.proven_factor,
@@ -236,17 +269,31 @@ mod tests {
     fn randomisation_actually_changes_outcomes() {
         // Different trials must explore different partitions/seedings; on
         // this instance that shows up as best != worst.
-        let report = TightnessProbe::new(2, 40).with_seed(3).run(&instance()).unwrap();
-        assert!(report.worst_ratio > report.best_ratio + 1e-9,
-            "all trials produced the same ratio; the probe is not randomising");
+        let report = TightnessProbe::new(2, 40)
+            .with_seed(3)
+            .run(&instance())
+            .unwrap();
+        assert!(
+            report.worst_ratio > report.best_ratio + 1e-9,
+            "all trials produced the same ratio; the probe is not randomising"
+        );
     }
 
     #[test]
     fn probe_is_deterministic_given_its_seed() {
-        let a = TightnessProbe::new(3, 25).with_seed(7).run(&instance()).unwrap();
-        let b = TightnessProbe::new(3, 25).with_seed(7).run(&instance()).unwrap();
+        let a = TightnessProbe::new(3, 25)
+            .with_seed(7)
+            .run(&instance())
+            .unwrap();
+        let b = TightnessProbe::new(3, 25)
+            .with_seed(7)
+            .run(&instance())
+            .unwrap();
         assert_eq!(a, b);
-        let c = TightnessProbe::new(3, 25).with_seed(8).run(&instance()).unwrap();
+        let c = TightnessProbe::new(3, 25)
+            .with_seed(8)
+            .run(&instance())
+            .unwrap();
         assert!(a != c || a.worst_seed != c.worst_seed);
     }
 
@@ -274,15 +321,27 @@ mod tests {
     fn invalid_configurations_are_rejected() {
         assert_eq!(
             TightnessProbe::new(2, 0).run(&instance()).unwrap_err(),
-            KCenterError::InvalidParameter { name: "trials", message: "at least one trial is required".into() }
+            KCenterError::InvalidParameter {
+                name: "trials",
+                message: "at least one trial is required".into()
+            }
         );
-        assert_eq!(TightnessProbe::new(0, 5).run(&instance()).unwrap_err(), KCenterError::ZeroK);
-        assert_eq!(TightnessProbe::new(2, 5).run(&[]).unwrap_err(), KCenterError::EmptyInput);
+        assert_eq!(
+            TightnessProbe::new(0, 5).run(&instance()).unwrap_err(),
+            KCenterError::ZeroK
+        );
+        assert_eq!(
+            TightnessProbe::new(2, 5).run(&[]).unwrap_err(),
+            KCenterError::EmptyInput
+        );
         assert!(matches!(
             TightnessProbe::new(2, 5)
                 .run_with_lower_bound(&instance(), f64::NAN)
                 .unwrap_err(),
-            KCenterError::InvalidParameter { name: "opt_lower_bound", .. }
+            KCenterError::InvalidParameter {
+                name: "opt_lower_bound",
+                ..
+            }
         ));
     }
 }

@@ -68,10 +68,21 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
-            CsvError::Parse { line, column, field } => {
-                write!(f, "line {line}, column {column}: cannot parse {field:?} as a finite number")
+            CsvError::Parse {
+                line,
+                column,
+                field,
+            } => {
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {field:?} as a finite number"
+                )
             }
-            CsvError::InconsistentDimension { line, found, expected } => {
+            CsvError::InconsistentDimension {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "line {line}: found {found} columns, expected {expected}")
             }
             CsvError::Empty => write!(f, "no data rows found"),
@@ -173,7 +184,10 @@ mod tests {
     #[test]
     fn parse_skips_header_and_blank_lines() {
         let data = "x,y\n\n1,2\n\n3,4\n";
-        let opts = CsvOptions { skip_header_lines: 1, ..Default::default() };
+        let opts = CsvOptions {
+            skip_header_lines: 1,
+            ..Default::default()
+        };
         let pts = parse_points(data.as_bytes(), &opts).unwrap();
         assert_eq!(pts.len(), 2);
     }
@@ -181,7 +195,10 @@ mod tests {
     #[test]
     fn parse_skips_trailing_label_column() {
         let data = "1,2,normal\n3,4,attack\n";
-        let opts = CsvOptions { skip_trailing_columns: 1, ..Default::default() };
+        let opts = CsvOptions {
+            skip_trailing_columns: 1,
+            ..Default::default()
+        };
         let pts = parse_points(data.as_bytes(), &opts).unwrap();
         assert_eq!(pts, vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0)]);
     }
@@ -189,7 +206,10 @@ mod tests {
     #[test]
     fn parse_can_drop_non_numeric_columns() {
         let data = "tcp,1,2\nudp,3,4\n";
-        let opts = CsvOptions { drop_non_numeric_columns: true, ..Default::default() };
+        let opts = CsvOptions {
+            drop_non_numeric_columns: true,
+            ..Default::default()
+        };
         let pts = parse_points(data.as_bytes(), &opts).unwrap();
         assert_eq!(pts, vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0)]);
     }
@@ -197,14 +217,28 @@ mod tests {
     #[test]
     fn parse_reports_bad_field() {
         let err = parse_points("1,abc\n".as_bytes(), &CsvOptions::default()).unwrap_err();
-        assert!(matches!(err, CsvError::Parse { line: 1, column: 1, .. }));
+        assert!(matches!(
+            err,
+            CsvError::Parse {
+                line: 1,
+                column: 1,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("abc"));
     }
 
     #[test]
     fn parse_reports_inconsistent_dimension() {
         let err = parse_points("1,2\n1,2,3\n".as_bytes(), &CsvOptions::default()).unwrap_err();
-        assert!(matches!(err, CsvError::InconsistentDimension { line: 2, found: 3, expected: 2 }));
+        assert!(matches!(
+            err,
+            CsvError::InconsistentDimension {
+                line: 2,
+                found: 3,
+                expected: 2
+            }
+        ));
     }
 
     #[test]
@@ -215,7 +249,10 @@ mod tests {
 
     #[test]
     fn parse_supports_alternative_delimiters() {
-        let opts = CsvOptions { delimiter: ';', ..Default::default() };
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..Default::default()
+        };
         let pts = parse_points("1;2\n3;4\n".as_bytes(), &opts).unwrap();
         assert_eq!(pts.len(), 2);
     }
@@ -243,8 +280,11 @@ mod tests {
 
     #[test]
     fn load_reports_missing_file() {
-        let err = load_points("/nonexistent/definitely/missing.csv", &CsvOptions::default())
-            .unwrap_err();
+        let err = load_points(
+            "/nonexistent/definitely/missing.csv",
+            &CsvOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CsvError::Io(_)));
     }
 }

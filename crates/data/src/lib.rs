@@ -31,15 +31,26 @@ pub use real::{KddCupSim, PokerHandSim};
 pub use spec::{DatasetSpec, GeneratedDataset};
 pub use synthetic::{GauGenerator, UnbGenerator, UnifGenerator};
 
-use kcenter_metric::Point;
+use kcenter_metric::{FlatPoints, Point};
 
 /// A generator that produces a deterministic point cloud from a seed.
 ///
 /// All paper workloads implement this trait so the experiment harness can be
 /// written once and parameterised by a [`DatasetSpec`].
+///
+/// Generators emit the contiguous [`FlatPoints`] store directly — the
+/// representation every hot scan runs against — so a million-point workload
+/// is one buffer, not a million small allocations.  [`PointGenerator::generate`]
+/// materialises owned [`Point`]s from it for callers that want the view
+/// type.
 pub trait PointGenerator {
-    /// Generates the full point cloud for the given seed.
-    fn generate(&self, seed: u64) -> Vec<Point>;
+    /// Generates the full point cloud for the given seed as a flat store.
+    fn generate_flat(&self, seed: u64) -> FlatPoints;
+
+    /// Generates the full point cloud for the given seed as owned points.
+    fn generate(&self, seed: u64) -> Vec<Point> {
+        self.generate_flat(seed).to_points()
+    }
 
     /// Number of points the generator will produce.
     fn len(&self) -> usize;

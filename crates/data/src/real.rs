@@ -18,7 +18,7 @@
 
 use crate::rng::{derive_seed, normal, power_law, seeded, weighted_choice};
 use crate::PointGenerator;
-use kcenter_metric::Point;
+use kcenter_metric::FlatPoints;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -44,7 +44,9 @@ pub struct PokerHandSim {
 impl PokerHandSim {
     /// Surrogate with the UCI training-set row count (25,010).
     pub fn new() -> Self {
-        Self { n: POKER_HAND_TRAINING_ROWS }
+        Self {
+            n: POKER_HAND_TRAINING_ROWS,
+        }
     }
 
     /// Surrogate with a custom number of rows (useful for fast tests).
@@ -60,34 +62,34 @@ impl Default for PokerHandSim {
 }
 
 impl PointGenerator for PokerHandSim {
-    fn generate(&self, seed: u64) -> Vec<Point> {
+    fn generate_flat(&self, seed: u64) -> FlatPoints {
         const CHUNK: usize = 8_192;
         let chunks = self.n.div_ceil(CHUNK.max(1));
-        (0..chunks)
+        let coords: Vec<f64> = (0..chunks)
             .into_par_iter()
             .flat_map_iter(|chunk| {
                 let start = chunk * CHUNK;
                 let len = CHUNK.min(self.n - start);
                 let mut rng = seeded(derive_seed(seed, chunk as u64));
-                (0..len)
-                    .map(move |_| {
-                        // Five cards drawn without replacement from a 52-card
-                        // deck, encoded as (suit, rank) pairs like the UCI file.
-                        let mut deck: Vec<u8> = (0..52).collect();
-                        let mut coords = Vec::with_capacity(10);
-                        for _ in 0..5 {
-                            let idx = rng.gen_range(0..deck.len());
-                            let card = deck.swap_remove(idx);
-                            let suit = (card / 13) + 1; // 1..=4
-                            let rank = (card % 13) + 1; // 1..=13
-                            coords.push(suit as f64);
-                            coords.push(rank as f64);
-                        }
-                        Point::new(coords)
-                    })
-                    .collect::<Vec<_>>()
+                let mut block = Vec::with_capacity(len * 10);
+                for _ in 0..len {
+                    // Five cards drawn without replacement from a 52-card
+                    // deck, encoded as (suit, rank) pairs like the UCI file.
+                    let mut deck: Vec<u8> = (0..52).collect();
+                    for _ in 0..5 {
+                        let idx = rng.gen_range(0..deck.len());
+                        let card = deck.swap_remove(idx);
+                        let suit = (card / 13) + 1; // 1..=4
+                        let rank = (card % 13) + 1; // 1..=13
+                        block.push(suit as f64);
+                        block.push(rank as f64);
+                    }
+                }
+                block
             })
-            .collect()
+            .collect();
+        FlatPoints::from_coords(coords, if self.n == 0 { 0 } else { 10 })
+            .expect("poker surrogate emits finite coordinates")
     }
 
     fn len(&self) -> usize {
@@ -142,15 +144,47 @@ impl KddCupSim {
     pub fn with_rows(n: usize) -> Self {
         // Class shares modelled on the published composition of the 10 % sample.
         let classes = vec![
-            TrafficClass { weight: 0.57, scale: 500.0, spread: 0.02 },  // smurf-like
-            TrafficClass { weight: 0.22, scale: 2_000.0, spread: 0.02 }, // neptune-like
-            TrafficClass { weight: 0.19, scale: 8_000.0, spread: 0.10 }, // normal-like
-            TrafficClass { weight: 0.01, scale: 30_000.0, spread: 0.20 }, // satan/ipsweep-like
-            TrafficClass { weight: 0.005, scale: 80_000.0, spread: 0.25 }, // portsweep-like
-            TrafficClass { weight: 0.003, scale: 200_000.0, spread: 0.30 }, // rare attacks
-            TrafficClass { weight: 0.002, scale: 600_000.0, spread: 0.40 }, // rarest / outliers
+            TrafficClass {
+                weight: 0.57,
+                scale: 500.0,
+                spread: 0.02,
+            }, // smurf-like
+            TrafficClass {
+                weight: 0.22,
+                scale: 2_000.0,
+                spread: 0.02,
+            }, // neptune-like
+            TrafficClass {
+                weight: 0.19,
+                scale: 8_000.0,
+                spread: 0.10,
+            }, // normal-like
+            TrafficClass {
+                weight: 0.01,
+                scale: 30_000.0,
+                spread: 0.20,
+            }, // satan/ipsweep-like
+            TrafficClass {
+                weight: 0.005,
+                scale: 80_000.0,
+                spread: 0.25,
+            }, // portsweep-like
+            TrafficClass {
+                weight: 0.003,
+                scale: 200_000.0,
+                spread: 0.30,
+            }, // rare attacks
+            TrafficClass {
+                weight: 0.002,
+                scale: 600_000.0,
+                spread: 0.40,
+            }, // rarest / outliers
         ];
-        Self { n, dim: 38, classes }
+        Self {
+            n,
+            dim: 38,
+            classes,
+        }
     }
 
     /// Number of distinct traffic classes in the surrogate mixture.
@@ -166,7 +200,7 @@ impl Default for KddCupSim {
 }
 
 impl PointGenerator for KddCupSim {
-    fn generate(&self, seed: u64) -> Vec<Point> {
+    fn generate_flat(&self, seed: u64) -> FlatPoints {
         // Per-class per-dimension means are drawn once so every class forms a
         // dense cluster; the heavy-tailed magnitudes come from the power-law
         // scale of the rare classes.
@@ -184,30 +218,27 @@ impl PointGenerator for KddCupSim {
 
         const CHUNK: usize = 16_384;
         let chunks = self.n.div_ceil(CHUNK.max(1));
-        (0..chunks)
+        let dim = self.dim;
+        let coords: Vec<f64> = (0..chunks)
             .into_par_iter()
             .flat_map_iter(|chunk| {
                 let start = chunk * CHUNK;
                 let len = CHUNK.min(self.n - start);
                 let mut rng = seeded(derive_seed(seed, chunk as u64));
-                let class_means = class_means.clone();
-                let weights = weights.clone();
-                let classes = self.classes.clone();
-                let dim = self.dim;
-                (0..len)
-                    .map(move |_| {
-                        let c = weighted_choice(&mut rng, &weights);
-                        let means = &class_means[c];
-                        let sigma = classes[c].spread * classes[c].scale;
-                        Point::new(
-                            (0..dim)
-                                .map(|d| normal(&mut rng, means[d], sigma).max(0.0))
-                                .collect(),
-                        )
-                    })
-                    .collect::<Vec<_>>()
+                let mut block = Vec::with_capacity(len * dim);
+                for _ in 0..len {
+                    let c = weighted_choice(&mut rng, &weights);
+                    let means = &class_means[c];
+                    let sigma = self.classes[c].spread * self.classes[c].scale;
+                    for &mean in means.iter().take(dim) {
+                        block.push(normal(&mut rng, mean, sigma).max(0.0));
+                    }
+                }
+                block
             })
-            .collect()
+            .collect();
+        FlatPoints::from_coords(coords, if self.n == 0 { 0 } else { dim })
+            .expect("kdd surrogate emits finite coordinates")
     }
 
     fn len(&self) -> usize {
@@ -238,8 +269,14 @@ mod tests {
             for card in 0..5 {
                 let suit = p[2 * card];
                 let rank = p[2 * card + 1];
-                assert!((1.0..=4.0).contains(&suit) && suit.fract() == 0.0, "bad suit {suit}");
-                assert!((1.0..=13.0).contains(&rank) && rank.fract() == 0.0, "bad rank {rank}");
+                assert!(
+                    (1.0..=4.0).contains(&suit) && suit.fract() == 0.0,
+                    "bad suit {suit}"
+                );
+                assert!(
+                    (1.0..=13.0).contains(&rank) && rank.fract() == 0.0,
+                    "bad rank {rank}"
+                );
             }
         }
     }
@@ -290,11 +327,17 @@ mod tests {
         // Estimate: pick the first point, most points should be either very
         // close (same dominant class) or very far (other class) — i.e. the
         // distance distribution is strongly bimodal, unlike uniform data.
-        let d0: Vec<f64> = pts[1..].iter().map(|p| Euclidean.distance(&pts[0], p)).collect();
+        let d0: Vec<f64> = pts[1..]
+            .iter()
+            .map(|p| Euclidean.distance(&pts[0], p))
+            .collect();
         let max = d0.iter().copied().fold(0.0, f64::max);
         let near = d0.iter().filter(|&&d| d < 0.05 * max).count();
         let far = d0.iter().filter(|&&d| d > 0.5 * max).count();
-        assert!(near + far > d0.len() / 2, "distance distribution not strongly clustered");
+        assert!(
+            near + far > d0.len() / 2,
+            "distance distribution not strongly clustered"
+        );
     }
 
     #[test]

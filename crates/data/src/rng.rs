@@ -21,8 +21,7 @@ pub fn seeded(seed: u64) -> StdRng {
 /// independent stream while staying reproducible.  The mixing is a
 /// SplitMix64 step, which is enough to decorrelate consecutive indices.
 pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -46,7 +45,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
 /// `alpha > 1`, used by the KDD Cup surrogate to mimic heavy-tailed traffic
 /// feature values.
 pub fn power_law<R: Rng + ?Sized>(rng: &mut R, min: f64, max: f64, alpha: f64) -> f64 {
-    assert!(min > 0.0 && max > min, "power-law support must satisfy 0 < min < max");
+    assert!(
+        min > 0.0 && max > min,
+        "power-law support must satisfy 0 < min < max"
+    );
     assert!(alpha > 1.0, "power-law exponent must exceed 1");
     let u: f64 = rng.gen();
     let one_minus = 1.0 - alpha;
@@ -58,7 +60,10 @@ pub fn power_law<R: Rng + ?Sized>(rng: &mut R, min: f64, max: f64, alpha: f64) -
 /// Chooses an index in `0..weights.len()` with probability proportional to
 /// the weights.  Used by the UNB generator's biased cluster assignment.
 pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
-    assert!(!weights.is_empty(), "weighted_choice needs at least one weight");
+    assert!(
+        !weights.is_empty(),
+        "weighted_choice needs at least one weight"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "weights must sum to a positive value");
     let mut target = rng.gen::<f64>() * total;

@@ -9,7 +9,7 @@
 use crate::real::{KddCupSim, PokerHandSim};
 use crate::synthetic::{GauGenerator, UnbGenerator, UnifGenerator};
 use crate::PointGenerator;
-use kcenter_metric::{Point, VecSpace};
+use kcenter_metric::{FlatPoints, Point, VecSpace};
 use serde::{Deserialize, Serialize};
 
 /// A declarative description of one of the paper's workloads.
@@ -73,36 +73,52 @@ impl DatasetSpec {
     /// preserving every other parameter.  Used to run the paper's
     /// experiments at reduced scale in CI while keeping the same shape.
     pub fn scaled(&self, factor: f64) -> DatasetSpec {
-        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive"
+        );
         let scale = |n: usize| ((n as f64 * factor).round() as usize).max(1);
         match *self {
             DatasetSpec::Unif { n } => DatasetSpec::Unif { n: scale(n) },
-            DatasetSpec::Gau { n, k_prime } => DatasetSpec::Gau { n: scale(n), k_prime },
-            DatasetSpec::Unb { n, k_prime } => DatasetSpec::Unb { n: scale(n), k_prime },
+            DatasetSpec::Gau { n, k_prime } => DatasetSpec::Gau {
+                n: scale(n),
+                k_prime,
+            },
+            DatasetSpec::Unb { n, k_prime } => DatasetSpec::Unb {
+                n: scale(n),
+                k_prime,
+            },
             DatasetSpec::PokerHand { n } => DatasetSpec::PokerHand { n: scale(n) },
             DatasetSpec::KddCup { n } => DatasetSpec::KddCup { n: scale(n) },
         }
     }
 
-    /// Generates the point cloud for this spec and seed.
-    pub fn generate(&self, seed: u64) -> Vec<Point> {
+    /// Generates the point cloud for this spec and seed as a flat store —
+    /// the zero-copy path the experiment harness uses.
+    pub fn generate_flat(&self, seed: u64) -> FlatPoints {
         match *self {
-            DatasetSpec::Unif { n } => UnifGenerator::new(n).generate(seed),
-            DatasetSpec::Gau { n, k_prime } => GauGenerator::new(n, k_prime).generate(seed),
-            DatasetSpec::Unb { n, k_prime } => UnbGenerator::new(n, k_prime).generate(seed),
-            DatasetSpec::PokerHand { n } => PokerHandSim::with_rows(n).generate(seed),
-            DatasetSpec::KddCup { n } => KddCupSim::with_rows(n).generate(seed),
+            DatasetSpec::Unif { n } => UnifGenerator::new(n).generate_flat(seed),
+            DatasetSpec::Gau { n, k_prime } => GauGenerator::new(n, k_prime).generate_flat(seed),
+            DatasetSpec::Unb { n, k_prime } => UnbGenerator::new(n, k_prime).generate_flat(seed),
+            DatasetSpec::PokerHand { n } => PokerHandSim::with_rows(n).generate_flat(seed),
+            DatasetSpec::KddCup { n } => KddCupSim::with_rows(n).generate_flat(seed),
         }
     }
 
+    /// Generates the point cloud for this spec and seed as owned points.
+    pub fn generate(&self, seed: u64) -> Vec<Point> {
+        self.generate_flat(seed).to_points()
+    }
+
     /// Generates the point cloud and wraps it in a Euclidean [`VecSpace`],
-    /// together with the metadata the experiment harness records.
+    /// together with the metadata the experiment harness records.  The flat
+    /// buffer moves straight into the space without per-point allocations.
     pub fn build(&self, seed: u64) -> GeneratedDataset {
-        let points = self.generate(seed);
+        let flat = self.generate_flat(seed);
         GeneratedDataset {
             spec: self.clone(),
             seed,
-            space: VecSpace::new(points),
+            space: VecSpace::from_flat(flat),
         }
     }
 
@@ -179,8 +195,17 @@ mod tests {
 
     #[test]
     fn scaled_changes_only_n() {
-        let spec = DatasetSpec::Gau { n: 1_000_000, k_prime: 25 };
-        assert_eq!(spec.scaled(0.01), DatasetSpec::Gau { n: 10_000, k_prime: 25 });
+        let spec = DatasetSpec::Gau {
+            n: 1_000_000,
+            k_prime: 25,
+        };
+        assert_eq!(
+            spec.scaled(0.01),
+            DatasetSpec::Gau {
+                n: 10_000,
+                k_prime: 25
+            }
+        );
         assert_eq!(spec.scaled(1.0), spec);
         // Scaling never drops to zero points.
         assert_eq!(DatasetSpec::Unif { n: 10 }.scaled(0.001).n(), 1);
@@ -194,7 +219,11 @@ mod tests {
 
     #[test]
     fn describe_mentions_parameters() {
-        let s = DatasetSpec::Gau { n: 200_000, k_prime: 25 }.describe();
+        let s = DatasetSpec::Gau {
+            n: 200_000,
+            k_prime: 25,
+        }
+        .describe();
         assert!(s.contains("200000") && s.contains("25"));
     }
 

@@ -19,10 +19,39 @@
 
 use crate::rng::{derive_seed, normal, seeded, weighted_choice};
 use crate::PointGenerator;
-use kcenter_metric::Point;
+use kcenter_metric::{FlatPoints, Point};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Points generated per parallel chunk; each chunk owns a derived RNG
+/// stream, so results are independent of the rayon split while remaining
+/// deterministic for a given seed.
+const GEN_CHUNK: usize = 16_384;
+
+/// Runs `fill(chunk_index, rng, coords)` for every chunk in parallel and
+/// concatenates the per-chunk coordinate blocks into one flat store.
+fn generate_chunked<F>(n: usize, dim: usize, seed: u64, fill: F) -> FlatPoints
+where
+    F: Fn(usize, &mut rand::rngs::StdRng, &mut Vec<f64>) + Sync,
+{
+    let chunks = n.div_ceil(GEN_CHUNK);
+    let coords: Vec<f64> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|chunk| {
+            let start = chunk * GEN_CHUNK;
+            let len = GEN_CHUNK.min(n - start);
+            let mut rng = seeded(derive_seed(seed, chunk as u64));
+            let mut block = Vec::with_capacity(len * dim);
+            for _ in 0..len {
+                fill(chunk, &mut rng, &mut block);
+            }
+            block
+        })
+        .collect();
+    FlatPoints::from_coords(coords, if n == 0 { 0 } else { dim })
+        .expect("generators emit finite coordinates")
+}
 
 /// Uniform points in a `dim`-dimensional axis-aligned cube.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,7 +76,10 @@ impl UnifGenerator {
     /// Panics if `dim == 0` or `side <= 0`.
     pub fn with_dim_and_side(n: usize, dim: usize, side: f64) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert!(side > 0.0 && side.is_finite(), "side must be positive and finite");
+        assert!(
+            side > 0.0 && side.is_finite(),
+            "side must be positive and finite"
+        );
         Self { n, dim, side }
     }
 
@@ -58,27 +90,13 @@ impl UnifGenerator {
 }
 
 impl PointGenerator for UnifGenerator {
-    fn generate(&self, seed: u64) -> Vec<Point> {
-        // Generate in parallel chunks, each with its own derived stream, so
-        // results are independent of the rayon split while remaining
-        // deterministic for a given seed.
-        const CHUNK: usize = 16_384;
-        let chunks = self.n.div_ceil(CHUNK.max(1));
-        (0..chunks)
-            .into_par_iter()
-            .flat_map_iter(|chunk| {
-                let start = chunk * CHUNK;
-                let len = CHUNK.min(self.n - start);
-                let mut rng = seeded(derive_seed(seed, chunk as u64));
-                let dim = self.dim;
-                let side = self.side;
-                (0..len)
-                    .map(move |_| {
-                        Point::new((0..dim).map(|_| rng.gen::<f64>() * side).collect())
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect()
+    fn generate_flat(&self, seed: u64) -> FlatPoints {
+        let (dim, side) = (self.dim, self.side);
+        generate_chunked(self.n, dim, seed, |_, rng, block| {
+            for _ in 0..dim {
+                block.push(rng.gen::<f64>() * side);
+            }
+        })
     }
 
     fn len(&self) -> usize {
@@ -108,9 +126,18 @@ impl ClusteredConfig {
     fn new(n: usize, k_prime: usize, dim: usize, cube_side: f64, sigma_fraction: f64) -> Self {
         assert!(k_prime > 0, "number of inherent clusters must be positive");
         assert!(dim > 0, "dimension must be positive");
-        assert!(cube_side > 0.0 && cube_side.is_finite(), "cube side must be positive");
+        assert!(
+            cube_side > 0.0 && cube_side.is_finite(),
+            "cube side must be positive"
+        );
         assert!(sigma_fraction >= 0.0, "sigma must be non-negative");
-        Self { n, k_prime, dim, cube_side, sigma_fraction }
+        Self {
+            n,
+            k_prime,
+            dim,
+            cube_side,
+            sigma_fraction,
+        }
     }
 
     /// Cluster centers uniform in the cube.
@@ -128,34 +155,18 @@ impl ClusteredConfig {
     }
 
     /// Generates points given per-cluster assignment weights.
-    fn generate_with_weights(&self, seed: u64, weights: &[f64]) -> Vec<Point> {
+    fn generate_with_weights(&self, seed: u64, weights: &[f64]) -> FlatPoints {
         assert_eq!(weights.len(), self.k_prime);
         let centers = self.centers(seed);
         let sigma = self.sigma_fraction * self.cube_side;
-        const CHUNK: usize = 16_384;
-        let chunks = self.n.div_ceil(CHUNK.max(1));
-        (0..chunks)
-            .into_par_iter()
-            .flat_map_iter(|chunk| {
-                let start = chunk * CHUNK;
-                let len = CHUNK.min(self.n - start);
-                let mut rng = seeded(derive_seed(seed, chunk as u64));
-                let centers = centers.clone();
-                let weights = weights.to_vec();
-                let dim = self.dim;
-                (0..len)
-                    .map(move |_| {
-                        let c = weighted_choice(&mut rng, &weights);
-                        let center = &centers[c];
-                        Point::new(
-                            (0..dim)
-                                .map(|d| normal(&mut rng, center[d], sigma))
-                                .collect(),
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect()
+        let dim = self.dim;
+        generate_chunked(self.n, dim, seed, |_, rng, block| {
+            let c = weighted_choice(rng, weights);
+            let center = &centers[c];
+            for d in 0..dim {
+                block.push(normal(rng, center[d], sigma));
+            }
+        })
     }
 }
 
@@ -183,8 +194,16 @@ impl GauGenerator {
 
     /// Fully parameterised constructor (`sigma_fraction` is σ divided by the
     /// cube side; the paper fixes it to 1/10).
-    pub fn with_params(n: usize, k_prime: usize, dim: usize, cube_side: f64, sigma_fraction: f64) -> Self {
-        Self { config: ClusteredConfig::new(n, k_prime, dim, cube_side, sigma_fraction) }
+    pub fn with_params(
+        n: usize,
+        k_prime: usize,
+        dim: usize,
+        cube_side: f64,
+        sigma_fraction: f64,
+    ) -> Self {
+        Self {
+            config: ClusteredConfig::new(n, k_prime, dim, cube_side, sigma_fraction),
+        }
     }
 
     /// Number of inherent clusters `k'`.
@@ -200,7 +219,7 @@ impl GauGenerator {
 }
 
 impl PointGenerator for GauGenerator {
-    fn generate(&self, seed: u64) -> Vec<Point> {
+    fn generate_flat(&self, seed: u64) -> FlatPoints {
         let weights = vec![1.0; self.config.k_prime];
         self.config.generate_with_weights(seed, &weights)
     }
@@ -246,8 +265,10 @@ impl UnbGenerator {
         sigma_fraction: f64,
         heavy_fraction: f64,
     ) -> Self {
-        assert!((0.0..1.0).contains(&heavy_fraction) || heavy_fraction == 1.0,
-            "heavy fraction must lie in (0, 1]");
+        assert!(
+            (0.0..1.0).contains(&heavy_fraction) || heavy_fraction == 1.0,
+            "heavy fraction must lie in (0, 1]"
+        );
         Self {
             config: ClusteredConfig::new(n, k_prime, dim, cube_side, sigma_fraction),
             heavy_fraction,
@@ -266,7 +287,7 @@ impl UnbGenerator {
 }
 
 impl PointGenerator for UnbGenerator {
-    fn generate(&self, seed: u64) -> Vec<Point> {
+    fn generate_flat(&self, seed: u64) -> FlatPoints {
         let k = self.config.k_prime;
         let mut weights = vec![0.0; k];
         if k == 1 {
@@ -300,8 +321,8 @@ impl PointGenerator for UnbGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kcenter_metric::{BoundingBox, Euclidean};
     use kcenter_metric::Distance;
+    use kcenter_metric::{BoundingBox, Euclidean};
 
     #[test]
     fn unif_generates_requested_count_and_dim() {
@@ -380,7 +401,10 @@ mod tests {
         }
         for &c in &counts {
             let share = c as f64 / 10_000.0;
-            assert!((share - 0.25).abs() < 0.08, "unbalanced GAU cluster share {share}");
+            assert!(
+                (share - 0.25).abs() < 0.08,
+                "unbalanced GAU cluster share {share}"
+            );
         }
     }
 
@@ -400,7 +424,10 @@ mod tests {
             counts[best] += 1;
         }
         let max_share = *counts.iter().max().unwrap() as f64 / 10_000.0;
-        assert!(max_share > 0.4, "heavy cluster share too small: {max_share}");
+        assert!(
+            max_share > 0.4,
+            "heavy cluster share too small: {max_share}"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl SimulatedCluster {
     /// Creates a cluster with the given configuration; partition sizes are
     /// checked against the per-machine capacity on every round.
     pub fn new(config: ClusterConfig) -> Self {
-        Self { config, stats: JobStats::new(), enforce_capacity: true }
+        Self {
+            config,
+            stats: JobStats::new(),
+            enforce_capacity: true,
+        }
     }
 
     /// Creates a cluster that records statistics but does not enforce the
@@ -34,7 +38,11 @@ impl SimulatedCluster {
     /// (its single test machine has plenty of RAM); the strict mode is what
     /// the multi-round analysis needs.
     pub fn unchecked(config: ClusterConfig) -> Self {
-        Self { config, stats: JobStats::new(), enforce_capacity: false }
+        Self {
+            config,
+            stats: JobStats::new(),
+            enforce_capacity: false,
+        }
     }
 
     /// The cluster configuration.
@@ -158,7 +166,9 @@ impl SimulatedCluster {
     {
         let partitions = vec![items];
         let mut out = self.run_round(label, &partitions, |_, part| reduce(part), count_out)?;
-        Ok(out.pop().expect("single-reducer round returns exactly one output"))
+        Ok(out
+            .pop()
+            .expect("single-reducer round returns exactly one output"))
     }
 
     /// Checks that `n` items fit in the cluster at all.
@@ -216,7 +226,13 @@ mod tests {
         let err = cluster
             .run_round("x", &parts, |_, xs: &[i32]| xs.len(), |_| 0)
             .unwrap_err();
-        assert_eq!(err, MapReduceError::TooManyPartitions { partitions: 3, machines: 2 });
+        assert_eq!(
+            err,
+            MapReduceError::TooManyPartitions {
+                partitions: 3,
+                machines: 2
+            }
+        );
     }
 
     #[test]
@@ -226,7 +242,14 @@ mod tests {
         let err = cluster
             .run_round("x", &parts, |_, xs: &[i32]| xs.len(), |_| 0)
             .unwrap_err();
-        assert_eq!(err, MapReduceError::CapacityExceeded { machine: 0, items: 3, capacity: 2 });
+        assert_eq!(
+            err,
+            MapReduceError::CapacityExceeded {
+                machine: 0,
+                items: 3,
+                capacity: 2
+            }
+        );
     }
 
     #[test]
@@ -245,7 +268,12 @@ mod tests {
     fn run_single_funnels_everything_to_one_reducer() {
         let mut cluster = SimulatedCluster::new(config(8, 100));
         let total = cluster
-            .run_single("final", (1..=10u64).collect(), |xs| xs.iter().sum::<u64>(), |_| 1)
+            .run_single(
+                "final",
+                (1..=10u64).collect(),
+                |xs| xs.iter().sum::<u64>(),
+                |_| 1,
+            )
             .unwrap();
         assert_eq!(total, 55);
         assert_eq!(cluster.stats().rounds()[0].machines_used, 1);
@@ -257,7 +285,10 @@ mod tests {
         assert!(cluster.check_fits(6).is_ok());
         assert_eq!(
             cluster.check_fits(7).unwrap_err(),
-            MapReduceError::ClusterTooSmall { items: 7, total_capacity: 6 }
+            MapReduceError::ClusterTooSmall {
+                items: 7,
+                total_capacity: 6
+            }
         );
     }
 
@@ -301,9 +332,7 @@ mod tests {
     fn reducer_index_is_passed_through() {
         let mut cluster = SimulatedCluster::new(config(3, 10));
         let parts = vec![vec![0u8], vec![0u8], vec![0u8]];
-        let ids = cluster
-            .run_round("ids", &parts, |i, _| i, |_| 0)
-            .unwrap();
+        let ids = cluster.run_round("ids", &parts, |i, _| i, |_| 0).unwrap();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 }

@@ -35,19 +35,31 @@ pub enum MapReduceError {
 impl fmt::Display for MapReduceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MapReduceError::CapacityExceeded { machine, items, capacity } => write!(
+            MapReduceError::CapacityExceeded {
+                machine,
+                items,
+                capacity,
+            } => write!(
                 f,
                 "machine {machine} was assigned {items} items but has capacity {capacity}"
             ),
-            MapReduceError::TooManyPartitions { partitions, machines } => write!(
+            MapReduceError::TooManyPartitions {
+                partitions,
+                machines,
+            } => write!(
                 f,
                 "{partitions} partitions supplied but the cluster has only {machines} machines"
             ),
-            MapReduceError::ClusterTooSmall { items, total_capacity } => write!(
+            MapReduceError::ClusterTooSmall {
+                items,
+                total_capacity,
+            } => write!(
                 f,
                 "input of {items} items exceeds the total cluster capacity of {total_capacity}"
             ),
-            MapReduceError::EmptyRound => write!(f, "a MapReduce round needs at least one partition"),
+            MapReduceError::EmptyRound => {
+                write!(f, "a MapReduce round needs at least one partition")
+            }
         }
     }
 }
@@ -60,17 +72,29 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_numbers() {
-        let e = MapReduceError::CapacityExceeded { machine: 3, items: 100, capacity: 50 };
+        let e = MapReduceError::CapacityExceeded {
+            machine: 3,
+            items: 100,
+            capacity: 50,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains("100") && s.contains("50"));
 
-        let e = MapReduceError::TooManyPartitions { partitions: 10, machines: 5 };
+        let e = MapReduceError::TooManyPartitions {
+            partitions: 10,
+            machines: 5,
+        };
         assert!(e.to_string().contains("10") && e.to_string().contains('5'));
 
-        let e = MapReduceError::ClusterTooSmall { items: 7, total_capacity: 6 };
+        let e = MapReduceError::ClusterTooSmall {
+            items: 7,
+            total_capacity: 6,
+        };
         assert!(e.to_string().contains('7') && e.to_string().contains('6'));
 
-        assert!(MapReduceError::EmptyRound.to_string().contains("at least one"));
+        assert!(MapReduceError::EmptyRound
+            .to_string()
+            .contains("at least one"));
     }
 
     #[test]
@@ -78,7 +102,10 @@ mod tests {
         assert_eq!(MapReduceError::EmptyRound, MapReduceError::EmptyRound);
         assert_ne!(
             MapReduceError::EmptyRound,
-            MapReduceError::TooManyPartitions { partitions: 1, machines: 1 }
+            MapReduceError::TooManyPartitions {
+                partitions: 1,
+                machines: 1
+            }
         );
     }
 }

@@ -6,6 +6,7 @@
 //! normalise and sanity-check those scales (e.g. the covering radius can
 //! never exceed the box diagonal).
 
+use crate::flat::FlatPoints;
 use crate::point::Point;
 use rayon::prelude::*;
 
@@ -47,6 +48,48 @@ impl BoundingBox {
         points
             .par_chunks(4096)
             .filter_map(BoundingBox::of)
+            .reduce_with(|a, b| a.merged(&b))
+    }
+
+    /// Computes the bounding box of a flat point store in one contiguous
+    /// scan.  Returns `None` for an empty store.
+    pub fn of_flat(points: &FlatPoints) -> Option<Self> {
+        Self::of_rows(points.coords(), points.dim())
+    }
+
+    /// Bounding box of a raw row-major coordinate block (zero-copy core of
+    /// the flat variants).
+    fn of_rows(coords: &[f64], dim: usize) -> Option<Self> {
+        if coords.is_empty() || dim == 0 {
+            return None;
+        }
+        let mut min = coords[..dim].to_vec();
+        let mut max = min.clone();
+        for row in coords.chunks_exact(dim).skip(1) {
+            for i in 0..dim {
+                let c = row[i];
+                if c < min[i] {
+                    min[i] = c;
+                }
+                if c > max[i] {
+                    max[i] = c;
+                }
+            }
+        }
+        Some(Self { min, max })
+    }
+
+    /// Parallel variant of [`BoundingBox::of_flat`] for large stores; folds
+    /// min/max directly over coordinate blocks without copying them.
+    pub fn par_of_flat(points: &FlatPoints) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let dim = points.dim();
+        points
+            .coords()
+            .par_chunks(4096 * dim)
+            .filter_map(|block| BoundingBox::of_rows(block, dim))
             .reduce_with(|a, b| a.merged(&b))
     }
 

@@ -7,10 +7,16 @@
 //! overlap/Hamming distance is the natural choice) and to exercise the
 //! genericity of the core algorithms in tests.
 
+use crate::kernel::{self, dist2};
 use crate::point::Point;
 use serde::{Deserialize, Serialize};
 
-/// A distance function over [`Point`]s.
+/// A distance function over coordinate rows.
+///
+/// The required method works on raw `&[f64]` slices so implementations can
+/// be driven directly from the flat [`crate::FlatPoints`] store without
+/// materialising [`Point`]s; the `&Point` form is a thin convenience
+/// wrapper.
 ///
 /// Implementations used with the k-center approximation algorithms must be
 /// *metrics* (non-negative, zero iff equal up to representation, symmetric,
@@ -18,13 +24,103 @@ use serde::{Deserialize, Serialize};
 /// rely on the triangle inequality.  [`SquaredEuclidean`] is provided for
 /// nearest-neighbour style comparisons but is **not** a metric and is
 /// rejected by the algorithms unless explicitly allowed.
+///
+/// # Surrogate (comparison-space) distances
+///
+/// The hot scans never need actual distances — only their *order* (which
+/// center is nearest, which point is farthest).  [`Distance::surrogate`]
+/// returns a value that is order-equivalent to the distance but may be
+/// cheaper: squared Euclidean skips the `sqrt`, Minkowski skips the final
+/// `p`-th root.  [`Distance::surrogate_to_distance`] converts a surrogate
+/// value back (one `sqrt` per winner instead of one per pair), and
+/// [`Distance::distance_to_surrogate`] converts a distance threshold into
+/// surrogate space for early-exit scans.
 pub trait Distance: Send + Sync {
-    /// Computes the distance between two points.
+    /// Computes the distance between two coordinate rows.
     ///
     /// # Panics
     ///
-    /// Implementations may panic if the points have different dimensions.
-    fn distance(&self, a: &Point, b: &Point) -> f64;
+    /// Implementations may panic if the rows have different lengths.
+    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Computes the distance between two points.
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        self.distance_slices(a.coords(), b.coords())
+    }
+
+    /// An order-equivalent, possibly cheaper stand-in for the distance:
+    /// `surrogate(a, b) <= surrogate(c, d)` iff
+    /// `distance(a, b) <= distance(c, d)`.  Defaults to the distance itself.
+    #[inline]
+    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.distance_slices(a, b)
+    }
+
+    /// Maps a surrogate value back to the distance it stands for.
+    #[inline]
+    fn surrogate_to_distance(&self, s: f64) -> f64 {
+        s
+    }
+
+    /// Maps a distance into surrogate space (the inverse of
+    /// [`Distance::surrogate_to_distance`] on non-negative values).
+    #[inline]
+    fn distance_to_surrogate(&self, d: f64) -> f64 {
+        d
+    }
+
+    /// The fused Gonzalez step in surrogate space over contiguous rows
+    /// (`coords[i*dim..(i+1)*dim]` is row `i`): lowers `nearest[i]` to
+    /// `min(nearest[i], surrogate(row_i, center_row))` and returns the
+    /// position and value of the maximum updated entry (ties toward the
+    /// smaller index).
+    ///
+    /// Implementations with a cheap surrogate may provide a
+    /// dimension-specialised kernel ([`Euclidean`] does); the default is a
+    /// straightforward single pass.
+    fn relax_rows_max(
+        &self,
+        coords: &[f64],
+        dim: usize,
+        center_row: &[f64],
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, (row, slot)) in coords.chunks_exact(dim).zip(nearest.iter_mut()).enumerate() {
+            let d = self.surrogate(row, center_row);
+            if d < *slot {
+                *slot = d;
+            }
+            if *slot > best.1 {
+                best = (i, *slot);
+            }
+        }
+        best
+    }
+
+    /// [`Distance::relax_rows_max`] over an explicit id subset: row
+    /// `subset[i]` pairs with `nearest[i]`.
+    fn relax_ids_max(
+        &self,
+        coords: &[f64],
+        dim: usize,
+        subset: &[usize],
+        center_row: &[f64],
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, (&p, slot)) in subset.iter().zip(nearest.iter_mut()).enumerate() {
+            let d = self.surrogate(&coords[p * dim..p * dim + dim], center_row);
+            if d < *slot {
+                *slot = d;
+            }
+            if *slot > best.1 {
+                best = (i, *slot);
+            }
+        }
+        best
+    }
 
     /// Whether this distance satisfies the triangle inequality.
     ///
@@ -44,14 +140,45 @@ pub struct Euclidean;
 
 impl Distance for Euclidean {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
-        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
-        let mut sum = 0.0;
-        for (x, y) in a.coords().iter().zip(b.coords().iter()) {
-            let d = x - y;
-            sum += d * d;
-        }
-        sum.sqrt()
+    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+        dist2(a, b).sqrt()
+    }
+
+    /// Squared distance: order-equivalent and one `sqrt` cheaper per pair.
+    #[inline]
+    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+        dist2(a, b)
+    }
+
+    #[inline]
+    fn surrogate_to_distance(&self, s: f64) -> f64 {
+        s.sqrt()
+    }
+
+    #[inline]
+    fn distance_to_surrogate(&self, d: f64) -> f64 {
+        d * d
+    }
+
+    fn relax_rows_max(
+        &self,
+        coords: &[f64],
+        dim: usize,
+        center_row: &[f64],
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        kernel::relax_max_rows_coords(coords, dim, center_row, nearest)
+    }
+
+    fn relax_ids_max(
+        &self,
+        coords: &[f64],
+        dim: usize,
+        subset: &[usize],
+        center_row: &[f64],
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        kernel::relax_max_ids_coords(coords, dim, subset, center_row, nearest)
     }
 
     fn name(&self) -> &'static str {
@@ -67,14 +194,8 @@ pub struct SquaredEuclidean;
 
 impl Distance for SquaredEuclidean {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
-        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
-        let mut sum = 0.0;
-        for (x, y) in a.coords().iter().zip(b.coords().iter()) {
-            let d = x - y;
-            sum += d * d;
-        }
-        sum
+    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+        dist2(a, b)
     }
 
     fn is_metric(&self) -> bool {
@@ -92,13 +213,9 @@ pub struct Manhattan;
 
 impl Distance for Manhattan {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
-        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
-        a.coords()
-            .iter()
-            .zip(b.coords().iter())
-            .map(|(x, y)| (x - y).abs())
-            .sum()
+    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
     }
 
     fn name(&self) -> &'static str {
@@ -112,11 +229,10 @@ pub struct Chebyshev;
 
 impl Distance for Chebyshev {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
-        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
-        a.coords()
-            .iter()
-            .zip(b.coords().iter())
+    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b.iter())
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max)
     }
@@ -139,7 +255,10 @@ impl Minkowski {
     ///
     /// Panics if `p < 1` (the triangle inequality fails for `p < 1`).
     pub fn new(p: f64) -> Self {
-        assert!(p >= 1.0 && p.is_finite(), "Minkowski exponent must be finite and >= 1");
+        assert!(
+            p >= 1.0 && p.is_finite(),
+            "Minkowski exponent must be finite and >= 1"
+        );
         Self { p }
     }
 
@@ -151,15 +270,29 @@ impl Minkowski {
 
 impl Distance for Minkowski {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
-        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
-        let sum: f64 = a
-            .coords()
-            .iter()
-            .zip(b.coords().iter())
+    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.surrogate(a, b).powf(1.0 / self.p)
+    }
+
+    /// The `p`-th power of the distance: order-equivalent and one `powf`
+    /// cheaper per pair.
+    #[inline]
+    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b.iter())
             .map(|(x, y)| (x - y).abs().powf(self.p))
-            .sum();
-        sum.powf(1.0 / self.p)
+            .sum()
+    }
+
+    #[inline]
+    fn surrogate_to_distance(&self, s: f64) -> f64 {
+        s.powf(1.0 / self.p)
+    }
+
+    #[inline]
+    fn distance_to_surrogate(&self, d: f64) -> f64 {
+        d.powf(self.p)
     }
 
     fn name(&self) -> &'static str {
@@ -175,13 +308,9 @@ pub struct Hamming;
 
 impl Distance for Hamming {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
-        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
-        a.coords()
-            .iter()
-            .zip(b.coords().iter())
-            .filter(|(x, y)| x != y)
-            .count() as f64
+    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() as f64
     }
 
     fn name(&self) -> &'static str {

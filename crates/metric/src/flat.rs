@@ -1,0 +1,309 @@
+//! Contiguous structure-of-arrays point storage.
+//!
+//! The hot loops of every algorithm in this workspace — the farthest-point
+//! scans of GON, the per-reducer sub-procedures of MRG, and EIM's filter
+//! rounds — stream over "distance from point *i* to one center" for millions
+//! of *i*.  With one heap-allocated `Vec<f64>` per [`Point`] that scan pays a
+//! pointer chase and a potential cache miss per point; storing all
+//! coordinates in a single row-major buffer turns it into a linear walk that
+//! runs at memory bandwidth.
+//!
+//! [`FlatPoints`] is that buffer: `coords[i * dim .. (i + 1) * dim]` is the
+//! coordinate row of point `i`.  [`Point`] remains the owned, per-point view
+//! type used at API boundaries; conversions in both directions are provided.
+
+use crate::point::{Point, PointError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major point store: all coordinates in one contiguous buffer.
+///
+/// Invariants: `coords.len() == len * dim`, every coordinate is finite, and
+/// `dim > 0` whenever `len > 0` (an empty store may carry `dim == 0`, which
+/// means "dimension not yet known").
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatPoints {
+    coords: Vec<f64>,
+    dim: usize,
+    len: usize,
+}
+
+impl FlatPoints {
+    /// An empty store whose dimension is fixed by the first pushed row.
+    pub fn empty() -> Self {
+        Self {
+            coords: Vec::new(),
+            dim: 0,
+            len: 0,
+        }
+    }
+
+    /// An empty store of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            coords: Vec::new(),
+            dim,
+            len: 0,
+        }
+    }
+
+    /// An empty store of the given dimension with room for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            coords: Vec::with_capacity(dim * n),
+            dim,
+            len: 0,
+        }
+    }
+
+    /// Wraps a raw coordinate buffer holding `buffer.len() / dim` rows.
+    ///
+    /// This is the zero-copy entry point for generators that fill flat
+    /// buffers directly.
+    pub fn from_coords(coords: Vec<f64>, dim: usize) -> Result<Self, PointError> {
+        if dim == 0 {
+            if coords.is_empty() {
+                return Ok(Self::empty());
+            }
+            return Err(PointError::Empty);
+        }
+        assert!(
+            coords.len().is_multiple_of(dim),
+            "coordinate buffer length {} is not a multiple of the dimension {}",
+            coords.len(),
+            dim
+        );
+        if let Some(idx) = coords.iter().position(|c| !c.is_finite()) {
+            return Err(PointError::NonFinite {
+                index: idx,
+                value: coords[idx],
+            });
+        }
+        let len = coords.len() / dim;
+        Ok(Self { coords, dim, len })
+    }
+
+    /// Builds the store from per-point views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points do not all share one dimension.
+    pub fn from_points(points: &[Point]) -> Self {
+        let Some(first) = points.first() else {
+            return Self::empty();
+        };
+        let dim = first.dim();
+        let mut flat = Self::with_capacity(dim, points.len());
+        for p in points {
+            assert_eq!(
+                p.dim(),
+                dim,
+                "all points in a FlatPoints must share one dimension"
+            );
+            flat.coords.extend_from_slice(p.coords());
+        }
+        flat.len = points.len();
+        flat
+    }
+
+    /// Appends one coordinate row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length disagrees with the store's dimension or a
+    /// coordinate is not finite.  The first row pushed into an
+    /// [`FlatPoints::empty`] store fixes the dimension.
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.dim == 0 {
+            assert!(!row.is_empty(), "cannot push an empty row");
+            self.dim = row.len();
+        }
+        assert_eq!(
+            row.len(),
+            self.dim,
+            "row length must equal the store dimension"
+        );
+        assert!(
+            row.iter().all(|c| c.is_finite()),
+            "coordinates must be finite"
+        );
+        self.coords.extend_from_slice(row);
+        self.len += 1;
+    }
+
+    /// Appends a [`Point`].
+    pub fn push_point(&mut self, p: &Point) {
+        self.push_row(p.coords());
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Coordinate dimension (0 only while the store is empty).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The coordinate row of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let start = i * self.dim;
+        &self.coords[start..start + self.dim]
+    }
+
+    /// Iterates over all coordinate rows in index order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.coords.chunks_exact(self.dim.max(1))
+    }
+
+    /// The whole backing buffer, row-major.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// An owned [`Point`] copy of row `i`.
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.row(i).to_vec())
+    }
+
+    /// Materialises every row as an owned [`Point`].
+    pub fn to_points(&self) -> Vec<Point> {
+        self.rows().map(|r| Point::new(r.to_vec())).collect()
+    }
+
+    /// Appends every row of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch (unless either side is empty).
+    pub fn append(&mut self, other: &FlatPoints) {
+        if other.is_empty() {
+            return;
+        }
+        if self.dim == 0 {
+            self.dim = other.dim;
+        }
+        assert_eq!(self.dim, other.dim, "dimension mismatch in append");
+        self.coords.extend_from_slice(&other.coords);
+        self.len += other.len;
+    }
+}
+
+impl fmt::Debug for FlatPoints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlatPoints(n={}, dim={})", self.len, self.dim)
+    }
+}
+
+impl From<Vec<Point>> for FlatPoints {
+    fn from(points: Vec<Point>) -> Self {
+        FlatPoints::from_points(&points)
+    }
+}
+
+impl From<&[Point]> for FlatPoints {
+    fn from(points: &[Point]) -> Self {
+        FlatPoints::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_round_trips() {
+        let pts = vec![Point::xy(1.0, 2.0), Point::xy(3.0, 4.0)];
+        let flat = FlatPoints::from_points(&pts);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.dim(), 2);
+        assert_eq!(flat.row(0), &[1.0, 2.0]);
+        assert_eq!(flat.row(1), &[3.0, 4.0]);
+        assert_eq!(flat.to_points(), pts);
+        assert_eq!(flat.point(1), pts[1]);
+    }
+
+    #[test]
+    fn empty_store_has_no_rows() {
+        let flat = FlatPoints::from_points(&[]);
+        assert!(flat.is_empty());
+        assert_eq!(flat.dim(), 0);
+        assert_eq!(flat.rows().count(), 0);
+        assert!(flat.to_points().is_empty());
+    }
+
+    #[test]
+    fn push_row_fixes_dimension() {
+        let mut flat = FlatPoints::empty();
+        flat.push_row(&[1.0, 2.0, 3.0]);
+        assert_eq!(flat.dim(), 3);
+        flat.push_point(&Point::xyz(4.0, 5.0, 6.0));
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn push_row_rejects_dimension_mismatch() {
+        let mut flat = FlatPoints::new(2);
+        flat.push_row(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_row_rejects_nan() {
+        let mut flat = FlatPoints::new(2);
+        flat.push_row(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn from_coords_validates() {
+        let flat = FlatPoints::from_coords(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        assert_eq!(flat.len(), 2);
+        assert!(FlatPoints::from_coords(vec![1.0, f64::INFINITY], 2).is_err());
+        assert!(FlatPoints::from_coords(Vec::new(), 0).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_coords_rejects_ragged_buffer() {
+        let _ = FlatPoints::from_coords(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = FlatPoints::from_points(&[Point::xy(0.0, 0.0)]);
+        let b = FlatPoints::from_points(&[Point::xy(1.0, 1.0), Point::xy(2.0, 2.0)]);
+        a.append(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.row(2), &[2.0, 2.0]);
+        let mut fresh = FlatPoints::empty();
+        fresh.append(&b);
+        assert_eq!(fresh.dim(), 2);
+        assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn rows_iterates_in_order() {
+        let flat = FlatPoints::from_coords(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], 3).unwrap();
+        let rows: Vec<&[f64]> = flat.rows().collect();
+        assert_eq!(rows, vec![&[0.0, 1.0, 2.0][..], &[3.0, 4.0, 5.0][..]]);
+    }
+}

@@ -1,0 +1,442 @@
+//! Hot scan kernels over [`FlatPoints`] rows.
+//!
+//! These are the inner loops the whole workspace's runtime comes down to:
+//!
+//! * [`dist2`] — squared Euclidean distance between two rows, unrolled into
+//!   four independent accumulators so the FP adds pipeline (a single
+//!   accumulator serialises on the add latency);
+//! * [`relax_nearest`] — the fused Gonzalez step: given one new center,
+//!   lower every point's "distance to nearest chosen center" in one linear
+//!   walk, with **no** square roots (comparisons happen in squared space;
+//!   callers take one `sqrt` per final winner, not one per pair);
+//! * [`par_relax_nearest`] / [`par_argmax`] — chunked rayon variants with a
+//!   sequential cutoff so small partitions (MRG reducers, EIM samples) don't
+//!   pay scheduler overhead.
+//!
+//! The parallel variants compute exactly the same per-element values as the
+//! sequential ones (chunking only partitions the index space), so their
+//! results are bit-for-bit identical — a property the `flat_kernels`
+//! integration test pins down.
+
+use crate::flat::FlatPoints;
+use crate::PointId;
+use rayon::prelude::*;
+
+/// Chunk length for the parallel kernels: big enough to amortise a spawn,
+/// small enough to balance across cores on million-point inputs.  Shared
+/// with the `MetricSpace`/`VecSpace` parallel scans so there is one tuning
+/// knob.
+pub const PAR_CHUNK: usize = 1 << 14;
+
+/// Below this many points the `par_*` kernels run sequentially: forking a
+/// scan over a few thousand rows costs more than the scan itself.  At
+/// least two [`PAR_CHUNK`]s, so the parallel branch always has more than
+/// one chunk to hand out.
+pub const PAR_CUTOFF: usize = 2 * PAR_CHUNK;
+
+/// Squared Euclidean distance between two equal-length rows.
+///
+/// Four independent accumulators break the loop-carried dependency on the
+/// sum, letting the FP units pipeline; the tails fall back to a plain loop.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    let mut i = 0;
+    while i + 4 <= n {
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+        i += 4;
+    }
+    while i < n {
+        let d = a[i] - b[i];
+        s0 += d * d;
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Squared Euclidean distance between rows `i` and `j` of the store.
+#[inline]
+pub fn dist2_rows(flat: &FlatPoints, i: PointId, j: PointId) -> f64 {
+    dist2(flat.row(i), flat.row(j))
+}
+
+/// Minimum squared distance from `row` to any of the `centers` rows.
+///
+/// Returns `f64::INFINITY` when `centers` is empty.
+#[inline]
+pub fn nearest2(flat: &FlatPoints, row: &[f64], centers: &[PointId]) -> f64 {
+    let mut best = f64::INFINITY;
+    for &c in centers {
+        let d = dist2(row, flat.row(c));
+        if d < best {
+            best = d;
+        }
+    }
+    best
+}
+
+/// Like [`nearest2`], but stops scanning centers as soon as the running
+/// minimum drops to `stop_below` or less.  The returned value is always an
+/// upper bound on the true minimum and is exact whenever it exceeds
+/// `stop_below` — exactly what coverage checks and max-of-min scans need.
+#[inline]
+pub fn nearest2_bounded(
+    flat: &FlatPoints,
+    row: &[f64],
+    centers: &[PointId],
+    stop_below: f64,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for &c in centers {
+        let d = dist2(row, flat.row(c));
+        if d < best {
+            best = d;
+            if best <= stop_below {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// The fused Gonzalez relaxation: for every `subset[i]`, lowers
+/// `nearest[i]` to `min(nearest[i], dist2(subset[i], center))`.
+///
+/// One linear walk over contiguous rows, no `sqrt`, no allocation.
+pub fn relax_nearest(flat: &FlatPoints, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+    debug_assert_eq!(subset.len(), nearest.len());
+    let center_row = flat.row(center);
+    for (slot, &p) in nearest.iter_mut().zip(subset) {
+        let d = dist2(flat.row(p), center_row);
+        if d < *slot {
+            *slot = d;
+        }
+    }
+}
+
+/// Chunked rayon variant of [`relax_nearest`] with a sequential cutoff.
+///
+/// Bit-for-bit identical to the sequential kernel: chunking partitions the
+/// index space without changing any per-element computation.
+pub fn par_relax_nearest(
+    flat: &FlatPoints,
+    subset: &[PointId],
+    center: PointId,
+    nearest: &mut [f64],
+) {
+    debug_assert_eq!(subset.len(), nearest.len());
+    if subset.len() < PAR_CUTOFF {
+        return relax_nearest(flat, subset, center, nearest);
+    }
+    let center_row = flat.row(center);
+    nearest
+        .par_chunks_mut(PAR_CHUNK)
+        .zip(subset.par_chunks(PAR_CHUNK))
+        .for_each(|(near_chunk, sub_chunk)| {
+            for (slot, &p) in near_chunk.iter_mut().zip(sub_chunk) {
+                let d = dist2(flat.row(p), center_row);
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+        });
+}
+
+/// Fused relax + argmax over a raw row-major coordinate block, dispatching
+/// to a dimension-specialised inner loop: with the row length known at
+/// compile time the distance unrolls fully, bounds checks vanish, and the
+/// center row stays in registers.
+///
+/// Updates `nearest[i] = min(nearest[i], dist2(row_i, center_row))` and
+/// returns the position and value of the maximum updated entry (ties toward
+/// the smaller index) — one Gonzalez iteration in a single memory pass.
+/// This is the kernel behind `Distance::relax_rows_max` for the Euclidean
+/// metric; the `MetricSpace` scans in `space.rs` chunk over it for their
+/// parallel variants.
+pub fn relax_max_rows_coords(
+    coords: &[f64],
+    dim: usize,
+    center_row: &[f64],
+    nearest: &mut [f64],
+) -> (usize, f64) {
+    macro_rules! dispatch {
+        ($($d:literal),*) => {
+            match dim {
+                $($d => fused_rows::<$d>(coords, center_row, nearest),)*
+                _ => fused_rows_dyn(coords, dim, center_row, nearest),
+            }
+        };
+    }
+    // The workspace's workload dimensions: 2 (UNIF), 3 (GAU/UNB), 10
+    // (Poker Hand), 38 (KDD Cup), plus common bench sizes.
+    dispatch!(2, 3, 4, 8, 10, 16, 32, 38, 64)
+}
+
+/// [`relax_max_rows_coords`] over an explicit id subset (MRG reducer
+/// partitions, EIM samples): row `subset[i]` pairs with `nearest[i]`.
+/// This is the kernel behind `Distance::relax_ids_max` for the Euclidean
+/// metric.
+pub fn relax_max_ids_coords(
+    coords: &[f64],
+    dim: usize,
+    subset: &[PointId],
+    center_row: &[f64],
+    nearest: &mut [f64],
+) -> (usize, f64) {
+    debug_assert_eq!(subset.len(), nearest.len());
+    macro_rules! dispatch {
+        ($($d:literal),*) => {
+            match dim {
+                $($d => fused_subset::<$d>(coords, subset, center_row, nearest),)*
+                _ => fused_subset_dyn(coords, dim, subset, center_row, nearest),
+            }
+        };
+    }
+    dispatch!(2, 3, 4, 8, 10, 16, 32, 38, 64)
+}
+
+/// The dimension-specialised fused inner loop over contiguous rows.
+fn fused_rows<const D: usize>(coords: &[f64], center: &[f64], nearest: &mut [f64]) -> (usize, f64) {
+    let center: &[f64; D] = center.try_into().expect("center row length");
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, (row, slot)) in coords.chunks_exact(D).zip(nearest.iter_mut()).enumerate() {
+        let row: &[f64; D] = row.try_into().expect("row length");
+        let d = dist2_arrays(row, center);
+        if d < *slot {
+            *slot = d;
+        }
+        if *slot > best.1 {
+            best = (i, *slot);
+        }
+    }
+    best
+}
+
+/// Dynamic-dimension fallback of [`fused_rows`].
+fn fused_rows_dyn(coords: &[f64], dim: usize, center: &[f64], nearest: &mut [f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, (row, slot)) in coords.chunks_exact(dim).zip(nearest.iter_mut()).enumerate() {
+        let d = dist2(row, center);
+        if d < *slot {
+            *slot = d;
+        }
+        if *slot > best.1 {
+            best = (i, *slot);
+        }
+    }
+    best
+}
+
+/// The dimension-specialised fused inner loop over an id subset.
+fn fused_subset<const D: usize>(
+    coords: &[f64],
+    subset: &[PointId],
+    center: &[f64],
+    nearest: &mut [f64],
+) -> (usize, f64) {
+    let center: &[f64; D] = center.try_into().expect("center row length");
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, (&p, slot)) in subset.iter().zip(nearest.iter_mut()).enumerate() {
+        let row: &[f64; D] = coords[p * D..p * D + D].try_into().expect("row length");
+        let d = dist2_arrays(row, center);
+        if d < *slot {
+            *slot = d;
+        }
+        if *slot > best.1 {
+            best = (i, *slot);
+        }
+    }
+    best
+}
+
+/// Dynamic-dimension fallback of [`fused_subset`].
+fn fused_subset_dyn(
+    coords: &[f64],
+    dim: usize,
+    subset: &[PointId],
+    center: &[f64],
+    nearest: &mut [f64],
+) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, (&p, slot)) in subset.iter().zip(nearest.iter_mut()).enumerate() {
+        let d = dist2(&coords[p * dim..p * dim + dim], center);
+        if d < *slot {
+            *slot = d;
+        }
+        if *slot > best.1 {
+            best = (i, *slot);
+        }
+    }
+    best
+}
+
+/// Squared distance between two fixed-size rows: the statically known
+/// length fully unrolls the accumulator loop.
+#[inline]
+fn dist2_arrays<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    let mut i = 0;
+    while i + 4 <= D {
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+        i += 4;
+    }
+    while i < D {
+        let d = a[i] - b[i];
+        s0 += d * d;
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Position and value of the maximum entry, ties broken toward the smaller
+/// index.  Returns `None` on an empty slice.
+pub fn argmax(values: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// Chunked rayon variant of [`argmax`] with a sequential cutoff; identical
+/// result including tie-breaking (per-chunk winners combine in index order).
+pub fn par_argmax(values: &[f64]) -> Option<(usize, f64)> {
+    if values.len() < PAR_CUTOFF {
+        return argmax(values);
+    }
+    values
+        .par_chunks(PAR_CHUNK)
+        .enumerate()
+        .filter_map(|(chunk_idx, chunk)| argmax(chunk).map(|(i, v)| (chunk_idx * PAR_CHUNK + i, v)))
+        .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn cloud(n: usize, dim: usize) -> FlatPoints {
+        let coords: Vec<f64> = (0..n * dim)
+            .map(|i| {
+                let v = (i as u64)
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                ((v >> 33) % 2_000) as f64 / 10.0 - 100.0
+            })
+            .collect();
+        FlatPoints::from_coords(coords, dim).unwrap()
+    }
+
+    #[test]
+    fn dist2_matches_naive_sum() {
+        for dim in [1usize, 2, 3, 4, 5, 7, 8, 16, 33] {
+            let flat = cloud(2, dim);
+            let (a, b) = (flat.row(0), flat.row(1));
+            let naive: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+            assert!(
+                (dist2(a, b) - naive).abs() <= 1e-12 * (1.0 + naive),
+                "dim {dim}: {} != {naive}",
+                dist2(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn dist2_of_identical_rows_is_zero() {
+        let p = Point::xyz(1.5, -2.0, 3.25);
+        let flat = FlatPoints::from_points(&[p.clone(), p]);
+        assert_eq!(dist2_rows(&flat, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn nearest2_takes_minimum_and_handles_empty() {
+        let flat = cloud(10, 4);
+        assert!(nearest2(&flat, flat.row(0), &[]).is_infinite());
+        let centers = vec![3, 7, 9];
+        let naive = centers
+            .iter()
+            .map(|&c| dist2_rows(&flat, 0, c))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(nearest2(&flat, flat.row(0), &centers), naive);
+    }
+
+    #[test]
+    fn bounded_nearest_is_exact_above_the_threshold() {
+        let flat = cloud(50, 3);
+        let centers: Vec<usize> = (1..50).collect();
+        let exact = nearest2(&flat, flat.row(0), &centers);
+        let bounded = nearest2_bounded(&flat, flat.row(0), &centers, exact - 1.0);
+        assert_eq!(bounded, exact);
+        // With a generous threshold the scan may stop early but never
+        // understates the minimum.
+        let loose = nearest2_bounded(&flat, flat.row(0), &centers, f64::MAX);
+        assert!(loose >= exact);
+    }
+
+    #[test]
+    fn relax_matches_naive_update() {
+        let flat = cloud(200, 5);
+        let subset: Vec<usize> = (0..200).collect();
+        let mut nearest = vec![f64::INFINITY; 200];
+        relax_nearest(&flat, &subset, 17, &mut nearest);
+        relax_nearest(&flat, &subset, 91, &mut nearest);
+        for (i, &v) in nearest.iter().enumerate() {
+            let naive = dist2_rows(&flat, i, 17).min(dist2_rows(&flat, i, 91));
+            assert_eq!(v, naive);
+        }
+    }
+
+    #[test]
+    fn par_relax_is_bit_identical_to_sequential() {
+        let flat = cloud(40_000, 3);
+        let subset: Vec<usize> = (0..40_000).collect();
+        let mut seq = vec![f64::INFINITY; subset.len()];
+        let mut par = seq.clone();
+        for center in [5usize, 1_234, 39_999] {
+            relax_nearest(&flat, &subset, center, &mut seq);
+            par_relax_nearest(&flat, &subset, center, &mut par);
+        }
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_smaller_index() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some((1, 3.0)));
+    }
+
+    #[test]
+    fn par_argmax_matches_sequential() {
+        let values: Vec<f64> = (0..50_000)
+            .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % 100_000) as f64)
+            .collect();
+        assert_eq!(par_argmax(&values), argmax(&values));
+    }
+}

@@ -9,9 +9,16 @@
 //!
 //! This crate provides:
 //!
-//! * [`Point`] — a dense, owned coordinate vector with cheap slicing.
+//! * [`FlatPoints`] — the contiguous structure-of-arrays point store every
+//!   hot scan runs against (see *Storage layout* below).
+//! * [`Point`] — a dense, owned coordinate vector used as the per-point
+//!   view/conversion type at API boundaries.
 //! * [`Distance`] implementations — [`Euclidean`], [`SquaredEuclidean`],
-//!   [`Manhattan`], [`Chebyshev`], [`Minkowski`], [`Hamming`].
+//!   [`Manhattan`], [`Chebyshev`], [`Minkowski`], [`Hamming`] — all defined
+//!   over raw coordinate slices, with order-equivalent *surrogate* forms
+//!   (squared Euclidean, un-rooted Minkowski) for comparison-only scans.
+//! * [`kernel`] — the fused scan kernels (`dist2`, `relax_nearest`,
+//!   `argmax`) plus chunked rayon variants with a sequential cutoff.
 //! * [`MetricSpace`] — the trait the clustering algorithms are written
 //!   against, with a concrete on-demand [`VecSpace`] and a fully
 //!   materialised [`MatrixSpace`].
@@ -23,19 +30,45 @@
 //!   approximation factors in tests.
 //!
 //! All heavy scans expose rayon-parallel variants.
+//!
+//! # Storage layout
+//!
+//! Every algorithm in the workspace spends its time in one scan: "distance
+//! from each point to the nearest chosen center".  Two representation
+//! choices make that scan run at memory bandwidth instead of chasing
+//! pointers:
+//!
+//! 1. **Flat rows.**  [`FlatPoints`] keeps all coordinates in a single
+//!    row-major `Vec<f64>` (`coords[i*dim .. (i+1)*dim]` is point `i`), so
+//!    the scan walks one contiguous buffer with perfect hardware-prefetch
+//!    behaviour.  A `Vec<Point>` — one heap allocation per point — costs a
+//!    pointer dereference and a likely cache miss per distance evaluation.
+//! 2. **Squared space.**  Comparisons don't need the metric's final
+//!    normalisation, so the scans run on [`Distance::surrogate`] values
+//!    (squared distance for [`Euclidean`]) and the winner is converted back
+//!    with one [`Distance::surrogate_to_distance`] call — one `sqrt` per
+//!    selected center rather than one per point-center pair.
+//!
+//! `bench_flat` in `kcenter-bench` measures the combined effect against the
+//! old pointer-chasing layout (see `BENCH_flat.json` at the workspace root).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bbox;
 pub mod distance;
+pub mod flat;
+pub mod kernel;
 pub mod lower_bound;
 pub mod matrix;
 pub mod point;
 pub mod space;
 
 pub use bbox::BoundingBox;
-pub use distance::{Chebyshev, Distance, Euclidean, Hamming, Manhattan, Minkowski, SquaredEuclidean};
+pub use distance::{
+    Chebyshev, Distance, Euclidean, Hamming, Manhattan, Minkowski, SquaredEuclidean,
+};
+pub use flat::FlatPoints;
 pub use lower_bound::{pairwise_lower_bound, scaled_diameter_lower_bound};
 pub use matrix::DistanceMatrix;
 pub use point::Point;

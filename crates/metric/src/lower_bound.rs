@@ -52,9 +52,7 @@ pub fn scaled_diameter_lower_bound<S: MetricSpace + ?Sized>(space: &S, k: usize)
     // O(n) approximation of the diameter is enough for a lower bound: the
     // distance from an arbitrary point to its farthest point is at least
     // half the diameter, so dividing by 2 again stays valid.
-    let far = (1..n)
-        .map(|j| space.distance(0, j))
-        .fold(0.0, f64::max);
+    let far = (1..n).map(|j| space.distance(0, j)).fold(0.0, f64::max);
     diam = diam.max(far);
     diam / 2.0
 }

@@ -29,7 +29,10 @@ impl DistanceMatrix {
     /// Creates an all-zero matrix over `n` points.
     pub fn zeros(n: usize) -> Self {
         let len = n.saturating_sub(1) * n / 2;
-        Self { n, upper: vec![0.0; len] }
+        Self {
+            n,
+            upper: vec![0.0; len],
+        }
     }
 
     /// Builds the matrix by evaluating every pairwise distance of `space`,
@@ -119,12 +122,19 @@ impl DistanceMatrix {
     /// on negative / non-finite values.
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i < self.n && j < self.n, "index out of bounds");
-        assert!(value.is_finite() && value >= 0.0, "distances must be finite and non-negative");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "distances must be finite and non-negative"
+        );
         if i == j {
             assert_eq!(value, 0.0, "diagonal entries must stay zero");
             return;
         }
-        let idx = if i < j { self.index(i, j) } else { self.index(j, i) };
+        let idx = if i < j {
+            self.index(i, j)
+        } else {
+            self.index(j, i)
+        };
         self.upper[idx] = value;
     }
 
@@ -158,7 +168,13 @@ impl DistanceMatrix {
                     let dik = self.get(i, k);
                     let dkj = self.get(k, j);
                     if dij > dik + dkj + tol {
-                        return Err(MetricViolation { i, j, k, direct: dij, via: dik + dkj });
+                        return Err(MetricViolation {
+                            i,
+                            j,
+                            k,
+                            direct: dij,
+                            via: dik + dkj,
+                        });
                     }
                 }
             }
@@ -247,7 +263,11 @@ mod tests {
 
     #[test]
     fn from_space_matches_direct_distances() {
-        let pts = vec![Point::xy(0.0, 0.0), Point::xy(3.0, 4.0), Point::xy(6.0, 8.0)];
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(3.0, 4.0),
+            Point::xy(6.0, 8.0),
+        ];
         let space = VecSpace::new(pts);
         let m = DistanceMatrix::from_space(&space);
         assert!((m.get(0, 1) - 5.0).abs() < 1e-12);

@@ -36,7 +36,10 @@ impl Point {
             return Err(PointError::Empty);
         }
         if let Some(idx) = coords.iter().position(|c| !c.is_finite()) {
-            return Err(PointError::NonFinite { index: idx, value: coords[idx] });
+            return Err(PointError::NonFinite {
+                index: idx,
+                value: coords[idx],
+            });
         }
         Ok(Self { coords })
     }
@@ -54,7 +57,9 @@ impl Point {
     /// Creates the origin of `R^d`.
     pub fn origin(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { coords: vec![0.0; dim] }
+        Self {
+            coords: vec![0.0; dim],
+        }
     }
 
     /// The dimension (number of coordinates) of the point.
@@ -97,7 +102,9 @@ impl Point {
 
     /// Coordinate-wise scaling.
     pub fn scale(&self, factor: f64) -> Point {
-        Point { coords: self.coords.iter().map(|c| c * factor).collect() }
+        Point {
+            coords: self.coords.iter().map(|c| c * factor).collect(),
+        }
     }
 }
 

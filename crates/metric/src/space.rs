@@ -4,14 +4,28 @@
 //! the space for distances between indexed points.  Two concrete spaces are
 //! provided:
 //!
-//! * [`VecSpace`] computes distances on demand from coordinates — the
-//!   representation the paper uses for its experiments, because shipping a
-//!   full `n × n` matrix between simulated machines would be wasteful.
+//! * [`VecSpace`] computes distances on demand from coordinates held in a
+//!   contiguous [`FlatPoints`] store — the representation the paper uses for
+//!   its experiments, because shipping a full `n × n` matrix between
+//!   simulated machines would be wasteful.
 //! * [`MatrixSpace`] pre-computes the full symmetric [`DistanceMatrix`] —
 //!   only viable for small `n` but convenient for exact tests and for graphs
 //!   given directly by edge weights.
+//!
+//! # Comparison space
+//!
+//! The hot scans (farthest-point selection, nearest-center relaxation,
+//! covering-radius evaluation) only compare distances, so the trait exposes
+//! them in *comparison space*: [`MetricSpace::cmp_distance`] returns an
+//! order-equivalent surrogate (squared Euclidean for the default space — no
+//! `sqrt` per pair), and [`MetricSpace::cmp_to_distance`] converts a final
+//! winner back to a real distance.  Implementations with no cheaper
+//! surrogate fall back to the distance itself, so generic code can always
+//! use the `cmp_*` family.
 
 use crate::distance::{Distance, Euclidean};
+use crate::flat::FlatPoints;
+use crate::kernel;
 use crate::matrix::DistanceMatrix;
 use crate::point::Point;
 use crate::PointId;
@@ -55,10 +69,234 @@ pub trait MetricSpace: Send + Sync {
             .map(|&t| self.distance(from, t))
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Like [`MetricSpace::distance_to_set`], but stops scanning `to` as
+    /// soon as the running minimum drops to `stop_below` or less.
+    ///
+    /// The returned value is an upper bound on the true minimum and is exact
+    /// whenever it exceeds `stop_below`.  Coverage checks ("is every point
+    /// within radius `r`?") and max-of-min scans only need that much, and
+    /// the early exit skips most of the center list once a nearby center has
+    /// been seen.
+    fn distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: f64) -> f64 {
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.distance(from, t);
+            if d < best {
+                best = d;
+                if best <= stop_below {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Comparison-space distance between two points: order-equivalent to
+    /// [`MetricSpace::distance`] but possibly cheaper (squared Euclidean for
+    /// the default [`VecSpace`]).  Defaults to the distance itself.
+    #[inline]
+    fn cmp_distance(&self, a: PointId, b: PointId) -> f64 {
+        self.distance(a, b)
+    }
+
+    /// Converts a comparison-space value back to a real distance.
+    #[inline]
+    fn cmp_to_distance(&self, c: f64) -> f64 {
+        c
+    }
+
+    /// Converts a real distance into comparison space (the inverse of
+    /// [`MetricSpace::cmp_to_distance`] on non-negative values).
+    #[inline]
+    fn distance_to_cmp(&self, d: f64) -> f64 {
+        d
+    }
+
+    /// Comparison-space [`MetricSpace::distance_to_set`].
+    fn cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
+        to.iter()
+            .map(|&t| self.cmp_distance(from, t))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Comparison-space [`MetricSpace::distance_to_set_bounded`].
+    fn cmp_distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: f64) -> f64 {
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.cmp_distance(from, t);
+            if d < best {
+                best = d;
+                if best <= stop_below {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// The fused Gonzalez relaxation in comparison space: lowers
+    /// `nearest[i]` to `min(nearest[i], cmp_distance(subset[i], center))`
+    /// for every `i` in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` and `nearest` have different lengths.
+    fn relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        for (slot, &p) in nearest.iter_mut().zip(subset) {
+            let d = self.cmp_distance(p, center);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+
+    /// Chunked parallel variant of [`MetricSpace::relax_nearest`] with a
+    /// sequential cutoff; identical results (chunking only partitions the
+    /// index space).
+    fn par_relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        if subset.len() < kernel::PAR_CUTOFF {
+            return self.relax_nearest(subset, center, nearest);
+        }
+        nearest
+            .par_chunks_mut(kernel::PAR_CHUNK)
+            .zip(subset.par_chunks(kernel::PAR_CHUNK))
+            .for_each(|(near_chunk, sub_chunk)| {
+                for (slot, &p) in near_chunk.iter_mut().zip(sub_chunk) {
+                    let d = self.cmp_distance(p, center);
+                    if d < *slot {
+                        *slot = d;
+                    }
+                }
+            });
+    }
+
+    /// The fused Gonzalez iteration: [`MetricSpace::relax_nearest`] plus
+    /// the farthest-point argmax in one pass.  Returns the position (into
+    /// `subset`) and comparison-space value of the maximum updated entry,
+    /// ties toward the smaller position; `(0, -inf)` on an empty subset.
+    fn relax_nearest_max(
+        &self,
+        subset: &[PointId],
+        center: PointId,
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, (slot, &p)) in nearest.iter_mut().zip(subset).enumerate() {
+            let d = self.cmp_distance(p, center);
+            if d < *slot {
+                *slot = d;
+            }
+            if *slot > best.1 {
+                best = (i, *slot);
+            }
+        }
+        best
+    }
+
+    /// Chunked parallel variant of [`MetricSpace::relax_nearest_max`] with
+    /// a sequential cutoff; bit-identical results (per-chunk winners
+    /// combine in index order, first maximum wins).
+    fn par_relax_nearest_max(
+        &self,
+        subset: &[PointId],
+        center: PointId,
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        if subset.len() < kernel::PAR_CUTOFF {
+            return self.relax_nearest_max(subset, center, nearest);
+        }
+        const CHUNK: usize = kernel::PAR_CHUNK;
+        nearest
+            .par_chunks_mut(CHUNK)
+            .zip(subset.par_chunks(CHUNK))
+            .enumerate()
+            .map(|(chunk_idx, (near_chunk, sub_chunk))| {
+                let (pos, v) = self.relax_nearest_max(sub_chunk, center, near_chunk);
+                (chunk_idx * CHUNK + pos, v)
+            })
+            .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
+            .unwrap_or((0, f64::NEG_INFINITY))
+    }
+
+    /// [`MetricSpace::relax_nearest_max`] over the whole space (the
+    /// identity subset): `nearest[i]` pairs with point `i` directly, so
+    /// implementations can stream rows without any index indirection.
+    /// Callers that know their subset is `0..len` (the full-space solvers)
+    /// use this to skip both the id loads and the identity re-check.
+    fn relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+        assert_eq!(self.len(), nearest.len(), "space/nearest length mismatch");
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, slot) in nearest.iter_mut().enumerate() {
+            let d = self.cmp_distance(i, center);
+            if d < *slot {
+                *slot = d;
+            }
+            if *slot > best.1 {
+                best = (i, *slot);
+            }
+        }
+        best
+    }
+
+    /// Chunked parallel variant of [`MetricSpace::relax_all_max`] with a
+    /// sequential cutoff; bit-identical results.
+    fn par_relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+        assert_eq!(self.len(), nearest.len(), "space/nearest length mismatch");
+        if self.len() < kernel::PAR_CUTOFF {
+            return self.relax_all_max(center, nearest);
+        }
+        const CHUNK: usize = kernel::PAR_CHUNK;
+        nearest
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .map(|(chunk_idx, near_chunk)| {
+                let offset = chunk_idx * CHUNK;
+                let mut best = (0usize, f64::NEG_INFINITY);
+                for (i, slot) in near_chunk.iter_mut().enumerate() {
+                    let d = self.cmp_distance(offset + i, center);
+                    if d < *slot {
+                        *slot = d;
+                    }
+                    if *slot > best.1 {
+                        best = (offset + i, *slot);
+                    }
+                }
+                best
+            })
+            .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
+            .unwrap_or((0, f64::NEG_INFINITY))
+    }
 }
 
-/// A metric space backed by an owned point collection and a distance
-/// function evaluated on demand.
+/// Whether `subset` is exactly the identity `0..n` — the full-space case
+/// the row-streaming kernels exploit (no index indirection).
+pub fn is_identity_subset(subset: &[PointId], n: usize) -> bool {
+    subset.len() == n && subset.iter().enumerate().all(|(i, &p)| i == p)
+}
+
+/// A metric space backed by a contiguous [`FlatPoints`] store and a distance
+/// function evaluated on demand over coordinate rows.
 ///
 /// Cloning a `VecSpace` is cheap: the point storage is shared through an
 /// [`Arc`], which is exactly what the simulated MapReduce machines need
@@ -66,7 +304,7 @@ pub trait MetricSpace: Send + Sync {
 /// index subset).
 #[derive(Clone)]
 pub struct VecSpace<D: Distance = Euclidean> {
-    points: Arc<Vec<Point>>,
+    points: Arc<FlatPoints>,
     dist: D,
 }
 
@@ -77,30 +315,49 @@ impl<D: Distance> VecSpace<D> {
     ///
     /// Panics if the points do not all share the same dimension.
     pub fn with_distance(points: Vec<Point>, dist: D) -> Self {
-        if let Some(first) = points.first() {
-            let d0 = first.dim();
-            assert!(
-                points.iter().all(|p| p.dim() == d0),
-                "all points in a VecSpace must share one dimension"
-            );
+        Self::from_flat_with_distance(FlatPoints::from_points(&points), dist)
+    }
+
+    /// Creates a space directly over a flat store — the zero-copy path used
+    /// by the data generators.
+    pub fn from_flat_with_distance(flat: FlatPoints, dist: D) -> Self {
+        Self {
+            points: Arc::new(flat),
+            dist,
         }
-        Self { points: Arc::new(points), dist }
     }
 
     /// The coordinate dimension of the points, or `None` if the space is
     /// empty.
     pub fn dim(&self) -> Option<usize> {
-        self.points.first().map(Point::dim)
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.dim())
+        }
     }
 
-    /// The point with index `id`.
-    pub fn point(&self, id: PointId) -> &Point {
-        &self.points[id]
-    }
-
-    /// All points, in index order.
-    pub fn points(&self) -> &[Point] {
+    /// The flat coordinate store backing this space.
+    pub fn flat(&self) -> &FlatPoints {
         &self.points
+    }
+
+    /// The coordinate row of the point with index `id`.
+    #[inline]
+    pub fn row(&self, id: PointId) -> &[f64] {
+        self.points.row(id)
+    }
+
+    /// An owned [`Point`] copy of the point with index `id`.
+    pub fn point(&self, id: PointId) -> Point {
+        self.points.point(id)
+    }
+
+    /// All points materialised as owned [`Point`]s, in index order.
+    ///
+    /// This copies; iterate [`VecSpace::flat`] rows for zero-copy access.
+    pub fn points(&self) -> Vec<Point> {
+        self.points.to_points()
     }
 
     /// The distance function.
@@ -118,6 +375,9 @@ impl<D: Distance> VecSpace<D> {
     /// `from`, using rayon.  This is the hot inner scan of Gonzalez's
     /// algorithm when run on large partitions.
     pub fn par_distances_to_set(&self, from: &[PointId], to: &[PointId]) -> Vec<f64> {
+        if from.len() < kernel::PAR_CUTOFF {
+            return from.iter().map(|&f| self.distance_to_set(f, to)).collect();
+        }
         from.par_iter()
             .map(|&f| self.distance_to_set(f, to))
             .collect()
@@ -150,6 +410,11 @@ impl VecSpace<Euclidean> {
     pub fn new(points: Vec<Point>) -> Self {
         Self::with_distance(points, Euclidean)
     }
+
+    /// Creates a Euclidean space directly over a flat store.
+    pub fn from_flat(flat: FlatPoints) -> Self {
+        Self::from_flat_with_distance(flat, Euclidean)
+    }
 }
 
 impl<D: Distance> MetricSpace for VecSpace<D> {
@@ -159,7 +424,8 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
 
     #[inline]
     fn distance(&self, a: PointId, b: PointId) -> f64 {
-        self.dist.distance(&self.points[a], &self.points[b])
+        self.dist
+            .distance_slices(self.points.row(a), self.points.row(b))
     }
 
     fn distance_name(&self) -> &'static str {
@@ -168,6 +434,200 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
 
     fn is_metric(&self) -> bool {
         self.dist.is_metric()
+    }
+
+    fn distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
+        // Scan in surrogate space, convert the winner once.
+        self.cmp_to_distance(self.cmp_distance_to_set(from, to))
+    }
+
+    fn distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: f64) -> f64 {
+        // Distances are non-negative, so a negative threshold can never be
+        // reached — and mapping it through e.g. `d*d` would flip its sign.
+        let cmp_stop = if stop_below < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.distance_to_cmp(stop_below)
+        };
+        let cmp = self.cmp_distance_to_set_bounded(from, to, cmp_stop);
+        self.cmp_to_distance(cmp)
+    }
+
+    #[inline]
+    fn cmp_distance(&self, a: PointId, b: PointId) -> f64 {
+        self.dist.surrogate(self.points.row(a), self.points.row(b))
+    }
+
+    #[inline]
+    fn cmp_to_distance(&self, c: f64) -> f64 {
+        self.dist.surrogate_to_distance(c)
+    }
+
+    #[inline]
+    fn distance_to_cmp(&self, d: f64) -> f64 {
+        self.dist.distance_to_surrogate(d)
+    }
+
+    fn cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
+        let row = self.points.row(from);
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.dist.surrogate(row, self.points.row(t));
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+
+    fn cmp_distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: f64) -> f64 {
+        let row = self.points.row(from);
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.dist.surrogate(row, self.points.row(t));
+            if d < best {
+                best = d;
+                if best <= stop_below {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    fn relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        let center_row = self.points.row(center);
+        for (slot, &p) in nearest.iter_mut().zip(subset) {
+            let d = self.dist.surrogate(self.points.row(p), center_row);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+
+    fn par_relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        if subset.len() < kernel::PAR_CUTOFF {
+            return self.relax_nearest(subset, center, nearest);
+        }
+        let center_row = self.points.row(center);
+        nearest
+            .par_chunks_mut(kernel::PAR_CHUNK)
+            .zip(subset.par_chunks(kernel::PAR_CHUNK))
+            .for_each(|(near_chunk, sub_chunk)| {
+                for (slot, &p) in near_chunk.iter_mut().zip(sub_chunk) {
+                    let d = self.dist.surrogate(self.points.row(p), center_row);
+                    if d < *slot {
+                        *slot = d;
+                    }
+                }
+            });
+    }
+
+    fn relax_nearest_max(
+        &self,
+        subset: &[PointId],
+        center: PointId,
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        let flat = &*self.points;
+        let center_row = flat.row(center);
+        if is_identity_subset(subset, flat.len()) {
+            self.dist
+                .relax_rows_max(flat.coords(), flat.dim(), center_row, nearest)
+        } else {
+            self.dist
+                .relax_ids_max(flat.coords(), flat.dim(), subset, center_row, nearest)
+        }
+    }
+
+    fn par_relax_nearest_max(
+        &self,
+        subset: &[PointId],
+        center: PointId,
+        nearest: &mut [f64],
+    ) -> (usize, f64) {
+        assert_eq!(
+            subset.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        if subset.len() < kernel::PAR_CUTOFF {
+            return self.relax_nearest_max(subset, center, nearest);
+        }
+        if is_identity_subset(subset, self.points.len()) {
+            return self.par_relax_all_max(center, nearest);
+        }
+        const CHUNK: usize = kernel::PAR_CHUNK;
+        let flat = &*self.points;
+        let dim = flat.dim();
+        let center_row = flat.row(center);
+        nearest
+            .par_chunks_mut(CHUNK)
+            .zip(subset.par_chunks(CHUNK))
+            .enumerate()
+            .map(|(chunk_idx, (near_chunk, sub_chunk))| {
+                let (pos, v) =
+                    self.dist
+                        .relax_ids_max(flat.coords(), dim, sub_chunk, center_row, near_chunk);
+                (chunk_idx * CHUNK + pos, v)
+            })
+            .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
+            .unwrap_or((0, f64::NEG_INFINITY))
+    }
+
+    fn relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+        assert_eq!(
+            self.points.len(),
+            nearest.len(),
+            "space/nearest length mismatch"
+        );
+        let flat = &*self.points;
+        self.dist
+            .relax_rows_max(flat.coords(), flat.dim(), flat.row(center), nearest)
+    }
+
+    fn par_relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+        assert_eq!(
+            self.points.len(),
+            nearest.len(),
+            "space/nearest length mismatch"
+        );
+        if self.points.len() < kernel::PAR_CUTOFF {
+            return self.relax_all_max(center, nearest);
+        }
+        const CHUNK: usize = kernel::PAR_CHUNK;
+        let flat = &*self.points;
+        let dim = flat.dim();
+        let center_row = flat.row(center);
+        // Row-streaming: hand each worker its contiguous coordinate block,
+        // no index indirection at all.
+        nearest
+            .par_chunks_mut(CHUNK)
+            .zip(flat.coords().par_chunks(CHUNK * dim))
+            .enumerate()
+            .map(|(chunk_idx, (near_chunk, coord_chunk))| {
+                let (pos, v) = self
+                    .dist
+                    .relax_rows_max(coord_chunk, dim, center_row, near_chunk);
+                (chunk_idx * CHUNK + pos, v)
+            })
+            .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
+            .unwrap_or((0, f64::NEG_INFINITY))
     }
 }
 
@@ -186,7 +646,10 @@ impl MatrixSpace {
     /// axioms (callers can check with [`DistanceMatrix::verify_metric`]).
     pub fn new(matrix: DistanceMatrix) -> Self {
         let metric = matrix.verify_metric(1e-9).is_ok();
-        Self { matrix: Arc::new(matrix), metric }
+        Self {
+            matrix: Arc::new(matrix),
+            metric,
+        }
     }
 
     /// The underlying matrix.
@@ -260,11 +723,61 @@ mod tests {
     }
 
     #[test]
+    fn from_flat_shares_no_copies() {
+        let flat = FlatPoints::from_coords(vec![0.0, 0.0, 3.0, 4.0], 2).unwrap();
+        let s = VecSpace::from_flat(flat);
+        assert_eq!(s.len(), 2);
+        assert!((s.distance(0, 1) - 5.0).abs() < 1e-12);
+        assert_eq!(s.row(1), &[3.0, 4.0]);
+        assert_eq!(s.point(1), Point::xy(3.0, 4.0));
+    }
+
+    #[test]
     fn distance_to_set_takes_minimum_and_handles_empty() {
         let s = VecSpace::new(square());
         assert_eq!(s.distance_to_set(3, &[]), f64::INFINITY);
         let d = s.distance_to_set(3, &[0, 1]);
         assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_distance_to_set_is_exact_above_threshold() {
+        let s = VecSpace::new(square());
+        let exact = s.distance_to_set(3, &[0, 1, 2]);
+        // Threshold below the true minimum: no early exit, exact result.
+        assert_eq!(s.distance_to_set_bounded(3, &[0, 1, 2], 0.5), exact);
+        // Generous threshold: may stop early but never understates.
+        assert!(s.distance_to_set_bounded(3, &[0, 1, 2], 10.0) >= exact);
+    }
+
+    #[test]
+    fn cmp_space_round_trips_to_distances() {
+        let s = VecSpace::new(square());
+        let cmp = s.cmp_distance(0, 3);
+        assert!((cmp - 2.0).abs() < 1e-12, "squared surrogate expected");
+        assert!((s.cmp_to_distance(cmp) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((s.distance_to_cmp(2f64.sqrt()) - 2.0).abs() < 1e-12);
+        assert_eq!(
+            s.cmp_to_distance(s.cmp_distance_to_set(3, &[0, 1])),
+            s.distance_to_set(3, &[0, 1])
+        );
+    }
+
+    #[test]
+    fn relax_nearest_matches_pairwise_minimum() {
+        let s = VecSpace::new(square());
+        let subset = vec![0, 1, 2, 3];
+        let mut nearest = vec![f64::INFINITY; 4];
+        s.relax_nearest(&subset, 0, &mut nearest);
+        s.relax_nearest(&subset, 3, &mut nearest);
+        for (i, &v) in nearest.iter().enumerate() {
+            let naive = s.cmp_distance(i, 0).min(s.cmp_distance(i, 3));
+            assert_eq!(v, naive);
+        }
+        let mut par = vec![f64::INFINITY; 4];
+        s.par_relax_nearest(&subset, 0, &mut par);
+        s.par_relax_nearest(&subset, 3, &mut par);
+        assert_eq!(nearest, par);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Property tests pinning the flat-kernel rewrite to the scalar reference
+//! implementations: the SoA kernels must agree with naive per-point
+//! distance code to 1e-12 on random points (all metrics, dimensions 1–64),
+//! and every `par_*` variant must match its sequential twin bit-for-bit.
+
+use kcenter_metric::kernel::{
+    argmax, dist2, nearest2, nearest2_bounded, par_argmax, par_relax_nearest, relax_nearest,
+};
+use kcenter_metric::{
+    Chebyshev, Distance, Euclidean, FlatPoints, Hamming, Manhattan, MetricSpace, Minkowski, Point,
+    SquaredEuclidean, VecSpace,
+};
+use proptest::prelude::*;
+
+/// Naive scalar references, written exactly like the pre-flat `Point`-based
+/// implementations: one pass, single accumulator, `sqrt` per call.
+mod reference {
+    pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+        squared_euclidean(a, b).sqrt()
+    }
+
+    pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+    }
+
+    pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    pub fn minkowski(p: f64, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(p))
+            .sum::<f64>()
+            .powf(1.0 / p)
+    }
+
+    pub fn hamming(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() as f64
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Strategy: a pair of same-dimension coordinate rows, dim in 1..=64.
+fn row_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..=64).prop_flat_map(|dim| {
+        (
+            prop::collection::vec(-1000.0f64..1000.0, dim),
+            prop::collection::vec(-1000.0f64..1000.0, dim),
+        )
+    })
+}
+
+/// Strategy: a flat cloud of n points (2..=96) with dim in 1..=64.
+fn flat_cloud() -> impl Strategy<Value = FlatPoints> {
+    (1usize..=64, 2usize..=96).prop_flat_map(|(dim, n)| {
+        prop::collection::vec(-1000.0f64..1000.0, dim * n)
+            .prop_map(move |coords| FlatPoints::from_coords(coords, dim).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dist2_kernel_agrees_with_scalar_reference((a, b) in row_pair()) {
+        prop_assert!(close(dist2(&a, &b), reference::squared_euclidean(&a, &b)));
+    }
+
+    #[test]
+    fn slice_distances_agree_with_scalar_references(
+        (a, b) in row_pair(),
+        p in 1.0f64..6.0,
+    ) {
+        prop_assert!(close(Euclidean.distance_slices(&a, &b), reference::euclidean(&a, &b)));
+        prop_assert!(close(
+            SquaredEuclidean.distance_slices(&a, &b),
+            reference::squared_euclidean(&a, &b)
+        ));
+        prop_assert!(close(Manhattan.distance_slices(&a, &b), reference::manhattan(&a, &b)));
+        prop_assert!(close(Chebyshev.distance_slices(&a, &b), reference::chebyshev(&a, &b)));
+        prop_assert!(close(
+            Minkowski::new(p).distance_slices(&a, &b),
+            reference::minkowski(p, &a, &b)
+        ));
+        prop_assert!(close(Hamming.distance_slices(&a, &b), reference::hamming(&a, &b)));
+    }
+
+    #[test]
+    fn slice_distance_matches_point_distance((a, b) in row_pair()) {
+        let (pa, pb) = (Point::new(a.clone()), Point::new(b.clone()));
+        prop_assert_eq!(Euclidean.distance(&pa, &pb), Euclidean.distance_slices(&a, &b));
+        prop_assert_eq!(Manhattan.distance(&pa, &pb), Manhattan.distance_slices(&a, &b));
+    }
+
+    #[test]
+    fn surrogates_round_trip_to_distances((a, b) in row_pair(), p in 1.0f64..6.0) {
+        let metrics: Vec<Box<dyn Distance>> = vec![
+            Box::new(Euclidean),
+            Box::new(SquaredEuclidean),
+            Box::new(Manhattan),
+            Box::new(Chebyshev),
+            Box::new(Minkowski::new(p)),
+            Box::new(Hamming),
+        ];
+        for m in &metrics {
+            let d = m.distance_slices(&a, &b);
+            let s = m.surrogate(&a, &b);
+            prop_assert!(
+                close(m.surrogate_to_distance(s), d),
+                "{}: surrogate {} does not round-trip to {}", m.name(), s, d
+            );
+            prop_assert!(
+                close(m.surrogate_to_distance(m.distance_to_surrogate(d)), d),
+                "{}: distance_to_surrogate is not inverse", m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_and_bounded_kernels_match_naive_minimum(flat in flat_cloud()) {
+        let centers: Vec<usize> = (0..flat.len()).step_by(3).collect();
+        for i in 0..flat.len() {
+            let naive = centers
+                .iter()
+                .map(|&c| reference::squared_euclidean(flat.row(i), flat.row(c)))
+                .fold(f64::INFINITY, f64::min);
+            let fast = nearest2(&flat, flat.row(i), &centers);
+            prop_assert!(close(fast, naive));
+            // A threshold below the true minimum must not trigger an exit.
+            let bounded = nearest2_bounded(&flat, flat.row(i), &centers, fast * 0.5 - 1.0);
+            prop_assert_eq!(bounded, fast);
+        }
+    }
+
+    #[test]
+    fn relax_kernel_matches_pairwise_scan(flat in flat_cloud()) {
+        let subset: Vec<usize> = (0..flat.len()).collect();
+        let centers: Vec<usize> = (0..flat.len()).step_by(5).collect();
+        let mut nearest = vec![f64::INFINITY; subset.len()];
+        for &c in &centers {
+            relax_nearest(&flat, &subset, c, &mut nearest);
+        }
+        for (pos, &p) in subset.iter().enumerate() {
+            let naive = centers
+                .iter()
+                .map(|&c| dist2(flat.row(p), flat.row(c)))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(nearest[pos], naive);
+        }
+    }
+
+    #[test]
+    fn space_cmp_scans_agree_with_distance_scans(flat in flat_cloud()) {
+        let space = VecSpace::from_flat(flat);
+        let centers: Vec<usize> = (0..space.len()).step_by(4).collect();
+        for p in 0..space.len() {
+            let via_cmp = space.cmp_to_distance(space.cmp_distance_to_set(p, &centers));
+            let direct = centers
+                .iter()
+                .map(|&c| space.distance(p, c))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(close(via_cmp, direct));
+            // Early exit below the true minimum returns the exact minimum.
+            let bounded = space.distance_to_set_bounded(p, &centers, direct * 0.5 - 1.0);
+            prop_assert!(close(bounded, direct));
+        }
+    }
+}
+
+/// Deterministic large clouds for the bit-for-bit parallel/sequential
+/// comparisons (the `par_*` kernels only fork above their cutoff, so these
+/// need to be big).
+fn big_cloud(n: usize, dim: usize, seed: u64) -> FlatPoints {
+    let coords: Vec<f64> = (0..n * dim)
+        .map(|i| {
+            let v = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((v >> 30) % 100_000) as f64 / 50.0 - 1_000.0
+        })
+        .collect();
+    FlatPoints::from_coords(coords, dim).unwrap()
+}
+
+#[test]
+fn par_relax_matches_sequential_bit_for_bit_above_cutoff() {
+    for (n, dim) in [(40_000usize, 2usize), (36_000, 16)] {
+        let flat = big_cloud(n, dim, 7);
+        let space = VecSpace::from_flat(flat);
+        let subset: Vec<usize> = (0..n).collect();
+        let mut seq = vec![f64::INFINITY; n];
+        let mut par = vec![f64::INFINITY; n];
+        for center in [0usize, n / 2, n - 1] {
+            space.relax_nearest(&subset, center, &mut seq);
+            space.par_relax_nearest(&subset, center, &mut par);
+        }
+        assert_eq!(seq, par, "n={n} dim={dim}");
+    }
+}
+
+#[test]
+fn par_kernel_helpers_match_sequential_bit_for_bit() {
+    let flat = big_cloud(40_000, 4, 3);
+    let subset: Vec<usize> = (0..flat.len()).collect();
+    let mut seq = vec![f64::INFINITY; subset.len()];
+    let mut par = seq.clone();
+    for center in [11usize, 29_000] {
+        relax_nearest(&flat, &subset, center, &mut seq);
+        par_relax_nearest(&flat, &subset, center, &mut par);
+    }
+    assert_eq!(seq, par);
+    assert_eq!(argmax(&seq), par_argmax(&par));
+}
+
+#[test]
+fn par_distances_to_set_matches_sequential_bit_for_bit() {
+    let space = VecSpace::from_flat(big_cloud(40_000, 3, 11));
+    let from: Vec<usize> = (0..space.len()).collect();
+    let to: Vec<usize> = (0..space.len()).step_by(1_000).collect();
+    let par = space.par_distances_to_set(&from, &to);
+    let seq: Vec<f64> = from
+        .iter()
+        .map(|&f| space.distance_to_set(f, &to))
+        .collect();
+    assert_eq!(par, seq);
+}

@@ -25,9 +25,17 @@ fn check_metric_axioms<D: Distance>(dist: &D, a: &Point, b: &Point, c: &Point) {
     let dcb = dist.distance(c, b);
     // Non-negativity and identity.
     assert!(dab >= 0.0, "{} produced a negative distance", dist.name());
-    assert!(dist.distance(a, a).abs() < 1e-9, "{} violates identity", dist.name());
+    assert!(
+        dist.distance(a, a).abs() < 1e-9,
+        "{} violates identity",
+        dist.name()
+    );
     // Symmetry.
-    assert!((dab - dba).abs() <= 1e-9 * (1.0 + dab.abs()), "{} violates symmetry", dist.name());
+    assert!(
+        (dab - dba).abs() <= 1e-9 * (1.0 + dab.abs()),
+        "{} violates symmetry",
+        dist.name()
+    );
     // Triangle inequality with a relative tolerance for floating point.
     assert!(
         dab <= dac + dcb + 1e-7 * (1.0 + dab.abs()),

@@ -22,8 +22,8 @@ fn main() {
     println!("UNIF data set: n = {n}, k = {k}, 50 simulated machines");
 
     let generate_start = Instant::now();
-    let points = UnifGenerator::new(n).generate(123);
-    let space = VecSpace::new(points);
+    let points = UnifGenerator::new(n).generate_flat(123);
+    let space = VecSpace::from_flat(points);
     println!("generated in {:?}\n", generate_start.elapsed());
 
     // Sequential baseline, with the rayon-accelerated inner scan so the

@@ -15,8 +15,8 @@ fn main() {
     let k = 20;
     let machines = 40;
     println!("UNIF data set: n = {n}, k = {k}, m = {machines} machines\n");
-    let points = UnifGenerator::new(n).generate(9);
-    let space = VecSpace::new(points);
+    let points = UnifGenerator::new(n).generate_flat(9);
+    let space = VecSpace::from_flat(points);
 
     let gon = GonzalezConfig::new(k).solve(&space).expect("GON failed");
     println!("GON baseline: value = {:.4}\n", gon.radius);
@@ -50,7 +50,11 @@ fn main() {
                 result.approximation_factor,
                 result.solution.radius,
             ),
-            Err(e) => println!("{:>10} {:>18} failed: {e}", capacity, if two_round_ok { "yes" } else { "no" }),
+            Err(e) => println!(
+                "{:>10} {:>18} failed: {e}",
+                capacity,
+                if two_round_ok { "yes" } else { "no" }
+            ),
         }
     }
 

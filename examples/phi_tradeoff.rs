@@ -20,8 +20,8 @@ fn main() {
     let epsilon = 0.12;
 
     println!("GAU data set: n = {n}, k' = {k_prime}, clustering with k = {k}");
-    let points = GauGenerator::new(n, k_prime).generate(11);
-    let space = VecSpace::new(points);
+    let points = GauGenerator::new(n, k_prime).generate_flat(11);
+    let space = VecSpace::from_flat(points);
 
     let gon = GonzalezConfig::new(k).solve(&space).expect("GON failed");
     println!("GON baseline: value = {:.4}\n", gon.radius);

@@ -15,8 +15,8 @@ fn main() {
     let k_prime = 25;
     let k = 25;
     println!("generating GAU data set: n = {n}, k' = {k_prime}");
-    let points = GauGenerator::new(n, k_prime).generate(42);
-    let space = VecSpace::new(points);
+    let points = GauGenerator::new(n, k_prime).generate_flat(42);
+    let space = VecSpace::from_flat(points);
 
     // Sequential baseline: Gonzalez's greedy 2-approximation (GON).
     let start = std::time::Instant::now();
@@ -39,7 +39,10 @@ fn main() {
     );
 
     // EIM: the iterative-sampling scheme with the original phi = 8.
-    let eim = EimConfig::new(k).with_seed(7).run(&space).expect("EIM failed");
+    let eim = EimConfig::new(k)
+        .with_seed(7)
+        .run(&space)
+        .expect("EIM failed");
     println!(
         "EIM  : value = {:10.4}   simulated = {:8.3?}   wall = {:8.3?}   rounds = {}   sample = {}{}",
         eim.solution.radius,
@@ -52,7 +55,8 @@ fn main() {
 
     // Where did the points go?  Report the largest and smallest cluster.
     let assignment = kcenter::algorithms::evaluate::assign(&space, &mrg.solution.centers);
-    let sizes = kcenter::algorithms::evaluate::cluster_sizes(&assignment, mrg.solution.centers.len());
+    let sizes =
+        kcenter::algorithms::evaluate::cluster_sizes(&assignment, mrg.solution.centers.len());
     println!(
         "MRG cluster sizes: min = {}, max = {} (over {} clusters)",
         sizes.iter().min().unwrap(),

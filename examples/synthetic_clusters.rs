@@ -11,14 +11,20 @@
 use kcenter::prelude::*;
 
 fn report(space: &VecSpace, family: &str, k_values: &[usize]) {
-    println!("\n=== {family} (n = {}) ===", kcenter_metric::MetricSpace::len(space));
+    println!(
+        "\n=== {family} (n = {}) ===",
+        kcenter_metric::MetricSpace::len(space)
+    );
     println!("{:>6} {:>14} {:>14} {:>14}", "k", "MRG", "EIM", "GON");
     for &k in k_values {
         let mrg = MrgConfig::new(k)
             .with_unchecked_capacity()
             .run(space)
             .expect("MRG failed");
-        let eim = EimConfig::new(k).with_seed(3).run(space).expect("EIM failed");
+        let eim = EimConfig::new(k)
+            .with_seed(3)
+            .run(space)
+            .expect("EIM failed");
         let gon = GonzalezConfig::new(k).solve(space).expect("GON failed");
         println!(
             "{:>6} {:>14.4} {:>14.4} {:>14.4}",
@@ -32,13 +38,13 @@ fn main() {
     let k_prime = 10;
     let ks = [2usize, 5, 10, 20, 40];
 
-    let unif = VecSpace::new(UnifGenerator::new(n).generate(1));
+    let unif = VecSpace::from_flat(UnifGenerator::new(n).generate_flat(1));
     report(&unif, "UNIF (no planted clusters)", &ks);
 
-    let gau = VecSpace::new(GauGenerator::new(n, k_prime).generate(1));
+    let gau = VecSpace::from_flat(GauGenerator::new(n, k_prime).generate_flat(1));
     report(&gau, "GAU (10 balanced planted clusters)", &ks);
 
-    let unb = VecSpace::new(UnbGenerator::new(n, k_prime).generate(1));
+    let unb = VecSpace::from_flat(UnbGenerator::new(n, k_prime).generate_flat(1));
     report(&unb, "UNB (half the points in one cluster)", &ks);
 
     println!(

@@ -18,20 +18,32 @@ fn main() {
     // A 16-point instance with four tight groups of unequal diameter — small
     // enough for brute force, structured enough that bad partitions hurt.
     let mut points = Vec::new();
-    for (cx, cy, spread) in [(0.0, 0.0, 0.5), (40.0, 0.0, 1.0), (0.0, 40.0, 2.0), (40.0, 40.0, 4.0)] {
+    for (cx, cy, spread) in [
+        (0.0, 0.0, 0.5),
+        (40.0, 0.0, 1.0),
+        (0.0, 40.0, 2.0),
+        (40.0, 40.0, 4.0),
+    ] {
         points.push(Point::xy(cx, cy));
         points.push(Point::xy(cx + spread, cy));
         points.push(Point::xy(cx, cy + spread));
         points.push(Point::xy(cx + spread, cy + spread));
     }
 
-    println!("{:>3} {:>8} {:>12} {:>12} {:>12} {:>14}", "k", "trials", "best", "mean", "worst", "proven bound");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "k", "trials", "best", "mean", "worst", "proven bound"
+    );
     for k in [2usize, 3, 4, 6] {
         // Capacity 8 forces one or two reduction rounds; for k = 6 the
         // per-machine chunks are no larger than k, which is exactly the
         // "sample cannot shrink" condition the paper discusses after
         // Lemma 3 — the probe reports it as an error.
-        match TightnessProbe::new(k, 400).with_cluster(3, 8).with_seed(99).run(&points) {
+        match TightnessProbe::new(k, 400)
+            .with_cluster(3, 8)
+            .with_seed(99)
+            .run(&points)
+        {
             Ok(report) => println!(
                 "{:>3} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>14.1}{}",
                 k,
@@ -40,7 +52,11 @@ fn main() {
                 report.mean_ratio,
                 report.worst_ratio,
                 report.proven_factor,
-                if report.bound_violated() { "  BOUND VIOLATED (bug!)" } else { "" },
+                if report.bound_violated() {
+                    "  BOUND VIOLATED (bug!)"
+                } else {
+                    ""
+                },
             ),
             Err(e) => println!("{k:>3}      MRG cannot finish with capacity 8: {e}"),
         }

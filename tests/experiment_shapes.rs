@@ -49,7 +49,10 @@ fn eim_is_slower_than_mrg_despite_being_parallel() {
         .with_seed(3)
         .run(&space)
         .unwrap();
-    assert!(!eim.fell_back_to_sequential, "test needs the sampling loop to run");
+    assert!(
+        !eim.fell_back_to_sequential,
+        "test needs the sampling loop to run"
+    );
     let mrg = MrgConfig::new(k).run(&space).unwrap();
     let eim_seconds = eim.stats.simulated_time().as_secs_f64();
     let mrg_seconds = mrg.stats.simulated_time().as_secs_f64();
@@ -70,7 +73,12 @@ fn solution_values_of_all_three_algorithms_are_comparable() {
     for k in [5usize, 25] {
         let gon = GonzalezConfig::new(k).solve(&space).unwrap().radius;
         let mrg = MrgConfig::new(k).run(&space).unwrap().solution.radius;
-        let eim = EimConfig::new(k).with_seed(5).run(&space).unwrap().solution.radius;
+        let eim = EimConfig::new(k)
+            .with_seed(5)
+            .run(&space)
+            .unwrap()
+            .solution
+            .radius;
         for (name, v) in [("MRG", mrg), ("EIM", eim)] {
             assert!(
                 v <= 1.6 * gon && v >= 0.4 * gon,
@@ -136,8 +144,18 @@ fn mrg_runtime_grows_roughly_linearly_in_n() {
     // less than quadratically.
     let small = VecSpace::new(UnifGenerator::new(10_000).generate(11));
     let large = VecSpace::new(UnifGenerator::new(40_000).generate(11));
-    let t_small = MrgConfig::new(10).run(&small).unwrap().stats.sequential_time().as_secs_f64();
-    let t_large = MrgConfig::new(10).run(&large).unwrap().stats.sequential_time().as_secs_f64();
+    let t_small = MrgConfig::new(10)
+        .run(&small)
+        .unwrap()
+        .stats
+        .sequential_time()
+        .as_secs_f64();
+    let t_large = MrgConfig::new(10)
+        .run(&large)
+        .unwrap()
+        .stats
+        .sequential_time()
+        .as_secs_f64();
     let ratio = t_large / t_small.max(1e-9);
     assert!(
         ratio > 1.5 && ratio < 16.0,

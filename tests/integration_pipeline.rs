@@ -7,10 +7,22 @@ use kcenter::prelude::*;
 fn families() -> Vec<(&'static str, VecSpace)> {
     vec![
         ("UNIF", VecSpace::new(UnifGenerator::new(3_000).generate(1))),
-        ("GAU", VecSpace::new(GauGenerator::new(3_000, 10).generate(1))),
-        ("UNB", VecSpace::new(UnbGenerator::new(3_000, 10).generate(1))),
-        ("POKER", VecSpace::new(PokerHandSim::with_rows(2_000).generate(1))),
-        ("KDD", VecSpace::new(KddCupSim::with_rows(2_000).generate(1))),
+        (
+            "GAU",
+            VecSpace::new(GauGenerator::new(3_000, 10).generate(1)),
+        ),
+        (
+            "UNB",
+            VecSpace::new(UnbGenerator::new(3_000, 10).generate(1)),
+        ),
+        (
+            "POKER",
+            VecSpace::new(PokerHandSim::with_rows(2_000).generate(1)),
+        ),
+        (
+            "KDD",
+            VecSpace::new(KddCupSim::with_rows(2_000).generate(1)),
+        ),
     ]
 }
 
@@ -24,10 +36,21 @@ fn all_algorithms_run_on_every_workload_family() {
             .with_unchecked_capacity()
             .run(&space)
             .unwrap();
-        let eim = EimConfig::new(k).with_machines(10).with_seed(2).run(&space).unwrap();
+        let eim = EimConfig::new(k)
+            .with_machines(10)
+            .with_seed(2)
+            .run(&space)
+            .unwrap();
 
-        for (name, radius) in [("GON", gon.radius), ("MRG", mrg.solution.radius), ("EIM", eim.solution.radius)] {
-            assert!(radius.is_finite() && radius >= 0.0, "{family}/{name} produced a bad radius");
+        for (name, radius) in [
+            ("GON", gon.radius),
+            ("MRG", mrg.solution.radius),
+            ("EIM", eim.solution.radius),
+        ] {
+            assert!(
+                radius.is_finite() && radius >= 0.0,
+                "{family}/{name} produced a bad radius"
+            );
         }
         // All three are constant-factor approximations of the same optimum:
         // MRG <= 4*OPT <= 4*GON and GON <= 2*OPT <= 2*MRG, so the ratio
@@ -46,7 +69,10 @@ fn all_algorithms_run_on_every_workload_family() {
 fn mrg_two_round_structure_on_paper_sized_machine_count() {
     let space = VecSpace::new(GauGenerator::new(20_000, 25).generate(3));
     let result = MrgConfig::new(25).run(&space).unwrap();
-    assert_eq!(result.mapreduce_rounds, 2, "paper-default capacity must give the two-round case");
+    assert_eq!(
+        result.mapreduce_rounds, 2,
+        "paper-default capacity must give the two-round case"
+    );
     assert_eq!(result.approximation_factor, 4.0);
     assert_eq!(result.solution.centers.len(), 25);
     // Round accounting: first round processes all n points over 50
@@ -84,7 +110,11 @@ fn eim_samples_on_large_instances_and_falls_back_on_small_ones() {
 #[test]
 fn assignments_cover_every_point_within_the_reported_radius() {
     let space = VecSpace::new(UnbGenerator::new(5_000, 8).generate(6));
-    let result = MrgConfig::new(8).with_machines(16).with_unchecked_capacity().run(&space).unwrap();
+    let result = MrgConfig::new(8)
+        .with_machines(16)
+        .with_unchecked_capacity()
+        .run(&space)
+        .unwrap();
     let assignment = assign(&space, &result.solution.centers);
     assert_eq!(assignment.len(), 5_000);
     let sizes = cluster_sizes(&assignment, result.solution.centers.len());
@@ -100,15 +130,34 @@ fn assignments_cover_every_point_within_the_reported_radius() {
 
 #[test]
 fn results_are_deterministic_given_seeds() {
-    let spec = DatasetSpec::Gau { n: 4_000, k_prime: 5 };
+    let spec = DatasetSpec::Gau {
+        n: 4_000,
+        k_prime: 5,
+    };
     let a = VecSpace::new(spec.generate(7));
     let b = VecSpace::new(spec.generate(7));
-    let mrg_a = MrgConfig::new(5).with_machines(10).with_unchecked_capacity().run(&a).unwrap();
-    let mrg_b = MrgConfig::new(5).with_machines(10).with_unchecked_capacity().run(&b).unwrap();
+    let mrg_a = MrgConfig::new(5)
+        .with_machines(10)
+        .with_unchecked_capacity()
+        .run(&a)
+        .unwrap();
+    let mrg_b = MrgConfig::new(5)
+        .with_machines(10)
+        .with_unchecked_capacity()
+        .run(&b)
+        .unwrap();
     assert_eq!(mrg_a.solution, mrg_b.solution);
 
-    let eim_a = EimConfig::new(5).with_machines(10).with_seed(11).run(&a).unwrap();
-    let eim_b = EimConfig::new(5).with_machines(10).with_seed(11).run(&b).unwrap();
+    let eim_a = EimConfig::new(5)
+        .with_machines(10)
+        .with_seed(11)
+        .run(&a)
+        .unwrap();
+    let eim_b = EimConfig::new(5)
+        .with_machines(10)
+        .with_seed(11)
+        .run(&b)
+        .unwrap();
     assert_eq!(eim_a.solution, eim_b.solution);
     assert_eq!(eim_a.sample_size, eim_b.sample_size);
 }

@@ -1,0 +1,373 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator surface the workspace uses with plain
+//! `std::thread::scope` fan-out: every *expensive* combinator (`map`,
+//! `filter_map`, `flat_map_iter`, `for_each`, `reduce`) splits its items
+//! into one contiguous chunk per available core and joins in order, while
+//! cheap adaptors (`enumerate`, `zip`, `cloned`) restructure sequentially.
+//! Semantics match rayon for the pure closures used here; there is no work
+//! stealing, so callers should keep their own sequential-cutoff heuristics
+//! (the workspace does).
+
+use std::thread;
+
+/// Number of worker threads a parallel stage may use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Below this many items a "parallel" stage runs sequentially: spawning
+/// scoped threads costs tens of microseconds, which dominates tiny inputs.
+const SPAWN_CUTOFF: usize = 2;
+
+/// Applies `f` to every item, in parallel, preserving order.
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if n < SPAWN_CUTOFF || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut src: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut dst: Vec<Option<R>> = Vec::with_capacity(n);
+    dst.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    thread::scope(|scope| {
+        let f = &f;
+        for (s, d) in src.chunks_mut(chunk).zip(dst.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot_in, slot_out) in s.iter_mut().zip(d.iter_mut()) {
+                    let item = slot_in.take().expect("item consumed twice");
+                    *slot_out = Some(f(item));
+                }
+            });
+        }
+    });
+    dst.into_iter()
+        .map(|r| r.expect("worker thread skipped an item"))
+        .collect()
+}
+
+/// The eager "parallel iterator": a staged pipeline over an owned item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map(self.items, f) }
+    }
+
+    /// Parallel map followed by dropping `None`s, preserving order.
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map(self.items, f).into_iter().flatten().collect() }
+    }
+
+    /// Keeps the items satisfying the predicate.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        self.filter_map(|t| if f(&t) { Some(t) } else { None })
+    }
+
+    /// Maps every item to a sequential iterator and concatenates the results
+    /// in order (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        I::IntoIter: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested: Vec<Vec<I::Item>> =
+            parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<_>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Zips with another parallel iterator, truncating to the shorter side.
+    pub fn zip<U: Send>(self, other: impl IntoParallelIterator<Item = U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    /// Parallel reduction: chunks fold with `op` starting from `identity()`,
+    /// then the per-chunk results fold sequentially.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if n < SPAWN_CUTOFF || threads <= 1 {
+            return self.items.into_iter().fold(identity(), &op);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut src: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let partials: Vec<T> = thread::scope(|scope| {
+            let op = &op;
+            let identity = &identity;
+            let handles: Vec<_> = src
+                .chunks_mut(chunk)
+                .map(|s| {
+                    scope.spawn(move || {
+                        s.iter_mut()
+                            .map(|slot| slot.take().expect("item consumed twice"))
+                            .fold(identity(), op)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Reduction without an identity; `None` on empty input.
+    pub fn reduce_with<OP>(self, op: OP) -> Option<T>
+    where
+        OP: Fn(T, T) -> T + Sync,
+    {
+        if self.items.is_empty() {
+            return None;
+        }
+        let mut iter = self.items.into_iter();
+        let first = iter.next().unwrap();
+        Some(iter.fold(first, op))
+    }
+
+    /// Whether every item satisfies the predicate, with early termination:
+    /// workers poll a shared flag and stop once any item fails.
+    pub fn all<F: Fn(T) -> bool + Sync>(self, f: F) -> bool {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if n < SPAWN_CUTOFF || threads <= 1 {
+            return self.items.into_iter().all(f);
+        }
+        let failed = AtomicBool::new(false);
+        let mut src: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let chunk = n.div_ceil(threads);
+        thread::scope(|scope| {
+            let f = &f;
+            let failed = &failed;
+            for s in src.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for slot in s.iter_mut() {
+                        if failed.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let item = slot.take().expect("item consumed twice");
+                        if !f(item) {
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        !failed.into_inner()
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into any `FromIterator` collection, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<'a, T: Clone + Send + Sync> ParIter<&'a T> {
+    /// Clones every referenced item.
+    pub fn cloned(self) -> ParIter<T> {
+        ParIter { items: self.items.into_iter().cloned().collect() }
+    }
+
+    /// Copies every referenced item.
+    pub fn copied(self) -> ParIter<T>
+    where
+        T: Copy,
+    {
+        ParIter { items: self.items.into_iter().copied().collect() }
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// Builds the iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` over shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The referenced item type.
+    type Item: 'data + Sync;
+    /// Builds the iterator of references.
+    fn par_iter(&'data self) -> ParIter<&'data Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter_mut()` over exclusive references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The referenced item type.
+    type Item: 'data + Send;
+    /// Builds the iterator of mutable references.
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// Chunked slice access, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of at most `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks(size).collect() }
+    }
+}
+
+/// Chunked mutable slice access, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable contiguous chunks of at most `size`
+    /// items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks_mut(size).collect() }
+    }
+}
+
+/// The glob-import module, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let v: Vec<f64> = (0..5_000).map(|i| i as f64).collect();
+        let par = v.par_iter().cloned().reduce(|| f64::NEG_INFINITY, f64::max);
+        assert_eq!(par, 4_999.0);
+    }
+
+    #[test]
+    fn par_iter_mut_zip_for_each_writes_through() {
+        let mut dst = vec![0usize; 1000];
+        let src: Vec<usize> = (0..1000).collect();
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d = s + 1);
+        assert!(dst.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let out: Vec<usize> = (0..4usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .flat_map_iter(|c| (0..3).map(move |i| c * 3 + i))
+            .collect();
+        assert_eq!(out, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_everything() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let total: u32 = v
+            .par_chunks(1024)
+            .map(|c| c.iter().sum::<u32>())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .sum();
+        assert_eq!(total, v.iter().sum::<u32>());
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: the two marker traits plus no-op derive
+//! macros.  Nothing in the workspace serialises yet; the derives exist so
+//! the public types already carry the annotations a real backend will use.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! No-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types but
+//! never serialises anything yet, so the derives expand to nothing.  When a
+//! real serialisation backend lands, swap this for the genuine crate.
+
+use proc_macro::TokenStream;
+
+/// Derives a (no-op) `Serialize` implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives a (no-op) `Deserialize` implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
