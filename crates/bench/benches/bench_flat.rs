@@ -2,7 +2,8 @@
 //! hot nearest-center scan (one Gonzalez iteration: relax + argmax).
 //!
 //! Grid: n ∈ {10k, 100k, 1M} × d ∈ {2, 16}, plus the chunked-parallel flat
-//! variant.  `cargo run --release -p kcenter-bench --bin flat_report`
+//! variant and the `f32`-storage rows (same seed, half the bytes per
+//! coordinate).  `cargo run --release -p kcenter-bench --bin flat_report`
 //! produces the committed `BENCH_flat.json` from the same scan code.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -20,9 +21,12 @@ fn bench_nearest_center_scan(c: &mut Criterion) {
     group.sample_size(10);
     for &dim in &DIMS {
         for &n in &SIZES {
-            let flat = UnifGenerator::with_dim_and_side(n, dim, 1000.0).generate_flat(42);
+            let generator = UnifGenerator::with_dim_and_side(n, dim, 1000.0);
+            let flat = generator.generate_flat(42);
+            let flat32 = generator.generate_flat_at::<f32>(42);
             let points = flat.to_points();
             let space = VecSpace::from_flat(flat);
+            let space32 = VecSpace::from_flat(flat32);
             let label = format!("n{n}_d{dim}");
 
             group.bench_with_input(BenchmarkId::new("old_vec_point", &label), &n, |b, _| {
@@ -36,6 +40,14 @@ fn bench_nearest_center_scan(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("flat_par", &label), &n, |b, _| {
                 let mut nearest = vec![f64::INFINITY; n];
                 b.iter(|| black_box(flat_par_iteration(&space, 0, &mut nearest)))
+            });
+            group.bench_with_input(BenchmarkId::new("flat_f32", &label), &n, |b, _| {
+                let mut nearest = vec![f32::INFINITY; n];
+                b.iter(|| black_box(flat_iteration(&space32, 0, &mut nearest)))
+            });
+            group.bench_with_input(BenchmarkId::new("flat_f32_par", &label), &n, |b, _| {
+                let mut nearest = vec![f32::INFINITY; n];
+                b.iter(|| black_box(flat_par_iteration(&space32, 0, &mut nearest)))
             });
         }
     }

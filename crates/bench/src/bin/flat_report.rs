@@ -1,11 +1,16 @@
 //! Writes `BENCH_flat.json`: throughput of the hot nearest-center scan on
-//! the old `Vec<Point>` layout vs the new flat SoA kernels.
+//! the old `Vec<Point>` layout vs the new flat SoA kernels, at both storage
+//! precisions (`f64` and `f32`).
 //!
 //! Usage: `cargo run --release -p kcenter-bench --bin flat_report [out.json]`
 //!
 //! Each configuration is warmed up, then measured as the best-of-`REPEATS`
 //! wall time of one full scan (relax + argmax over all n points), matching
-//! the `bench_flat` Criterion bench.
+//! the `bench_flat` Criterion bench.  Both `Vec<Point>` baselines are kept
+//! (ROADMAP "heap-layout honesty"): *fresh* heaps allocate the per-point
+//! Vecs sequentially — the allocator best case — while *aged* heaps shuffle
+//! the allocation order the way parallel generators and long-lived
+//! processes do.
 
 use kcenter_bench::flatbench::{
     flat_iteration, flat_par_iteration, old_iteration, to_points_aged_heap,
@@ -25,11 +30,11 @@ const REPEATS: usize = 7;
 /// runs them (so each layout sees its own true cache residency).
 const SCANS: usize = 8;
 
-/// Best-of-`REPEATS` wall times of the three scan variants, measured
-/// **interleaved** (old, flat, par, old, flat, par, …) after `WARMUP`
-/// untimed rounds.  Interleaving plus best-of damps the scheduling and
-/// bandwidth noise of shared machines, which would otherwise skew a ratio
-/// whose sides were measured at different times.
+/// Best-of-`REPEATS` wall times of the scan variants, measured
+/// **interleaved** (old, flat64, flat32, old, flat64, flat32, …) after
+/// `WARMUP` untimed rounds.  Interleaving plus best-of damps the scheduling
+/// and bandwidth noise of shared machines, which would otherwise skew a
+/// ratio whose sides were measured at different times.
 fn best_interleaved(variants: &mut [&mut dyn FnMut()]) -> Vec<u128> {
     let mut best = vec![u128::MAX; variants.len()];
     for round in 0..WARMUP + REPEATS {
@@ -56,63 +61,94 @@ fn main() {
     let mut rows = Vec::new();
     for &dim in &DIMS {
         for &n in &SIZES {
-            let flat = UnifGenerator::with_dim_and_side(n, dim, 1000.0).generate_flat(42);
+            let generator = UnifGenerator::with_dim_and_side(n, dim, 1000.0);
+            let flat = generator.generate_flat(42);
+            // Same seed at f32: identical geometry, half the bytes per row.
+            let flat32 = generator.generate_flat_at::<f32>(42);
             // "fresh": per-point Vecs allocated sequentially (the best case
             // for the old layout); "aged": allocation order shuffled, the
             // layout a parallel generator / long-lived heap produces.
             let points_fresh = flat.to_points();
             let points_aged = to_points_aged_heap(&flat, 7);
             let space = VecSpace::from_flat(flat);
+            let space32 = VecSpace::from_flat(flat32);
             let nearest = std::cell::RefCell::new(vec![f64::INFINITY; n]);
+            let nearest32 = std::cell::RefCell::new(vec![f32::INFINITY; n]);
 
             // Centers spread across the instance, as successive Gonzalez
-            // picks would be.
+            // picks would be.  Each variant resets only the nearest array
+            // it actually scans — resetting both would add the same
+            // absolute overhead to every timed block and bias the ratios
+            // toward 1.
             let centers: Vec<usize> = (0..SCANS).map(|i| i * (n / SCANS)).collect();
-            let block = |scan: &mut dyn FnMut(usize)| {
-                let mut nearest = nearest.borrow_mut();
-                nearest.fill(f64::INFINITY);
-                drop(nearest);
+            let block64 = |scan: &mut dyn FnMut(usize)| {
+                nearest.borrow_mut().fill(f64::INFINITY);
+                for &c in &centers {
+                    scan(c);
+                }
+            };
+            let block32 = |scan: &mut dyn FnMut(usize)| {
+                nearest32.borrow_mut().fill(f32::INFINITY);
                 for &c in &centers {
                     scan(c);
                 }
             };
             let timed = best_interleaved(&mut [
                 &mut || {
-                    block(&mut |c| {
+                    block64(&mut |c| {
                         black_box(old_iteration(&points_fresh, c, &mut nearest.borrow_mut()));
                     })
                 },
                 &mut || {
-                    block(&mut |c| {
+                    block64(&mut |c| {
                         black_box(old_iteration(&points_aged, c, &mut nearest.borrow_mut()));
                     })
                 },
                 &mut || {
-                    block(&mut |c| {
+                    block64(&mut |c| {
                         black_box(flat_iteration(&space, c, &mut nearest.borrow_mut()));
                     })
                 },
                 &mut || {
-                    block(&mut |c| {
+                    block64(&mut |c| {
                         black_box(flat_par_iteration(&space, c, &mut nearest.borrow_mut()));
+                    })
+                },
+                &mut || {
+                    block32(&mut |c| {
+                        black_box(flat_iteration(&space32, c, &mut nearest32.borrow_mut()));
+                    })
+                },
+                &mut || {
+                    block32(&mut |c| {
+                        black_box(flat_par_iteration(&space32, c, &mut nearest32.borrow_mut()));
                     })
                 },
             ]);
             let per_scan: Vec<u128> = timed.iter().map(|t| t / SCANS as u128).collect();
-            let (fresh_ns, aged_ns, flat_ns, par_ns) =
-                (per_scan[0], per_scan[1], per_scan[2], per_scan[3]);
+            let (fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns) = (
+                per_scan[0],
+                per_scan[1],
+                per_scan[2],
+                per_scan[3],
+                per_scan[4],
+                per_scan[5],
+            );
 
             let mpts = |ns: u128| n as f64 / (ns as f64 / 1e9) / 1e6;
             eprintln!(
-                "n={n:>9} d={dim:>2}  old_fresh {:>9} ns ({:>6.1} Mpt/s)  old_aged {:>9} ns  flat {:>9} ns ({:>6.1} Mpt/s, {:.2}x/{:.2}x)  flat_par {:>9} ns ({:.2}x/{:.2}x)",
+                "n={n:>9} d={dim:>2}  old_fresh {:>9} ns ({:>6.1} Mpt/s)  old_aged {:>9} ns  flat64 {:>9} ns ({:>6.1} Mpt/s, {:.2}x/{:.2}x)  flat32 {:>9} ns ({:>6.1} Mpt/s, {:.2}x vs flat64)  par64 {:>9} ns  par32 {:>9} ns",
                 fresh_ns, mpts(fresh_ns), aged_ns, flat_ns, mpts(flat_ns),
                 fresh_ns as f64 / flat_ns as f64,
                 aged_ns as f64 / flat_ns as f64,
+                f32_ns, mpts(f32_ns),
+                flat_ns as f64 / f32_ns as f64,
                 par_ns,
-                fresh_ns as f64 / par_ns as f64,
-                aged_ns as f64 / par_ns as f64,
+                f32_par_ns,
             );
-            rows.push((n, dim, fresh_ns, aged_ns, flat_ns, par_ns));
+            rows.push((
+                n, dim, fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns,
+            ));
         }
     }
 
@@ -123,20 +159,26 @@ fn main() {
     );
     json.push_str("  \"baseline_fresh\": \"Vec<Point>, per-point heap Vecs allocated sequentially (allocator best case), sqrt per pair, two passes\",\n");
     json.push_str("  \"baseline_aged\": \"Vec<Point>, allocation order shuffled (parallel-generator / aged-heap layout), sqrt per pair, two passes\",\n");
-    json.push_str("  \"candidate\": \"FlatPoints SoA rows, fused squared-distance kernel (relax_all_max)\",\n");
+    json.push_str("  \"candidate\": \"FlatPoints SoA rows, fused squared-distance kernel (relax_all_max), f64 and f32 storage\",\n");
     let _ = writeln!(
         json,
         "  \"metric\": \"best-of-{REPEATS} interleaved wall nanoseconds per full n-point scan, {SCANS} consecutive scans per timed block ({WARMUP} warm-up rounds)\","
     );
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {threads},\n  \"threads\": {threads},\n  \"host_note\": \"available_parallelism of the measuring host; single-vCPU containers understate the par_* rows\","
+    );
     json.push_str("  \"results\": [\n");
-    for (i, (n, dim, fresh_ns, aged_ns, flat_ns, par_ns)) in rows.iter().enumerate() {
+    for (i, (n, dim, fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns)) in
+        rows.iter().enumerate()
+    {
         let _ = write!(
             json,
-            "    {{\"n\": {n}, \"dim\": {dim}, \"old_fresh_ns\": {fresh_ns}, \"old_aged_ns\": {aged_ns}, \"flat_ns\": {flat_ns}, \"flat_par_ns\": {par_ns}, \"speedup_vs_fresh\": {:.3}, \"speedup_vs_aged\": {:.3}, \"speedup_par_vs_aged\": {:.3}}}",
+            "    {{\"n\": {n}, \"dim\": {dim}, \"old_fresh_ns\": {fresh_ns}, \"old_aged_ns\": {aged_ns}, \"flat_ns\": {flat_ns}, \"flat_par_ns\": {par_ns}, \"flat_f32_ns\": {f32_ns}, \"flat_f32_par_ns\": {f32_par_ns}, \"speedup_vs_fresh\": {:.3}, \"speedup_vs_aged\": {:.3}, \"speedup_par_vs_aged\": {:.3}, \"speedup_f32_vs_f64\": {:.3}}}",
             *fresh_ns as f64 / *flat_ns as f64,
             *aged_ns as f64 / *flat_ns as f64,
             *aged_ns as f64 / *par_ns as f64,
+            *flat_ns as f64 / *f32_ns as f64,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -11,10 +11,12 @@
 //!   argmax passes — a faithful replica of the pre-flat implementation;
 //! * **flat**: the fused `relax_nearest_max` pass over [`FlatPoints`] rows
 //!   in squared space — exactly what `select_centers` now runs — plus the
-//!   chunked-parallel variant.
+//!   chunked-parallel variant, at **both storage precisions** (`f64` and
+//!   `f32`; the scan is DRAM-bound at n = 1M, so the halved bytes of the
+//!   `f32` rows are the measurement that justifies the precision mode).
 
 use kcenter_metric::kernel;
-use kcenter_metric::{Distance, Euclidean, FlatPoints, MetricSpace, Point, VecSpace};
+use kcenter_metric::{Distance, Euclidean, FlatPoints, MetricSpace, Point, Scalar, VecSpace};
 
 /// Materialises the rows of `flat` as owned `Point`s whose heap allocations
 /// happen in a (deterministically) shuffled order, while the resulting
@@ -79,13 +81,22 @@ pub fn old_iteration(points: &[Point], center: usize, nearest: &mut [f64]) -> (u
 }
 
 /// One Gonzalez iteration on the flat layout: the fused row-streaming pass
-/// `select_centers` runs on the full space.
-pub fn flat_iteration(space: &VecSpace, center: usize, nearest: &mut [f64]) -> (usize, f64) {
+/// `select_centers` runs on the full space, at whatever storage precision
+/// the space carries.
+pub fn flat_iteration<S: Scalar>(
+    space: &VecSpace<Euclidean, S>,
+    center: usize,
+    nearest: &mut [S],
+) -> (usize, S) {
     space.relax_all_max(center, nearest)
 }
 
 /// One Gonzalez iteration on the flat layout, chunked-parallel variant.
-pub fn flat_par_iteration(space: &VecSpace, center: usize, nearest: &mut [f64]) -> (usize, f64) {
+pub fn flat_par_iteration<S: Scalar>(
+    space: &VecSpace<Euclidean, S>,
+    center: usize,
+    nearest: &mut [S],
+) -> (usize, S) {
     space.par_relax_all_max(center, nearest)
 }
 
@@ -111,6 +122,22 @@ mod tests {
         let (par_far, par_d) = flat_par_iteration(&space, 0, &mut par_nearest);
         assert_eq!((flat_far, flat_d), (par_far, par_d));
         assert_eq!(flat_nearest, par_nearest);
+    }
+
+    #[test]
+    fn f32_iteration_picks_the_same_farthest_point_as_f64() {
+        let g = UnifGenerator::with_dim_and_side(2_000, 16, 100.0);
+        let flat64 = g.generate_flat(5);
+        let flat32 = g.generate_flat_at::<f32>(5);
+        let space64 = VecSpace::from_flat(flat64);
+        let space32 = VecSpace::from_flat(flat32);
+        let mut near64 = vec![f64::INFINITY; 2_000];
+        let mut near32 = vec![f32::INFINITY; 2_000];
+        let (far64, d64) = flat_iteration(&space64, 0, &mut near64);
+        let (far32, d32) = flat_iteration(&space32, 0, &mut near32);
+        assert_eq!(far64, far32, "precisions disagree on the farthest point");
+        // The f32 surrogate matches the f64 one to input-rounding accuracy.
+        assert!((d64 - d32 as f64).abs() <= 1e-4 * (1.0 + d64));
     }
 
     #[test]

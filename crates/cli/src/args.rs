@@ -5,6 +5,7 @@
 //! would be overkill.
 
 use kcenter_data::DatasetSpec;
+use kcenter_metric::Precision;
 use std::fmt;
 
 /// The parsed command line.
@@ -85,6 +86,9 @@ pub struct SolveArgs {
     pub skip_columns: usize,
     /// Optional path to write the per-point assignment to.
     pub assignment_out: Option<String>,
+    /// Storage precision for the coordinate store: `f32` halves the scan
+    /// bandwidth (the covering radius is still certified in `f64`).
+    pub precision: Precision,
 }
 
 /// Arguments of the `info` subcommand.
@@ -116,6 +120,7 @@ USAGE:
   kcenter generate <unif|gau|unb|poker|kdd> --n N [--k-prime K'] [--seed S] --out FILE.csv
   kcenter solve <gon|mrg|eim|hs> --input FILE.csv --k K [--machines M] [--phi P]
                 [--epsilon E] [--seed S] [--skip-columns C] [--assign OUT.csv]
+                [--precision f32|f64]
   kcenter info --input FILE.csv [--skip-columns C]
   kcenter help
 ";
@@ -207,6 +212,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
     let mut seed: u64 = 0;
     let mut skip_columns: usize = 0;
     let mut assignment_out: Option<String> = None;
+    let mut precision = Precision::default();
     for (flag, value) in &flags {
         match flag.as_str() {
             "--input" => input = Some(value.clone()),
@@ -217,6 +223,13 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
             "--seed" => seed = parse_number(flag, value)?,
             "--skip-columns" => skip_columns = parse_number(flag, value)?,
             "--assign" => assignment_out = Some(value.clone()),
+            "--precision" => {
+                precision = Precision::parse(value).ok_or_else(|| {
+                    ParseError(format!(
+                        "invalid value {value:?} for --precision (expected f32 or f64)"
+                    ))
+                })?
+            }
             other => return Err(ParseError(format!("unknown flag {other:?} for solve"))),
         }
     }
@@ -230,6 +243,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
         seed,
         skip_columns,
         assignment_out,
+        precision,
     })
 }
 
@@ -315,11 +329,12 @@ mod tests {
                 assert_eq!(s.phi, 8.0);
                 assert_eq!(s.epsilon, 0.1);
                 assert_eq!(s.assignment_out, None);
+                assert_eq!(s.precision, Precision::F64);
             }
             _ => panic!("expected solve"),
         }
         let cli = parse(&argv(
-            "solve eim --input pts.csv --k 5 --machines 10 --phi 4 --epsilon 0.2 --seed 9 --skip-columns 1 --assign a.csv",
+            "solve eim --input pts.csv --k 5 --machines 10 --phi 4 --epsilon 0.2 --seed 9 --skip-columns 1 --assign a.csv --precision f32",
         ))
         .unwrap();
         match cli.command {
@@ -331,9 +346,16 @@ mod tests {
                 assert_eq!(s.seed, 9);
                 assert_eq!(s.skip_columns, 1);
                 assert_eq!(s.assignment_out.as_deref(), Some("a.csv"));
+                assert_eq!(s.precision, Precision::F32);
             }
             _ => panic!("expected solve"),
         }
+    }
+
+    #[test]
+    fn solve_rejects_unknown_precision() {
+        let err = parse(&argv("solve gon --input x.csv --k 2 --precision f16")).unwrap_err();
+        assert!(err.to_string().contains("--precision"));
     }
 
     #[test]

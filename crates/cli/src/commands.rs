@@ -4,7 +4,9 @@ use crate::args::{Cli, Command, GenerateArgs, InfoArgs, SolveArgs, SolverChoice,
 use kcenter_core::evaluate::{assign, cluster_sizes};
 use kcenter_core::prelude::*;
 use kcenter_data::csv::{load_points, save_points, CsvOptions};
-use kcenter_metric::{BoundingBox, MetricSpace, PointId, VecSpace};
+use kcenter_metric::{
+    BoundingBox, Euclidean, FlatPoints, MetricSpace, PointId, Precision, Scalar, VecSpace,
+};
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
@@ -77,23 +79,53 @@ fn generate<W: Write>(args: &GenerateArgs, out: &mut W) -> Result<(), CommandErr
     Ok(())
 }
 
-fn load_space(path: &str, skip_columns: usize) -> Result<VecSpace, CommandError> {
+fn load_space<S: Scalar>(
+    path: &str,
+    skip_columns: usize,
+) -> Result<VecSpace<Euclidean, S>, CommandError> {
     let options = CsvOptions {
         skip_trailing_columns: skip_columns,
         ..Default::default()
     };
     let points = load_points(Path::new(path), &options)?;
-    Ok(VecSpace::new(points))
+    // The flat store rejects coordinates beyond the storage scalar's safe
+    // magnitude (squared distances would overflow) with a panic on the
+    // `from_points` path; surface a named error to the CLI user instead.
+    for p in &points {
+        if let Some(&c) = p.coords().iter().find(|c| c.abs() > S::MAX_ABS_COORD) {
+            return Err(CommandError::Algorithm(KCenterError::InvalidParameter {
+                name: "precision",
+                message: format!(
+                    "coordinate {c} exceeds the {} storage limit {:e}; \
+                     rerun with --precision f64",
+                    S::NAME,
+                    S::MAX_ABS_COORD
+                ),
+            }));
+        }
+    }
+    Ok(VecSpace::from_flat(FlatPoints::from_points(&points)))
 }
 
 fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
-    let space = load_space(&args.input, args.skip_columns)?;
+    // Dispatch into the monomorphised storage-precision stack once, here;
+    // everything below runs entirely at the chosen precision (with the
+    // covering radius still certified in f64 by the evaluation layer).
+    match args.precision {
+        Precision::F64 => solve_at::<f64, W>(args, out),
+        Precision::F32 => solve_at::<f32, W>(args, out),
+    }
+}
+
+fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
+    let space = load_space::<S>(&args.input, args.skip_columns)?;
     writeln!(
         out,
-        "loaded {} points of dimension {} from {}",
+        "loaded {} points of dimension {} from {} ({} storage)",
         space.len(),
         space.dim().unwrap_or(0),
-        args.input
+        args.input,
+        S::NAME
     )?;
 
     let (centers, radius): (Vec<PointId>, f64) = match args.algorithm {
@@ -192,7 +224,7 @@ fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
 }
 
 fn info<W: Write>(args: &InfoArgs, out: &mut W) -> Result<(), CommandError> {
-    let space = load_space(&args.input, args.skip_columns)?;
+    let space = load_space::<f64>(&args.input, args.skip_columns)?;
     writeln!(out, "file: {}", args.input)?;
     writeln!(out, "points: {}", space.len())?;
     writeln!(out, "dimension: {}", space.dim().unwrap_or(0))?;
@@ -297,6 +329,50 @@ mod tests {
         assert!(eim.contains("EIM (phi = 4"));
         let hs = run_cli(&format!("solve hs --input {csv} --k 3")).unwrap();
         assert!(hs.contains("Hochbaum-Shmoys"));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn solve_with_f32_precision_reports_storage_and_matches_f64_closely() {
+        let csv = temp_path("precision.csv");
+        run_cli(&format!("generate unif --n 500 --seed 4 --out {csv}")).unwrap();
+        let f64_out = run_cli(&format!("solve gon --input {csv} --k 4")).unwrap();
+        let f32_out = run_cli(&format!("solve gon --input {csv} --k 4 --precision f32")).unwrap();
+        assert!(f64_out.contains("(f64 storage)"));
+        assert!(f32_out.contains("(f32 storage)"));
+        let radius = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("covering radius"))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let (r64, r32) = (radius(&f64_out), radius(&f32_out));
+        // Same geometry up to the one-time f32 input rounding.
+        assert!(
+            (r64 - r32).abs() <= 1e-3 * (1.0 + r64),
+            "f32 radius {r32} strays from f64 radius {r64}"
+        );
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn f32_precision_rejects_oversized_coordinates_with_a_named_error() {
+        let csv = temp_path("huge.csv");
+        std::fs::write(&csv, "1e19,0.0\n0.0,1.0\n").unwrap();
+        // Fine at f64 …
+        run_cli(&format!("solve gon --input {csv} --k 1")).unwrap();
+        // … named error (no panic) at f32, where its square would overflow.
+        let err = run_cli(&format!("solve gon --input {csv} --k 1 --precision f32")).unwrap_err();
+        assert!(matches!(
+            err,
+            CommandError::Algorithm(KCenterError::InvalidParameter {
+                name: "precision",
+                ..
+            })
+        ));
+        assert!(err.to_string().contains("f64"));
         std::fs::remove_file(&csv).ok();
     }
 

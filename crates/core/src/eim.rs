@@ -39,7 +39,7 @@ use crate::select::{select_pivot, PHI_ORIGINAL};
 use crate::solution::KCenterSolution;
 use crate::solver::SequentialSolver;
 use kcenter_mapreduce::{partition, ClusterConfig, JobStats, SimulatedCluster};
-use kcenter_metric::{MetricSpace, PointId};
+use kcenter_metric::{MetricSpace, PointId, Scalar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -201,10 +201,11 @@ impl EimConfig {
         let mut in_sample = vec![false; n];
         let mut remaining: Vec<PointId> = (0..n).collect();
         // Incremental cache of d(x, S) for every point, kept in comparison
-        // space (squared for Euclidean): Select and the round-3 filter only
+        // space (squared for Euclidean, at storage precision for a
+        // reduced-precision store): Select and the round-3 filter only
         // ever *compare* these values, so the monotone surrogate gives the
         // same pivot and the same removals without a sqrt per pair.
-        let mut dist_to_sample = vec![f64::INFINITY; n];
+        let mut dist_to_sample: Vec<S::Cmp> = vec![<S::Cmp as Scalar>::INFINITY; n];
 
         let mut iterations = 0usize;
 
@@ -254,12 +255,12 @@ impl EimConfig {
             // ---- Round 2 (lines 5-6): a single reducer runs Select(H, S).
             let phi = self.phi;
             let additions_ref: &[PointId] = &additions;
-            let dist_ref: &[f64] = &dist_to_sample;
+            let dist_ref: &[S::Cmp] = &dist_to_sample;
             let pivot = cluster.run_single(
                 &format!("EIM iteration {} round 2: Select(H, S)", iterations + 1),
                 pivot_candidates,
                 |h| {
-                    let with_dist: Vec<(PointId, f64)> = h
+                    let with_dist: Vec<(PointId, S::Cmp)> = h
                         .iter()
                         .map(|&x| {
                             (
@@ -277,7 +278,7 @@ impl EimConfig {
             let pivot_distance = pivot.map(|(_, d)| d);
             let parts = partition::chunks(&remaining, self.machines);
             let in_sample_ref: &[bool] = &in_sample;
-            let retained: Vec<Vec<(PointId, f64)>> = cluster.run_round(
+            let retained: Vec<Vec<(PointId, S::Cmp)>> = cluster.run_round(
                 &format!("EIM iteration {} round 3: filter R", iterations + 1),
                 &parts,
                 |_, chunk| {
@@ -356,9 +357,9 @@ impl EimConfig {
 fn distance_with_additions<S: MetricSpace + ?Sized>(
     space: &S,
     x: PointId,
-    cached: f64,
+    cached: S::Cmp,
     additions: &[PointId],
-) -> f64 {
+) -> S::Cmp {
     let mut best = cached;
     for &y in additions {
         let d = space.cmp_distance(x, y);

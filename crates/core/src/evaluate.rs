@@ -7,14 +7,27 @@
 //! rayon-parallel implementation is provided and used by default above a
 //! small size threshold.
 //!
-//! The scans run in comparison space (squared distances for Euclidean
-//! spaces) and prune with the early-exit `cmp_distance_to_set_bounded`:
-//! while computing a max-of-mins, a point whose running minimum has already
-//! dropped to the current maximum can stop scanning centers — it cannot
-//! raise the maximum.  The winner is converted back to a real distance once
-//! at the end, so exactly one `sqrt` is taken per evaluation.
+//! # Certification in `f64`
+//!
+//! These are the *verifiers*: every number they produce is reported as a
+//! quality result, so — unlike the selection scans, which may run at a
+//! reduced storage precision — they scan in **certification space**
+//! (`wide_cmp_*`: squared distances for Euclidean spaces, accumulated in
+//! `f64` from the stored rows; see `kcenter_metric::space`).  On an `f32`
+//! space the covering radius is therefore the exact `f64` max-of-mins over
+//! the rounded coordinates: storage precision perturbs the *input* (one
+//! `2^-24` relative rounding per coordinate) but never the evaluation
+//! arithmetic, and per `(seed, precision)` pair the result is bit-for-bit
+//! deterministic.
+//!
+//! The scans still prune with the early-exit
+//! `wide_cmp_distance_to_set_bounded`: while computing a max-of-mins, a
+//! point whose running minimum has already dropped to the current maximum
+//! can stop scanning centers — it cannot raise the maximum.  The winner is
+//! converted back to a real distance once at the end, so exactly one `sqrt`
+//! is taken per evaluation.
 
-use kcenter_metric::{MetricSpace, PointId};
+use kcenter_metric::{MetricSpace, PointId, Scalar};
 use rayon::prelude::*;
 
 /// Below this many (point, center) pairs the sequential scan is used; above
@@ -29,16 +42,17 @@ pub fn covering_radius<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) 
     covering_radius_subset(space, &ids, centers)
 }
 
-/// Max-of-mins over one contiguous block of points, in comparison space,
-/// pruning each point's center scan at the block's running maximum.
-fn cmp_radius_block<S: MetricSpace + ?Sized>(
+/// Max-of-mins over one contiguous block of points, in certification
+/// (`f64`-accumulated) space, pruning each point's center scan at the
+/// block's running maximum.
+fn wide_radius_block<S: MetricSpace + ?Sized>(
     space: &S,
     block: &[PointId],
     centers: &[PointId],
 ) -> f64 {
     let mut max = f64::NEG_INFINITY;
     for &p in block {
-        let d = space.cmp_distance_to_set_bounded(p, centers, max);
+        let d = space.wide_cmp_distance_to_set_bounded(p, centers, max);
         if d > max {
             max = d;
         }
@@ -61,20 +75,22 @@ pub fn covering_radius_subset<S: MetricSpace + ?Sized>(
         return f64::INFINITY;
     }
     let work = subset.len().saturating_mul(centers.len());
-    let cmp_max = if work >= PARALLEL_THRESHOLD {
+    let wide_max = if work >= PARALLEL_THRESHOLD {
         subset
             .par_chunks(1 << 12)
-            .map(|block| cmp_radius_block(space, block, centers))
+            .map(|block| wide_radius_block(space, block, centers))
             .reduce(|| f64::NEG_INFINITY, f64::max)
     } else {
-        cmp_radius_block(space, subset, centers)
+        wide_radius_block(space, subset, centers)
     };
-    space.cmp_to_distance(cmp_max.max(0.0))
+    space.wide_cmp_to_distance(wide_max.max(0.0))
 }
 
 /// Whether every point of the space lies within `radius` of some center —
-/// the coverage check behind the approximation-factor probes.  Uses the
-/// early-exit scan: each point stops at the first center within `radius`.
+/// the coverage check behind the approximation-factor probes.  Runs in
+/// certification space (`f64`-accumulated regardless of storage precision)
+/// with the early-exit scan: each point stops at the first center within
+/// `radius`.
 pub fn covered_within<S: MetricSpace + ?Sized>(
     space: &S,
     centers: &[PointId],
@@ -86,9 +102,9 @@ pub fn covered_within<S: MetricSpace + ?Sized>(
     if centers.is_empty() {
         return false;
     }
-    let cmp_radius = space.distance_to_cmp(radius);
+    let wide_radius = space.distance_to_wide_cmp(radius);
     let check =
-        |p: PointId| space.cmp_distance_to_set_bounded(p, centers, cmp_radius) <= cmp_radius;
+        |p: PointId| space.wide_cmp_distance_to_set_bounded(p, centers, wide_radius) <= wide_radius;
     if space.len().saturating_mul(centers.len()) >= PARALLEL_THRESHOLD {
         // `all` terminates early across workers on the first uncovered point.
         (0..space.len()).into_par_iter().all(check)
@@ -113,10 +129,13 @@ pub fn assign<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) -> Vec<us
         !centers.is_empty(),
         "cannot assign points to an empty center set"
     );
-    // Argmin is order-invariant, so the scan runs in comparison space.
+    // Argmin is order-invariant, so the scan runs in comparison space (at
+    // storage precision — assignment is a selection, not a reported
+    // distance; ties from coarser rounding still resolve to the smaller
+    // center position, deterministically).
     let assign_one = |p: PointId| -> usize {
         let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
+        let mut best_d = <S::Cmp as Scalar>::INFINITY;
         for (ci, &c) in centers.iter().enumerate() {
             let d = space.cmp_distance(p, c);
             if d < best_d {
@@ -152,8 +171,9 @@ pub fn distances_to_centers<S: MetricSpace + ?Sized>(space: &S, centers: &[Point
     if centers.is_empty() {
         return vec![f64::INFINITY; ids.len()];
     }
-    // Min in comparison space, one conversion per point at the end.
-    let one = |p: PointId| space.cmp_to_distance(space.cmp_distance_to_set(p, centers));
+    // Min in certification space (these distances are reported), one
+    // conversion per point at the end.
+    let one = |p: PointId| space.wide_cmp_to_distance(space.wide_cmp_distance_to_set(p, centers));
     if ids.len().saturating_mul(centers.len()) >= PARALLEL_THRESHOLD {
         ids.par_iter().map(|&p| one(p)).collect()
     } else {

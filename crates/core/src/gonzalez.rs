@@ -16,7 +16,7 @@ use crate::error::KCenterError;
 use crate::evaluate::covering_radius;
 use crate::solution::KCenterSolution;
 use kcenter_metric::space::is_identity_subset;
-use kcenter_metric::{MetricSpace, PointId};
+use kcenter_metric::{MetricSpace, PointId, Scalar};
 use serde::{Deserialize, Serialize};
 
 /// How GON chooses its (arbitrary) first center.
@@ -153,8 +153,12 @@ pub fn select_centers<S: MetricSpace + ?Sized>(
     centers.push(first_center);
 
     // The whole selection runs in *comparison space* (squared distances for
-    // Euclidean spaces — see `kcenter_metric::space`): farthest-point
-    // selection only needs the ordering, so no `sqrt` is ever taken here.
+    // Euclidean spaces — see `kcenter_metric::space`), which for a
+    // reduced-precision `VecSpace` also means *storage precision*: an `f32`
+    // space relaxes an `f32` nearest-center array over `f32` rows, halving
+    // the scan bandwidth.  Farthest-point selection only needs the ordering,
+    // so no `sqrt` is ever taken here and no `f64` refinement is needed —
+    // the certified covering radius is recomputed in `f64` afterwards.
     // Each iteration is ONE fused pass (`relax_nearest_max`): relax every
     // point's nearest-center entry against the newest center and track the
     // farthest survivor in the same walk over the flat rows.
@@ -162,7 +166,7 @@ pub fn select_centers<S: MetricSpace + ?Sized>(
     // Detecting the full-space case once lets every iteration stream rows
     // without per-point id loads (and without re-checking per call).
     let identity = is_identity_subset(subset, space.len());
-    let mut nearest: Vec<f64> = vec![f64::INFINITY; subset.len()];
+    let mut nearest: Vec<S::Cmp> = vec![<S::Cmp as Scalar>::INFINITY; subset.len()];
     let mut newest = first_center;
     while centers.len() < k {
         let (far_pos, far_dist) = match (identity, parallel) {
@@ -173,7 +177,7 @@ pub fn select_centers<S: MetricSpace + ?Sized>(
         };
         // All remaining points coincide with existing centers: no point in
         // adding duplicates (the covering radius is already 0).
-        if far_dist <= 0.0 {
+        if far_dist <= <S::Cmp as Scalar>::ZERO {
             break;
         }
         newest = subset[far_pos];

@@ -7,7 +7,7 @@
 //! guarantee survives for `φ > 5.15` and experiments with φ ∈ {1, 4, 6, 8}
 //! to trade approximation quality for speed.
 
-use kcenter_metric::PointId;
+use kcenter_metric::{PointId, Scalar};
 
 /// The pivot threshold above which the Section 6 analysis guarantees the
 /// 10-approximation with sufficient probability (`φ > 5.15`).
@@ -18,14 +18,21 @@ pub const PHI_ORIGINAL: f64 = 8.0;
 
 /// Selects the pivot: the `φ·log n`-th farthest candidate from the sample.
 ///
-/// `candidates` pairs every point of `H` with its distance `d(x, S)`;
+/// `candidates` pairs every point of `H` with its distance `d(x, S)` — in
+/// whatever comparison-space scalar the caller's metric space uses (`f32`
+/// for a reduced-precision store; ordering is all that matters here, and
+/// ties broken by point id keep the choice deterministic at any precision);
 /// `n` is the size of the full instance (the paper's `log n` is the natural
 /// logarithm of the instance size, not of `|H|`).
 ///
 /// Returns `None` when `H` is empty.  When `φ·log n` exceeds `|H|`, the
 /// closest candidate is returned (the deepest cut available), mirroring the
 /// clamping any implementation must perform on small candidate sets.
-pub fn select_pivot(candidates: &[(PointId, f64)], phi: f64, n: usize) -> Option<(PointId, f64)> {
+pub fn select_pivot<C: Scalar>(
+    candidates: &[(PointId, C)],
+    phi: f64,
+    n: usize,
+) -> Option<(PointId, C)> {
     assert!(
         phi > 0.0 && phi.is_finite(),
         "phi must be positive and finite"
@@ -33,7 +40,7 @@ pub fn select_pivot(candidates: &[(PointId, f64)], phi: f64, n: usize) -> Option
     if candidates.is_empty() {
         return None;
     }
-    let mut ordered: Vec<(PointId, f64)> = candidates.to_vec();
+    let mut ordered: Vec<(PointId, C)> = candidates.to_vec();
     // Farthest first; ties broken by point id for determinism.
     ordered.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let rank = pivot_rank(phi, n, ordered.len());
@@ -59,7 +66,8 @@ mod tests {
 
     #[test]
     fn empty_candidate_set_has_no_pivot() {
-        assert_eq!(select_pivot(&[], 8.0, 1000), None);
+        assert_eq!(select_pivot::<f64>(&[], 8.0, 1000), None);
+        assert_eq!(select_pivot::<f32>(&[], 8.0, 1000), None);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::error::KCenterError;
 use crate::evaluate::covered_within;
 use crate::gonzalez::FirstCenter;
 use crate::mrg::MrgConfig;
-use kcenter_metric::{Point, VecSpace};
+use kcenter_metric::{Euclidean, FlatPoints, Point, Scalar, VecSpace};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -74,17 +74,37 @@ impl TightnessProbe {
     }
 
     /// Runs the probe against the exact optimum of `points` (computed by
-    /// brute force, so the instance must be tiny).
+    /// brute force, so the instance must be tiny), at `f64` storage
+    /// precision.
     pub fn run(&self, points: &[Point]) -> Result<TightnessReport, KCenterError> {
+        self.run_at::<f64>(points)
+    }
+
+    /// Like [`TightnessProbe::run`], but with MRG's scans running over an
+    /// `S`-precision store.  The OPT reference and all reported ratios stay
+    /// in `f64` (the probe's coverage guard and radii use the certified
+    /// evaluation path), so reduced precision only perturbs the rounded
+    /// inputs, never the measurement.
+    pub fn run_at<S: Scalar>(&self, points: &[Point]) -> Result<TightnessReport, KCenterError> {
         let space = VecSpace::new(points.to_vec());
         let opt = optimal_radius(&space, self.k)?;
-        self.run_with_lower_bound(points, opt)
+        self.run_with_lower_bound_at::<S>(points, opt)
     }
 
     /// Runs the probe against an externally supplied lower bound on OPT
     /// (useful for larger instances where brute force is infeasible; the
-    /// reported ratios are then upper bounds on the true ratios).
+    /// reported ratios are then upper bounds on the true ratios), at `f64`
+    /// storage precision.
     pub fn run_with_lower_bound(
+        &self,
+        points: &[Point],
+        opt_lower_bound: f64,
+    ) -> Result<TightnessReport, KCenterError> {
+        self.run_with_lower_bound_at::<f64>(points, opt_lower_bound)
+    }
+
+    /// Precision-generic core of [`TightnessProbe::run_with_lower_bound`].
+    pub fn run_with_lower_bound_at<S: Scalar>(
         &self,
         points: &[Point],
         opt_lower_bound: f64,
@@ -120,7 +140,8 @@ impl TightnessProbe {
             let mut permuted = points.to_vec();
             let mut rng = StdRng::seed_from_u64(trial_seed);
             permuted.shuffle(&mut rng);
-            let space = VecSpace::new(permuted);
+            let space: VecSpace<Euclidean, S> =
+                VecSpace::from_flat(FlatPoints::from_points(&permuted));
 
             let result = MrgConfig::new(self.k)
                 .with_machines(self.machines)

@@ -31,7 +31,38 @@ pub use real::{KddCupSim, PokerHandSim};
 pub use spec::{DatasetSpec, GeneratedDataset};
 pub use synthetic::{GauGenerator, UnbGenerator, UnifGenerator};
 
-use kcenter_metric::{FlatPoints, Point};
+use kcenter_metric::{FlatPoints, Point, Scalar};
+
+/// A rounding sink the generators push raw `f64` samples into.
+///
+/// Every generator draws its randomness in `f64` (so the sample stream —
+/// and therefore the generated geometry — is identical at every storage
+/// precision for a given seed) and rounds each coordinate into the target
+/// [`Scalar`] **at emission**: an `f32` workload is written as one `f32`
+/// buffer directly, with no `f64`-materialise-then-convert pass.
+pub struct CoordSink<S: Scalar> {
+    coords: Vec<S>,
+}
+
+impl<S: Scalar> CoordSink<S> {
+    /// An empty sink with room for `n` coordinates.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            coords: Vec::with_capacity(n),
+        }
+    }
+
+    /// Rounds one sample into the target scalar and appends it.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        self.coords.push(S::from_f64(v));
+    }
+
+    /// The accumulated coordinate block.
+    pub fn into_coords(self) -> Vec<S> {
+        self.coords
+    }
+}
 
 /// A generator that produces a deterministic point cloud from a seed.
 ///
@@ -40,12 +71,22 @@ use kcenter_metric::{FlatPoints, Point};
 ///
 /// Generators emit the contiguous [`FlatPoints`] store directly — the
 /// representation every hot scan runs against — so a million-point workload
-/// is one buffer, not a million small allocations.  [`PointGenerator::generate`]
-/// materialises owned [`Point`]s from it for callers that want the view
-/// type.
+/// is one buffer, not a million small allocations, at whichever storage
+/// precision the caller instantiates ([`PointGenerator::generate_flat_at`];
+/// the samples are drawn in `f64` and rounded at emission, so the same seed
+/// produces the same geometry at every precision).
+/// [`PointGenerator::generate`] materialises owned [`Point`]s from the
+/// `f64` store for callers that want the view type.
 pub trait PointGenerator {
-    /// Generates the full point cloud for the given seed as a flat store.
-    fn generate_flat(&self, seed: u64) -> FlatPoints;
+    /// Generates the full point cloud for the given seed as a flat store at
+    /// storage precision `S`, rounding each coordinate once at emission.
+    fn generate_flat_at<S: Scalar>(&self, seed: u64) -> FlatPoints<S>;
+
+    /// Generates the full point cloud for the given seed as an `f64` flat
+    /// store (the default precision).
+    fn generate_flat(&self, seed: u64) -> FlatPoints {
+        self.generate_flat_at::<f64>(seed)
+    }
 
     /// Generates the full point cloud for the given seed as owned points.
     fn generate(&self, seed: u64) -> Vec<Point> {

@@ -17,8 +17,8 @@
 //! any algorithm code.
 
 use crate::rng::{derive_seed, normal, power_law, seeded, weighted_choice};
-use crate::PointGenerator;
-use kcenter_metric::FlatPoints;
+use crate::{CoordSink, PointGenerator};
+use kcenter_metric::{FlatPoints, Scalar};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -62,16 +62,16 @@ impl Default for PokerHandSim {
 }
 
 impl PointGenerator for PokerHandSim {
-    fn generate_flat(&self, seed: u64) -> FlatPoints {
+    fn generate_flat_at<S: Scalar>(&self, seed: u64) -> FlatPoints<S> {
         const CHUNK: usize = 8_192;
         let chunks = self.n.div_ceil(CHUNK.max(1));
-        let coords: Vec<f64> = (0..chunks)
+        let coords: Vec<S> = (0..chunks)
             .into_par_iter()
             .flat_map_iter(|chunk| {
                 let start = chunk * CHUNK;
                 let len = CHUNK.min(self.n - start);
                 let mut rng = seeded(derive_seed(seed, chunk as u64));
-                let mut block = Vec::with_capacity(len * 10);
+                let mut block = CoordSink::with_capacity(len * 10);
                 for _ in 0..len {
                     // Five cards drawn without replacement from a 52-card
                     // deck, encoded as (suit, rank) pairs like the UCI file.
@@ -85,7 +85,7 @@ impl PointGenerator for PokerHandSim {
                         block.push(rank as f64);
                     }
                 }
-                block
+                block.into_coords()
             })
             .collect();
         FlatPoints::from_coords(coords, if self.n == 0 { 0 } else { 10 })
@@ -200,7 +200,7 @@ impl Default for KddCupSim {
 }
 
 impl PointGenerator for KddCupSim {
-    fn generate_flat(&self, seed: u64) -> FlatPoints {
+    fn generate_flat_at<S: Scalar>(&self, seed: u64) -> FlatPoints<S> {
         // Per-class per-dimension means are drawn once so every class forms a
         // dense cluster; the heavy-tailed magnitudes come from the power-law
         // scale of the rare classes.
@@ -219,13 +219,13 @@ impl PointGenerator for KddCupSim {
         const CHUNK: usize = 16_384;
         let chunks = self.n.div_ceil(CHUNK.max(1));
         let dim = self.dim;
-        let coords: Vec<f64> = (0..chunks)
+        let coords: Vec<S> = (0..chunks)
             .into_par_iter()
             .flat_map_iter(|chunk| {
                 let start = chunk * CHUNK;
                 let len = CHUNK.min(self.n - start);
                 let mut rng = seeded(derive_seed(seed, chunk as u64));
-                let mut block = Vec::with_capacity(len * dim);
+                let mut block = CoordSink::with_capacity(len * dim);
                 for _ in 0..len {
                     let c = weighted_choice(&mut rng, &weights);
                     let means = &class_means[c];
@@ -234,7 +234,7 @@ impl PointGenerator for KddCupSim {
                         block.push(normal(&mut rng, mean, sigma).max(0.0));
                     }
                 }
-                block
+                block.into_coords()
             })
             .collect();
         FlatPoints::from_coords(coords, if self.n == 0 { 0 } else { dim })

@@ -9,7 +9,7 @@
 use crate::real::{KddCupSim, PokerHandSim};
 use crate::synthetic::{GauGenerator, UnbGenerator, UnifGenerator};
 use crate::PointGenerator;
-use kcenter_metric::{FlatPoints, Point, VecSpace};
+use kcenter_metric::{Euclidean, FlatPoints, Point, Scalar, VecSpace};
 use serde::{Deserialize, Serialize};
 
 /// A declarative description of one of the paper's workloads.
@@ -93,16 +93,25 @@ impl DatasetSpec {
         }
     }
 
-    /// Generates the point cloud for this spec and seed as a flat store —
-    /// the zero-copy path the experiment harness uses.
-    pub fn generate_flat(&self, seed: u64) -> FlatPoints {
+    /// Generates the point cloud for this spec and seed as a flat store at
+    /// storage precision `S` — the zero-copy path the experiment harness
+    /// uses.  Samples are drawn in `f64` and rounded at emission, so the
+    /// geometry is the same at every precision for a given seed and there
+    /// is no convert-after-generate pass.
+    pub fn generate_flat_at<S: Scalar>(&self, seed: u64) -> FlatPoints<S> {
         match *self {
-            DatasetSpec::Unif { n } => UnifGenerator::new(n).generate_flat(seed),
-            DatasetSpec::Gau { n, k_prime } => GauGenerator::new(n, k_prime).generate_flat(seed),
-            DatasetSpec::Unb { n, k_prime } => UnbGenerator::new(n, k_prime).generate_flat(seed),
-            DatasetSpec::PokerHand { n } => PokerHandSim::with_rows(n).generate_flat(seed),
-            DatasetSpec::KddCup { n } => KddCupSim::with_rows(n).generate_flat(seed),
+            DatasetSpec::Unif { n } => UnifGenerator::new(n).generate_flat_at(seed),
+            DatasetSpec::Gau { n, k_prime } => GauGenerator::new(n, k_prime).generate_flat_at(seed),
+            DatasetSpec::Unb { n, k_prime } => UnbGenerator::new(n, k_prime).generate_flat_at(seed),
+            DatasetSpec::PokerHand { n } => PokerHandSim::with_rows(n).generate_flat_at(seed),
+            DatasetSpec::KddCup { n } => KddCupSim::with_rows(n).generate_flat_at(seed),
         }
+    }
+
+    /// Generates the point cloud for this spec and seed as an `f64` flat
+    /// store.
+    pub fn generate_flat(&self, seed: u64) -> FlatPoints {
+        self.generate_flat_at::<f64>(seed)
     }
 
     /// Generates the point cloud for this spec and seed as owned points.
@@ -110,16 +119,23 @@ impl DatasetSpec {
         self.generate_flat(seed).to_points()
     }
 
-    /// Generates the point cloud and wraps it in a Euclidean [`VecSpace`],
-    /// together with the metadata the experiment harness records.  The flat
-    /// buffer moves straight into the space without per-point allocations.
-    pub fn build(&self, seed: u64) -> GeneratedDataset {
-        let flat = self.generate_flat(seed);
+    /// Generates the point cloud at storage precision `S` and wraps it in a
+    /// Euclidean [`VecSpace`], together with the metadata the experiment
+    /// harness records.  The flat buffer moves straight into the space
+    /// without per-point allocations.
+    pub fn build_at<S: Scalar>(&self, seed: u64) -> GeneratedDataset<S> {
+        let flat = self.generate_flat_at::<S>(seed);
         GeneratedDataset {
             spec: self.clone(),
             seed,
             space: VecSpace::from_flat(flat),
         }
+    }
+
+    /// Generates the point cloud at the default `f64` precision and wraps
+    /// it in a Euclidean [`VecSpace`].
+    pub fn build(&self, seed: u64) -> GeneratedDataset {
+        self.build_at::<f64>(seed)
     }
 
     /// A human-readable description including all parameters.
@@ -134,18 +150,19 @@ impl DatasetSpec {
     }
 }
 
-/// A generated data set: the spec, the seed, and the resulting metric space.
+/// A generated data set: the spec, the seed, and the resulting metric space
+/// (at whatever storage precision it was built with).
 #[derive(Clone)]
-pub struct GeneratedDataset {
+pub struct GeneratedDataset<S: Scalar = f64> {
     /// The specification the data was generated from.
     pub spec: DatasetSpec,
     /// The seed used.
     pub seed: u64,
     /// The generated points wrapped in a Euclidean metric space.
-    pub space: VecSpace,
+    pub space: VecSpace<Euclidean, S>,
 }
 
-impl GeneratedDataset {
+impl<S: Scalar> GeneratedDataset<S> {
     /// Number of generated points.
     pub fn len(&self) -> usize {
         kcenter_metric::MetricSpace::len(&self.space)
@@ -154,6 +171,11 @@ impl GeneratedDataset {
     /// Whether the data set is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The storage-precision name (`"f32"` / `"f64"`), for reports.
+    pub fn precision_name(&self) -> &'static str {
+        S::NAME
     }
 }
 

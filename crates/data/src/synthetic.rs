@@ -18,8 +18,8 @@
 //! (the paper uses two and three dimensions for the synthetic families).
 
 use crate::rng::{derive_seed, normal, seeded, weighted_choice};
-use crate::PointGenerator;
-use kcenter_metric::{FlatPoints, Point};
+use crate::{CoordSink, PointGenerator};
+use kcenter_metric::{FlatPoints, Point, Scalar};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -29,24 +29,27 @@ use serde::{Deserialize, Serialize};
 /// deterministic for a given seed.
 const GEN_CHUNK: usize = 16_384;
 
-/// Runs `fill(chunk_index, rng, coords)` for every chunk in parallel and
-/// concatenates the per-chunk coordinate blocks into one flat store.
-fn generate_chunked<F>(n: usize, dim: usize, seed: u64, fill: F) -> FlatPoints
+/// Runs `fill(chunk_index, rng, sink)` for every chunk in parallel and
+/// concatenates the per-chunk coordinate blocks into one flat store at the
+/// target storage precision.  The RNG stream is precision-independent (all
+/// draws are `f64`; the sink rounds at emission), so a given seed produces
+/// the same geometry at every precision.
+fn generate_chunked<S: Scalar, F>(n: usize, dim: usize, seed: u64, fill: F) -> FlatPoints<S>
 where
-    F: Fn(usize, &mut rand::rngs::StdRng, &mut Vec<f64>) + Sync,
+    F: Fn(usize, &mut rand::rngs::StdRng, &mut CoordSink<S>) + Sync,
 {
     let chunks = n.div_ceil(GEN_CHUNK);
-    let coords: Vec<f64> = (0..chunks)
+    let coords: Vec<S> = (0..chunks)
         .into_par_iter()
         .flat_map_iter(|chunk| {
             let start = chunk * GEN_CHUNK;
             let len = GEN_CHUNK.min(n - start);
             let mut rng = seeded(derive_seed(seed, chunk as u64));
-            let mut block = Vec::with_capacity(len * dim);
+            let mut block = CoordSink::with_capacity(len * dim);
             for _ in 0..len {
                 fill(chunk, &mut rng, &mut block);
             }
-            block
+            block.into_coords()
         })
         .collect();
     FlatPoints::from_coords(coords, if n == 0 { 0 } else { dim })
@@ -90,7 +93,7 @@ impl UnifGenerator {
 }
 
 impl PointGenerator for UnifGenerator {
-    fn generate_flat(&self, seed: u64) -> FlatPoints {
+    fn generate_flat_at<S: Scalar>(&self, seed: u64) -> FlatPoints<S> {
         let (dim, side) = (self.dim, self.side);
         generate_chunked(self.n, dim, seed, |_, rng, block| {
             for _ in 0..dim {
@@ -155,7 +158,7 @@ impl ClusteredConfig {
     }
 
     /// Generates points given per-cluster assignment weights.
-    fn generate_with_weights(&self, seed: u64, weights: &[f64]) -> FlatPoints {
+    fn generate_with_weights<S: Scalar>(&self, seed: u64, weights: &[f64]) -> FlatPoints<S> {
         assert_eq!(weights.len(), self.k_prime);
         let centers = self.centers(seed);
         let sigma = self.sigma_fraction * self.cube_side;
@@ -219,7 +222,7 @@ impl GauGenerator {
 }
 
 impl PointGenerator for GauGenerator {
-    fn generate_flat(&self, seed: u64) -> FlatPoints {
+    fn generate_flat_at<S: Scalar>(&self, seed: u64) -> FlatPoints<S> {
         let weights = vec![1.0; self.config.k_prime];
         self.config.generate_with_weights(seed, &weights)
     }
@@ -287,7 +290,7 @@ impl UnbGenerator {
 }
 
 impl PointGenerator for UnbGenerator {
-    fn generate_flat(&self, seed: u64) -> FlatPoints {
+    fn generate_flat_at<S: Scalar>(&self, seed: u64) -> FlatPoints<S> {
         let k = self.config.k_prime;
         let mut weights = vec![0.0; k];
         if k == 1 {

@@ -8,6 +8,7 @@
 
 use crate::flat::FlatPoints;
 use crate::point::Point;
+use crate::scalar::Scalar;
 use rayon::prelude::*;
 
 /// An axis-aligned bounding box in `R^d`.
@@ -51,23 +52,24 @@ impl BoundingBox {
             .reduce_with(|a, b| a.merged(&b))
     }
 
-    /// Computes the bounding box of a flat point store in one contiguous
+    /// Computes the bounding box of a flat point store (at any storage
+    /// precision; the box corners are widened to `f64`) in one contiguous
     /// scan.  Returns `None` for an empty store.
-    pub fn of_flat(points: &FlatPoints) -> Option<Self> {
+    pub fn of_flat<S: Scalar>(points: &FlatPoints<S>) -> Option<Self> {
         Self::of_rows(points.coords(), points.dim())
     }
 
     /// Bounding box of a raw row-major coordinate block (zero-copy core of
     /// the flat variants).
-    fn of_rows(coords: &[f64], dim: usize) -> Option<Self> {
+    fn of_rows<S: Scalar>(coords: &[S], dim: usize) -> Option<Self> {
         if coords.is_empty() || dim == 0 {
             return None;
         }
-        let mut min = coords[..dim].to_vec();
+        let mut min: Vec<f64> = coords[..dim].iter().map(|c| c.to_f64()).collect();
         let mut max = min.clone();
         for row in coords.chunks_exact(dim).skip(1) {
             for i in 0..dim {
-                let c = row[i];
+                let c = row[i].to_f64();
                 if c < min[i] {
                     min[i] = c;
                 }
@@ -81,7 +83,7 @@ impl BoundingBox {
 
     /// Parallel variant of [`BoundingBox::of_flat`] for large stores; folds
     /// min/max directly over coordinate blocks without copying them.
-    pub fn par_of_flat(points: &FlatPoints) -> Option<Self> {
+    pub fn par_of_flat<S: Scalar>(points: &FlatPoints<S>) -> Option<Self> {
         if points.is_empty() {
             return None;
         }

@@ -6,17 +6,47 @@
 //! completeness (the real data sets are partly categorical, where an
 //! overlap/Hamming distance is the natural choice) and to exercise the
 //! genericity of the core algorithms in tests.
+//!
+//! # Scalar genericity
+//!
+//! The per-pair methods are generic over the storage [`Scalar`] `S`
+//! (`f64` or `f32`), so one `Distance` implementation serves both storage
+//! precisions.  Three families with distinct accuracy contracts:
+//!
+//! * [`Distance::distance_slices`] returns the **exact** distance: each
+//!   coordinate is widened to `f64` before accumulating, so the result is
+//!   `f64` arithmetic over the stored rows at either precision.
+//! * [`Distance::surrogate`] is the **comparison-space** value, computed
+//!   *and accumulated* in `S` — the bandwidth-halved fast path for scans
+//!   that only compare distances.
+//! * [`Distance::wide_surrogate`] is the **certification** surrogate:
+//!   order-equivalent to the distance like `surrogate`, but `f64`-accumulated
+//!   from the `S` rows.  The covering-radius and coverage verifiers scan on
+//!   this, so every reported quality number is exact regardless of storage
+//!   precision.
+//!
+//! # Surrogate (comparison-space) distances
+//!
+//! The hot scans never need actual distances — only their *order* (which
+//! center is nearest, which point is farthest).  [`Distance::surrogate`]
+//! returns a value that is order-equivalent to the distance but may be
+//! cheaper: squared Euclidean skips the `sqrt`, Minkowski skips the final
+//! `p`-th root.  [`Distance::surrogate_to_distance`] converts a surrogate
+//! value back (one `sqrt` per winner instead of one per pair), and
+//! [`Distance::distance_to_surrogate`] converts a distance threshold into
+//! surrogate space for early-exit scans.
 
-use crate::kernel::{self, dist2};
+use crate::kernel::{self, dist2, dist2_wide};
 use crate::point::Point;
+use crate::scalar::Scalar;
 use serde::{Deserialize, Serialize};
 
 /// A distance function over coordinate rows.
 ///
-/// The required method works on raw `&[f64]` slices so implementations can
-/// be driven directly from the flat [`crate::FlatPoints`] store without
-/// materialising [`Point`]s; the `&Point` form is a thin convenience
-/// wrapper.
+/// The required methods work on raw `&[S]` slices so implementations can
+/// be driven directly from the flat [`crate::FlatPoints`] store at either
+/// storage precision without materialising [`Point`]s; the `&Point` form is
+/// a thin convenience wrapper over the `f64` instantiation.
 ///
 /// Implementations used with the k-center approximation algorithms must be
 /// *metrics* (non-negative, zero iff equal up to representation, symmetric,
@@ -25,48 +55,70 @@ use serde::{Deserialize, Serialize};
 /// nearest-neighbour style comparisons but is **not** a metric and is
 /// rejected by the algorithms unless explicitly allowed.
 ///
-/// # Surrogate (comparison-space) distances
-///
-/// The hot scans never need actual distances — only their *order* (which
-/// center is nearest, which point is farthest).  [`Distance::surrogate`]
-/// returns a value that is order-equivalent to the distance but may be
-/// cheaper: squared Euclidean skips the `sqrt`, Minkowski skips the final
-/// `p`-th root.  [`Distance::surrogate_to_distance`] converts a surrogate
-/// value back (one `sqrt` per winner instead of one per pair), and
-/// [`Distance::distance_to_surrogate`] converts a distance threshold into
-/// surrogate space for early-exit scans.
+/// Because the per-pair methods are generic over [`Scalar`], the trait is
+/// not dyn-compatible; the algorithms are generic over `D: Distance`
+/// instead of boxing.
 pub trait Distance: Send + Sync {
-    /// Computes the distance between two coordinate rows.
+    /// Computes the exact distance between two coordinate rows: every
+    /// coordinate is widened to `f64` before accumulating, so the result
+    /// carries no reduced-precision scan error (only the rows' own storage
+    /// rounding).
     ///
     /// # Panics
     ///
     /// Implementations may panic if the rows have different lengths.
-    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64;
+    fn distance_slices<S: Scalar>(&self, a: &[S], b: &[S]) -> f64;
 
-    /// Computes the distance between two points.
+    /// Computes the distance between two points (exact `f64` arithmetic on
+    /// the points' own `f64` coordinates).
     #[inline]
     fn distance(&self, a: &Point, b: &Point) -> f64 {
         self.distance_slices(a.coords(), b.coords())
     }
 
-    /// An order-equivalent, possibly cheaper stand-in for the distance:
-    /// `surrogate(a, b) <= surrogate(c, d)` iff
-    /// `distance(a, b) <= distance(c, d)`.  Defaults to the distance itself.
+    /// An order-equivalent, possibly cheaper stand-in for the distance,
+    /// computed and accumulated in `S`: `surrogate(a, b) <= surrogate(c, d)`
+    /// iff `distance(a, b) <= distance(c, d)` (up to `S` rounding, which may
+    /// turn near-ties into exact ties).  Defaults to the distance rounded
+    /// into `S`.
     #[inline]
-    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
-        self.distance_slices(a, b)
+    fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
+        S::from_f64(self.distance_slices(a, b))
     }
 
     /// Maps a surrogate value back to the distance it stands for.
     #[inline]
-    fn surrogate_to_distance(&self, s: f64) -> f64 {
-        s
+    fn surrogate_to_distance<S: Scalar>(&self, s: S) -> f64 {
+        s.to_f64()
     }
 
     /// Maps a distance into surrogate space (the inverse of
-    /// [`Distance::surrogate_to_distance`] on non-negative values).
+    /// [`Distance::surrogate_to_distance`] on non-negative values, up to
+    /// `S` rounding).
     #[inline]
-    fn distance_to_surrogate(&self, d: f64) -> f64 {
+    fn distance_to_surrogate<S: Scalar>(&self, d: f64) -> S {
+        S::from_f64(d)
+    }
+
+    /// The certification surrogate: order-equivalent to the distance (like
+    /// [`Distance::surrogate`]) but accumulated in `f64` from the `S` rows,
+    /// so scans on it are exact at either storage precision.  Defaults to
+    /// the distance itself.
+    #[inline]
+    fn wide_surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
+        self.distance_slices(a, b)
+    }
+
+    /// Maps a wide-surrogate value back to the distance it stands for.
+    #[inline]
+    fn wide_surrogate_to_distance(&self, s: f64) -> f64 {
+        s
+    }
+
+    /// Maps a distance into wide-surrogate space (the inverse of
+    /// [`Distance::wide_surrogate_to_distance`] on non-negative values).
+    #[inline]
+    fn distance_to_wide_surrogate(&self, d: f64) -> f64 {
         d
     }
 
@@ -79,14 +131,14 @@ pub trait Distance: Send + Sync {
     /// Implementations with a cheap surrogate may provide a
     /// dimension-specialised kernel ([`Euclidean`] does); the default is a
     /// straightforward single pass.
-    fn relax_rows_max(
+    fn relax_rows_max<S: Scalar>(
         &self,
-        coords: &[f64],
+        coords: &[S],
         dim: usize,
-        center_row: &[f64],
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
-        let mut best = (0usize, f64::NEG_INFINITY);
+        center_row: &[S],
+        nearest: &mut [S],
+    ) -> (usize, S) {
+        let mut best = (0usize, S::NEG_INFINITY);
         for (i, (row, slot)) in coords.chunks_exact(dim).zip(nearest.iter_mut()).enumerate() {
             let d = self.surrogate(row, center_row);
             if d < *slot {
@@ -101,15 +153,15 @@ pub trait Distance: Send + Sync {
 
     /// [`Distance::relax_rows_max`] over an explicit id subset: row
     /// `subset[i]` pairs with `nearest[i]`.
-    fn relax_ids_max(
+    fn relax_ids_max<S: Scalar>(
         &self,
-        coords: &[f64],
+        coords: &[S],
         dim: usize,
         subset: &[usize],
-        center_row: &[f64],
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
-        let mut best = (0usize, f64::NEG_INFINITY);
+        center_row: &[S],
+        nearest: &mut [S],
+    ) -> (usize, S) {
+        let mut best = (0usize, S::NEG_INFINITY);
         for (i, (&p, slot)) in subset.iter().zip(nearest.iter_mut()).enumerate() {
             let d = self.surrogate(&coords[p * dim..p * dim + dim], center_row);
             if d < *slot {
@@ -140,44 +192,61 @@ pub struct Euclidean;
 
 impl Distance for Euclidean {
     #[inline]
-    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
-        dist2(a, b).sqrt()
+    fn distance_slices<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
+        dist2_wide(a, b).sqrt()
     }
 
-    /// Squared distance: order-equivalent and one `sqrt` cheaper per pair.
+    /// Squared distance in `S`: order-equivalent and one `sqrt` cheaper per
+    /// pair, accumulated at storage precision (the fast path).
     #[inline]
-    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+    fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
         dist2(a, b)
     }
 
     #[inline]
-    fn surrogate_to_distance(&self, s: f64) -> f64 {
+    fn surrogate_to_distance<S: Scalar>(&self, s: S) -> f64 {
+        s.to_f64().sqrt()
+    }
+
+    #[inline]
+    fn distance_to_surrogate<S: Scalar>(&self, d: f64) -> S {
+        S::from_f64(d * d)
+    }
+
+    /// Squared distance accumulated in `f64` — the certification scan.
+    #[inline]
+    fn wide_surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
+        dist2_wide(a, b)
+    }
+
+    #[inline]
+    fn wide_surrogate_to_distance(&self, s: f64) -> f64 {
         s.sqrt()
     }
 
     #[inline]
-    fn distance_to_surrogate(&self, d: f64) -> f64 {
+    fn distance_to_wide_surrogate(&self, d: f64) -> f64 {
         d * d
     }
 
-    fn relax_rows_max(
+    fn relax_rows_max<S: Scalar>(
         &self,
-        coords: &[f64],
+        coords: &[S],
         dim: usize,
-        center_row: &[f64],
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
+        center_row: &[S],
+        nearest: &mut [S],
+    ) -> (usize, S) {
         kernel::relax_max_rows_coords(coords, dim, center_row, nearest)
     }
 
-    fn relax_ids_max(
+    fn relax_ids_max<S: Scalar>(
         &self,
-        coords: &[f64],
+        coords: &[S],
         dim: usize,
         subset: &[usize],
-        center_row: &[f64],
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
+        center_row: &[S],
+        nearest: &mut [S],
+    ) -> (usize, S) {
         kernel::relax_max_ids_coords(coords, dim, subset, center_row, nearest)
     }
 
@@ -194,7 +263,12 @@ pub struct SquaredEuclidean;
 
 impl Distance for SquaredEuclidean {
     #[inline]
-    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+    fn distance_slices<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
+        dist2_wide(a, b)
+    }
+
+    #[inline]
+    fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
         dist2(a, b)
     }
 
@@ -213,9 +287,23 @@ pub struct Manhattan;
 
 impl Distance for Manhattan {
     #[inline]
-    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+    fn distance_slices<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
-        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
+            .sum()
+    }
+
+    /// The `L1` sum accumulated in `S` (order-equivalent fast path).
+    #[inline]
+    fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let mut sum = S::ZERO;
+        for (x, y) in a.iter().zip(b.iter()) {
+            sum += (*x - *y).abs();
+        }
+        sum
     }
 
     fn name(&self) -> &'static str {
@@ -229,12 +317,23 @@ pub struct Chebyshev;
 
 impl Distance for Chebyshev {
     #[inline]
-    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+    fn distance_slices<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
         a.iter()
             .zip(b.iter())
-            .map(|(x, y)| (x - y).abs())
+            .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
             .fold(0.0, f64::max)
+    }
+
+    /// The coordinate-gap maximum taken in `S` (order-equivalent fast path).
+    #[inline]
+    fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let mut max = S::ZERO;
+        for (x, y) in a.iter().zip(b.iter()) {
+            max = max.max((*x - *y).abs());
+        }
+        max
     }
 
     fn name(&self) -> &'static str {
@@ -270,28 +369,51 @@ impl Minkowski {
 
 impl Distance for Minkowski {
     #[inline]
-    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
-        self.surrogate(a, b).powf(1.0 / self.p)
+    fn distance_slices<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
+        self.wide_surrogate(a, b).powf(1.0 / self.p)
     }
 
-    /// The `p`-th power of the distance: order-equivalent and one `powf`
-    /// cheaper per pair.
+    /// The `p`-th power of the distance, accumulated in `S`:
+    /// order-equivalent and one `powf` cheaper per pair.
     #[inline]
-    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+    fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let p = S::from_f64(self.p);
+        let mut sum = S::ZERO;
+        for (x, y) in a.iter().zip(b.iter()) {
+            sum += (*x - *y).abs().powf(p);
+        }
+        sum
+    }
+
+    #[inline]
+    fn surrogate_to_distance<S: Scalar>(&self, s: S) -> f64 {
+        s.to_f64().powf(1.0 / self.p)
+    }
+
+    #[inline]
+    fn distance_to_surrogate<S: Scalar>(&self, d: f64) -> S {
+        S::from_f64(d.powf(self.p))
+    }
+
+    /// The `p`-th power of the distance, accumulated in `f64` (certification
+    /// scan).
+    #[inline]
+    fn wide_surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
         a.iter()
             .zip(b.iter())
-            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .map(|(x, y)| (x.to_f64() - y.to_f64()).abs().powf(self.p))
             .sum()
     }
 
     #[inline]
-    fn surrogate_to_distance(&self, s: f64) -> f64 {
+    fn wide_surrogate_to_distance(&self, s: f64) -> f64 {
         s.powf(1.0 / self.p)
     }
 
     #[inline]
-    fn distance_to_surrogate(&self, d: f64) -> f64 {
+    fn distance_to_wide_surrogate(&self, d: f64) -> f64 {
         d.powf(self.p)
     }
 
@@ -308,7 +430,7 @@ pub struct Hamming;
 
 impl Distance for Hamming {
     #[inline]
-    fn distance_slices(&self, a: &[f64], b: &[f64]) -> f64 {
+    fn distance_slices<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
         a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() as f64
     }
@@ -336,6 +458,28 @@ mod tests {
     fn euclidean_is_zero_on_identical_points() {
         let a = p(&[1.5, -2.5, 3.0]);
         assert_eq!(Euclidean.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn f32_slices_give_exact_distances_on_exact_inputs() {
+        // Integer coordinates are exact at f32, so the widened distance
+        // must agree with the f64 computation exactly.
+        let a64 = [0.0f64, 0.0, 3.0];
+        let b64 = [3.0f64, 4.0, 3.0];
+        let a32 = [0.0f32, 0.0, 3.0];
+        let b32 = [3.0f32, 4.0, 3.0];
+        assert_eq!(
+            Euclidean.distance_slices(&a32, &b32),
+            Euclidean.distance_slices(&a64, &b64)
+        );
+        assert_eq!(
+            Manhattan.distance_slices(&a32, &b32),
+            Manhattan.distance_slices(&a64, &b64)
+        );
+        // Comparison-space surrogates stay in S.
+        let s: f32 = Euclidean.surrogate(&a32, &b32);
+        assert_eq!(s, 25.0f32);
+        assert_eq!(Euclidean.surrogate_to_distance(s), 5.0);
     }
 
     #[test]
@@ -380,6 +524,35 @@ mod tests {
     fn hamming_counts_differing_coordinates() {
         let d = Hamming.distance(&p(&[1.0, 2.0, 3.0, 4.0]), &p(&[1.0, 5.0, 3.0, 0.0]));
         assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn wide_surrogates_round_trip_for_every_metric() {
+        let a = [1.0f32, -2.0, 0.5, 7.25];
+        let b = [-3.0f32, 4.0, 2.0, -1.5];
+        macro_rules! check {
+            ($m:expr) => {{
+                let d = $m.distance_slices(&a, &b);
+                let w = $m.wide_surrogate(&a, &b);
+                assert!(
+                    ($m.wide_surrogate_to_distance(w) - d).abs() <= 1e-12 * (1.0 + d),
+                    "{}: wide surrogate does not round-trip",
+                    $m.name()
+                );
+                assert!(
+                    ($m.wide_surrogate_to_distance($m.distance_to_wide_surrogate(d)) - d).abs()
+                        <= 1e-9 * (1.0 + d),
+                    "{}: distance_to_wide_surrogate is not inverse",
+                    $m.name()
+                );
+            }};
+        }
+        check!(Euclidean);
+        check!(SquaredEuclidean);
+        check!(Manhattan);
+        check!(Chebyshev);
+        check!(Minkowski::new(3.0));
+        check!(Hamming);
     }
 
     #[test]

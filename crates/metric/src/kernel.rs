@@ -1,4 +1,5 @@
-//! Hot scan kernels over [`FlatPoints`] rows.
+//! Hot scan kernels over [`FlatPoints`] rows, generic over the storage
+//! scalar.
 //!
 //! These are the inner loops the whole workspace's runtime comes down to:
 //!
@@ -13,12 +14,39 @@
 //!   sequential cutoff so small partitions (MRG reducers, EIM samples) don't
 //!   pay scheduler overhead.
 //!
+//! # Scalar genericity and the two accumulation modes
+//!
+//! Every kernel is generic over [`Scalar`] (`f64` or `f32`) and
+//! monomorphises to the same 4-accumulator loop at either width, so the
+//! `f32` instantiation reads half the bytes per coordinate — the whole point
+//! of the reduced-precision storage mode; the comparison-space scans
+//! (selection, relaxation, assignment) run entirely in `S`.
+//!
+//! The `wide_*` variants ([`dist2_wide`]) are the *certification* kernels:
+//! they read the same `S` rows but convert each coordinate to `f64` before
+//! accumulating, in exactly the same summation order as [`dist2`].  Two
+//! consequences:
+//!
+//! * at `S = f64` the wide kernel is bit-identical to the narrow one, so the
+//!   default precision is numerically unchanged by this refactor;
+//! * at `S = f32` every *reported* quantity (covering radius, coverage
+//!   checks — everything routed through `MetricSpace`'s `wide_cmp_*`
+//!   family) is exact `f64` arithmetic over the stored rows: the only error
+//!   an `f32` run carries is the one-time `2^-24` input rounding of each
+//!   coordinate, never accumulated scan error.
+//!
+//! # Determinism
+//!
 //! The parallel variants compute exactly the same per-element values as the
 //! sequential ones (chunking only partitions the index space), so their
-//! results are bit-for-bit identical — a property the `flat_kernels`
-//! integration test pins down.
+//! results are bit-for-bit identical per `(seed, precision)` pair — a
+//! property the `flat_kernels` integration test pins down.  Argmax
+//! tie-breaking is part of that contract: ties always resolve to the
+//! **lowest index** (see [`argmax`]), which matters more at `f32` where
+//! coarser rounding produces more exact ties.
 
 use crate::flat::FlatPoints;
+use crate::scalar::Scalar;
 use crate::PointId;
 use rayon::prelude::*;
 
@@ -34,19 +62,20 @@ pub const PAR_CHUNK: usize = 1 << 14;
 /// one chunk to hand out.
 pub const PAR_CUTOFF: usize = 2 * PAR_CHUNK;
 
-/// Squared Euclidean distance between two equal-length rows.
+/// Squared Euclidean distance between two equal-length rows, computed and
+/// accumulated in `S`.
 ///
 /// Four independent accumulators break the loop-carried dependency on the
 /// sum, letting the FP units pipeline; the tails fall back to a plain loop.
 #[inline]
-pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+pub fn dist2<S: Scalar>(a: &[S], b: &[S]) -> S {
     debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
     let n = a.len().min(b.len());
     let (a, b) = (&a[..n], &b[..n]);
-    let mut s0 = 0.0;
-    let mut s1 = 0.0;
-    let mut s2 = 0.0;
-    let mut s3 = 0.0;
+    let mut s0 = S::ZERO;
+    let mut s1 = S::ZERO;
+    let mut s2 = S::ZERO;
+    let mut s3 = S::ZERO;
     let mut i = 0;
     while i + 4 <= n {
         let d0 = a[i] - b[i];
@@ -67,18 +96,53 @@ pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
     (s0 + s1) + (s2 + s3)
 }
 
+/// Squared Euclidean distance between two `S` rows, accumulated in `f64`
+/// (each coordinate widened before subtracting) — the certification kernel
+/// behind the `wide_cmp_*` family.
+///
+/// Uses the same 4-accumulator summation order as [`dist2`], so at
+/// `S = f64` the two kernels are bit-identical.
+#[inline]
+pub fn dist2_wide<S: Scalar>(a: &[S], b: &[S]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let mut i = 0;
+    while i + 4 <= n {
+        let d0 = a[i].to_f64() - b[i].to_f64();
+        let d1 = a[i + 1].to_f64() - b[i + 1].to_f64();
+        let d2 = a[i + 2].to_f64() - b[i + 2].to_f64();
+        let d3 = a[i + 3].to_f64() - b[i + 3].to_f64();
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+        i += 4;
+    }
+    while i < n {
+        let d = a[i].to_f64() - b[i].to_f64();
+        s0 += d * d;
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
 /// Squared Euclidean distance between rows `i` and `j` of the store.
 #[inline]
-pub fn dist2_rows(flat: &FlatPoints, i: PointId, j: PointId) -> f64 {
+pub fn dist2_rows<S: Scalar>(flat: &FlatPoints<S>, i: PointId, j: PointId) -> S {
     dist2(flat.row(i), flat.row(j))
 }
 
 /// Minimum squared distance from `row` to any of the `centers` rows.
 ///
-/// Returns `f64::INFINITY` when `centers` is empty.
+/// Returns `S::INFINITY` when `centers` is empty.
 #[inline]
-pub fn nearest2(flat: &FlatPoints, row: &[f64], centers: &[PointId]) -> f64 {
-    let mut best = f64::INFINITY;
+pub fn nearest2<S: Scalar>(flat: &FlatPoints<S>, row: &[S], centers: &[PointId]) -> S {
+    let mut best = S::INFINITY;
     for &c in centers {
         let d = dist2(row, flat.row(c));
         if d < best {
@@ -93,13 +157,13 @@ pub fn nearest2(flat: &FlatPoints, row: &[f64], centers: &[PointId]) -> f64 {
 /// upper bound on the true minimum and is exact whenever it exceeds
 /// `stop_below` — exactly what coverage checks and max-of-min scans need.
 #[inline]
-pub fn nearest2_bounded(
-    flat: &FlatPoints,
-    row: &[f64],
+pub fn nearest2_bounded<S: Scalar>(
+    flat: &FlatPoints<S>,
+    row: &[S],
     centers: &[PointId],
-    stop_below: f64,
-) -> f64 {
-    let mut best = f64::INFINITY;
+    stop_below: S,
+) -> S {
+    let mut best = S::INFINITY;
     for &c in centers {
         let d = dist2(row, flat.row(c));
         if d < best {
@@ -116,7 +180,12 @@ pub fn nearest2_bounded(
 /// `nearest[i]` to `min(nearest[i], dist2(subset[i], center))`.
 ///
 /// One linear walk over contiguous rows, no `sqrt`, no allocation.
-pub fn relax_nearest(flat: &FlatPoints, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+pub fn relax_nearest<S: Scalar>(
+    flat: &FlatPoints<S>,
+    subset: &[PointId],
+    center: PointId,
+    nearest: &mut [S],
+) {
     debug_assert_eq!(subset.len(), nearest.len());
     let center_row = flat.row(center);
     for (slot, &p) in nearest.iter_mut().zip(subset) {
@@ -131,11 +200,11 @@ pub fn relax_nearest(flat: &FlatPoints, subset: &[PointId], center: PointId, nea
 ///
 /// Bit-for-bit identical to the sequential kernel: chunking partitions the
 /// index space without changing any per-element computation.
-pub fn par_relax_nearest(
-    flat: &FlatPoints,
+pub fn par_relax_nearest<S: Scalar>(
+    flat: &FlatPoints<S>,
     subset: &[PointId],
     center: PointId,
-    nearest: &mut [f64],
+    nearest: &mut [S],
 ) {
     debug_assert_eq!(subset.len(), nearest.len());
     if subset.len() < PAR_CUTOFF {
@@ -166,16 +235,16 @@ pub fn par_relax_nearest(
 /// This is the kernel behind `Distance::relax_rows_max` for the Euclidean
 /// metric; the `MetricSpace` scans in `space.rs` chunk over it for their
 /// parallel variants.
-pub fn relax_max_rows_coords(
-    coords: &[f64],
+pub fn relax_max_rows_coords<S: Scalar>(
+    coords: &[S],
     dim: usize,
-    center_row: &[f64],
-    nearest: &mut [f64],
-) -> (usize, f64) {
+    center_row: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
     macro_rules! dispatch {
         ($($d:literal),*) => {
             match dim {
-                $($d => fused_rows::<$d>(coords, center_row, nearest),)*
+                $($d => fused_rows::<S, $d>(coords, center_row, nearest),)*
                 _ => fused_rows_dyn(coords, dim, center_row, nearest),
             }
         };
@@ -189,18 +258,18 @@ pub fn relax_max_rows_coords(
 /// partitions, EIM samples): row `subset[i]` pairs with `nearest[i]`.
 /// This is the kernel behind `Distance::relax_ids_max` for the Euclidean
 /// metric.
-pub fn relax_max_ids_coords(
-    coords: &[f64],
+pub fn relax_max_ids_coords<S: Scalar>(
+    coords: &[S],
     dim: usize,
     subset: &[PointId],
-    center_row: &[f64],
-    nearest: &mut [f64],
-) -> (usize, f64) {
+    center_row: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
     debug_assert_eq!(subset.len(), nearest.len());
     macro_rules! dispatch {
         ($($d:literal),*) => {
             match dim {
-                $($d => fused_subset::<$d>(coords, subset, center_row, nearest),)*
+                $($d => fused_subset::<S, $d>(coords, subset, center_row, nearest),)*
                 _ => fused_subset_dyn(coords, dim, subset, center_row, nearest),
             }
         };
@@ -209,11 +278,15 @@ pub fn relax_max_ids_coords(
 }
 
 /// The dimension-specialised fused inner loop over contiguous rows.
-fn fused_rows<const D: usize>(coords: &[f64], center: &[f64], nearest: &mut [f64]) -> (usize, f64) {
-    let center: &[f64; D] = center.try_into().expect("center row length");
-    let mut best = (0usize, f64::NEG_INFINITY);
+fn fused_rows<S: Scalar, const D: usize>(
+    coords: &[S],
+    center: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
+    let center: &[S; D] = center.try_into().expect("center row length");
+    let mut best = (0usize, S::NEG_INFINITY);
     for (i, (row, slot)) in coords.chunks_exact(D).zip(nearest.iter_mut()).enumerate() {
-        let row: &[f64; D] = row.try_into().expect("row length");
+        let row: &[S; D] = row.try_into().expect("row length");
         let d = dist2_arrays(row, center);
         if d < *slot {
             *slot = d;
@@ -226,8 +299,13 @@ fn fused_rows<const D: usize>(coords: &[f64], center: &[f64], nearest: &mut [f64
 }
 
 /// Dynamic-dimension fallback of [`fused_rows`].
-fn fused_rows_dyn(coords: &[f64], dim: usize, center: &[f64], nearest: &mut [f64]) -> (usize, f64) {
-    let mut best = (0usize, f64::NEG_INFINITY);
+fn fused_rows_dyn<S: Scalar>(
+    coords: &[S],
+    dim: usize,
+    center: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
+    let mut best = (0usize, S::NEG_INFINITY);
     for (i, (row, slot)) in coords.chunks_exact(dim).zip(nearest.iter_mut()).enumerate() {
         let d = dist2(row, center);
         if d < *slot {
@@ -241,16 +319,16 @@ fn fused_rows_dyn(coords: &[f64], dim: usize, center: &[f64], nearest: &mut [f64
 }
 
 /// The dimension-specialised fused inner loop over an id subset.
-fn fused_subset<const D: usize>(
-    coords: &[f64],
+fn fused_subset<S: Scalar, const D: usize>(
+    coords: &[S],
     subset: &[PointId],
-    center: &[f64],
-    nearest: &mut [f64],
-) -> (usize, f64) {
-    let center: &[f64; D] = center.try_into().expect("center row length");
-    let mut best = (0usize, f64::NEG_INFINITY);
+    center: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
+    let center: &[S; D] = center.try_into().expect("center row length");
+    let mut best = (0usize, S::NEG_INFINITY);
     for (i, (&p, slot)) in subset.iter().zip(nearest.iter_mut()).enumerate() {
-        let row: &[f64; D] = coords[p * D..p * D + D].try_into().expect("row length");
+        let row: &[S; D] = coords[p * D..p * D + D].try_into().expect("row length");
         let d = dist2_arrays(row, center);
         if d < *slot {
             *slot = d;
@@ -263,14 +341,14 @@ fn fused_subset<const D: usize>(
 }
 
 /// Dynamic-dimension fallback of [`fused_subset`].
-fn fused_subset_dyn(
-    coords: &[f64],
+fn fused_subset_dyn<S: Scalar>(
+    coords: &[S],
     dim: usize,
     subset: &[PointId],
-    center: &[f64],
-    nearest: &mut [f64],
-) -> (usize, f64) {
-    let mut best = (0usize, f64::NEG_INFINITY);
+    center: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
+    let mut best = (0usize, S::NEG_INFINITY);
     for (i, (&p, slot)) in subset.iter().zip(nearest.iter_mut()).enumerate() {
         let d = dist2(&coords[p * dim..p * dim + dim], center);
         if d < *slot {
@@ -286,11 +364,11 @@ fn fused_subset_dyn(
 /// Squared distance between two fixed-size rows: the statically known
 /// length fully unrolls the accumulator loop.
 #[inline]
-fn dist2_arrays<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
-    let mut s0 = 0.0;
-    let mut s1 = 0.0;
-    let mut s2 = 0.0;
-    let mut s3 = 0.0;
+fn dist2_arrays<S: Scalar, const D: usize>(a: &[S; D], b: &[S; D]) -> S {
+    let mut s0 = S::ZERO;
+    let mut s1 = S::ZERO;
+    let mut s2 = S::ZERO;
+    let mut s3 = S::ZERO;
     let mut i = 0;
     while i + 4 <= D {
         let d0 = a[i] - b[i];
@@ -311,10 +389,20 @@ fn dist2_arrays<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
     (s0 + s1) + (s2 + s3)
 }
 
-/// Position and value of the maximum entry, ties broken toward the smaller
-/// index.  Returns `None` on an empty slice.
-pub fn argmax(values: &[f64]) -> Option<(usize, f64)> {
-    let mut best: Option<(usize, f64)> = None;
+/// Position and value of the maximum entry.
+///
+/// **Tie-breaking contract:** when several entries share the maximum value,
+/// the *lowest index* wins — the scan only replaces the incumbent on a
+/// strictly greater value.  [`par_argmax`] upholds the same rule (per-chunk
+/// winners combine in index order, earlier chunk wins ties), so the two
+/// never diverge.  This matters at `f32`, where coarser rounding makes
+/// exact ties far more common than at `f64`; without the rule, parallel and
+/// sequential Gonzalez runs could pick different (equally far) points and
+/// diverge from there.
+///
+/// Returns `None` on an empty slice.
+pub fn argmax<S: Scalar>(values: &[S]) -> Option<(usize, S)> {
+    let mut best: Option<(usize, S)> = None;
     for (i, &v) in values.iter().enumerate() {
         match best {
             Some((_, bv)) if v <= bv => {}
@@ -325,8 +413,11 @@ pub fn argmax(values: &[f64]) -> Option<(usize, f64)> {
 }
 
 /// Chunked rayon variant of [`argmax`] with a sequential cutoff; identical
-/// result including tie-breaking (per-chunk winners combine in index order).
-pub fn par_argmax(values: &[f64]) -> Option<(usize, f64)> {
+/// result *including tie-breaking*: each chunk reports its lowest-index
+/// maximum, and the reduction keeps the earlier chunk's winner unless a
+/// later one is strictly greater, so the global winner is the lowest index
+/// achieving the maximum — exactly the sequential rule.
+pub fn par_argmax<S: Scalar>(values: &[S]) -> Option<(usize, S)> {
     if values.len() < PAR_CUTOFF {
         return argmax(values);
     }
@@ -369,9 +460,35 @@ mod tests {
     }
 
     #[test]
+    fn dist2_wide_is_bit_identical_to_dist2_at_f64() {
+        for dim in [1usize, 3, 4, 7, 16, 33] {
+            let flat = cloud(2, dim);
+            let (a, b) = (flat.row(0), flat.row(1));
+            assert_eq!(dist2(a, b), dist2_wide(a, b), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn dist2_wide_accumulates_f32_rows_in_f64() {
+        // Coordinates whose squares cannot be represented distinctly at
+        // f32 accumulation, widened correctly by the wide kernel.
+        let a: Vec<f32> = vec![1_000.0, 1_000.0, 1_000.0, 1_000.0, 0.001];
+        let b: Vec<f32> = vec![0.0; 5];
+        let wide = dist2_wide(&a, &b);
+        // The contract: the wide kernel equals the f64 kernel run on
+        // pre-widened rows (same summation order, f64 accumulation).
+        let a64: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let b64: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        assert_eq!(wide, dist2(&a64, &b64));
+        // ... which preserves the tiny term the f32 accumulation absorbs.
+        assert!(wide > 4_000_000.0);
+        assert_eq!(dist2(&a, &b), 4_000_000.0f32);
+    }
+
+    #[test]
     fn dist2_of_identical_rows_is_zero() {
         let p = Point::xyz(1.5, -2.0, 3.25);
-        let flat = FlatPoints::from_points(&[p.clone(), p]);
+        let flat = FlatPoints::<f64>::from_points(&[p.clone(), p]);
         assert_eq!(dist2_rows(&flat, 0, 1), 0.0);
     }
 
@@ -414,6 +531,30 @@ mod tests {
     }
 
     #[test]
+    fn f32_kernels_mirror_f64_kernels_on_exact_inputs() {
+        // Integer-valued coordinates are exact at both precisions, so the
+        // two instantiations must agree exactly.
+        let coords: Vec<f64> = (0..300 * 4)
+            .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % 200) as f64 - 100.0)
+            .collect();
+        let flat64 = FlatPoints::from_coords(coords, 4).unwrap();
+        let flat32 = flat64.to_precision::<f32>();
+        let subset: Vec<usize> = (0..300).collect();
+        let mut near64 = vec![f64::INFINITY; 300];
+        let mut near32 = vec![f32::INFINITY; 300];
+        let (pos64, val64) = {
+            relax_nearest(&flat64, &subset, 3, &mut near64);
+            relax_max_ids_coords(flat64.coords(), 4, &subset, flat64.row(9), &mut near64)
+        };
+        let (pos32, val32) = {
+            relax_nearest(&flat32, &subset, 3, &mut near32);
+            relax_max_ids_coords(flat32.coords(), 4, &subset, flat32.row(9), &mut near32)
+        };
+        assert_eq!(pos64, pos32);
+        assert_eq!(val64, val32 as f64);
+    }
+
+    #[test]
     fn par_relax_is_bit_identical_to_sequential() {
         let flat = cloud(40_000, 3);
         let subset: Vec<usize> = (0..40_000).collect();
@@ -428,8 +569,10 @@ mod tests {
 
     #[test]
     fn argmax_breaks_ties_toward_smaller_index() {
-        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax::<f64>(&[]), None);
         assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some((1, 3.0)));
+        // All-equal input: position 0 wins.
+        assert_eq!(argmax(&[5.0f32; 17]), Some((0, 5.0f32)));
     }
 
     #[test]
@@ -437,6 +580,20 @@ mod tests {
         let values: Vec<f64> = (0..50_000)
             .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % 100_000) as f64)
             .collect();
+        assert_eq!(par_argmax(&values), argmax(&values));
+    }
+
+    #[test]
+    fn par_argmax_breaks_ties_toward_smallest_index_above_cutoff() {
+        // Every entry ties: both variants must report index 0.  Then plant
+        // duplicated maxima in several chunks: the first occurrence wins.
+        let n = PAR_CUTOFF + 4 * PAR_CHUNK;
+        let mut values = vec![1.0f32; n];
+        assert_eq!(par_argmax(&values), Some((0, 1.0f32)));
+        assert_eq!(par_argmax(&values), argmax(&values));
+        values[3 * PAR_CHUNK + 7] = 9.0;
+        values[5 * PAR_CHUNK + 1] = 9.0;
+        assert_eq!(par_argmax(&values), Some((3 * PAR_CHUNK + 7, 9.0f32)));
         assert_eq!(par_argmax(&values), argmax(&values));
     }
 }

@@ -9,19 +9,25 @@
 //!
 //! This crate provides:
 //!
+//! * [`Scalar`] — the sealed storage-scalar trait (`f64`, `f32`) the whole
+//!   flat-storage/kernel stack is generic over (see *Storage precision*
+//!   below).
 //! * [`FlatPoints`] — the contiguous structure-of-arrays point store every
-//!   hot scan runs against (see *Storage layout* below).
-//! * [`Point`] — a dense, owned coordinate vector used as the per-point
-//!   view/conversion type at API boundaries.
+//!   hot scan runs against (see *Storage layout* below), generic over the
+//!   storage scalar.
+//! * [`Point`] — a dense, owned `f64` coordinate vector used as the
+//!   per-point view/conversion type at API boundaries.
 //! * [`Distance`] implementations — [`Euclidean`], [`SquaredEuclidean`],
 //!   [`Manhattan`], [`Chebyshev`], [`Minkowski`], [`Hamming`] — all defined
-//!   over raw coordinate slices, with order-equivalent *surrogate* forms
-//!   (squared Euclidean, un-rooted Minkowski) for comparison-only scans.
+//!   over raw coordinate slices at either precision, with order-equivalent
+//!   *surrogate* forms (squared Euclidean, un-rooted Minkowski) for
+//!   comparison-only scans and `f64`-accumulated *wide* forms for
+//!   certification.
 //! * [`kernel`] — the fused scan kernels (`dist2`, `relax_nearest`,
 //!   `argmax`) plus chunked rayon variants with a sequential cutoff.
 //! * [`MetricSpace`] — the trait the clustering algorithms are written
-//!   against, with a concrete on-demand [`VecSpace`] and a fully
-//!   materialised [`MatrixSpace`].
+//!   against, with a concrete on-demand [`VecSpace`] (generic over the
+//!   storage scalar) and a fully materialised [`MatrixSpace`].
 //! * [`DistanceMatrix`] — an explicit symmetric matrix representation (the
 //!   "matrix representation of a graph" the paper mentions and argues
 //!   against shipping between machines).
@@ -51,6 +57,19 @@
 //!
 //! `bench_flat` in `kcenter-bench` measures the combined effect against the
 //! old pointer-chasing layout (see `BENCH_flat.json` at the workspace root).
+//!
+//! # Storage precision
+//!
+//! All of the above is generic over the sealed [`Scalar`] trait
+//! (`f64`/`f32`).  The scans are DRAM-bound at the paper's million-point
+//! scale, so `f32` storage halves the bytes the comparison-space scans pull
+//! — close to a free 2× — while the accuracy contract stays structural:
+//! comparison-only scans run at storage precision, but every *reported*
+//! quantity (covering radius, coverage checks) is recomputed through the
+//! `wide_cmp_*` certification family, which accumulates in `f64` from the
+//! stored rows.  An `f32` run therefore only ever carries the one-time
+//! `2^-24` input rounding of each coordinate, never accumulated scan error,
+//! and results are bit-for-bit deterministic per `(seed, precision)` pair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +81,7 @@ pub mod kernel;
 pub mod lower_bound;
 pub mod matrix;
 pub mod point;
+pub mod scalar;
 pub mod space;
 
 pub use bbox::BoundingBox;
@@ -72,6 +92,7 @@ pub use flat::FlatPoints;
 pub use lower_bound::{pairwise_lower_bound, scaled_diameter_lower_bound};
 pub use matrix::DistanceMatrix;
 pub use point::Point;
+pub use scalar::{Precision, Scalar};
 pub use space::{MatrixSpace, MetricSpace, VecSpace};
 
 /// Index of a point inside a data set / metric space.

@@ -146,6 +146,17 @@ pub enum PointError {
         /// The offending value.
         value: f64,
     },
+    /// A coordinate exceeded the storage scalar's safe magnitude
+    /// (`Scalar::MAX_ABS_COORD`), beyond which squared distances could
+    /// overflow to infinity inside the comparison-space kernels.
+    OutOfRange {
+        /// Index of the offending coordinate.
+        index: usize,
+        /// The offending value.
+        value: f64,
+        /// The magnitude limit of the storage scalar.
+        limit: f64,
+    },
 }
 
 impl fmt::Display for PointError {
@@ -154,6 +165,17 @@ impl fmt::Display for PointError {
             PointError::Empty => write!(f, "point has no coordinates"),
             PointError::NonFinite { index, value } => {
                 write!(f, "coordinate {index} is not finite: {value}")
+            }
+            PointError::OutOfRange {
+                index,
+                value,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "coordinate {index} ({value}) exceeds the storage scalar's safe \
+                     magnitude {limit} (squared distances would overflow)"
+                )
             }
         }
     }

@@ -7,33 +7,46 @@
 //! * [`VecSpace`] computes distances on demand from coordinates held in a
 //!   contiguous [`FlatPoints`] store — the representation the paper uses for
 //!   its experiments, because shipping a full `n × n` matrix between
-//!   simulated machines would be wasteful.
+//!   simulated machines would be wasteful.  It is generic over the storage
+//!   [`Scalar`] (`VecSpace<Euclidean, f32>` halves the scan bandwidth).
 //! * [`MatrixSpace`] pre-computes the full symmetric [`DistanceMatrix`] —
 //!   only viable for small `n` but convenient for exact tests and for graphs
 //!   given directly by edge weights.
 //!
-//! # Comparison space
+//! # Comparison space and certification space
 //!
-//! The hot scans (farthest-point selection, nearest-center relaxation,
-//! covering-radius evaluation) only compare distances, so the trait exposes
-//! them in *comparison space*: [`MetricSpace::cmp_distance`] returns an
-//! order-equivalent surrogate (squared Euclidean for the default space — no
-//! `sqrt` per pair), and [`MetricSpace::cmp_to_distance`] converts a final
-//! winner back to a real distance.  Implementations with no cheaper
-//! surrogate fall back to the distance itself, so generic code can always
-//! use the `cmp_*` family.
+//! The hot scans (farthest-point selection, nearest-center relaxation) only
+//! compare distances, so the trait exposes them in *comparison space*:
+//! [`MetricSpace::cmp_distance`] returns an order-equivalent surrogate of
+//! type [`MetricSpace::Cmp`] — the storage scalar for [`VecSpace`], so an
+//! `f32` space runs these scans entirely in `f32` (squared Euclidean, no
+//! `sqrt` per pair) — and [`MetricSpace::cmp_to_distance`] converts a final
+//! winner back to a real distance.
+//!
+//! Evaluation is different: a covering radius is a *reported* number, so
+//! the verifiers use the `wide_cmp_*` family instead, which is also
+//! order-equivalent but accumulated in `f64` from the stored rows.  Every
+//! real-distance query (`distance`, `distance_to_set`, …) and every
+//! `wide_cmp_*` scan is therefore exact `f64` arithmetic at any storage
+//! precision; only the comparison-space selection scans run narrow.
 
 use crate::distance::{Distance, Euclidean};
 use crate::flat::FlatPoints;
 use crate::kernel;
 use crate::matrix::DistanceMatrix;
 use crate::point::Point;
+use crate::scalar::Scalar;
 use crate::PointId;
 use rayon::prelude::*;
 use std::sync::Arc;
 
 /// A finite metric space addressable by point index.
 pub trait MetricSpace: Send + Sync {
+    /// The comparison-space scalar: the type the selection scans run in.
+    /// [`VecSpace`] sets this to its storage scalar; spaces with no reduced
+    /// storage mode use `f64`.
+    type Cmp: Scalar;
+
     /// Number of points in the space.
     fn len(&self) -> usize;
 
@@ -42,7 +55,8 @@ pub trait MetricSpace: Send + Sync {
         self.len() == 0
     }
 
-    /// Distance between the points with indices `a` and `b`.
+    /// Distance between the points with indices `a` and `b` (exact: `f64`
+    /// accumulation regardless of the storage precision).
     ///
     /// # Panics
     ///
@@ -54,6 +68,12 @@ pub trait MetricSpace: Send + Sync {
 
     /// Whether the underlying distance satisfies the metric axioms.
     fn is_metric(&self) -> bool;
+
+    /// Storage-precision name (`"f32"` / `"f64"` for coordinate-backed
+    /// spaces); experiment reports record it next to the seed.
+    fn precision_name(&self) -> &'static str {
+        <Self::Cmp as Scalar>::NAME
+    }
 
     /// For each point in `targets`, its distance to point `from`.
     fn distances_from(&self, from: PointId, targets: &[PointId]) -> Vec<f64> {
@@ -93,38 +113,105 @@ pub trait MetricSpace: Send + Sync {
     }
 
     /// Comparison-space distance between two points: order-equivalent to
-    /// [`MetricSpace::distance`] but possibly cheaper (squared Euclidean for
-    /// the default [`VecSpace`]).  Defaults to the distance itself.
+    /// [`MetricSpace::distance`] but possibly cheaper (squared Euclidean at
+    /// storage precision for the default [`VecSpace`]).  Defaults to the
+    /// distance rounded into [`MetricSpace::Cmp`].
     #[inline]
-    fn cmp_distance(&self, a: PointId, b: PointId) -> f64 {
-        self.distance(a, b)
+    fn cmp_distance(&self, a: PointId, b: PointId) -> Self::Cmp {
+        Self::Cmp::from_f64(self.distance(a, b))
     }
 
     /// Converts a comparison-space value back to a real distance.
     #[inline]
-    fn cmp_to_distance(&self, c: f64) -> f64 {
-        c
+    fn cmp_to_distance(&self, c: Self::Cmp) -> f64 {
+        c.to_f64()
     }
 
     /// Converts a real distance into comparison space (the inverse of
-    /// [`MetricSpace::cmp_to_distance`] on non-negative values).
+    /// [`MetricSpace::cmp_to_distance`] on non-negative values, up to `Cmp`
+    /// rounding).
     #[inline]
-    fn distance_to_cmp(&self, d: f64) -> f64 {
-        d
+    fn distance_to_cmp(&self, d: f64) -> Self::Cmp {
+        Self::Cmp::from_f64(d)
     }
 
     /// Comparison-space [`MetricSpace::distance_to_set`].
-    fn cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
-        to.iter()
-            .map(|&t| self.cmp_distance(from, t))
-            .fold(f64::INFINITY, f64::min)
+    fn cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> Self::Cmp {
+        let mut best = Self::Cmp::INFINITY;
+        for &t in to {
+            let d = self.cmp_distance(from, t);
+            if d < best {
+                best = d;
+            }
+        }
+        best
     }
 
     /// Comparison-space [`MetricSpace::distance_to_set_bounded`].
-    fn cmp_distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: f64) -> f64 {
-        let mut best = f64::INFINITY;
+    fn cmp_distance_to_set_bounded(
+        &self,
+        from: PointId,
+        to: &[PointId],
+        stop_below: Self::Cmp,
+    ) -> Self::Cmp {
+        let mut best = Self::Cmp::INFINITY;
         for &t in to {
             let d = self.cmp_distance(from, t);
+            if d < best {
+                best = d;
+                if best <= stop_below {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Certification-space distance: order-equivalent to the distance (like
+    /// `cmp_distance`) but always an `f64` accumulated from the stored rows.
+    /// The covering-radius and coverage verifiers scan on this so that
+    /// reported quality numbers are exact at any storage precision.
+    /// Defaults to the distance itself.
+    #[inline]
+    fn wide_cmp_distance(&self, a: PointId, b: PointId) -> f64 {
+        self.distance(a, b)
+    }
+
+    /// Converts a certification-space value back to a real distance.
+    #[inline]
+    fn wide_cmp_to_distance(&self, w: f64) -> f64 {
+        w
+    }
+
+    /// Converts a real distance into certification space (the inverse of
+    /// [`MetricSpace::wide_cmp_to_distance`] on non-negative values).
+    #[inline]
+    fn distance_to_wide_cmp(&self, d: f64) -> f64 {
+        d
+    }
+
+    /// Certification-space [`MetricSpace::distance_to_set`].
+    fn wide_cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.wide_cmp_distance(from, t);
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Certification-space [`MetricSpace::distance_to_set_bounded`].
+    fn wide_cmp_distance_to_set_bounded(
+        &self,
+        from: PointId,
+        to: &[PointId],
+        stop_below: f64,
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.wide_cmp_distance(from, t);
             if d < best {
                 best = d;
                 if best <= stop_below {
@@ -142,7 +229,7 @@ pub trait MetricSpace: Send + Sync {
     /// # Panics
     ///
     /// Panics if `subset` and `nearest` have different lengths.
-    fn relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+    fn relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [Self::Cmp]) {
         assert_eq!(
             subset.len(),
             nearest.len(),
@@ -159,7 +246,7 @@ pub trait MetricSpace: Send + Sync {
     /// Chunked parallel variant of [`MetricSpace::relax_nearest`] with a
     /// sequential cutoff; identical results (chunking only partitions the
     /// index space).
-    fn par_relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+    fn par_relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [Self::Cmp]) {
         assert_eq!(
             subset.len(),
             nearest.len(),
@@ -189,14 +276,14 @@ pub trait MetricSpace: Send + Sync {
         &self,
         subset: &[PointId],
         center: PointId,
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
+        nearest: &mut [Self::Cmp],
+    ) -> (usize, Self::Cmp) {
         assert_eq!(
             subset.len(),
             nearest.len(),
             "subset/nearest length mismatch"
         );
-        let mut best = (0usize, f64::NEG_INFINITY);
+        let mut best = (0usize, Self::Cmp::NEG_INFINITY);
         for (i, (slot, &p)) in nearest.iter_mut().zip(subset).enumerate() {
             let d = self.cmp_distance(p, center);
             if d < *slot {
@@ -216,8 +303,8 @@ pub trait MetricSpace: Send + Sync {
         &self,
         subset: &[PointId],
         center: PointId,
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
+        nearest: &mut [Self::Cmp],
+    ) -> (usize, Self::Cmp) {
         assert_eq!(
             subset.len(),
             nearest.len(),
@@ -236,7 +323,7 @@ pub trait MetricSpace: Send + Sync {
                 (chunk_idx * CHUNK + pos, v)
             })
             .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
-            .unwrap_or((0, f64::NEG_INFINITY))
+            .unwrap_or((0, Self::Cmp::NEG_INFINITY))
     }
 
     /// [`MetricSpace::relax_nearest_max`] over the whole space (the
@@ -244,9 +331,9 @@ pub trait MetricSpace: Send + Sync {
     /// implementations can stream rows without any index indirection.
     /// Callers that know their subset is `0..len` (the full-space solvers)
     /// use this to skip both the id loads and the identity re-check.
-    fn relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+    fn relax_all_max(&self, center: PointId, nearest: &mut [Self::Cmp]) -> (usize, Self::Cmp) {
         assert_eq!(self.len(), nearest.len(), "space/nearest length mismatch");
-        let mut best = (0usize, f64::NEG_INFINITY);
+        let mut best = (0usize, Self::Cmp::NEG_INFINITY);
         for (i, slot) in nearest.iter_mut().enumerate() {
             let d = self.cmp_distance(i, center);
             if d < *slot {
@@ -261,7 +348,7 @@ pub trait MetricSpace: Send + Sync {
 
     /// Chunked parallel variant of [`MetricSpace::relax_all_max`] with a
     /// sequential cutoff; bit-identical results.
-    fn par_relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+    fn par_relax_all_max(&self, center: PointId, nearest: &mut [Self::Cmp]) -> (usize, Self::Cmp) {
         assert_eq!(self.len(), nearest.len(), "space/nearest length mismatch");
         if self.len() < kernel::PAR_CUTOFF {
             return self.relax_all_max(center, nearest);
@@ -272,7 +359,7 @@ pub trait MetricSpace: Send + Sync {
             .enumerate()
             .map(|(chunk_idx, near_chunk)| {
                 let offset = chunk_idx * CHUNK;
-                let mut best = (0usize, f64::NEG_INFINITY);
+                let mut best = (0usize, Self::Cmp::NEG_INFINITY);
                 for (i, slot) in near_chunk.iter_mut().enumerate() {
                     let d = self.cmp_distance(offset + i, center);
                     if d < *slot {
@@ -285,7 +372,7 @@ pub trait MetricSpace: Send + Sync {
                 best
             })
             .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
-            .unwrap_or((0, f64::NEG_INFINITY))
+            .unwrap_or((0, Self::Cmp::NEG_INFINITY))
     }
 }
 
@@ -298,29 +385,26 @@ pub fn is_identity_subset(subset: &[PointId], n: usize) -> bool {
 /// A metric space backed by a contiguous [`FlatPoints`] store and a distance
 /// function evaluated on demand over coordinate rows.
 ///
+/// The second type parameter is the storage [`Scalar`]: `VecSpace<Euclidean>`
+/// (i.e. `VecSpace<Euclidean, f64>`) is the exact reproduction mode, and
+/// `VecSpace<Euclidean, f32>` halves the memory traffic of every
+/// comparison-space scan while the `wide_cmp_*` certification scans keep the
+/// reported quality numbers exact (see the module docs).
+///
 /// Cloning a `VecSpace` is cheap: the point storage is shared through an
 /// [`Arc`], which is exactly what the simulated MapReduce machines need
 /// (each reducer sees the same immutable point table and works on its own
 /// index subset).
 #[derive(Clone)]
-pub struct VecSpace<D: Distance = Euclidean> {
-    points: Arc<FlatPoints>,
+pub struct VecSpace<D: Distance = Euclidean, S: Scalar = f64> {
+    points: Arc<FlatPoints<S>>,
     dist: D,
 }
 
-impl<D: Distance> VecSpace<D> {
-    /// Creates a space over `points` with the given distance function.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the points do not all share the same dimension.
-    pub fn with_distance(points: Vec<Point>, dist: D) -> Self {
-        Self::from_flat_with_distance(FlatPoints::from_points(&points), dist)
-    }
-
+impl<D: Distance, S: Scalar> VecSpace<D, S> {
     /// Creates a space directly over a flat store — the zero-copy path used
-    /// by the data generators.
-    pub fn from_flat_with_distance(flat: FlatPoints, dist: D) -> Self {
+    /// by the data generators, at whatever precision the store carries.
+    pub fn from_flat_with_distance(flat: FlatPoints<S>, dist: D) -> Self {
         Self {
             points: Arc::new(flat),
             dist,
@@ -338,17 +422,18 @@ impl<D: Distance> VecSpace<D> {
     }
 
     /// The flat coordinate store backing this space.
-    pub fn flat(&self) -> &FlatPoints {
+    pub fn flat(&self) -> &FlatPoints<S> {
         &self.points
     }
 
     /// The coordinate row of the point with index `id`.
     #[inline]
-    pub fn row(&self, id: PointId) -> &[f64] {
+    pub fn row(&self, id: PointId) -> &[S] {
         self.points.row(id)
     }
 
-    /// An owned [`Point`] copy of the point with index `id`.
+    /// An owned [`Point`] copy of the point with index `id` (widened to
+    /// `f64`).
     pub fn point(&self, id: PointId) -> Point {
         self.points.point(id)
     }
@@ -366,7 +451,7 @@ impl<D: Distance> VecSpace<D> {
     }
 
     /// Distance between two explicit points (not necessarily members of the
-    /// space).
+    /// space); computed on their own `f64` coordinates.
     pub fn point_distance(&self, a: &Point, b: &Point) -> f64 {
         self.dist.distance(a, b)
     }
@@ -392,32 +477,53 @@ impl<D: Distance> VecSpace<D> {
     }
 }
 
-impl<D: Distance> std::fmt::Debug for VecSpace<D> {
+impl<D: Distance, S: Scalar> std::fmt::Debug for VecSpace<D, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "VecSpace(n={}, dim={:?}, distance={})",
+            "VecSpace(n={}, dim={:?}, distance={}, precision={})",
             self.points.len(),
             self.dim(),
-            self.dist.name()
+            self.dist.name(),
+            S::NAME
         )
     }
 }
 
-impl VecSpace<Euclidean> {
-    /// Creates a Euclidean space over `points` — the configuration used by
-    /// every experiment in the paper.
+impl<D: Distance> VecSpace<D, f64> {
+    /// Creates an `f64` space over `points` with the given distance
+    /// function.  (Pinned to `f64` so the storage scalar never has to be
+    /// inferred from `Vec<Point>` input; build a [`FlatPoints`] at the
+    /// target precision and use [`VecSpace::from_flat_with_distance`] for
+    /// the reduced-precision mode.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points do not all share the same dimension.
+    pub fn with_distance(points: Vec<Point>, dist: D) -> Self {
+        Self::from_flat_with_distance(FlatPoints::from_points(&points), dist)
+    }
+}
+
+impl VecSpace<Euclidean, f64> {
+    /// Creates a Euclidean `f64` space over `points` — the configuration
+    /// used by every experiment in the paper.
     pub fn new(points: Vec<Point>) -> Self {
         Self::with_distance(points, Euclidean)
     }
+}
 
-    /// Creates a Euclidean space directly over a flat store.
-    pub fn from_flat(flat: FlatPoints) -> Self {
+impl<S: Scalar> VecSpace<Euclidean, S> {
+    /// Creates a Euclidean space directly over a flat store (at the store's
+    /// own precision).
+    pub fn from_flat(flat: FlatPoints<S>) -> Self {
         Self::from_flat_with_distance(flat, Euclidean)
     }
 }
 
-impl<D: Distance> MetricSpace for VecSpace<D> {
+impl<D: Distance, S: Scalar> MetricSpace for VecSpace<D, S> {
+    type Cmp = S;
+
     fn len(&self) -> usize {
         self.points.len()
     }
@@ -437,40 +543,41 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
     }
 
     fn distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
-        // Scan in surrogate space, convert the winner once.
-        self.cmp_to_distance(self.cmp_distance_to_set(from, to))
+        // Scan in certification (f64-wide surrogate) space, convert the
+        // winner once — exact at any storage precision, one sqrt total.
+        self.wide_cmp_to_distance(self.wide_cmp_distance_to_set(from, to))
     }
 
     fn distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: f64) -> f64 {
         // Distances are non-negative, so a negative threshold can never be
         // reached — and mapping it through e.g. `d*d` would flip its sign.
-        let cmp_stop = if stop_below < 0.0 {
+        let wide_stop = if stop_below < 0.0 {
             f64::NEG_INFINITY
         } else {
-            self.distance_to_cmp(stop_below)
+            self.distance_to_wide_cmp(stop_below)
         };
-        let cmp = self.cmp_distance_to_set_bounded(from, to, cmp_stop);
-        self.cmp_to_distance(cmp)
+        let wide = self.wide_cmp_distance_to_set_bounded(from, to, wide_stop);
+        self.wide_cmp_to_distance(wide)
     }
 
     #[inline]
-    fn cmp_distance(&self, a: PointId, b: PointId) -> f64 {
+    fn cmp_distance(&self, a: PointId, b: PointId) -> S {
         self.dist.surrogate(self.points.row(a), self.points.row(b))
     }
 
     #[inline]
-    fn cmp_to_distance(&self, c: f64) -> f64 {
+    fn cmp_to_distance(&self, c: S) -> f64 {
         self.dist.surrogate_to_distance(c)
     }
 
     #[inline]
-    fn distance_to_cmp(&self, d: f64) -> f64 {
+    fn distance_to_cmp(&self, d: f64) -> S {
         self.dist.distance_to_surrogate(d)
     }
 
-    fn cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
+    fn cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> S {
         let row = self.points.row(from);
-        let mut best = f64::INFINITY;
+        let mut best = S::INFINITY;
         for &t in to {
             let d = self.dist.surrogate(row, self.points.row(t));
             if d < best {
@@ -480,9 +587,9 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
         best
     }
 
-    fn cmp_distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: f64) -> f64 {
+    fn cmp_distance_to_set_bounded(&self, from: PointId, to: &[PointId], stop_below: S) -> S {
         let row = self.points.row(from);
-        let mut best = f64::INFINITY;
+        let mut best = S::INFINITY;
         for &t in to {
             let d = self.dist.surrogate(row, self.points.row(t));
             if d < best {
@@ -495,7 +602,55 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
         best
     }
 
-    fn relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+    #[inline]
+    fn wide_cmp_distance(&self, a: PointId, b: PointId) -> f64 {
+        self.dist
+            .wide_surrogate(self.points.row(a), self.points.row(b))
+    }
+
+    #[inline]
+    fn wide_cmp_to_distance(&self, w: f64) -> f64 {
+        self.dist.wide_surrogate_to_distance(w)
+    }
+
+    #[inline]
+    fn distance_to_wide_cmp(&self, d: f64) -> f64 {
+        self.dist.distance_to_wide_surrogate(d)
+    }
+
+    fn wide_cmp_distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {
+        let row = self.points.row(from);
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.dist.wide_surrogate(row, self.points.row(t));
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+
+    fn wide_cmp_distance_to_set_bounded(
+        &self,
+        from: PointId,
+        to: &[PointId],
+        stop_below: f64,
+    ) -> f64 {
+        let row = self.points.row(from);
+        let mut best = f64::INFINITY;
+        for &t in to {
+            let d = self.dist.wide_surrogate(row, self.points.row(t));
+            if d < best {
+                best = d;
+                if best <= stop_below {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    fn relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [S]) {
         assert_eq!(
             subset.len(),
             nearest.len(),
@@ -510,7 +665,7 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
         }
     }
 
-    fn par_relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [f64]) {
+    fn par_relax_nearest(&self, subset: &[PointId], center: PointId, nearest: &mut [S]) {
         assert_eq!(
             subset.len(),
             nearest.len(),
@@ -537,8 +692,8 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
         &self,
         subset: &[PointId],
         center: PointId,
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
+        nearest: &mut [S],
+    ) -> (usize, S) {
         assert_eq!(
             subset.len(),
             nearest.len(),
@@ -559,8 +714,8 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
         &self,
         subset: &[PointId],
         center: PointId,
-        nearest: &mut [f64],
-    ) -> (usize, f64) {
+        nearest: &mut [S],
+    ) -> (usize, S) {
         assert_eq!(
             subset.len(),
             nearest.len(),
@@ -587,10 +742,10 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
                 (chunk_idx * CHUNK + pos, v)
             })
             .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
-            .unwrap_or((0, f64::NEG_INFINITY))
+            .unwrap_or((0, S::NEG_INFINITY))
     }
 
-    fn relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+    fn relax_all_max(&self, center: PointId, nearest: &mut [S]) -> (usize, S) {
         assert_eq!(
             self.points.len(),
             nearest.len(),
@@ -601,7 +756,7 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
             .relax_rows_max(flat.coords(), flat.dim(), flat.row(center), nearest)
     }
 
-    fn par_relax_all_max(&self, center: PointId, nearest: &mut [f64]) -> (usize, f64) {
+    fn par_relax_all_max(&self, center: PointId, nearest: &mut [S]) -> (usize, S) {
         assert_eq!(
             self.points.len(),
             nearest.len(),
@@ -627,7 +782,7 @@ impl<D: Distance> MetricSpace for VecSpace<D> {
                 (chunk_idx * CHUNK + pos, v)
             })
             .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
-            .unwrap_or((0, f64::NEG_INFINITY))
+            .unwrap_or((0, S::NEG_INFINITY))
     }
 }
 
@@ -659,6 +814,8 @@ impl MatrixSpace {
 }
 
 impl MetricSpace for MatrixSpace {
+    type Cmp = f64;
+
     fn len(&self) -> usize {
         self.matrix.len()
     }
@@ -699,7 +856,22 @@ mod tests {
         assert_eq!(s.dim(), Some(2));
         assert!((s.distance(0, 3) - 2f64.sqrt()).abs() < 1e-12);
         assert_eq!(s.distance_name(), "euclidean");
+        assert_eq!(s.precision_name(), "f64");
         assert!(s.is_metric());
+    }
+
+    #[test]
+    fn f32_space_runs_cmp_scans_in_f32_and_certifies_in_f64() {
+        let s: VecSpace<Euclidean, f32> =
+            VecSpace::from_flat(FlatPoints::<f32>::from_points(&square()));
+        assert_eq!(s.precision_name(), "f32");
+        // Comparison space is f32 (the storage scalar).
+        let c: f32 = s.cmp_distance(0, 3);
+        assert_eq!(c, 2.0f32);
+        // Certification space is f64-accumulated from the f32 rows.
+        assert_eq!(s.wide_cmp_distance(0, 3), 2.0f64);
+        assert!((s.distance(0, 3) - 2f64.sqrt()).abs() < 1e-15);
+        assert_eq!(s.distance_to_set(3, &[0, 1]), 1.0);
     }
 
     #[test]
@@ -764,6 +936,20 @@ mod tests {
     }
 
     #[test]
+    fn wide_cmp_space_round_trips_to_distances() {
+        let s: VecSpace<Euclidean, f32> =
+            VecSpace::from_flat(FlatPoints::<f32>::from_points(&square()));
+        let w = s.wide_cmp_distance(0, 3);
+        assert_eq!(w, 2.0);
+        assert_eq!(s.wide_cmp_to_distance(w), 2f64.sqrt());
+        assert_eq!(s.distance_to_wide_cmp(2f64.sqrt()), 2.0000000000000004);
+        assert_eq!(
+            s.wide_cmp_to_distance(s.wide_cmp_distance_to_set(3, &[0, 1])),
+            s.distance_to_set(3, &[0, 1])
+        );
+    }
+
+    #[test]
     fn relax_nearest_matches_pairwise_minimum() {
         let s = VecSpace::new(square());
         let subset = vec![0, 1, 2, 3];
@@ -812,6 +998,7 @@ mod tests {
         let m = MatrixSpace::new(s.to_matrix());
         assert_eq!(m.len(), 4);
         assert!(m.is_metric());
+        assert_eq!(m.precision_name(), "f64");
         for a in 0..4 {
             for b in 0..4 {
                 assert!((m.distance(a, b) - s.distance(a, b)).abs() < 1e-12);

@@ -108,26 +108,35 @@ proptest! {
 
     #[test]
     fn surrogates_round_trip_to_distances((a, b) in row_pair(), p in 1.0f64..6.0) {
-        let metrics: Vec<Box<dyn Distance>> = vec![
-            Box::new(Euclidean),
-            Box::new(SquaredEuclidean),
-            Box::new(Manhattan),
-            Box::new(Chebyshev),
-            Box::new(Minkowski::new(p)),
-            Box::new(Hamming),
-        ];
-        for m in &metrics {
-            let d = m.distance_slices(&a, &b);
-            let s = m.surrogate(&a, &b);
-            prop_assert!(
-                close(m.surrogate_to_distance(s), d),
-                "{}: surrogate {} does not round-trip to {}", m.name(), s, d
-            );
-            prop_assert!(
-                close(m.surrogate_to_distance(m.distance_to_surrogate(d)), d),
-                "{}: distance_to_surrogate is not inverse", m.name()
-            );
+        // The scalar-generic methods make `Distance` non-dyn-compatible,
+        // so enumerate the metrics statically.
+        macro_rules! check {
+            ($m:expr) => {{
+                let m = $m;
+                let d = m.distance_slices(&a, &b);
+                let s: f64 = m.surrogate(&a, &b);
+                prop_assert!(
+                    close(m.surrogate_to_distance(s), d),
+                    "{}: surrogate {} does not round-trip to {}", m.name(), s, d
+                );
+                let w = m.wide_surrogate(&a, &b);
+                prop_assert!(
+                    close(m.wide_surrogate_to_distance(w), d),
+                    "{}: wide surrogate {} does not round-trip to {}", m.name(), w, d
+                );
+                let back: f64 = m.distance_to_surrogate(d);
+                prop_assert!(
+                    close(m.surrogate_to_distance(back), d),
+                    "{}: distance_to_surrogate is not inverse", m.name()
+                );
+            }};
         }
+        check!(Euclidean);
+        check!(SquaredEuclidean);
+        check!(Manhattan);
+        check!(Chebyshev);
+        check!(Minkowski::new(p));
+        check!(Hamming);
     }
 
     #[test]

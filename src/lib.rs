@@ -48,5 +48,7 @@ pub mod prelude {
         UnifGenerator,
     };
     pub use kcenter_mapreduce::{ClusterConfig, JobStats, SimulatedCluster};
-    pub use kcenter_metric::{Distance, Euclidean, MetricSpace, Point, PointId, VecSpace};
+    pub use kcenter_metric::{
+        Distance, Euclidean, FlatPoints, MetricSpace, Point, PointId, Precision, Scalar, VecSpace,
+    };
 }
