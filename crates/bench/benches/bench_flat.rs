@@ -8,7 +8,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kcenter_bench::flatbench::{flat_iteration, flat_par_iteration, old_iteration};
-use kcenter_data::{PointGenerator, UnifGenerator};
+use kcenter_core::coreset::GonzalezCoresetConfig;
+use kcenter_core::prelude::*;
+use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
 use kcenter_metric::VecSpace;
 
 const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
@@ -54,5 +56,59 @@ fn bench_nearest_center_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nearest_center_scan);
+/// The sweep amortisation at reduced scale: one grid cell solved on a
+/// prebuilt weighted coreset vs a from-scratch EIM rerun on the full data.
+/// The build cost itself is measured separately so all three components of
+/// the trade-off (build once, solve many, rerun many) are tracked.
+fn bench_sweep_via_coreset(c: &mut Criterion) {
+    let spec = DatasetSpec::Gau {
+        n: 20_000,
+        k_prime: 10,
+    };
+    let dataset = spec.build(42);
+    let space = &dataset.space;
+    let coreset = GonzalezCoresetConfig::new(200)
+        .with_machines(10)
+        .build(space)
+        .expect("coreset build");
+
+    let mut group = c.benchmark_group("flat/sweep_via_coreset");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("coreset_build_t200", |b| {
+        b.iter(|| {
+            black_box(
+                GonzalezCoresetConfig::new(200)
+                    .with_machines(10)
+                    .build(space)
+                    .expect("coreset build"),
+            )
+        })
+    });
+    group.bench_function("coreset_solve_k10", |b| {
+        b.iter(|| {
+            black_box(
+                coreset
+                    .solve(10, SequentialSolver::Gonzalez, FirstCenter::default())
+                    .expect("coreset solve"),
+            )
+        })
+    });
+    group.bench_function("eim_rerun_k10", |b| {
+        b.iter(|| {
+            black_box(
+                EimConfig::new(10)
+                    .with_machines(10)
+                    .with_epsilon(0.13)
+                    .with_seed(42)
+                    .run(space)
+                    .expect("EIM rerun"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nearest_center_scan, bench_sweep_via_coreset);
 criterion_main!(benches);

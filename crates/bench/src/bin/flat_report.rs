@@ -11,12 +11,18 @@
 //! Vecs sequentially — the allocator best case — while *aged* heaps shuffle
 //! the allocation order the way parallel generators and long-lived
 //! processes do.
+//!
+//! A second section (`sweep_results`) measures the coreset layer's
+//! build-once/solve-many amortisation: one weighted coreset (Gonzalez and
+//! EIM builders, both storage precisions) against per-cell EIM reruns over
+//! a `(k, φ)` grid, charged in the paper's simulated-time metric.
 
 use kcenter_bench::flatbench::{
     flat_iteration, flat_par_iteration, old_iteration, to_points_aged_heap,
 };
-use kcenter_data::{PointGenerator, UnifGenerator};
-use kcenter_metric::VecSpace;
+use kcenter_bench::sweepbench::{run_sweep_comparison, SweepBuilder, SweepComparison};
+use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
+use kcenter_metric::{Scalar, VecSpace};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -182,8 +188,101 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n");
+
+    // ---- Sweep-via-coreset vs per-cell EIM reruns (build once, solve a
+    // (k, phi) grid).  Both sides are charged in the paper's simulated-time
+    // metric; the scan rows above keep their fresh/aged heap baselines
+    // untouched (ROADMAP "heap-layout honesty").
+    let mut sweeps: Vec<SweepComparison> = Vec::new();
+    let gau100k = DatasetSpec::Gau {
+        n: 100_000,
+        k_prime: 25,
+    };
+    let gau50k = DatasetSpec::Gau {
+        n: 50_000,
+        k_prime: 25,
+    };
+    sweeps.push(sweep_row::<f64>(
+        &gau100k,
+        &[10, 25, 50],
+        &[1.0, 4.0, 8.0],
+        SweepBuilder::Gonzalez { t: 1_000 },
+    ));
+    sweeps.push(sweep_row::<f32>(
+        &gau100k,
+        &[10, 25, 50],
+        &[1.0, 4.0, 8.0],
+        SweepBuilder::Gonzalez { t: 1_000 },
+    ));
+    // The EIM builder's weight round costs a dense O(n·|C|) pass that a
+    // single rerun never pays, so it amortises over a *bigger* grid than
+    // the Gonzalez builder does — benchmarked at 5×5.
+    sweeps.push(sweep_row::<f64>(
+        &gau50k,
+        &[2, 3, 5, 8, 10],
+        &[1.0, 2.0, 4.0, 6.0, 8.0],
+        SweepBuilder::Eim,
+    ));
+    sweeps.push(sweep_row::<f32>(
+        &gau50k,
+        &[2, 3, 5, 8, 10],
+        &[1.0, 2.0, 4.0, 6.0, 8.0],
+        SweepBuilder::Eim,
+    ));
+
+    json.push_str("  \"sweep_benchmark\": \"build one weighted coreset, solve a (k, phi) grid on it, vs rerunning EIM per cell; simulated = paper's per-round max machine time\",\n");
+    json.push_str("  \"sweep_results\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"n\": {}, \"precision\": \"{}\", \"builder\": \"{}\", \"coreset_size\": {}, \"construction_radius\": {:.6}, \"build_rounds\": {}, \"grid_cells\": {}, \"build_simulated_ns\": {}, \"solve_simulated_ns\": {}, \"sweep_simulated_ns\": {}, \"eim_reruns_simulated_ns\": {}, \"sweep_wall_ns\": {}, \"eim_reruns_wall_ns\": {}, \"simulated_speedup\": {:.3}, \"max_radius_ratio\": {:.4}}}",
+            s.workload,
+            s.n,
+            s.precision,
+            s.builder,
+            s.coreset_size,
+            s.construction_radius,
+            s.build_rounds,
+            s.cells.len(),
+            s.build_simulated.as_nanos(),
+            s.solve_simulated.as_nanos(),
+            s.sweep_simulated().as_nanos(),
+            s.eim_simulated.as_nanos(),
+            s.sweep_wall.as_nanos(),
+            s.eim_wall.as_nanos(),
+            s.simulated_speedup(),
+            s.max_radius_ratio,
+        );
+        json.push_str(if i + 1 < sweeps.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_flat.json");
     println!("wrote {out_path}");
+}
+
+/// One sweep comparison at the report's fixed cluster shape (the paper's
+/// 50 machines, ε = 0.1, seed 42), with a progress line on stderr.
+fn sweep_row<S: Scalar>(
+    spec: &DatasetSpec,
+    ks: &[usize],
+    phis: &[f64],
+    builder: SweepBuilder,
+) -> SweepComparison {
+    let s = run_sweep_comparison::<S>(spec, 42, ks, phis, builder, 50, 0.1);
+    eprintln!(
+        "sweep {} {} {}: coreset t={} built in {} rounds, simulated {:.1}ms + solves {:.1}ms vs eim reruns {:.1}ms ({:.2}x), worst radius ratio {:.3}",
+        s.workload,
+        s.precision,
+        s.builder,
+        s.coreset_size,
+        s.build_rounds,
+        s.build_simulated.as_secs_f64() * 1e3,
+        s.solve_simulated.as_secs_f64() * 1e3,
+        s.eim_simulated.as_secs_f64() * 1e3,
+        s.simulated_speedup(),
+        s.max_radius_ratio,
+    );
+    s
 }

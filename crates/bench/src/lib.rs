@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod flatbench;
 pub mod measure;
 pub mod report;
+pub mod sweepbench;
 
 pub use experiments::{all_experiments, Experiment, ExperimentKind, ExperimentResult};
 pub use measure::{Algorithm, Measurement};

@@ -1,0 +1,250 @@
+//! The sweep benchmark: build one weighted coreset and solve a `(k, φ)`
+//! grid on it, versus rerunning EIM from scratch for every cell.
+//!
+//! This measures the amortisation the coreset layer exists for.  Both
+//! sides are charged in the paper's metric — **simulated time**, the sum
+//! over MapReduce rounds of the slowest machine's processing time — so the
+//! comparison is machine-count-honest: the coreset side pays its build
+//! rounds (including the weight/certification pass) exactly once, the
+//! baseline pays `3·iterations + 1` rounds per cell.  Wall-clock totals
+//! are recorded alongside, as everywhere in this harness.
+//!
+//! Quality is tracked per cell: the coreset side reports the **certified**
+//! full-data covering radius of its centers (exact `f64` wide scan, not
+//! just the triangle-inequality bound), so `max_radius_ratio` compares
+//! like with like against the EIM rerun's radius.
+
+use kcenter_core::coreset::{GonzalezCoresetConfig, WeightedCoreset};
+use kcenter_core::prelude::*;
+use kcenter_data::DatasetSpec;
+use kcenter_mapreduce::{ClusterConfig, SimulatedCluster};
+use kcenter_metric::{Euclidean, Scalar};
+use std::time::{Duration, Instant};
+
+/// Which builder a sweep comparison exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepBuilder {
+    /// Gonzalez-seeded coreset of an explicit size.
+    Gonzalez {
+        /// Number of representatives.
+        t: usize,
+    },
+    /// EIM-sampled coreset built at the grid's largest `k`.
+    Eim,
+}
+
+impl SweepBuilder {
+    /// Name used in report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepBuilder::Gonzalez { .. } => "gonzalez",
+            SweepBuilder::Eim => "eim",
+        }
+    }
+}
+
+/// One `(k, φ)` cell of a sweep comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// The cell's number of centers.
+    pub k: usize,
+    /// The cell's pivot-rank parameter φ (the baseline EIM rerun uses it;
+    /// the coreset solution is φ-independent once the coreset exists).
+    pub phi: f64,
+    /// Exact certified full-data radius of the coreset solution.
+    pub coreset_radius: f64,
+    /// The rerun baseline's radius for this cell.
+    pub eim_radius: f64,
+    /// The rerun baseline's simulated time for this cell.
+    pub eim_simulated: Duration,
+}
+
+/// The outcome of one sweep-vs-reruns comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepComparison {
+    /// Workload description (spec + seed).
+    pub workload: String,
+    /// Instance size.
+    pub n: usize,
+    /// Storage-precision name.
+    pub precision: &'static str,
+    /// Builder name.
+    pub builder: &'static str,
+    /// Number of representatives the build produced.
+    pub coreset_size: usize,
+    /// The coreset's certified construction radius.
+    pub construction_radius: f64,
+    /// MapReduce rounds the build spent (all labelled `coreset`).
+    pub build_rounds: usize,
+    /// Simulated time of the build (charged once).
+    pub build_simulated: Duration,
+    /// Simulated time of all per-`k` solves on the coreset.
+    pub solve_simulated: Duration,
+    /// Wall-clock time of build + solves + per-cell certification.
+    pub sweep_wall: Duration,
+    /// Total simulated time of the per-cell EIM reruns.
+    pub eim_simulated: Duration,
+    /// Wall-clock time of the per-cell EIM reruns.
+    pub eim_wall: Duration,
+    /// Worst quality ratio over cells:
+    /// `max(coreset_radius / eim_radius)`.
+    pub max_radius_ratio: f64,
+    /// All grid cells.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepComparison {
+    /// Simulated time of the whole sweep (one build + all solves).
+    pub fn sweep_simulated(&self) -> Duration {
+        self.build_simulated + self.solve_simulated
+    }
+
+    /// Simulated-time speedup of sweep-via-coreset over per-cell reruns.
+    pub fn simulated_speedup(&self) -> f64 {
+        self.eim_simulated.as_secs_f64() / self.sweep_simulated().as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs one comparison: build a coreset over `spec` at storage precision
+/// `S`, solve every `(k, φ)` cell on it, then rerun EIM per cell.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_comparison<S: Scalar>(
+    spec: &DatasetSpec,
+    seed: u64,
+    ks: &[usize],
+    phis: &[f64],
+    builder: SweepBuilder,
+    machines: usize,
+    epsilon: f64,
+) -> SweepComparison {
+    assert!(!ks.is_empty() && !phis.is_empty(), "empty sweep grid");
+    let dataset = spec.build_at::<S>(seed);
+    let space = &dataset.space;
+    let n = dataset.len();
+    let k_max = *ks.iter().max().unwrap();
+    let phi_max = phis.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    let sweep_start = Instant::now();
+    let coreset: WeightedCoreset<Euclidean, S> = match builder {
+        SweepBuilder::Gonzalez { t } => GonzalezCoresetConfig::new(t)
+            .with_machines(machines)
+            .build(space)
+            .expect("coreset build"),
+        SweepBuilder::Eim => EimConfig::new(k_max)
+            .with_machines(machines)
+            .with_epsilon(epsilon)
+            .with_phi(phi_max)
+            .with_seed(seed)
+            .build_coreset(space)
+            .expect("coreset build"),
+    };
+    let build_rounds = coreset.stats().num_rounds_labelled("coreset");
+    let build_simulated = coreset.stats().simulated_time();
+
+    let mut solve_cluster =
+        SimulatedCluster::unchecked(ClusterConfig::new(machines, coreset.len().max(1)));
+    let per_k: Vec<(usize, f64)> = ks
+        .iter()
+        .map(|&k| {
+            let sol = coreset
+                .solve_on_cluster(
+                    k,
+                    SequentialSolver::Gonzalez,
+                    FirstCenter::default(),
+                    &mut solve_cluster,
+                    &format!("sweep solve k={k}"),
+                )
+                .expect("coreset solve");
+            (k, sol.certify(space))
+        })
+        .collect();
+    let solve_simulated = solve_cluster.stats().simulated_time();
+    let sweep_wall = sweep_start.elapsed();
+
+    let rerun_start = Instant::now();
+    let mut cells = Vec::with_capacity(ks.len() * phis.len());
+    let mut eim_simulated = Duration::ZERO;
+    let mut max_radius_ratio: f64 = 0.0;
+    for &(k, coreset_radius) in &per_k {
+        for &phi in phis {
+            let rerun = EimConfig::new(k)
+                .with_machines(machines)
+                .with_epsilon(epsilon)
+                .with_phi(phi)
+                .with_seed(seed)
+                .run(space)
+                .expect("EIM rerun");
+            let cell_sim = rerun.stats.simulated_time();
+            eim_simulated += cell_sim;
+            if rerun.solution.radius > 0.0 {
+                max_radius_ratio = max_radius_ratio.max(coreset_radius / rerun.solution.radius);
+            }
+            cells.push(SweepCell {
+                k,
+                phi,
+                coreset_radius,
+                eim_radius: rerun.solution.radius,
+                eim_simulated: cell_sim,
+            });
+        }
+    }
+    let eim_wall = rerun_start.elapsed();
+
+    SweepComparison {
+        workload: format!("{} seed {seed}", spec.describe()),
+        n,
+        precision: S::NAME,
+        builder: builder.name(),
+        coreset_size: coreset.len(),
+        construction_radius: coreset.construction_radius(),
+        build_rounds,
+        build_simulated,
+        solve_simulated,
+        sweep_wall,
+        eim_simulated,
+        eim_wall,
+        max_radius_ratio,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_fills_every_cell_and_accounts_one_build() {
+        let spec = DatasetSpec::Gau {
+            n: 3_000,
+            k_prime: 5,
+        };
+        let cmp = run_sweep_comparison::<f64>(
+            &spec,
+            7,
+            &[2, 3],
+            &[4.0, 8.0],
+            SweepBuilder::Gonzalez { t: 60 },
+            6,
+            0.13,
+        );
+        assert_eq!(cmp.cells.len(), 4);
+        assert_eq!(cmp.build_rounds, 3);
+        assert_eq!(cmp.coreset_size, 60);
+        assert_eq!(cmp.n, 3_000);
+        assert_eq!(cmp.precision, "f64");
+        assert!(cmp.max_radius_ratio > 0.0);
+        assert!(cmp.sweep_simulated() >= cmp.build_simulated);
+        assert!(cmp.simulated_speedup() > 0.0);
+    }
+
+    #[test]
+    fn eim_builder_comparison_runs_at_reduced_precision() {
+        let spec = DatasetSpec::Unif { n: 3_000 };
+        let cmp = run_sweep_comparison::<f32>(&spec, 3, &[2], &[8.0], SweepBuilder::Eim, 6, 0.13);
+        assert_eq!(cmp.builder, "eim");
+        assert_eq!(cmp.precision, "f32");
+        assert_eq!(cmp.cells.len(), 1);
+        assert!(cmp.coreset_size > 0);
+        assert!(cmp.cells[0].coreset_radius.is_finite());
+    }
+}

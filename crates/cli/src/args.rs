@@ -22,6 +22,8 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Run a k-center algorithm on a CSV point file.
     Solve(SolveArgs),
+    /// Build a weighted coreset once and evaluate a `(k, φ)` grid on it.
+    Sweep(SweepArgs),
     /// Print statistics about a CSV point file.
     Info(InfoArgs),
     /// Print the usage text.
@@ -91,6 +93,70 @@ pub struct SolveArgs {
     pub precision: Precision,
 }
 
+/// Which builder the `sweep` subcommand uses for its one-off coreset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepBuilderChoice {
+    /// Gonzalez-seeded: farthest-point traversal to `--coreset-size`
+    /// representatives (MapReduce merge construction above one machine).
+    Gonzalez,
+    /// EIM-sampled: one run of the iterative-sampling loop at the largest
+    /// requested `k`, keeping `C = S ∪ R` as the coreset.
+    Eim,
+}
+
+impl SweepBuilderChoice {
+    /// Parses a builder name as used on the command line.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "gon" | "gonzalez" => Some(SweepBuilderChoice::Gonzalez),
+            "eim" => Some(SweepBuilderChoice::Eim),
+            _ => None,
+        }
+    }
+}
+
+/// Where the `sweep` subcommand gets its points from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepSource {
+    /// Load a CSV point file (like `solve --input`).
+    Csv {
+        /// Input CSV path.
+        path: String,
+        /// Number of trailing CSV columns to ignore.
+        skip_columns: usize,
+    },
+    /// Generate one of the paper's synthetic workloads in memory.
+    Generated(DatasetSpec),
+}
+
+/// Arguments of the `sweep` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Input points: a CSV file or a generated workload.
+    pub source: SweepSource,
+    /// The `k` values of the grid.
+    pub ks: Vec<usize>,
+    /// The `φ` values of the grid (used by the per-cell EIM baseline and,
+    /// for the EIM builder, the build runs at the largest of them).
+    pub phis: Vec<f64>,
+    /// Which coreset builder to use.
+    pub builder: SweepBuilderChoice,
+    /// Gonzalez builder: number of representatives (0 = automatic,
+    /// `20 · max(k)` clamped to the instance size).
+    pub coreset_size: usize,
+    /// Number of simulated machines for build, solves and baselines.
+    pub machines: usize,
+    /// EIM's ε parameter (builder and baseline).
+    pub epsilon: f64,
+    /// Seed for all sampling randomness.
+    pub seed: u64,
+    /// Storage precision of the coordinate store.
+    pub precision: Precision,
+    /// Whether to run the per-cell EIM reruns the sweep amortises away
+    /// (disable to time the coreset path alone).
+    pub baseline: bool,
+}
+
 /// Arguments of the `info` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InfoArgs {
@@ -121,8 +187,17 @@ USAGE:
   kcenter solve <gon|mrg|eim|hs> --input FILE.csv --k K [--machines M] [--phi P]
                 [--epsilon E] [--seed S] [--skip-columns C] [--assign OUT.csv]
                 [--precision f32|f64]
+  kcenter sweep (--input FILE.csv | --family <unif|gau|unb|poker|kdd> --n N [--k-prime K'])
+                --ks K1,K2,... [--phis P1,P2,...] [--builder gonzalez|eim]
+                [--coreset-size T] [--machines M] [--epsilon E] [--seed S]
+                [--skip-columns C] [--precision f32|f64] [--baseline on|off]
   kcenter info --input FILE.csv [--skip-columns C]
   kcenter help
+
+The sweep builds one weighted coreset, solves every (k, phi) grid cell on
+it, certifies each cell's full-data radius, and (unless --baseline off)
+compares against per-cell EIM reruns to report the build-once/solve-many
+amortisation.
 ";
 
 /// Parses the full argument vector (excluding the program name).
@@ -136,6 +211,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         }
         Some("generate") => Command::Generate(parse_generate(&args[1..])?),
         Some("solve") => Command::Solve(parse_solve(&args[1..])?),
+        Some("sweep") => Command::Sweep(parse_sweep(&args[1..])?),
         Some("info") => Command::Info(parse_info(&args[1..])?),
         Some(other) => return Err(ParseError(format!("unknown subcommand {other:?}"))),
     };
@@ -244,6 +320,117 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
         skip_columns,
         assignment_out,
         precision,
+    })
+}
+
+/// Parses a comma-separated list of numbers for flags like `--ks 5,10,25`.
+fn parse_number_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, ParseError> {
+    let items: Result<Vec<T>, ParseError> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_number(flag, s))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(ParseError(format!("{flag} needs at least one value")));
+    }
+    Ok(items)
+}
+
+fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
+    let flags = collect_flags(args)?;
+    let mut input: Option<String> = None;
+    let mut family: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut k_prime: usize = 25;
+    let mut ks: Option<Vec<usize>> = None;
+    let mut phis: Vec<f64> = vec![1.0, 4.0, 8.0];
+    let mut builder = SweepBuilderChoice::Gonzalez;
+    let mut coreset_size: usize = 0;
+    let mut machines: usize = 50;
+    let mut epsilon: f64 = 0.1;
+    let mut seed: u64 = 0;
+    let mut skip_columns: usize = 0;
+    let mut precision = Precision::default();
+    let mut baseline = true;
+    for (flag, value) in &flags {
+        match flag.as_str() {
+            "--input" => input = Some(value.clone()),
+            "--family" => family = Some(value.clone()),
+            "--n" => n = Some(parse_number(flag, value)?),
+            "--k-prime" => k_prime = parse_number(flag, value)?,
+            "--ks" => ks = Some(parse_number_list(flag, value)?),
+            "--phis" => phis = parse_number_list(flag, value)?,
+            "--builder" => {
+                builder = SweepBuilderChoice::parse(value).ok_or_else(|| {
+                    ParseError(format!(
+                        "invalid value {value:?} for --builder (expected gonzalez or eim)"
+                    ))
+                })?
+            }
+            "--coreset-size" => coreset_size = parse_number(flag, value)?,
+            "--machines" => machines = parse_number(flag, value)?,
+            "--epsilon" => epsilon = parse_number(flag, value)?,
+            "--seed" => seed = parse_number(flag, value)?,
+            "--skip-columns" => skip_columns = parse_number(flag, value)?,
+            "--precision" => {
+                precision = Precision::parse(value).ok_or_else(|| {
+                    ParseError(format!(
+                        "invalid value {value:?} for --precision (expected f32 or f64)"
+                    ))
+                })?
+            }
+            "--baseline" => {
+                baseline = match value.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "yes" => true,
+                    "off" | "false" | "no" => false,
+                    other => {
+                        return Err(ParseError(format!(
+                            "invalid value {other:?} for --baseline (expected on or off)"
+                        )))
+                    }
+                }
+            }
+            other => return Err(ParseError(format!("unknown flag {other:?} for sweep"))),
+        }
+    }
+    let source = match (input, family) {
+        (Some(_), Some(_)) => {
+            return Err(ParseError(
+                "sweep takes either --input or --family, not both".into(),
+            ))
+        }
+        (Some(path), None) => SweepSource::Csv { path, skip_columns },
+        (None, Some(fam)) => {
+            let n = n.ok_or_else(|| ParseError("sweep --family requires --n".into()))?;
+            let spec = match fam.to_ascii_lowercase().as_str() {
+                "unif" => DatasetSpec::Unif { n },
+                "gau" => DatasetSpec::Gau { n, k_prime },
+                "unb" => DatasetSpec::Unb { n, k_prime },
+                "poker" => DatasetSpec::PokerHand { n },
+                "kdd" => DatasetSpec::KddCup { n },
+                other => return Err(ParseError(format!("unknown workload family {other:?}"))),
+            };
+            SweepSource::Generated(spec)
+        }
+        (None, None) => {
+            return Err(ParseError(
+                "sweep requires a point source: --input FILE.csv or --family ... --n N".into(),
+            ))
+        }
+    };
+    Ok(SweepArgs {
+        source,
+        ks: ks.ok_or_else(|| ParseError("sweep requires --ks (e.g. --ks 5,10,25)".into()))?,
+        phis,
+        builder,
+        coreset_size,
+        machines,
+        epsilon,
+        seed,
+        precision,
+        baseline,
     })
 }
 
@@ -384,6 +571,91 @@ mod tests {
     }
 
     #[test]
+    fn sweep_parses_defaults_and_overrides() {
+        let cli = parse(&argv("sweep --input pts.csv --ks 5,10,25")).unwrap();
+        match cli.command {
+            Command::Sweep(s) => {
+                assert_eq!(
+                    s.source,
+                    SweepSource::Csv {
+                        path: "pts.csv".into(),
+                        skip_columns: 0
+                    }
+                );
+                assert_eq!(s.ks, vec![5, 10, 25]);
+                assert_eq!(s.phis, vec![1.0, 4.0, 8.0]);
+                assert_eq!(s.builder, SweepBuilderChoice::Gonzalez);
+                assert_eq!(s.coreset_size, 0);
+                assert_eq!(s.machines, 50);
+                assert!(s.baseline);
+                assert_eq!(s.precision, Precision::F64);
+            }
+            _ => panic!("expected sweep"),
+        }
+        let cli = parse(&argv(
+            "sweep --family gau --n 1000 --k-prime 7 --ks 2,4 --phis 4,8 --builder eim \
+             --coreset-size 64 --machines 8 --epsilon 0.13 --seed 3 --precision f32 --baseline off",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Sweep(s) => {
+                assert_eq!(
+                    s.source,
+                    SweepSource::Generated(DatasetSpec::Gau {
+                        n: 1000,
+                        k_prime: 7
+                    })
+                );
+                assert_eq!(s.ks, vec![2, 4]);
+                assert_eq!(s.phis, vec![4.0, 8.0]);
+                assert_eq!(s.builder, SweepBuilderChoice::Eim);
+                assert_eq!(s.coreset_size, 64);
+                assert_eq!(s.machines, 8);
+                assert_eq!(s.epsilon, 0.13);
+                assert_eq!(s.seed, 3);
+                assert!(!s.baseline);
+                assert_eq!(s.precision, Precision::F32);
+            }
+            _ => panic!("expected sweep"),
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_sources_and_flags() {
+        // No source, both sources, family without n.
+        assert!(parse(&argv("sweep --ks 2,3")).is_err());
+        assert!(parse(&argv("sweep --input a.csv --family unif --n 10 --ks 2")).is_err());
+        assert!(parse(&argv("sweep --family unif --ks 2")).is_err());
+        assert!(parse(&argv("sweep --family martian --n 10 --ks 2")).is_err());
+        // Missing or malformed grids.
+        assert!(parse(&argv("sweep --input a.csv")).is_err());
+        assert!(parse(&argv("sweep --input a.csv --ks two")).is_err());
+        assert!(parse(&argv("sweep --input a.csv --ks ,")).is_err());
+        // Bad enum values.
+        assert!(parse(&argv("sweep --input a.csv --ks 2 --builder mrg")).is_err());
+        assert!(parse(&argv("sweep --input a.csv --ks 2 --baseline maybe")).is_err());
+        assert!(parse(&argv("sweep --input a.csv --ks 2 --precision f16")).is_err());
+        assert!(parse(&argv("sweep --input a.csv --ks 2 --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn sweep_builder_aliases() {
+        assert_eq!(
+            SweepBuilderChoice::parse("GONZALEZ"),
+            Some(SweepBuilderChoice::Gonzalez)
+        );
+        assert_eq!(
+            SweepBuilderChoice::parse("gon"),
+            Some(SweepBuilderChoice::Gonzalez)
+        );
+        assert_eq!(
+            SweepBuilderChoice::parse("eim"),
+            Some(SweepBuilderChoice::Eim)
+        );
+        assert_eq!(SweepBuilderChoice::parse("hs"), None);
+    }
+
+    #[test]
     fn info_parses() {
         let cli = parse(&argv("info --input pts.csv --skip-columns 2")).unwrap();
         assert_eq!(
@@ -398,7 +670,7 @@ mod tests {
 
     #[test]
     fn usage_mentions_all_subcommands() {
-        for word in ["generate", "solve", "info", "gon", "mrg", "eim"] {
+        for word in ["generate", "solve", "sweep", "info", "gon", "mrg", "eim"] {
             assert!(USAGE.contains(word), "usage text is missing {word}");
         }
     }

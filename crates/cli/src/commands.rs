@@ -1,15 +1,20 @@
 //! Execution of the parsed CLI commands.
 
-use crate::args::{Cli, Command, GenerateArgs, InfoArgs, SolveArgs, SolverChoice, USAGE};
+use crate::args::{
+    Cli, Command, GenerateArgs, InfoArgs, SolveArgs, SolverChoice, SweepArgs, SweepBuilderChoice,
+    SweepSource, USAGE,
+};
 use kcenter_core::evaluate::{assign, cluster_sizes};
 use kcenter_core::prelude::*;
 use kcenter_data::csv::{load_points, save_points, CsvOptions};
+use kcenter_mapreduce::{ClusterConfig, JobStats, SimulatedCluster};
 use kcenter_metric::{
     BoundingBox, Euclidean, FlatPoints, MetricSpace, PointId, Precision, Scalar, VecSpace,
 };
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
+use std::time::Duration;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -61,6 +66,7 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), CommandError> {
         }
         Command::Generate(args) => generate(args, out),
         Command::Solve(args) => solve(args, out),
+        Command::Sweep(args) => sweep(args, out),
         Command::Info(args) => info(args, out),
     }
 }
@@ -223,6 +229,161 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
     Ok(())
 }
 
+fn sweep<W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), CommandError> {
+    match args.precision {
+        Precision::F64 => sweep_at::<f64, W>(args, out),
+        Precision::F32 => sweep_at::<f32, W>(args, out),
+    }
+}
+
+fn format_ms(d: Duration) -> String {
+    format!("{:.1}ms", d.as_secs_f64() * 1e3)
+}
+
+fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), CommandError> {
+    let space: VecSpace<Euclidean, S> = match &args.source {
+        SweepSource::Csv { path, skip_columns } => load_space::<S>(path, *skip_columns)?,
+        SweepSource::Generated(spec) => spec.build_at::<S>(args.seed).space,
+    };
+    writeln!(
+        out,
+        "sweep over {} points of dimension {} ({} storage), grid {} k x {} phi",
+        space.len(),
+        space.dim().unwrap_or(0),
+        S::NAME,
+        args.ks.len(),
+        args.phis.len(),
+    )?;
+
+    let k_max = *args.ks.iter().max().expect("--ks is non-empty");
+    let phi_max = args.phis.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    // ---- Phase 1: build the coreset exactly once.
+    let coreset: WeightedCoreset<Euclidean, S> = match args.builder {
+        SweepBuilderChoice::Gonzalez => {
+            // Automatic size: 20 representatives per requested center,
+            // never more than the instance itself (clamp would panic when
+            // k_max exceeds n — min/max keeps t in [1, n] instead).
+            let t = if args.coreset_size > 0 {
+                args.coreset_size
+            } else {
+                (20 * k_max).min(space.len()).max(1)
+            };
+            GonzalezCoresetConfig::new(t)
+                .with_machines(args.machines)
+                .with_first_center(FirstCenter::Seeded(args.seed))
+                .build(&space)?
+        }
+        SweepBuilderChoice::Eim => EimConfig::new(k_max)
+            .with_machines(args.machines)
+            .with_epsilon(args.epsilon)
+            .with_phi(phi_max)
+            .with_seed(args.seed)
+            .build_coreset(&space)?,
+    };
+    let build_rounds = coreset.stats().num_rounds_labelled("coreset");
+    let build_simulated = coreset.stats().simulated_time();
+    writeln!(
+        out,
+        "coreset: builder {}, {} representatives covering {} points, construction radius {:.6}",
+        coreset.builder().name(),
+        coreset.len(),
+        coreset.total_weight(),
+        coreset.construction_radius(),
+    )?;
+    writeln!(
+        out,
+        "coreset built once: {build_rounds} MapReduce rounds, simulated {}",
+        format_ms(build_simulated)
+    )?;
+
+    // ---- Phase 2: one cheap weighted solve per k, charged to the same
+    // accounting so the round labels prove the build was not repeated.
+    let mut stats: JobStats = coreset.stats().clone();
+    let mut solve_cluster =
+        SimulatedCluster::unchecked(ClusterConfig::new(args.machines, coreset.len().max(1)));
+    let mut per_k: Vec<(usize, CoresetSolution, f64)> = Vec::with_capacity(args.ks.len());
+    for &k in &args.ks {
+        let sol = coreset.solve_on_cluster(
+            k,
+            SequentialSolver::Gonzalez,
+            FirstCenter::Seeded(args.seed),
+            &mut solve_cluster,
+            &format!("sweep solve k={k}"),
+        )?;
+        let certified = sol.certify(&space);
+        per_k.push((k, sol, certified));
+    }
+    let solve_stats = solve_cluster.into_stats();
+    let solve_simulated = solve_stats.simulated_time();
+    stats.extend(solve_stats);
+
+    // ---- Phase 3: the grid report, with optional per-cell EIM reruns.
+    let mut baseline_simulated = Duration::ZERO;
+    for (k, sol, certified) in &per_k {
+        for &phi in &args.phis {
+            let coreset_cell = format!(
+                "k={k:>4} phi={phi:>4}: certified radius {certified:.6} (coreset {:.6}, bound {:.6})",
+                sol.coreset_radius, sol.radius_bound
+            );
+            if args.baseline {
+                let rerun = EimConfig::new(*k)
+                    .with_machines(args.machines)
+                    .with_epsilon(args.epsilon)
+                    .with_phi(phi)
+                    .with_seed(args.seed)
+                    .run(&space)?;
+                baseline_simulated += rerun.stats.simulated_time();
+                writeln!(
+                    out,
+                    "{coreset_cell} | eim rerun radius {:.6}, simulated {}",
+                    rerun.solution.radius,
+                    format_ms(rerun.stats.simulated_time()),
+                )?;
+            } else {
+                writeln!(out, "{coreset_cell}")?;
+            }
+        }
+    }
+
+    // ---- Summary: the build-once/solve-many amortisation.
+    let cells = args.ks.len() * args.phis.len();
+    let sweep_total = build_simulated + solve_simulated;
+    writeln!(
+        out,
+        "sweep-via-coreset: build {} + {} solves {} = simulated {} for {cells} cells",
+        format_ms(build_simulated),
+        per_k.len(),
+        format_ms(solve_simulated),
+        format_ms(sweep_total),
+    )?;
+    if args.baseline {
+        let speedup = baseline_simulated.as_secs_f64() / sweep_total.as_secs_f64().max(1e-9);
+        writeln!(
+            out,
+            "per-cell EIM reruns: simulated {} for {cells} cells -> sweep speedup {speedup:.2}x",
+            format_ms(baseline_simulated),
+        )?;
+    }
+    writeln!(
+        out,
+        "round accounting ({} rounds total):",
+        stats.num_rounds()
+    )?;
+    for round in stats.rounds() {
+        writeln!(
+            out,
+            "  round {}: {} ({} machines, {} items, simulated {})",
+            round.round + 1,
+            round.label,
+            round.machines_used,
+            round.items_in,
+            format_ms(round.simulated_time),
+        )?;
+    }
+    Ok(())
+}
+
 fn info<W: Write>(args: &InfoArgs, out: &mut W) -> Result<(), CommandError> {
     let space = load_space::<f64>(&args.input, args.skip_columns)?;
     writeln!(out, "file: {}", args.input)?;
@@ -373,6 +534,64 @@ mod tests {
             })
         ));
         assert!(err.to_string().contains("f64"));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn sweep_builds_one_coreset_and_reports_the_grid() {
+        let out = run_cli(
+            "sweep --family gau --n 3000 --k-prime 5 --ks 2,3,5 --phis 1,4,8 \
+             --machines 6 --epsilon 0.13 --seed 2 --coreset-size 60",
+        )
+        .unwrap();
+        // One build, visible in the accounting.
+        assert!(out.contains("coreset built once: 3 MapReduce rounds"));
+        assert!(out.contains("builder gonzalez, 60 representatives covering 3000 points"));
+        // 3x3 = 9 grid cells, each with a certified radius and a baseline.
+        assert_eq!(out.matches("certified radius").count(), 9);
+        assert_eq!(out.matches("eim rerun radius").count(), 9);
+        assert!(out.contains("sweep speedup"));
+        // One solve round per k rides next to the three build rounds.
+        assert_eq!(out.matches("sweep solve k=").count(), 3);
+        assert_eq!(out.matches("coreset round").count(), 3);
+    }
+
+    #[test]
+    fn sweep_supports_the_eim_builder_and_f32_without_baseline() {
+        let out = run_cli(
+            "sweep --family unif --n 3000 --ks 2,3 --phis 4,8 --builder eim \
+             --machines 6 --epsilon 0.13 --seed 1 --precision f32 --baseline off",
+        )
+        .unwrap();
+        assert!(out.contains("(f32 storage)"));
+        assert!(out.contains("builder eim"));
+        assert!(out.contains("covering 3000 points"));
+        assert_eq!(out.matches("certified radius").count(), 4);
+        assert!(!out.contains("eim rerun radius"));
+        assert!(out.contains("sweep-via-coreset"));
+    }
+
+    #[test]
+    fn sweep_with_k_beyond_the_instance_size_does_not_panic() {
+        // The automatic coreset size must cap at n, not assert on clamp
+        // bounds; with k >= n the solve returns every representative.
+        let out =
+            run_cli("sweep --family unif --n 50 --ks 60 --phis 8 --machines 4 --baseline off")
+                .unwrap();
+        assert!(out.contains("50 representatives covering 50 points"));
+        assert!(out.contains("certified radius 0.000000"));
+    }
+
+    #[test]
+    fn sweep_reads_csv_input_like_solve() {
+        let csv = temp_path("sweep.csv");
+        run_cli(&format!("generate unif --n 800 --seed 5 --out {csv}")).unwrap();
+        let out = run_cli(&format!(
+            "sweep --input {csv} --ks 2,4 --phis 8 --machines 4 --baseline off"
+        ))
+        .unwrap();
+        assert!(out.contains("sweep over 800 points"));
+        assert_eq!(out.matches("certified radius").count(), 2);
         std::fs::remove_file(&csv).ok();
     }
 

@@ -1,0 +1,860 @@
+//! Reusable weighted coresets: build once, sweep many `(k, φ)`.
+//!
+//! Every parallel scheme in the paper ends the same way: a small set
+//! `C = S ∪ R` is handed to a sequential k-center algorithm (EIM line 10),
+//! or the union of per-reducer centers is re-clustered (MRG).  In the
+//! original pipeline that hand-off set is *consumed* — rerunning with a
+//! different `k` or `φ` recomputes it from scratch, paying the full-data
+//! MapReduce rounds every time.
+//!
+//! This module makes the hand-off set a first-class, reusable artifact: a
+//! [`WeightedCoreset`] owns a flat SoA copy of its representative rows plus
+//! a `u64` weight per representative (the number of source points it
+//! stands for), so any number of downstream instances can be solved on the
+//! summary without touching the source points again.  This is the standard
+//! composable-coreset bridge from one-shot runs to sweep and streaming
+//! workloads (Aghamolaei & Ghodsi 2023; Czumaj et al. 2025).
+//!
+//! # The quality certificate
+//!
+//! Every coreset records its **construction radius** `r_c`: the certified
+//! (`f64`-accumulated, exact over the stored rows) maximum distance from
+//! any source point to its nearest representative.  By the triangle
+//! inequality, any center set `C` chosen *from the representatives*
+//! satisfies
+//!
+//! ```text
+//! radius_full(C)  ≤  radius_coreset(C) + r_c
+//! ```
+//!
+//! because each source point reaches its representative within `r_c` and
+//! the representative reaches its chosen center within `radius_coreset(C)`.
+//! [`CoresetSolution::radius_bound`] reports exactly that sum, and
+//! [`CoresetSolution::certify`] recomputes the exact full-data radius when
+//! the source space is still at hand.  Conversely the representatives are
+//! genuine source points, so `radius_coreset(C) ≤ radius_full(C)` — the
+//! bound is tight to within `r_c`.
+//!
+//! # Builders
+//!
+//! * **Gonzalez-seeded** ([`GonzalezCoresetConfig`]): a farthest-point
+//!   traversal to `t` representatives.  Gonzalez's own invariant makes the
+//!   construction radius the classic `r_t` (the `(t+1)`-th farthest-point
+//!   distance), giving the usual `r_t`-additive certificate; `r_t ≤ 2·OPT_t`
+//!   shrinks as `t` grows.  The build runs as MapReduce rounds on a
+//!   [`SimulatedCluster`] — per-reducer local coresets merged in a second
+//!   round (the composable construction), then one weight/certification
+//!   round — so construction cost shows up in [`JobStats`] next to the
+//!   solve rounds it amortises.  With one machine the build degenerates to
+//!   plain sequential Gonzalez.
+//! * **EIM-sampled** ([`EimConfig::build_coreset`]): runs Algorithm 2's
+//!   iterative-sampling MapReduce loop exactly once and *keeps* `C = S ∪ R`
+//!   (weighted and certified) instead of consuming it.  Built at `k`, the
+//!   sample's probabilistic guarantee covers every sweep cell with
+//!   `k' ≤ k`, since the sampling probabilities and the loop threshold are
+//!   monotone in `k`.
+//!
+//! Solving on the coreset goes through the weight-aware sequential entry
+//! points ([`SequentialSolver::select_centers_weighted`]): positive
+//! multiplicities leave the max-radius objective untouched, zero-weight
+//! summary rows (possible after merges) drop out of both candidacy and
+//! coverage, and the weighted covering radius is certified with the same
+//! `wide_cmp_*` (`f64`-accumulating) discipline as every other reported
+//! number in this workspace.
+
+use crate::eim::{sampling_phase, EimConfig};
+use crate::error::KCenterError;
+use crate::evaluate::{covering_radius, weighted_covering_radius};
+use crate::gonzalez::{self, FirstCenter};
+use crate::solution::KCenterSolution;
+use crate::solver::SequentialSolver;
+use kcenter_mapreduce::{partition, ClusterConfig, JobStats, SimulatedCluster};
+use kcenter_metric::distance::Distance;
+use kcenter_metric::{Euclidean, FlatPoints, MetricSpace, PointId, Scalar, VecSpace};
+use serde::{Deserialize, Serialize};
+
+/// Which construction produced a coreset (recorded as provenance metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoresetBuilder {
+    /// Farthest-point traversal to `t` representatives (possibly built as
+    /// per-reducer local coresets merged in a second round).
+    Gonzalez,
+    /// EIM's iterative-sampling loop, run once; the representatives are the
+    /// paper's hand-off set `C = S ∪ R`.
+    Eim,
+}
+
+impl CoresetBuilder {
+    /// Name used in reports and sweep output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoresetBuilder::Gonzalez => "gonzalez",
+            CoresetBuilder::Eim => "eim",
+        }
+    }
+}
+
+/// A weighted summary of a metric space: flat SoA rows of the
+/// representatives, a `u64` weight per representative (how many source
+/// points it covers), and provenance/quality metadata — most importantly
+/// the certified construction radius behind the additive quality
+/// certificate (see the module docs).
+///
+/// The representative rows are an owned [`FlatPoints`] at the source
+/// space's storage precision, wrapped in a [`VecSpace`] with the source's
+/// distance function: the coreset *is* a metric space of its own, so every
+/// solver in this crate runs on it unchanged, and the source space can be
+/// dropped (streaming ingestion) once the coreset is built.
+#[derive(Clone)]
+pub struct WeightedCoreset<D: Distance = Euclidean, S: Scalar = f64> {
+    space: VecSpace<D, S>,
+    source_ids: Vec<PointId>,
+    weights: Vec<u64>,
+    source_len: usize,
+    construction_radius: f64,
+    builder: CoresetBuilder,
+    seed: Option<u64>,
+    stats: JobStats,
+}
+
+impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
+    #[allow(clippy::too_many_arguments)] // crate-private constructor: every field is load-bearing
+    fn from_parts(
+        space: VecSpace<D, S>,
+        source_ids: Vec<PointId>,
+        weights: Vec<u64>,
+        source_len: usize,
+        construction_radius: f64,
+        builder: CoresetBuilder,
+        seed: Option<u64>,
+        stats: JobStats,
+    ) -> Self {
+        assert_eq!(space.len(), source_ids.len(), "rows/ids length mismatch");
+        assert_eq!(space.len(), weights.len(), "rows/weights length mismatch");
+        debug_assert_eq!(
+            weights.iter().sum::<u64>(),
+            source_len as u64,
+            "weights must partition the source points"
+        );
+        Self {
+            space,
+            source_ids,
+            weights,
+            source_len,
+            construction_radius,
+            builder,
+            seed,
+            stats,
+        }
+    }
+
+    /// Number of representatives.
+    pub fn len(&self) -> usize {
+        self.source_ids.len()
+    }
+
+    /// Whether the coreset holds no representatives.
+    pub fn is_empty(&self) -> bool {
+        self.source_ids.is_empty()
+    }
+
+    /// The representatives as a metric space of their own (local ids
+    /// `0..len`), at the source storage precision and distance.
+    pub fn space(&self) -> &VecSpace<D, S> {
+        &self.space
+    }
+
+    /// For each representative, its id in the source space.
+    pub fn source_ids(&self) -> &[PointId] {
+        &self.source_ids
+    }
+
+    /// For each representative, the number of source points it covers.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Number of points in the source space the coreset summarises.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// Total covered weight; always equals [`WeightedCoreset::source_len`]
+    /// for the builders in this module (the weights partition the source).
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// The certified construction radius `r_c`: the exact
+    /// (`f64`-accumulated) maximum distance from any source point to its
+    /// nearest representative.  This is the additive slack of the quality
+    /// certificate (module docs).
+    pub fn construction_radius(&self) -> f64 {
+        self.construction_radius
+    }
+
+    /// Which builder produced this coreset.
+    pub fn builder(&self) -> CoresetBuilder {
+        self.builder
+    }
+
+    /// The sampling seed, for builders that use randomness (EIM).
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Storage-precision name of the representative rows.
+    pub fn precision_name(&self) -> &'static str {
+        S::NAME
+    }
+
+    /// MapReduce accounting of the construction (simulated time, per-round
+    /// items) — the build-once cost a sweep amortises.
+    pub fn stats(&self) -> &JobStats {
+        &self.stats
+    }
+
+    /// Solves a `k`-center instance **on the coreset** with a weight-aware
+    /// sequential solver and returns the solution together with its quality
+    /// certificate.  Cost is `O(k · t)` for Gonzalez on `t` representatives
+    /// — independent of the source size, which is what makes a `(k, φ)`
+    /// sweep over one coreset cheap.
+    pub fn solve(
+        &self,
+        k: usize,
+        solver: SequentialSolver,
+        first: FirstCenter,
+    ) -> Result<CoresetSolution, KCenterError> {
+        if self.is_empty() {
+            return Err(KCenterError::EmptyInput);
+        }
+        if k == 0 {
+            return Err(KCenterError::ZeroK);
+        }
+        let local_ids: Vec<PointId> = (0..self.len()).collect();
+        let local_centers =
+            solver.select_centers_weighted(&self.space, &local_ids, &self.weights, k, first);
+        Ok(self.package_solution(k, local_centers))
+    }
+
+    /// Like [`WeightedCoreset::solve`], but charges the selection to one
+    /// single-reducer round on `cluster` (labelled `label`) so a sweep's
+    /// per-cell solve cost lands in the same [`JobStats`] as the build —
+    /// making "built once, solved many" visible in the round accounting.
+    pub fn solve_on_cluster(
+        &self,
+        k: usize,
+        solver: SequentialSolver,
+        first: FirstCenter,
+        cluster: &mut SimulatedCluster,
+        label: &str,
+    ) -> Result<CoresetSolution, KCenterError> {
+        if self.is_empty() {
+            return Err(KCenterError::EmptyInput);
+        }
+        if k == 0 {
+            return Err(KCenterError::ZeroK);
+        }
+        let local_ids: Vec<PointId> = (0..self.len()).collect();
+        let weights = &self.weights;
+        let space = &self.space;
+        let local_centers = cluster.run_single(
+            label,
+            local_ids,
+            |ids| solver.select_centers_weighted(space, ids, weights, k, first),
+            Vec::len,
+        )?;
+        Ok(self.package_solution(k, local_centers))
+    }
+
+    fn package_solution(&self, k: usize, local_centers: Vec<PointId>) -> CoresetSolution {
+        let coreset_radius = weighted_covering_radius(&self.space, &self.weights, &local_centers);
+        let centers: Vec<PointId> = local_centers.iter().map(|&c| self.source_ids[c]).collect();
+        CoresetSolution {
+            k,
+            local_centers,
+            centers,
+            coreset_radius,
+            radius_bound: coreset_radius + self.construction_radius,
+        }
+    }
+}
+
+impl<D: Distance, S: Scalar> std::fmt::Debug for WeightedCoreset<D, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WeightedCoreset(builder={}, t={}, source_len={}, r_c={:.6}, precision={})",
+            self.builder.name(),
+            self.len(),
+            self.source_len,
+            self.construction_radius,
+            S::NAME
+        )
+    }
+}
+
+/// A k-center solution selected on a [`WeightedCoreset`], carrying its
+/// quality certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoresetSolution {
+    /// The number of centers that was requested.
+    pub k: usize,
+    /// Centers as local representative indices (`0..t`).
+    pub local_centers: Vec<PointId>,
+    /// The same centers as **source-space** point ids — directly comparable
+    /// to any solution computed on the raw space.
+    pub centers: Vec<PointId>,
+    /// The weighted covering radius over the coreset (certified in `f64`).
+    pub coreset_radius: f64,
+    /// The triangle-inequality certificate:
+    /// `coreset_radius + construction_radius` is an upper bound on the
+    /// covering radius of [`CoresetSolution::centers`] over the full source
+    /// space — no source scan needed.
+    pub radius_bound: f64,
+}
+
+impl CoresetSolution {
+    /// Recomputes the **exact** certified full-data covering radius of the
+    /// selected centers over the source space (an `O(n · k)` wide scan).
+    /// Always at most [`CoresetSolution::radius_bound`].
+    pub fn certify<Sp: MetricSpace + ?Sized>(&self, source: &Sp) -> f64 {
+        covering_radius(source, &self.centers)
+    }
+
+    /// Packages the solution as a [`KCenterSolution`] whose radius is the
+    /// certified bound (use [`CoresetSolution::certify`] first for the
+    /// exact full-data radius when the source is available).
+    pub fn into_solution(self) -> KCenterSolution {
+        KCenterSolution::new(self.k, self.centers, self.radius_bound)
+    }
+}
+
+/// Configuration of the Gonzalez-seeded coreset builder.
+///
+/// With `machines == 1` the build is the plain sequential farthest-point
+/// traversal; with more machines it is the composable two-round MapReduce
+/// construction (local coresets, then a merge), plus one weight /
+/// certification round in both cases.  All rounds are labelled with the
+/// `"coreset"` prefix so [`JobStats::num_rounds_labelled`] can prove the
+/// build happened exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GonzalezCoresetConfig {
+    /// Number of representatives `t` to keep (the certificate's `r_t`
+    /// shrinks as `t` grows).
+    pub t: usize,
+    /// Number of simulated machines; 1 means a sequential build.
+    pub machines: usize,
+    /// First-center policy of the farthest-point traversals.
+    pub first_center: FirstCenter,
+    /// Whether the single-machine traversal may use the rayon-parallel
+    /// inner scan (multi-machine builds already parallelise across
+    /// reducers).
+    pub parallel_scan: bool,
+}
+
+impl GonzalezCoresetConfig {
+    /// A sequential build of `t` representatives.
+    pub fn new(t: usize) -> Self {
+        Self {
+            t,
+            machines: 1,
+            first_center: FirstCenter::default(),
+            parallel_scan: false,
+        }
+    }
+
+    /// Sets the number of simulated machines (>1 selects the MapReduce
+    /// merge construction).
+    pub fn with_machines(mut self, machines: usize) -> Self {
+        self.machines = machines;
+        self
+    }
+
+    /// Sets the first-center policy.
+    pub fn with_first_center(mut self, first: FirstCenter) -> Self {
+        self.first_center = first;
+        self
+    }
+
+    /// Enables the rayon-parallel inner scan for single-machine builds.
+    pub fn with_parallel_scan(mut self, parallel: bool) -> Self {
+        self.parallel_scan = parallel;
+        self
+    }
+
+    /// Builds the weighted coreset over `space`.
+    ///
+    /// Requires a coordinate-backed [`VecSpace`] because the coreset copies
+    /// its representatives' rows into an owned flat store (the property
+    /// that lets the source be dropped afterwards).
+    pub fn build<D: Distance + Clone, S: Scalar>(
+        &self,
+        space: &VecSpace<D, S>,
+    ) -> Result<WeightedCoreset<D, S>, KCenterError> {
+        let n = MetricSpace::len(space);
+        if n == 0 {
+            return Err(KCenterError::EmptyInput);
+        }
+        if self.t == 0 {
+            return Err(KCenterError::InvalidParameter {
+                name: "t",
+                message: "a coreset needs at least one representative".into(),
+            });
+        }
+        if self.machines == 0 {
+            return Err(KCenterError::InvalidParameter {
+                name: "machines",
+                message: "at least one machine is required".into(),
+            });
+        }
+        if !space.is_metric() {
+            return Err(KCenterError::NotAMetric {
+                distance: space.distance_name(),
+            });
+        }
+
+        let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(self.machines, n.max(1)));
+        let scan = self.parallel_scan && self.machines == 1;
+        let t = self.t;
+        let first = self.first_center;
+
+        // Round 1: every reducer builds a local coreset of its partition by
+        // farthest-point traversal (the composable-coreset map side).
+        let ids: Vec<PointId> = (0..n).collect();
+        let parts = partition::chunks(&ids, self.machines);
+        let label = format!(
+            "coreset round 1: local gonzalez (t={t} on {} machines)",
+            parts.len()
+        );
+        let locals = cluster.run_round(
+            &label,
+            &parts,
+            |_, chunk| gonzalez::select_centers(space, chunk, t, first, scan),
+            Vec::len,
+        )?;
+
+        // Round 2: one reducer merges the local coresets by re-running the
+        // traversal on their union (identity when only one machine ran).
+        let union: Vec<PointId> = locals.into_iter().flatten().collect();
+        let reps = cluster.run_single(
+            "coreset round 2: merge local coresets",
+            union,
+            |u| gonzalez::select_centers(space, u, t, first, scan),
+            Vec::len,
+        )?;
+
+        // Round 3: weigh every representative by the source points it
+        // covers and certify the construction radius.
+        let (weights, construction_radius) = weight_and_certify_round(
+            &mut cluster,
+            space,
+            &reps,
+            self.machines,
+            "coreset round 3: weights + certification",
+        )?;
+
+        Ok(WeightedCoreset::from_parts(
+            gather_rows(space, &reps),
+            reps,
+            weights,
+            n,
+            construction_radius,
+            CoresetBuilder::Gonzalez,
+            None,
+            cluster.into_stats(),
+        ))
+    }
+}
+
+impl EimConfig {
+    /// Runs EIM's iterative-sampling MapReduce loop **once** and keeps the
+    /// hand-off set `C = S ∪ R` as a reusable [`WeightedCoreset`] instead
+    /// of consuming it in a final clustering round.
+    ///
+    /// The configuration's `k` acts as `k_max`: the sampling probabilities
+    /// (`9·k·n^ε·log n / |R|`) and the loop threshold are monotone in `k`,
+    /// so a coreset built at `k` retains the scheme's probabilistic
+    /// guarantee for every downstream instance with `k' ≤ k`.  The build is
+    /// deterministic per `(seed, precision)` like [`EimConfig::run`].
+    pub fn build_coreset<D: Distance + Clone, S: Scalar>(
+        &self,
+        space: &VecSpace<D, S>,
+    ) -> Result<WeightedCoreset<D, S>, KCenterError> {
+        let n = MetricSpace::len(space);
+        let (phase, mut cluster) = sampling_phase(self, space, "coreset ")?;
+
+        // The hand-off set C = S ∪ R (disjoint by construction).
+        let mut reps: Vec<PointId> = Vec::with_capacity(phase.sample.len() + phase.remaining.len());
+        reps.extend(phase.sample.iter().copied());
+        reps.extend(phase.remaining.iter().copied());
+
+        let (weights, construction_radius) = weight_and_certify_round(
+            &mut cluster,
+            space,
+            &reps,
+            self.machines,
+            "coreset final round: weights + certification",
+        )?;
+
+        Ok(WeightedCoreset::from_parts(
+            gather_rows(space, &reps),
+            reps,
+            weights,
+            n,
+            construction_radius,
+            CoresetBuilder::Eim,
+            Some(self.seed),
+            cluster.into_stats(),
+        ))
+    }
+}
+
+/// Copies the rows of `ids` out of `space` into an owned flat store and
+/// wraps them in a [`VecSpace`] with the same distance — the coreset's own
+/// standalone metric space.
+fn gather_rows<D: Distance + Clone, S: Scalar>(
+    space: &VecSpace<D, S>,
+    ids: &[PointId],
+) -> VecSpace<D, S> {
+    let dim = space.dim().expect("gathering from a non-empty space");
+    let mut flat = FlatPoints::<S>::with_capacity(dim, ids.len());
+    for &id in ids {
+        flat.push_row(space.row(id));
+    }
+    VecSpace::from_flat_with_distance(flat, space.metric().clone())
+}
+
+/// One MapReduce round that assigns every source point to its nearest
+/// representative (comparison space, ties to the smaller representative
+/// position — the [`crate::evaluate::assign`] convention) and certifies the
+/// construction radius with the `wide_cmp_*` (`f64`-accumulating,
+/// max-pruned) discipline.  Returns per-representative weights and the
+/// certified radius.
+fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
+    cluster: &mut SimulatedCluster,
+    space: &Sp,
+    reps: &[PointId],
+    machines: usize,
+    label: &str,
+) -> Result<(Vec<u64>, f64), KCenterError> {
+    let ids: Vec<PointId> = (0..space.len()).collect();
+    let parts = partition::chunks(&ids, machines);
+    let outputs: Vec<(Vec<u64>, f64)> = cluster.run_round(
+        label,
+        &parts,
+        |_, chunk| {
+            let mut counts = vec![0u64; reps.len()];
+            let mut wide_max = f64::NEG_INFINITY;
+            for &x in chunk {
+                let mut best = 0usize;
+                let mut best_d = <Sp::Cmp as Scalar>::INFINITY;
+                for (ri, &r) in reps.iter().enumerate() {
+                    let d = space.cmp_distance(x, r);
+                    if d < best_d {
+                        best_d = d;
+                        best = ri;
+                    }
+                }
+                counts[best] += 1;
+                let w = space.wide_cmp_distance_to_set_bounded(x, reps, wide_max);
+                if w > wide_max {
+                    wide_max = w;
+                }
+            }
+            (counts, wide_max)
+        },
+        |(counts, _)| counts.len(),
+    )?;
+
+    let mut weights = vec![0u64; reps.len()];
+    let mut wide_max = f64::NEG_INFINITY;
+    for (counts, local_max) in outputs {
+        for (w, c) in weights.iter_mut().zip(counts) {
+            *w += c;
+        }
+        wide_max = wide_max.max(local_max);
+    }
+    Ok((weights, space.wide_cmp_to_distance(wide_max.max(0.0))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gonzalez::GonzalezConfig;
+    use kcenter_metric::Point;
+
+    /// Deterministic pseudo-random cloud of `n` points in a 100×100 square.
+    fn cloud(n: usize, seed: u64) -> VecSpace {
+        VecSpace::new(
+            (0..n)
+                .map(|i| {
+                    let v = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0xD129_0DDB_53C4_3E49);
+                    let x = (v % 10_000) as f64 / 100.0;
+                    let y = ((v >> 20) % 10_000) as f64 / 100.0;
+                    Point::xy(x, y)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn gonzalez_coreset_weights_partition_the_source() {
+        let space = cloud(2_000, 1);
+        let coreset = GonzalezCoresetConfig::new(64).build(&space).unwrap();
+        assert_eq!(coreset.len(), 64);
+        assert_eq!(coreset.total_weight(), 2_000);
+        assert_eq!(coreset.source_len(), 2_000);
+        assert!(coreset.weights().iter().all(|&w| w >= 1));
+        assert!(coreset.construction_radius() > 0.0);
+        assert_eq!(coreset.builder(), CoresetBuilder::Gonzalez);
+        assert_eq!(coreset.precision_name(), "f64");
+        // Build accounting: exactly the three construction rounds.
+        assert_eq!(coreset.stats().num_rounds_labelled("coreset"), 3);
+    }
+
+    #[test]
+    fn sequential_build_equals_plain_gonzalez_prefix() {
+        let space = cloud(1_500, 2);
+        let coreset = GonzalezCoresetConfig::new(32).build(&space).unwrap();
+        // A single-machine build's representatives are exactly the first 32
+        // picks of the plain farthest-point traversal.
+        let ids: Vec<PointId> = (0..1_500).collect();
+        let plain = gonzalez::select_centers(&space, &ids, 32, FirstCenter::default(), false);
+        assert_eq!(coreset.source_ids(), &plain[..]);
+    }
+
+    #[test]
+    fn construction_radius_matches_exact_covering_radius_of_reps() {
+        let space = cloud(1_200, 3);
+        for machines in [1usize, 6] {
+            let coreset = GonzalezCoresetConfig::new(40)
+                .with_machines(machines)
+                .build(&space)
+                .unwrap();
+            let exact = covering_radius(&space, coreset.source_ids());
+            assert!(
+                (coreset.construction_radius() - exact).abs() <= 1e-12,
+                "machines={machines}: certificate {} vs exact {exact}",
+                coreset.construction_radius()
+            );
+        }
+    }
+
+    #[test]
+    fn solve_certificate_bounds_the_full_data_radius() {
+        let space = cloud(3_000, 4);
+        let coreset = GonzalezCoresetConfig::new(100)
+            .with_machines(5)
+            .build(&space)
+            .unwrap();
+        for k in [2usize, 5, 10] {
+            for solver in [SequentialSolver::Gonzalez, SequentialSolver::HochbaumShmoys] {
+                let sol = coreset.solve(k, solver, FirstCenter::default()).unwrap();
+                let full = sol.certify(&space);
+                assert!(
+                    full <= sol.radius_bound + 1e-9,
+                    "k={k} {}: certified {} exceeds bound {}",
+                    solver.name(),
+                    full,
+                    sol.radius_bound
+                );
+                // Representatives are real points, so the coreset radius
+                // never exceeds the full radius.
+                assert!(sol.coreset_radius <= full + 1e-9);
+                assert_eq!(sol.centers.len(), sol.local_centers.len());
+                for (&local, &global) in sol.local_centers.iter().zip(&sol.centers) {
+                    assert_eq!(coreset.source_ids()[local], global);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mapreduce_build_stays_close_to_the_sequential_build() {
+        let space = cloud(4_000, 5);
+        let seq = GonzalezCoresetConfig::new(80).build(&space).unwrap();
+        let par = GonzalezCoresetConfig::new(80)
+            .with_machines(8)
+            .build(&space)
+            .unwrap();
+        // The merged construction loses at most one local radius: both
+        // certificates are the same order of magnitude.
+        assert!(par.construction_radius() <= 3.0 * seq.construction_radius() + 1e-9);
+        assert_eq!(par.total_weight(), 4_000);
+    }
+
+    #[test]
+    fn eim_coreset_matches_the_runs_sample_and_is_deterministic() {
+        let space = cloud(4_000, 6);
+        let config = EimConfig::new(2)
+            .with_epsilon(0.13)
+            .with_machines(8)
+            .with_seed(9);
+        let coreset = config.build_coreset(&space).unwrap();
+        let rerun = config.build_coreset(&space).unwrap();
+        assert_eq!(coreset.source_ids(), rerun.source_ids());
+        assert_eq!(coreset.weights(), rerun.weights());
+        assert_eq!(coreset.construction_radius(), rerun.construction_radius());
+        assert_eq!(coreset.builder(), CoresetBuilder::Eim);
+        assert_eq!(coreset.seed(), Some(9));
+        // The representatives are exactly the sample C = S ∪ R the full run
+        // hands to its final round.
+        let run = config.run(&space).unwrap();
+        assert_eq!(coreset.len(), run.sample_size);
+        assert_eq!(coreset.total_weight(), 4_000);
+        // All build rounds carry the "coreset" label prefix.
+        assert_eq!(
+            coreset.stats().num_rounds_labelled("coreset"),
+            coreset.stats().num_rounds()
+        );
+    }
+
+    #[test]
+    fn eim_coreset_solution_is_sane_versus_gonzalez_baseline() {
+        let space = cloud(4_000, 7);
+        let config = EimConfig::new(3)
+            .with_epsilon(0.13)
+            .with_machines(8)
+            .with_seed(1);
+        let coreset = config.build_coreset(&space).unwrap();
+        let sol = coreset
+            .solve(3, SequentialSolver::Gonzalez, FirstCenter::default())
+            .unwrap();
+        let full = sol.certify(&space);
+        let gon = GonzalezConfig::new(3).solve(&space).unwrap();
+        // Same probabilistic 10x-of-baseline sanity bound the EIM tests use.
+        assert!(
+            full <= 10.0 * gon.radius + 1e-9,
+            "coreset solution {full} strays from baseline {}",
+            gon.radius
+        );
+        assert!(full <= sol.radius_bound + 1e-9);
+    }
+
+    #[test]
+    fn solve_on_cluster_charges_one_round_per_cell() {
+        let space = cloud(2_000, 8);
+        let coreset = GonzalezCoresetConfig::new(50)
+            .with_machines(4)
+            .build(&space)
+            .unwrap();
+        let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(4, coreset.len()));
+        for (i, k) in [2usize, 4, 8].iter().enumerate() {
+            let label = format!("sweep solve k={k}");
+            let sol = coreset
+                .solve_on_cluster(
+                    *k,
+                    SequentialSolver::Gonzalez,
+                    FirstCenter::default(),
+                    &mut cluster,
+                    &label,
+                )
+                .unwrap();
+            assert_eq!(sol.local_centers.len(), *k);
+            assert_eq!(cluster.stats().num_rounds(), i + 1);
+        }
+        assert_eq!(cluster.stats().num_rounds_labelled("sweep solve"), 3);
+        // And solving off-cluster gives the identical solution.
+        let direct = coreset
+            .solve(4, SequentialSolver::Gonzalez, FirstCenter::default())
+            .unwrap();
+        let charged = coreset
+            .solve_on_cluster(
+                4,
+                SequentialSolver::Gonzalez,
+                FirstCenter::default(),
+                &mut cluster,
+                "sweep solve k=4 again",
+            )
+            .unwrap();
+        assert_eq!(direct, charged);
+    }
+
+    #[test]
+    fn zero_weight_representatives_are_never_selected() {
+        // Hand-build a coreset-like situation through the public solver
+        // path: weight the far cluster to zero via a merged coreset whose
+        // weights we tamper with is not possible publicly, so check the
+        // weighted solver contract directly on the coreset space.
+        let space = cloud(500, 9);
+        let coreset = GonzalezCoresetConfig::new(10).build(&space).unwrap();
+        let ids: Vec<PointId> = (0..coreset.len()).collect();
+        let mut weights = coreset.weights().to_vec();
+        weights[3] = 0;
+        let centers = SequentialSolver::Gonzalez.select_centers_weighted(
+            coreset.space(),
+            &ids,
+            &weights,
+            10,
+            FirstCenter::default(),
+        );
+        assert!(!centers.contains(&3));
+    }
+
+    #[test]
+    fn builders_reject_invalid_parameters() {
+        let empty: VecSpace = VecSpace::new(vec![]);
+        assert_eq!(
+            GonzalezCoresetConfig::new(5).build(&empty).unwrap_err(),
+            KCenterError::EmptyInput
+        );
+        let space = cloud(100, 10);
+        assert!(matches!(
+            GonzalezCoresetConfig::new(0).build(&space).unwrap_err(),
+            KCenterError::InvalidParameter { name: "t", .. }
+        ));
+        assert!(matches!(
+            GonzalezCoresetConfig::new(5)
+                .with_machines(0)
+                .build(&space)
+                .unwrap_err(),
+            KCenterError::InvalidParameter {
+                name: "machines",
+                ..
+            }
+        ));
+        let coreset = GonzalezCoresetConfig::new(5).build(&space).unwrap();
+        assert_eq!(
+            coreset
+                .solve(0, SequentialSolver::Gonzalez, FirstCenter::default())
+                .unwrap_err(),
+            KCenterError::ZeroK
+        );
+    }
+
+    #[test]
+    fn t_at_least_n_reproduces_the_space_with_unit_weights() {
+        let space = cloud(30, 11);
+        let coreset = GonzalezCoresetConfig::new(64).build(&space).unwrap();
+        assert_eq!(coreset.len(), 30);
+        assert!(coreset.weights().iter().all(|&w| w == 1));
+        assert_eq!(coreset.construction_radius(), 0.0);
+    }
+
+    #[test]
+    fn f32_coreset_build_is_deterministic_and_certified() {
+        use kcenter_metric::FlatPoints;
+        let pts = cloud(1_000, 12).points();
+        let space32: VecSpace<Euclidean, f32> =
+            VecSpace::from_flat(FlatPoints::<f32>::from_points(&pts));
+        let a = GonzalezCoresetConfig::new(40)
+            .with_machines(4)
+            .build(&space32)
+            .unwrap();
+        let b = GonzalezCoresetConfig::new(40)
+            .with_machines(4)
+            .build(&space32)
+            .unwrap();
+        assert_eq!(a.source_ids(), b.source_ids());
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.construction_radius(), b.construction_radius());
+        assert_eq!(a.precision_name(), "f32");
+        // The certificate is the exact f64 covering radius of the reps.
+        let exact = covering_radius(&space32, a.source_ids());
+        assert!((a.construction_radius() - exact).abs() <= 1e-12);
+    }
+}

@@ -179,146 +179,12 @@ impl EimConfig {
 
     /// Runs EIM on the given space.
     pub fn run<S: MetricSpace + ?Sized>(&self, space: &S) -> Result<EimResult, KCenterError> {
-        let n = space.len();
-        self.validate(n)?;
-        if !space.is_metric() {
-            return Err(KCenterError::NotAMetric {
-                distance: space.distance_name(),
-            });
-        }
-
-        let nf = n.max(2) as f64;
-        let log_n = nf.ln();
-        let n_eps = nf.powf(self.epsilon);
-        let threshold = self.sampling_threshold(n);
-
-        // EIM has no per-machine capacity parameter; partitions are always
-        // `⌈|R|/m⌉` points, which the paper's setup comfortably holds.
-        let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(self.machines, n.max(1)));
-
-        // Algorithm 2, line 1: S <- ∅, R <- V.
-        let mut sample: Vec<PointId> = Vec::new();
-        let mut in_sample = vec![false; n];
-        let mut remaining: Vec<PointId> = (0..n).collect();
-        // Incremental cache of d(x, S) for every point, kept in comparison
-        // space (squared for Euclidean, at storage precision for a
-        // reduced-precision store): Select and the round-3 filter only
-        // ever *compare* these values, so the monotone surrogate gives the
-        // same pivot and the same removals without a sqrt per pair.
-        let mut dist_to_sample: Vec<S::Cmp> = vec![<S::Cmp as Scalar>::INFINITY; n];
-
-        let mut iterations = 0usize;
-
-        // Line 2: while |R| > (4/ε)·k·n^ε·log n.
-        while (remaining.len() as f64) > threshold && iterations < self.max_iterations {
-            let r_len = remaining.len() as f64;
-            let p_sample = (9.0 * self.k as f64 * n_eps * log_n / r_len).min(1.0);
-            let p_pivot = (4.0 * n_eps * log_n / r_len).min(1.0);
-            let base_seed = mix_seed(self.seed, iterations as u64);
-
-            // ---- Round 1 (lines 3-4): independent sampling on every reducer.
-            let parts = partition::chunks(&remaining, self.machines);
-            let sampled: Vec<(Vec<PointId>, Vec<PointId>)> = cluster.run_round(
-                &format!("EIM iteration {} round 1: sample S and H", iterations + 1),
-                &parts,
-                |machine, chunk| {
-                    let mut rng = StdRng::seed_from_u64(mix_seed(base_seed, machine as u64));
-                    let mut s_i = Vec::new();
-                    let mut h_i = Vec::new();
-                    for &x in chunk {
-                        if rng.gen::<f64>() < p_sample {
-                            s_i.push(x);
-                        }
-                        if rng.gen::<f64>() < p_pivot {
-                            h_i.push(x);
-                        }
-                    }
-                    (s_i, h_i)
-                },
-                |(s_i, h_i)| s_i.len() + h_i.len(),
-            )?;
-
-            // Line 5: S <- S ∪ (∪_i S^i), H <- ∪_i H^i.
-            let mut additions: Vec<PointId> = Vec::new();
-            let mut pivot_candidates: Vec<PointId> = Vec::new();
-            for (s_i, h_i) in sampled {
-                for x in s_i {
-                    if !in_sample[x] {
-                        in_sample[x] = true;
-                        additions.push(x);
-                    }
-                }
-                pivot_candidates.extend(h_i);
-            }
-            sample.extend(additions.iter().copied());
-
-            // ---- Round 2 (lines 5-6): a single reducer runs Select(H, S).
-            let phi = self.phi;
-            let additions_ref: &[PointId] = &additions;
-            let dist_ref: &[S::Cmp] = &dist_to_sample;
-            let pivot = cluster.run_single(
-                &format!("EIM iteration {} round 2: Select(H, S)", iterations + 1),
-                pivot_candidates,
-                |h| {
-                    let with_dist: Vec<(PointId, S::Cmp)> = h
-                        .iter()
-                        .map(|&x| {
-                            (
-                                x,
-                                distance_with_additions(space, x, dist_ref[x], additions_ref),
-                            )
-                        })
-                        .collect();
-                    select_pivot(&with_dist, phi, n)
-                },
-                |p| usize::from(p.is_some()),
-            )?;
-
-            // ---- Round 3 (lines 7-9): drop points no farther than the pivot.
-            let pivot_distance = pivot.map(|(_, d)| d);
-            let parts = partition::chunks(&remaining, self.machines);
-            let in_sample_ref: &[bool] = &in_sample;
-            let retained: Vec<Vec<(PointId, S::Cmp)>> = cluster.run_round(
-                &format!("EIM iteration {} round 3: filter R", iterations + 1),
-                &parts,
-                |_, chunk| {
-                    chunk
-                        .iter()
-                        .filter_map(|&x| {
-                            let d = distance_with_additions(space, x, dist_ref[x], additions_ref);
-                            // Section 4.1 fixes: sampled points always leave R,
-                            // and ties with the pivot distance are removed too.
-                            if in_sample_ref[x] {
-                                return None;
-                            }
-                            match pivot_distance {
-                                Some(vd) if d <= vd => None,
-                                _ => Some((x, d)),
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                },
-                Vec::len,
-            )?;
-
-            let mut next_remaining = Vec::with_capacity(remaining.len());
-            for part in retained {
-                for (x, d) in part {
-                    dist_to_sample[x] = d;
-                    next_remaining.push(x);
-                }
-            }
-
-            iterations += 1;
-            if next_remaining.len() >= remaining.len() {
-                // Nothing was removed: the Section 4.1 fixes make this
-                // extremely unlikely, but a probabilistic loop still gets a
-                // hard stop rather than spinning forever.
-                remaining = next_remaining;
-                break;
-            }
-            remaining = next_remaining;
-        }
+        let (phase, mut cluster) = sampling_phase(self, space, "")?;
+        let SamplingPhase {
+            sample,
+            remaining,
+            iterations,
+        } = phase;
 
         // Line 10: C <- S ∪ R (disjoint by construction).
         let mut coreset: Vec<PointId> = Vec::with_capacity(sample.len() + remaining.len());
@@ -350,6 +216,191 @@ impl EimConfig {
             stats: cluster.into_stats(),
         })
     }
+}
+
+/// The state left behind by EIM's iterative-sampling loop: the sample `S`,
+/// the still-unrepresented points `R`, and how many iterations ran.  The
+/// union `S ∪ R` (disjoint by construction) is the paper's hand-off set
+/// `C`, which [`EimConfig::run`] clusters immediately and the coreset
+/// builder (`crate::coreset`) instead weighs and keeps.
+pub(crate) struct SamplingPhase {
+    /// The accumulated sample `S`.
+    pub sample: Vec<PointId>,
+    /// The surviving unrepresented set `R`.
+    pub remaining: Vec<PointId>,
+    /// Iterations of the sampling loop that actually ran.
+    pub iterations: usize,
+}
+
+/// Runs Algorithm 2's sampling loop (three MapReduce rounds per iteration)
+/// and returns the phase outcome together with the cluster whose `JobStats`
+/// charged those rounds, so callers can keep charging follow-up rounds to
+/// the same accounting.  Round labels are prefixed with `label_prefix` so a
+/// multi-phase job (e.g. the coreset builder) can slice the sampling cost
+/// back out of the stats.
+pub(crate) fn sampling_phase<S: MetricSpace + ?Sized>(
+    config: &EimConfig,
+    space: &S,
+    label_prefix: &str,
+) -> Result<(SamplingPhase, SimulatedCluster), KCenterError> {
+    let n = space.len();
+    config.validate(n)?;
+    if !space.is_metric() {
+        return Err(KCenterError::NotAMetric {
+            distance: space.distance_name(),
+        });
+    }
+
+    let nf = n.max(2) as f64;
+    let log_n = nf.ln();
+    let n_eps = nf.powf(config.epsilon);
+    let threshold = config.sampling_threshold(n);
+
+    // EIM has no per-machine capacity parameter; partitions are always
+    // `⌈|R|/m⌉` points, which the paper's setup comfortably holds.
+    let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(config.machines, n.max(1)));
+
+    // Algorithm 2, line 1: S <- ∅, R <- V.
+    let mut sample: Vec<PointId> = Vec::new();
+    let mut in_sample = vec![false; n];
+    let mut remaining: Vec<PointId> = (0..n).collect();
+    // Incremental cache of d(x, S) for every point, kept in comparison
+    // space (squared for Euclidean, at storage precision for a
+    // reduced-precision store): Select and the round-3 filter only
+    // ever *compare* these values, so the monotone surrogate gives the
+    // same pivot and the same removals without a sqrt per pair.
+    let mut dist_to_sample: Vec<S::Cmp> = vec![<S::Cmp as Scalar>::INFINITY; n];
+
+    let mut iterations = 0usize;
+
+    // Line 2: while |R| > (4/ε)·k·n^ε·log n.
+    while (remaining.len() as f64) > threshold && iterations < config.max_iterations {
+        let r_len = remaining.len() as f64;
+        let p_sample = (9.0 * config.k as f64 * n_eps * log_n / r_len).min(1.0);
+        let p_pivot = (4.0 * n_eps * log_n / r_len).min(1.0);
+        let base_seed = mix_seed(config.seed, iterations as u64);
+
+        // ---- Round 1 (lines 3-4): independent sampling on every reducer.
+        let parts = partition::chunks(&remaining, config.machines);
+        let sampled: Vec<(Vec<PointId>, Vec<PointId>)> = cluster.run_round(
+            &format!(
+                "{label_prefix}EIM iteration {} round 1: sample S and H",
+                iterations + 1
+            ),
+            &parts,
+            |machine, chunk| {
+                let mut rng = StdRng::seed_from_u64(mix_seed(base_seed, machine as u64));
+                let mut s_i = Vec::new();
+                let mut h_i = Vec::new();
+                for &x in chunk {
+                    if rng.gen::<f64>() < p_sample {
+                        s_i.push(x);
+                    }
+                    if rng.gen::<f64>() < p_pivot {
+                        h_i.push(x);
+                    }
+                }
+                (s_i, h_i)
+            },
+            |(s_i, h_i)| s_i.len() + h_i.len(),
+        )?;
+
+        // Line 5: S <- S ∪ (∪_i S^i), H <- ∪_i H^i.
+        let mut additions: Vec<PointId> = Vec::new();
+        let mut pivot_candidates: Vec<PointId> = Vec::new();
+        for (s_i, h_i) in sampled {
+            for x in s_i {
+                if !in_sample[x] {
+                    in_sample[x] = true;
+                    additions.push(x);
+                }
+            }
+            pivot_candidates.extend(h_i);
+        }
+        sample.extend(additions.iter().copied());
+
+        // ---- Round 2 (lines 5-6): a single reducer runs Select(H, S).
+        let phi = config.phi;
+        let additions_ref: &[PointId] = &additions;
+        let dist_ref: &[S::Cmp] = &dist_to_sample;
+        let pivot = cluster.run_single(
+            &format!(
+                "{label_prefix}EIM iteration {} round 2: Select(H, S)",
+                iterations + 1
+            ),
+            pivot_candidates,
+            |h| {
+                let with_dist: Vec<(PointId, S::Cmp)> = h
+                    .iter()
+                    .map(|&x| {
+                        (
+                            x,
+                            distance_with_additions(space, x, dist_ref[x], additions_ref),
+                        )
+                    })
+                    .collect();
+                select_pivot(&with_dist, phi, n)
+            },
+            |p| usize::from(p.is_some()),
+        )?;
+
+        // ---- Round 3 (lines 7-9): drop points no farther than the pivot.
+        let pivot_distance = pivot.map(|(_, d)| d);
+        let parts = partition::chunks(&remaining, config.machines);
+        let in_sample_ref: &[bool] = &in_sample;
+        let retained: Vec<Vec<(PointId, S::Cmp)>> = cluster.run_round(
+            &format!(
+                "{label_prefix}EIM iteration {} round 3: filter R",
+                iterations + 1
+            ),
+            &parts,
+            |_, chunk| {
+                chunk
+                    .iter()
+                    .filter_map(|&x| {
+                        let d = distance_with_additions(space, x, dist_ref[x], additions_ref);
+                        // Section 4.1 fixes: sampled points always leave R,
+                        // and ties with the pivot distance are removed too.
+                        if in_sample_ref[x] {
+                            return None;
+                        }
+                        match pivot_distance {
+                            Some(vd) if d <= vd => None,
+                            _ => Some((x, d)),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            },
+            Vec::len,
+        )?;
+
+        let mut next_remaining = Vec::with_capacity(remaining.len());
+        for part in retained {
+            for (x, d) in part {
+                dist_to_sample[x] = d;
+                next_remaining.push(x);
+            }
+        }
+
+        iterations += 1;
+        if next_remaining.len() >= remaining.len() {
+            // Nothing was removed: the Section 4.1 fixes make this
+            // extremely unlikely, but a probabilistic loop still gets a
+            // hard stop rather than spinning forever.
+            remaining = next_remaining;
+            break;
+        }
+        remaining = next_remaining;
+    }
+
+    Ok((
+        SamplingPhase {
+            sample,
+            remaining,
+            iterations,
+        },
+        cluster,
+    ))
 }
 
 /// Comparison-space `d(x, S ∪ additions)` given the cached value for `S`.

@@ -13,6 +13,10 @@
 //!   the termination fixes of Section 4.1 (Algorithms 2 and 3);
 //! * [`hochbaum_shmoys`] — the alternative sequential 2-approximation the
 //!   paper lists as future work, usable as the final-round sub-procedure;
+//! * [`coreset`] — reusable weighted coresets (Gonzalez-seeded or
+//!   EIM-sampled) with an additive quality certificate: build the summary
+//!   once, then sweep many `(k, φ)` instances on it through the
+//!   weight-aware solver entry points;
 //! * [`brute_force`] — exact optimum for tiny instances, used to verify the
 //!   approximation factors in tests;
 //! * [`evaluate`] — covering radius / assignment evaluation (the paper's
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod brute_force;
+pub mod coreset;
 pub mod cost_model;
 pub mod eim;
 pub mod error;
@@ -57,6 +62,7 @@ pub mod solution;
 pub mod solver;
 pub mod tightness;
 
+pub use coreset::{CoresetBuilder, CoresetSolution, GonzalezCoresetConfig, WeightedCoreset};
 pub use eim::{EimConfig, EimResult};
 pub use error::KCenterError;
 pub use gonzalez::{FirstCenter, GonzalezConfig};
@@ -67,6 +73,9 @@ pub use solver::SequentialSolver;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::coreset::{
+        CoresetBuilder, CoresetSolution, GonzalezCoresetConfig, WeightedCoreset,
+    };
     pub use crate::eim::{EimConfig, EimResult};
     pub use crate::error::KCenterError;
     pub use crate::evaluate::{assign, covering_radius};

@@ -93,6 +93,29 @@ impl JobStats {
             self.push(r);
         }
     }
+
+    /// The rounds whose label starts with `prefix`, in execution order.
+    ///
+    /// Multi-phase jobs (e.g. "build a coreset once, then solve many cells
+    /// on it") tag each phase's rounds with a label prefix; this is how a
+    /// caller verifies, from the accounting alone, how many rounds a phase
+    /// actually spent — the "was the coreset really built only once?" check.
+    pub fn rounds_labelled<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a RoundStats> {
+        self.rounds
+            .iter()
+            .filter(move |r| r.label.starts_with(prefix))
+    }
+
+    /// Number of rounds whose label starts with `prefix`.
+    pub fn num_rounds_labelled(&self, prefix: &str) -> usize {
+        self.rounds_labelled(prefix).count()
+    }
+
+    /// Total simulated time of the rounds whose label starts with `prefix`
+    /// (the paper's charged time, restricted to one phase of a job).
+    pub fn simulated_time_labelled(&self, prefix: &str) -> Duration {
+        self.rounds_labelled(prefix).map(|r| r.simulated_time).sum()
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +164,31 @@ mod tests {
         assert_eq!(job.num_rounds(), 0);
         assert_eq!(job.simulated_time(), Duration::ZERO);
         assert_eq!(job.total_items_in(), 0);
+    }
+
+    #[test]
+    fn labelled_accessors_slice_one_phase_out_of_a_job() {
+        let mut job = JobStats::new();
+        job.push(round("coreset round 1: local gonzalez", 10, 10, 100));
+        job.push(round("coreset round 2: merge", 5, 5, 20));
+        job.push(round("sweep solve k=2", 3, 3, 10));
+        job.push(round("sweep solve k=4", 4, 4, 10));
+        assert_eq!(job.num_rounds_labelled("coreset"), 2);
+        assert_eq!(job.num_rounds_labelled("sweep solve"), 2);
+        assert_eq!(job.num_rounds_labelled("missing"), 0);
+        assert_eq!(
+            job.simulated_time_labelled("coreset"),
+            Duration::from_millis(15)
+        );
+        assert_eq!(
+            job.simulated_time_labelled("sweep solve"),
+            Duration::from_millis(7)
+        );
+        let labels: Vec<&str> = job
+            .rounds_labelled("sweep")
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["sweep solve k=2", "sweep solve k=4"]);
     }
 
     #[test]

@@ -24,16 +24,22 @@ pub fn pairwise_lower_bound<S: MetricSpace + ?Sized>(space: &S, witness: &[Point
     if witness.len() < 2 {
         return 0.0;
     }
+    // The scan runs in certification space (`wide_cmp_*`: an
+    // order-equivalent surrogate accumulated in `f64` from the stored rows,
+    // squared for Euclidean spaces), so a reduced-precision store streams
+    // its narrow rows while the bound stays exact — and only the winning
+    // pair pays the conversion back to a real distance (one `sqrt` total
+    // instead of one per pair).
     let mut min = f64::INFINITY;
     for (idx, &a) in witness.iter().enumerate() {
         for &b in &witness[idx + 1..] {
-            let d = space.distance(a, b);
+            let d = space.wide_cmp_distance(a, b);
             if d < min {
                 min = d;
             }
         }
     }
-    min / 2.0
+    space.wide_cmp_to_distance(min) / 2.0
 }
 
 /// A crude lower bound valid for any instance: `diameter / (2 * k)` would be
@@ -48,13 +54,14 @@ pub fn scaled_diameter_lower_bound<S: MetricSpace + ?Sized>(space: &S, k: usize)
         return 0.0;
     }
     let n = space.len();
-    let mut diam: f64 = 0.0;
     // O(n) approximation of the diameter is enough for a lower bound: the
     // distance from an arbitrary point to its farthest point is at least
-    // half the diameter, so dividing by 2 again stays valid.
-    let far = (1..n).map(|j| space.distance(0, j)).fold(0.0, f64::max);
-    diam = diam.max(far);
-    diam / 2.0
+    // half the diameter, so dividing by 2 again stays valid.  As above, the
+    // scan stays in certification space and converts only the winner.
+    let far = (1..n)
+        .map(|j| space.wide_cmp_distance(0, j))
+        .fold(0.0, f64::max);
+    space.wide_cmp_to_distance(far) / 2.0
 }
 
 #[cfg(test)]
@@ -87,6 +94,17 @@ mod tests {
         let s = line(5);
         assert_eq!(pairwise_lower_bound(&s, &[]), 0.0);
         assert_eq!(pairwise_lower_bound(&s, &[3]), 0.0);
+    }
+
+    #[test]
+    fn bounds_work_on_reduced_precision_stores() {
+        use crate::flat::FlatPoints;
+        let pts: Vec<Point> = (0..10).map(|i| Point::xy(i as f64, 0.0)).collect();
+        let s32: VecSpace<crate::distance::Euclidean, f32> =
+            VecSpace::from_flat(FlatPoints::<f32>::from_points(&pts));
+        // Integer coordinates are exact at f32, so the bounds match f64.
+        assert!((pairwise_lower_bound(&s32, &[0, 9]) - 4.5).abs() < 1e-12);
+        assert!((scaled_diameter_lower_bound(&s32, 1) - 4.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Explicit symmetric distance matrices.
+//! Explicit symmetric distance matrices, generic over the storage scalar.
 //!
 //! The paper notes (Section 7.3) that a matrix representation of the
 //! complete graph would force a significant proportion of unnecessary data
@@ -8,36 +8,48 @@
 //! it backs [`crate::space::MatrixSpace`], and it is what the brute-force
 //! optimum solver in `kcenter-core` consumes for small verification
 //! instances.
+//!
+//! Like [`crate::FlatPoints`], the matrix is generic over the storage
+//! [`Scalar`]: `DistanceMatrix<f32>` halves the bytes of the packed triangle
+//! and of every comparison-space scan over it.  The precision contract
+//! mirrors the flat store's: each entry is rounded **once** when it is
+//! stored ([`Scalar::from_f64`]), [`DistanceMatrix::cmp_get`] exposes the
+//! stored value for comparison-only scans, and [`DistanceMatrix::get`]
+//! widens back to `f64` exactly — so a reduced-precision matrix carries only
+//! the one-time input rounding of each pairwise distance, never accumulated
+//! scan error.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::scalar::Scalar;
 use crate::space::MetricSpace;
 
 /// A dense symmetric `n × n` matrix of pairwise distances with a zero
-/// diagonal, stored as a packed upper triangle.
+/// diagonal, stored as a packed upper triangle at storage precision `S`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
-pub struct DistanceMatrix {
+pub struct DistanceMatrix<S: Scalar = f64> {
     n: usize,
     /// Packed strict upper triangle, row-major: entry `(i, j)` with `i < j`
     /// lives at `index(i, j)`.
-    upper: Vec<f64>,
+    upper: Vec<S>,
 }
 
-impl DistanceMatrix {
+impl<S: Scalar> DistanceMatrix<S> {
     /// Creates an all-zero matrix over `n` points.
     pub fn zeros(n: usize) -> Self {
         let len = n.saturating_sub(1) * n / 2;
         Self {
             n,
-            upper: vec![0.0; len],
+            upper: vec![S::ZERO; len],
         }
     }
 
     /// Builds the matrix by evaluating every pairwise distance of `space`,
-    /// in parallel over rows.
-    pub fn from_space<S: MetricSpace + ?Sized>(space: &S) -> Self {
+    /// in parallel over rows.  Distances are computed exactly (`f64`) and
+    /// rounded once into the storage scalar.
+    pub fn from_space<M: MetricSpace + ?Sized>(space: &M) -> Self {
         let n = space.len();
         let mut m = Self::zeros(n);
         if n < 2 {
@@ -57,7 +69,8 @@ impl DistanceMatrix {
         m
     }
 
-    /// Builds the matrix from a full `n × n` nested vector.
+    /// Builds the matrix from a full `n × n` nested vector, rounding each
+    /// entry once into the storage scalar.
     ///
     /// # Panics
     ///
@@ -90,6 +103,11 @@ impl DistanceMatrix {
         self.n == 0
     }
 
+    /// Storage-precision name (`"f32"` / `"f64"`), for reports.
+    pub fn precision_name(&self) -> &'static str {
+        S::NAME
+    }
+
     #[inline]
     fn index(&self, i: usize, j: usize) -> usize {
         debug_assert!(i < j && j < self.n);
@@ -97,16 +115,30 @@ impl DistanceMatrix {
         i * self.n - i * (i + 1) / 2 + (j - i - 1)
     }
 
-    /// Distance between points `i` and `j`.
+    /// Distance between points `i` and `j`, widened to `f64` (exact: both
+    /// storage scalars embed losslessly, so this carries only the one-time
+    /// storage rounding of the entry).
     ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.cmp_get(i, j).to_f64()
+    }
+
+    /// The stored entry at storage precision — the comparison-space view
+    /// scans use when only the ordering matters (an `f32` matrix stays
+    /// entirely in `f32` here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn cmp_get(&self, i: usize, j: usize) -> S {
         assert!(i < self.n && j < self.n, "index out of bounds");
         if i == j {
-            0.0
+            S::ZERO
         } else if i < j {
             self.upper[self.index(i, j)]
         } else {
@@ -114,17 +146,25 @@ impl DistanceMatrix {
         }
     }
 
-    /// Sets the distance between `i` and `j` (and symmetrically `j`, `i`).
+    /// Sets the distance between `i` and `j` (and symmetrically `j`, `i`),
+    /// rounding once into the storage scalar.
     ///
     /// # Panics
     ///
     /// Panics on out-of-range indices, on `i == j` with a non-zero value, or
-    /// on negative / non-finite values.
+    /// on negative / non-finite values (including values whose storage
+    /// rounding overflows the scalar, e.g. `1e300` at `f32`).
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i < self.n && j < self.n, "index out of bounds");
         assert!(
             value.is_finite() && value >= 0.0,
             "distances must be finite and non-negative"
+        );
+        let stored = S::from_f64(value);
+        assert!(
+            stored.is_finite(),
+            "distance {value} overflows the {} storage scalar",
+            S::NAME
         );
         if i == j {
             assert_eq!(value, 0.0, "diagonal entries must stay zero");
@@ -135,23 +175,36 @@ impl DistanceMatrix {
         } else {
             self.index(j, i)
         };
-        self.upper[idx] = value;
+        self.upper[idx] = stored;
     }
 
     /// The largest pairwise distance (the diameter of the point set), or
-    /// `0.0` for fewer than two points.
+    /// `0.0` for fewer than two points.  The max is taken in storage space
+    /// (order-preserving) and widened once.
     pub fn diameter(&self) -> f64 {
-        self.upper.iter().copied().fold(0.0, f64::max)
+        self.upper.iter().copied().fold(S::ZERO, S::max).to_f64()
     }
 
-    /// All pairwise distances in unspecified order (strict upper triangle).
-    pub fn pairwise(&self) -> &[f64] {
+    /// All pairwise distances in unspecified order (strict upper triangle),
+    /// at storage precision.
+    pub fn pairwise(&self) -> &[S] {
         &self.upper
+    }
+
+    /// Re-stores every entry at precision `T` (rounding to nearest when
+    /// narrowing, lossless when widening) — the conversion benches use to
+    /// compare both precisions over the same instance.
+    pub fn to_precision<T: Scalar>(&self) -> DistanceMatrix<T> {
+        DistanceMatrix {
+            n: self.n,
+            upper: self.upper.iter().map(|d| T::from_f64(d.to_f64())).collect(),
+        }
     }
 
     /// Verifies the metric axioms: symmetry and the zero diagonal hold by
     /// construction, so this checks non-negativity (by construction too) and
-    /// the triangle inequality within an absolute tolerance.
+    /// the triangle inequality within an absolute tolerance.  The check runs
+    /// in `f64` on the widened entries regardless of the storage precision.
     ///
     /// Returns the first violated triple on failure.
     pub fn verify_metric(&self, tol: f64) -> Result<(), MetricViolation> {
@@ -183,9 +236,9 @@ impl DistanceMatrix {
     }
 }
 
-impl fmt::Debug for DistanceMatrix {
+impl<S: Scalar> fmt::Debug for DistanceMatrix<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DistanceMatrix(n={})", self.n)
+        write!(f, "DistanceMatrix<{}>(n={})", S::NAME, self.n)
     }
 }
 
@@ -224,7 +277,7 @@ mod tests {
 
     #[test]
     fn zeros_has_zero_everywhere() {
-        let m = DistanceMatrix::zeros(4);
+        let m = DistanceMatrix::<f64>::zeros(4);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(m.get(i, j), 0.0);
@@ -234,7 +287,7 @@ mod tests {
 
     #[test]
     fn set_and_get_are_symmetric() {
-        let mut m = DistanceMatrix::zeros(3);
+        let mut m = DistanceMatrix::<f64>::zeros(3);
         m.set(0, 2, 4.5);
         m.set(2, 1, 1.5);
         assert_eq!(m.get(0, 2), 4.5);
@@ -244,21 +297,53 @@ mod tests {
     }
 
     #[test]
+    fn f32_storage_rounds_once_and_widens_exactly() {
+        let mut m = DistanceMatrix::<f32>::zeros(3);
+        m.set(0, 1, 0.1);
+        m.set(1, 2, 3.25);
+        assert_eq!(m.precision_name(), "f32");
+        // Comparison space is the stored f32 value …
+        assert_eq!(m.cmp_get(0, 1), 0.1f32);
+        assert_eq!(m.cmp_get(1, 0), 0.1f32);
+        // … and get() widens it exactly (the only error is input rounding).
+        assert_eq!(m.get(0, 1), 0.1f32 as f64);
+        assert_eq!(m.get(1, 2), 3.25);
+        assert_eq!(m.diameter(), 3.25);
+    }
+
+    #[test]
+    fn to_precision_round_trips_exact_values() {
+        let mut m = DistanceMatrix::<f64>::zeros(3);
+        m.set(0, 1, 1.5);
+        m.set(0, 2, 2.25);
+        m.set(1, 2, 3.0);
+        let narrow = m.to_precision::<f32>();
+        assert_eq!(narrow.get(0, 2), 2.25);
+        assert_eq!(narrow.to_precision::<f64>(), m);
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn get_rejects_out_of_range() {
-        DistanceMatrix::zeros(2).get(0, 5);
+        DistanceMatrix::<f64>::zeros(2).get(0, 5);
     }
 
     #[test]
     #[should_panic(expected = "finite and non-negative")]
     fn set_rejects_negative() {
-        DistanceMatrix::zeros(3).set(0, 1, -1.0);
+        DistanceMatrix::<f64>::zeros(3).set(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the f32 storage scalar")]
+    fn set_rejects_values_beyond_the_storage_range() {
+        DistanceMatrix::<f32>::zeros(3).set(0, 1, 1e300);
     }
 
     #[test]
     #[should_panic(expected = "diagonal")]
     fn set_rejects_nonzero_diagonal() {
-        DistanceMatrix::zeros(3).set(1, 1, 2.0);
+        DistanceMatrix::<f64>::zeros(3).set(1, 1, 2.0);
     }
 
     #[test]
@@ -269,19 +354,22 @@ mod tests {
             Point::xy(6.0, 8.0),
         ];
         let space = VecSpace::new(pts);
-        let m = DistanceMatrix::from_space(&space);
+        let m = DistanceMatrix::<f64>::from_space(&space);
         assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
         assert!((m.get(1, 2) - 5.0).abs() < 1e-12);
         assert!((m.get(0, 2) - 10.0).abs() < 1e-12);
         assert!((m.diameter() - 10.0).abs() < 1e-12);
+        // The f32 instantiation sees the same geometry up to input rounding.
+        let m32 = DistanceMatrix::<f32>::from_space(&space);
+        assert!((m32.get(0, 2) - 10.0).abs() < 1e-5);
     }
 
     #[test]
     fn from_space_handles_tiny_inputs() {
         let empty = VecSpace::new(vec![]);
-        assert!(DistanceMatrix::from_space(&empty).is_empty());
+        assert!(DistanceMatrix::<f64>::from_space(&empty).is_empty());
         let single = VecSpace::new(vec![Point::xy(1.0, 1.0)]);
-        let m = DistanceMatrix::from_space(&single);
+        let m = DistanceMatrix::<f64>::from_space(&single);
         assert_eq!(m.len(), 1);
         assert_eq!(m.get(0, 0), 0.0);
     }
@@ -293,7 +381,7 @@ mod tests {
             vec![1.0, 0.0, 1.5],
             vec![2.0, 1.5, 0.0],
         ];
-        let m = DistanceMatrix::from_full(&full);
+        let m = DistanceMatrix::<f64>::from_full(&full);
         for (i, row) in full.iter().enumerate() {
             for (j, &expected) in row.iter().enumerate() {
                 assert!((m.get(i, j) - expected).abs() < 1e-12);
@@ -304,7 +392,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "symmetric")]
     fn from_full_rejects_asymmetry() {
-        DistanceMatrix::from_full(&[vec![0.0, 1.0], vec![2.0, 0.0]]);
+        DistanceMatrix::<f64>::from_full(&[vec![0.0, 1.0], vec![2.0, 0.0]]);
     }
 
     #[test]
@@ -315,13 +403,13 @@ mod tests {
             Point::xy(0.5, 2.0),
             Point::xy(-1.0, 1.0),
         ];
-        let m = DistanceMatrix::from_space(&VecSpace::new(pts));
+        let m = DistanceMatrix::<f64>::from_space(&VecSpace::new(pts));
         assert!(m.verify_metric(1e-9).is_ok());
     }
 
     #[test]
     fn verify_metric_reports_violation() {
-        let mut m = DistanceMatrix::zeros(3);
+        let mut m = DistanceMatrix::<f64>::zeros(3);
         m.set(0, 1, 1.0);
         m.set(1, 2, 1.0);
         m.set(0, 2, 5.0);
@@ -333,7 +421,7 @@ mod tests {
 
     #[test]
     fn pairwise_exposes_upper_triangle() {
-        let mut m = DistanceMatrix::zeros(3);
+        let mut m = DistanceMatrix::<f64>::zeros(3);
         m.set(0, 1, 1.0);
         m.set(0, 2, 2.0);
         m.set(1, 2, 3.0);

@@ -468,11 +468,18 @@ impl<D: Distance, S: Scalar> VecSpace<D, S> {
             .collect()
     }
 
-    /// Materialises the full distance matrix of this space.
+    /// Materialises the full distance matrix of this space at `f64`.
     ///
     /// Intended for small instances (tests, brute-force OPT); memory is
     /// `O(n^2)`.
     pub fn to_matrix(&self) -> DistanceMatrix {
+        self.to_matrix_at::<f64>()
+    }
+
+    /// Materialises the full distance matrix at an explicit storage
+    /// precision (`to_matrix_at::<f32>()` halves the packed triangle's
+    /// bytes; each entry is rounded once at storage).
+    pub fn to_matrix_at<T: Scalar>(&self) -> DistanceMatrix<T> {
         DistanceMatrix::from_space(self)
     }
 }
@@ -789,18 +796,28 @@ impl<D: Distance, S: Scalar> MetricSpace for VecSpace<D, S> {
 /// A metric space backed by a fully materialised [`DistanceMatrix`].
 ///
 /// Useful when the input is given as a weighted complete graph rather than
-/// as coordinates, and for exact verification on small instances.
+/// as coordinates, and for exact verification on small instances.  Generic
+/// over the matrix's storage [`Scalar`]: a `MatrixSpace<f32>` runs the
+/// comparison-space scans on the stored `f32` entries (half the triangle's
+/// bytes) while every reported distance widens exactly to `f64`.
 #[derive(Clone)]
-pub struct MatrixSpace {
-    matrix: Arc<DistanceMatrix>,
+pub struct MatrixSpace<S: Scalar = f64> {
+    matrix: Arc<DistanceMatrix<S>>,
     metric: bool,
 }
 
-impl MatrixSpace {
+impl<S: Scalar> MatrixSpace<S> {
     /// Wraps a distance matrix, declaring whether it satisfies the metric
     /// axioms (callers can check with [`DistanceMatrix::verify_metric`]).
-    pub fn new(matrix: DistanceMatrix) -> Self {
-        let metric = matrix.verify_metric(1e-9).is_ok();
+    ///
+    /// The triangle-inequality tolerance scales with the storage scalar's
+    /// roundoff: storing an entry perturbs it by at most
+    /// `UNIT_ROUNDOFF · |entry|`, so a genuinely metric instance can show a
+    /// violation of up to ~3 rounding units of the largest entry at `f32` —
+    /// far above the `1e-9` floor that suffices at `f64`.
+    pub fn new(matrix: DistanceMatrix<S>) -> Self {
+        let tol = 1e-9f64.max(8.0 * S::UNIT_ROUNDOFF * matrix.diameter());
+        let metric = matrix.verify_metric(tol).is_ok();
         Self {
             matrix: Arc::new(matrix),
             metric,
@@ -808,13 +825,13 @@ impl MatrixSpace {
     }
 
     /// The underlying matrix.
-    pub fn matrix(&self) -> &DistanceMatrix {
+    pub fn matrix(&self) -> &DistanceMatrix<S> {
         &self.matrix
     }
 }
 
-impl MetricSpace for MatrixSpace {
-    type Cmp = f64;
+impl<S: Scalar> MetricSpace for MatrixSpace<S> {
+    type Cmp = S;
 
     fn len(&self) -> usize {
         self.matrix.len()
@@ -823,6 +840,11 @@ impl MetricSpace for MatrixSpace {
     #[inline]
     fn distance(&self, a: PointId, b: PointId) -> f64 {
         self.matrix.get(a, b)
+    }
+
+    #[inline]
+    fn cmp_distance(&self, a: PointId, b: PointId) -> S {
+        self.matrix.cmp_get(a, b)
     }
 
     fn distance_name(&self) -> &'static str {
@@ -1007,9 +1029,42 @@ mod tests {
     }
 
     #[test]
+    fn f32_matrix_space_compares_in_storage_and_reports_in_f64() {
+        let s = VecSpace::new(square());
+        let m = MatrixSpace::new(s.to_matrix_at::<f32>());
+        assert_eq!(m.precision_name(), "f32");
+        assert!(m.is_metric());
+        let c: f32 = m.cmp_distance(0, 3);
+        assert_eq!(c, 2f64.sqrt() as f32);
+        // Reported distances widen the stored entry exactly.
+        assert_eq!(m.distance(0, 3), (2f64.sqrt() as f32) as f64);
+        assert!((m.distance(0, 3) - s.distance(0, 3)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn f32_matrix_space_tolerates_storage_rounding_of_metric_instances() {
+        // Collinear points whose f32-rounded distances violate the triangle
+        // inequality by ~7e-9 — storage rounding, not a real violation.  A
+        // fixed 1e-9 tolerance would misclassify this as non-metric.
+        let s = VecSpace::new(vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(0.1, 0.0),
+            Point::xy(0.3, 0.0),
+        ]);
+        let m = MatrixSpace::new(s.to_matrix_at::<f32>());
+        assert!(m.is_metric(), "f32 rounding misread as a metric violation");
+        // A genuine violation is still caught at f32 storage.
+        let mut bad = DistanceMatrix::<f32>::zeros(3);
+        bad.set(0, 1, 1.0);
+        bad.set(1, 2, 1.0);
+        bad.set(0, 2, 10.0);
+        assert!(!MatrixSpace::new(bad).is_metric());
+    }
+
+    #[test]
     fn matrix_space_detects_non_metric() {
         // Distances violating the triangle inequality: d(0,2) > d(0,1)+d(1,2).
-        let mut m = DistanceMatrix::zeros(3);
+        let mut m = DistanceMatrix::<f64>::zeros(3);
         m.set(0, 1, 1.0);
         m.set(1, 2, 1.0);
         m.set(0, 2, 10.0);

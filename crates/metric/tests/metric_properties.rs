@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn diameter_bounds_every_pairwise_distance(points in cloud()) {
         let space = VecSpace::new(points);
-        let matrix = DistanceMatrix::from_space(&space);
+        let matrix = DistanceMatrix::<f64>::from_space(&space);
         let diam = matrix.diameter();
         for i in 0..space.len() {
             for j in 0..space.len() {

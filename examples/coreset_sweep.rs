@@ -1,0 +1,90 @@
+//! Build one weighted coreset, sweep many `(k, φ)` instances on it.
+//!
+//! EIM's sample `C = S ∪ R` is normally recomputed from scratch for every
+//! run; the coreset layer factors that work out.  This example builds a
+//! Gonzalez-seeded weighted coreset of a 100k-point GAU workload once (as
+//! MapReduce rounds, so the build cost lands in the same simulated-time
+//! accounting as everything else), then solves a 3×3 `(k, φ)` grid on the
+//! summary and compares quality and simulated time against rerunning EIM
+//! per cell.  Run with:
+//!
+//! ```text
+//! cargo run --release --example coreset_sweep
+//! ```
+
+use kcenter::prelude::*;
+use std::time::Duration;
+
+fn ms(d: Duration) -> String {
+    format!("{:.1}ms", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let spec = DatasetSpec::Gau {
+        n: 100_000,
+        k_prime: 25,
+    };
+    let seed = 42;
+    let (ks, phis) = (vec![10usize, 25, 50], vec![1.0f64, 4.0, 8.0]);
+    let dataset = spec.build(seed);
+    let space = &dataset.space;
+    println!("workload: {} (seed {seed})", spec.describe());
+
+    // Build once: three labelled MapReduce rounds (local Gonzalez per
+    // reducer, merge, weights + certification).
+    let coreset = GonzalezCoresetConfig::new(1_000)
+        .with_machines(50)
+        .build(space)
+        .expect("coreset build");
+    println!(
+        "coreset: {} representatives covering {} points, construction radius {:.4}, \
+         {} rounds, simulated {}",
+        coreset.len(),
+        coreset.total_weight(),
+        coreset.construction_radius(),
+        coreset.stats().num_rounds_labelled("coreset"),
+        ms(coreset.stats().simulated_time()),
+    );
+
+    // Solve many: each k costs O(k · t) on the 1,000-row summary, and the
+    // certificate bounds the full-data radius without rescanning anything.
+    let mut sweep_simulated = coreset.stats().simulated_time();
+    let mut solve_cluster = SimulatedCluster::unchecked(ClusterConfig::new(50, coreset.len()));
+    let mut eim_simulated = Duration::ZERO;
+    for &k in &ks {
+        let sol = coreset
+            .solve_on_cluster(
+                k,
+                SequentialSolver::Gonzalez,
+                FirstCenter::default(),
+                &mut solve_cluster,
+                &format!("sweep solve k={k}"),
+            )
+            .expect("coreset solve");
+        let certified = sol.certify(space);
+        for &phi in &phis {
+            let rerun = EimConfig::new(k)
+                .with_machines(50)
+                .with_phi(phi)
+                .with_seed(seed)
+                .run(space)
+                .expect("EIM rerun");
+            eim_simulated += rerun.stats.simulated_time();
+            println!(
+                "k={k:>3} phi={phi:>3}: coreset certified {certified:.4} (bound {:.4}) \
+                 | eim rerun {:.4} in {}",
+                sol.radius_bound,
+                rerun.solution.radius,
+                ms(rerun.stats.simulated_time()),
+            );
+        }
+    }
+    sweep_simulated += solve_cluster.stats().simulated_time();
+
+    println!(
+        "sweep-via-coreset simulated {} vs per-cell EIM reruns {} -> {:.2}x",
+        ms(sweep_simulated),
+        ms(eim_simulated),
+        eim_simulated.as_secs_f64() / sweep_simulated.as_secs_f64().max(1e-9),
+    );
+}
