@@ -7,16 +7,23 @@
 //! produces the committed `BENCH_flat.json` from the same scan code.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use kcenter_bench::flatbench::{flat_iteration, flat_par_iteration, old_iteration};
+use kcenter_bench::flatbench::{flat_iteration_under, flat_par_iteration, old_iteration};
 use kcenter_core::coreset::GonzalezCoresetConfig;
 use kcenter_core::prelude::*;
 use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
-use kcenter_metric::VecSpace;
+use kcenter_metric::kernel::simd;
+use kcenter_metric::{KernelBackend, KernelChoice, VecSpace};
 
 const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
 const DIMS: [usize; 2] = [2, 16];
 
 fn bench_nearest_center_scan(c: &mut Criterion) {
+    // The `flat*` rows pin the scalar kernels; the `*_simd` rows use
+    // whatever KCENTER_KERNEL resolves to (auto by default) — same A/B as
+    // the `flat_report` binary / BENCH_flat.json.
+    let simd_kernel = KernelChoice::from_env()
+        .and_then(KernelChoice::resolve)
+        .expect("KCENTER_KERNEL resolves");
     let mut group = c.benchmark_group("flat/nearest_center_scan");
     group.warm_up_time(std::time::Duration::from_millis(400));
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -37,19 +44,43 @@ fn bench_nearest_center_scan(c: &mut Criterion) {
             });
             group.bench_with_input(BenchmarkId::new("flat", &label), &n, |b, _| {
                 let mut nearest = vec![f64::INFINITY; n];
-                b.iter(|| black_box(flat_iteration(&space, 0, &mut nearest)))
+                b.iter(|| {
+                    black_box(flat_iteration_under(
+                        KernelBackend::Scalar,
+                        &space,
+                        0,
+                        &mut nearest,
+                    ))
+                })
             });
             group.bench_with_input(BenchmarkId::new("flat_par", &label), &n, |b, _| {
+                simd::set_active(KernelBackend::Scalar).unwrap();
                 let mut nearest = vec![f64::INFINITY; n];
                 b.iter(|| black_box(flat_par_iteration(&space, 0, &mut nearest)))
             });
             group.bench_with_input(BenchmarkId::new("flat_f32", &label), &n, |b, _| {
                 let mut nearest = vec![f32::INFINITY; n];
-                b.iter(|| black_box(flat_iteration(&space32, 0, &mut nearest)))
+                b.iter(|| {
+                    black_box(flat_iteration_under(
+                        KernelBackend::Scalar,
+                        &space32,
+                        0,
+                        &mut nearest,
+                    ))
+                })
             });
             group.bench_with_input(BenchmarkId::new("flat_f32_par", &label), &n, |b, _| {
+                simd::set_active(KernelBackend::Scalar).unwrap();
                 let mut nearest = vec![f32::INFINITY; n];
                 b.iter(|| black_box(flat_par_iteration(&space32, 0, &mut nearest)))
+            });
+            group.bench_with_input(BenchmarkId::new("flat_simd", &label), &n, |b, _| {
+                let mut nearest = vec![f64::INFINITY; n];
+                b.iter(|| black_box(flat_iteration_under(simd_kernel, &space, 0, &mut nearest)))
+            });
+            group.bench_with_input(BenchmarkId::new("flat_f32_simd", &label), &n, |b, _| {
+                let mut nearest = vec![f32::INFINITY; n];
+                b.iter(|| black_box(flat_iteration_under(simd_kernel, &space32, 0, &mut nearest)))
             });
         }
     }

@@ -18,11 +18,12 @@
 //! a `(k, φ)` grid, charged in the paper's simulated-time metric.
 
 use kcenter_bench::flatbench::{
-    flat_iteration, flat_par_iteration, old_iteration, to_points_aged_heap,
+    flat_iteration_under, flat_par_iteration, old_iteration, to_points_aged_heap,
 };
 use kcenter_bench::sweepbench::{run_sweep_comparison, SweepBuilder, SweepComparison};
 use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
-use kcenter_metric::{Scalar, VecSpace};
+use kcenter_metric::kernel::simd;
+use kcenter_metric::{KernelBackend, KernelChoice, Scalar, VecSpace};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -63,6 +64,15 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The *_simd rows run under whatever KCENTER_KERNEL resolves to (auto
+    // by default: AVX2+FMA when built with `--features simd` on a
+    // supporting CPU, the portable lanes otherwise) — so the scalar-vs-SIMD
+    // A/B is reproducible by pinning the variable.  The scalar rows pin
+    // KernelBackend::Scalar inside the same interleaved loop.
+    let simd_kernel = KernelChoice::from_env()
+        .and_then(KernelChoice::resolve)
+        .unwrap_or_else(|e| panic!("{e}"));
+    eprintln!("dispatched SIMD kernel for *_simd rows: {simd_kernel}");
 
     let mut rows = Vec::new();
     for &dim in &DIMS {
@@ -112,48 +122,94 @@ fn main() {
                 },
                 &mut || {
                     block64(&mut |c| {
-                        black_box(flat_iteration(&space, c, &mut nearest.borrow_mut()));
+                        black_box(flat_iteration_under(
+                            KernelBackend::Scalar,
+                            &space,
+                            c,
+                            &mut nearest.borrow_mut(),
+                        ));
                     })
                 },
                 &mut || {
+                    simd::set_active(KernelBackend::Scalar).unwrap();
                     block64(&mut |c| {
                         black_box(flat_par_iteration(&space, c, &mut nearest.borrow_mut()));
                     })
                 },
                 &mut || {
                     block32(&mut |c| {
-                        black_box(flat_iteration(&space32, c, &mut nearest32.borrow_mut()));
+                        black_box(flat_iteration_under(
+                            KernelBackend::Scalar,
+                            &space32,
+                            c,
+                            &mut nearest32.borrow_mut(),
+                        ));
                     })
                 },
                 &mut || {
+                    simd::set_active(KernelBackend::Scalar).unwrap();
                     block32(&mut |c| {
                         black_box(flat_par_iteration(&space32, c, &mut nearest32.borrow_mut()));
                     })
                 },
+                &mut || {
+                    block64(&mut |c| {
+                        black_box(flat_iteration_under(
+                            simd_kernel,
+                            &space,
+                            c,
+                            &mut nearest.borrow_mut(),
+                        ));
+                    })
+                },
+                &mut || {
+                    block32(&mut |c| {
+                        black_box(flat_iteration_under(
+                            simd_kernel,
+                            &space32,
+                            c,
+                            &mut nearest32.borrow_mut(),
+                        ));
+                    })
+                },
             ]);
             let per_scan: Vec<u128> = timed.iter().map(|t| t / SCANS as u128).collect();
-            let (fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns) = (
+            let (fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns, simd_ns, f32_simd_ns) = (
                 per_scan[0],
                 per_scan[1],
                 per_scan[2],
                 per_scan[3],
                 per_scan[4],
                 per_scan[5],
+                per_scan[6],
+                per_scan[7],
             );
 
             let mpts = |ns: u128| n as f64 / (ns as f64 / 1e9) / 1e6;
             eprintln!(
-                "n={n:>9} d={dim:>2}  old_fresh {:>9} ns ({:>6.1} Mpt/s)  old_aged {:>9} ns  flat64 {:>9} ns ({:>6.1} Mpt/s, {:.2}x/{:.2}x)  flat32 {:>9} ns ({:>6.1} Mpt/s, {:.2}x vs flat64)  par64 {:>9} ns  par32 {:>9} ns",
+                "n={n:>9} d={dim:>2}  old_fresh {:>9} ns ({:>6.1} Mpt/s)  old_aged {:>9} ns  flat64 {:>9} ns ({:>6.1} Mpt/s, {:.2}x/{:.2}x)  flat32 {:>9} ns ({:>6.1} Mpt/s, {:.2}x vs flat64)  simd64 {:>9} ns  simd32 {:>9} ns ({:.2}x vs scalar flat64)  par64 {:>9} ns  par32 {:>9} ns",
                 fresh_ns, mpts(fresh_ns), aged_ns, flat_ns, mpts(flat_ns),
                 fresh_ns as f64 / flat_ns as f64,
                 aged_ns as f64 / flat_ns as f64,
                 f32_ns, mpts(f32_ns),
                 flat_ns as f64 / f32_ns as f64,
+                simd_ns,
+                f32_simd_ns,
+                flat_ns as f64 / f32_simd_ns as f64,
                 par_ns,
                 f32_par_ns,
             );
             rows.push((
-                n, dim, fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns,
+                n,
+                dim,
+                fresh_ns,
+                aged_ns,
+                flat_ns,
+                par_ns,
+                f32_ns,
+                f32_par_ns,
+                simd_ns,
+                f32_simd_ns,
             ));
         }
     }
@@ -165,7 +221,7 @@ fn main() {
     );
     json.push_str("  \"baseline_fresh\": \"Vec<Point>, per-point heap Vecs allocated sequentially (allocator best case), sqrt per pair, two passes\",\n");
     json.push_str("  \"baseline_aged\": \"Vec<Point>, allocation order shuffled (parallel-generator / aged-heap layout), sqrt per pair, two passes\",\n");
-    json.push_str("  \"candidate\": \"FlatPoints SoA rows, fused squared-distance kernel (relax_all_max), f64 and f32 storage\",\n");
+    json.push_str("  \"candidate\": \"FlatPoints SoA rows, fused squared-distance kernel (relax_all_max), f64 and f32 storage; *_simd columns rerun the same scan under the dispatched width-pinned kernel backend\",\n");
     let _ = writeln!(
         json,
         "  \"metric\": \"best-of-{REPEATS} interleaved wall nanoseconds per full n-point scan, {SCANS} consecutive scans per timed block ({WARMUP} warm-up rounds)\","
@@ -174,17 +230,25 @@ fn main() {
         json,
         "  \"host_cores\": {threads},\n  \"threads\": {threads},\n  \"host_note\": \"available_parallelism of the measuring host; single-vCPU containers understate the par_* rows\","
     );
+    let _ = writeln!(
+        json,
+        "  \"kernel\": \"{simd_kernel}\",\n  \"kernel_note\": \"dispatched backend of the *_simd_ns columns (KCENTER_KERNEL resolution; flat_ns/flat_f32_ns pin the scalar kernels)\","
+    );
     json.push_str("  \"results\": [\n");
-    for (i, (n, dim, fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns)) in
-        rows.iter().enumerate()
+    for (
+        i,
+        (n, dim, fresh_ns, aged_ns, flat_ns, par_ns, f32_ns, f32_par_ns, simd_ns, f32_simd_ns),
+    ) in rows.iter().enumerate()
     {
         let _ = write!(
             json,
-            "    {{\"n\": {n}, \"dim\": {dim}, \"old_fresh_ns\": {fresh_ns}, \"old_aged_ns\": {aged_ns}, \"flat_ns\": {flat_ns}, \"flat_par_ns\": {par_ns}, \"flat_f32_ns\": {f32_ns}, \"flat_f32_par_ns\": {f32_par_ns}, \"speedup_vs_fresh\": {:.3}, \"speedup_vs_aged\": {:.3}, \"speedup_par_vs_aged\": {:.3}, \"speedup_f32_vs_f64\": {:.3}}}",
+            "    {{\"n\": {n}, \"dim\": {dim}, \"old_fresh_ns\": {fresh_ns}, \"old_aged_ns\": {aged_ns}, \"flat_ns\": {flat_ns}, \"flat_par_ns\": {par_ns}, \"flat_f32_ns\": {f32_ns}, \"flat_f32_par_ns\": {f32_par_ns}, \"flat_simd_ns\": {simd_ns}, \"flat_f32_simd_ns\": {f32_simd_ns}, \"speedup_vs_fresh\": {:.3}, \"speedup_vs_aged\": {:.3}, \"speedup_par_vs_aged\": {:.3}, \"speedup_f32_vs_f64\": {:.3}, \"speedup_simd_vs_scalar\": {:.3}, \"speedup_f32_simd_vs_f64_scalar\": {:.3}}}",
             *fresh_ns as f64 / *flat_ns as f64,
             *aged_ns as f64 / *flat_ns as f64,
             *aged_ns as f64 / *par_ns as f64,
             *flat_ns as f64 / *f32_ns as f64,
+            *flat_ns as f64 / *simd_ns as f64,
+            *flat_ns as f64 / *f32_simd_ns as f64,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

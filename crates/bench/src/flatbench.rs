@@ -15,8 +15,10 @@
 //!   `f32`; the scan is DRAM-bound at n = 1M, so the halved bytes of the
 //!   `f32` rows are the measurement that justifies the precision mode).
 
-use kcenter_metric::kernel;
-use kcenter_metric::{Distance, Euclidean, FlatPoints, MetricSpace, Point, Scalar, VecSpace};
+use kcenter_metric::kernel::{self, simd};
+use kcenter_metric::{
+    Distance, Euclidean, FlatPoints, KernelBackend, MetricSpace, Point, Scalar, VecSpace,
+};
 
 /// Materialises the rows of `flat` as owned `Point`s whose heap allocations
 /// happen in a (deterministically) shuffled order, while the resulting
@@ -100,6 +102,25 @@ pub fn flat_par_iteration<S: Scalar>(
     space.par_relax_all_max(center, nearest)
 }
 
+/// [`flat_iteration`] under an explicit kernel backend — the A/B harness
+/// entry: installs the backend in the dispatch table, then runs the same
+/// fused pass the solvers run.  The `flat_report` binary interleaves this
+/// across backends so `BENCH_flat.json` carries scalar and SIMD rows from
+/// one measurement loop.
+///
+/// # Panics
+///
+/// Panics if `backend` is not available in this build on this machine.
+pub fn flat_iteration_under<S: Scalar>(
+    backend: KernelBackend,
+    space: &VecSpace<Euclidean, S>,
+    center: usize,
+    nearest: &mut [S],
+) -> (usize, S) {
+    simd::set_active(backend).expect("requested kernel backend is available");
+    space.relax_all_max(center, nearest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +159,37 @@ mod tests {
         assert_eq!(far64, far32, "precisions disagree on the farthest point");
         // The f32 surrogate matches the f64 one to input-rounding accuracy.
         assert!((d64 - d32 as f64).abs() <= 1e-4 * (1.0 + d64));
+    }
+
+    #[test]
+    fn backend_pinned_iterations_agree_on_the_farthest_point() {
+        // Parity check at the kernel level (no global dispatch mutation, so
+        // concurrently running tests are unaffected): every available
+        // backend picks the same farthest point on a random 16-d cloud.
+        let g = UnifGenerator::with_dim_and_side(2_000, 16, 100.0);
+        let flat = g.generate_flat(5);
+        let mut reference: Option<(usize, f64)> = None;
+        for backend in simd::available_backends() {
+            let mut nearest = vec![f64::INFINITY; 2_000];
+            let got = kernel::relax_max_rows_coords_with(
+                backend,
+                flat.coords(),
+                16,
+                flat.row(0),
+                &mut nearest,
+            );
+            match reference {
+                None => reference = Some(got),
+                Some((pos, val)) => {
+                    assert_eq!(got.0, pos, "{backend}: winner diverged");
+                    assert!(
+                        (got.1 - val).abs() <= 1e-9 * (1.0 + val),
+                        "{backend}: value diverged ({} vs {val})",
+                        got.1
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! would be overkill.
 
 use kcenter_data::DatasetSpec;
-use kcenter_metric::Precision;
+use kcenter_metric::{KernelChoice, Precision};
 use std::fmt;
 
 /// The parsed command line.
@@ -91,6 +91,9 @@ pub struct SolveArgs {
     /// Storage precision for the coordinate store: `f32` halves the scan
     /// bandwidth (the covering radius is still certified in `f64`).
     pub precision: Precision,
+    /// Kernel backend request (`--kernel auto|scalar|portable|avx2`);
+    /// `None` defers to the `KCENTER_KERNEL` environment variable.
+    pub kernel: Option<KernelChoice>,
 }
 
 /// Which builder the `sweep` subcommand uses for its one-off coreset.
@@ -152,6 +155,9 @@ pub struct SweepArgs {
     pub seed: u64,
     /// Storage precision of the coordinate store.
     pub precision: Precision,
+    /// Kernel backend request (`--kernel auto|scalar|portable|avx2`);
+    /// `None` defers to the `KCENTER_KERNEL` environment variable.
+    pub kernel: Option<KernelChoice>,
     /// Whether to run the per-cell EIM reruns the sweep amortises away
     /// (disable to time the coreset path alone).
     pub baseline: bool,
@@ -186,11 +192,12 @@ USAGE:
   kcenter generate <unif|gau|unb|poker|kdd> --n N [--k-prime K'] [--seed S] --out FILE.csv
   kcenter solve <gon|mrg|eim|hs> --input FILE.csv --k K [--machines M] [--phi P]
                 [--epsilon E] [--seed S] [--skip-columns C] [--assign OUT.csv]
-                [--precision f32|f64]
+                [--precision f32|f64] [--kernel auto|scalar|portable|avx2]
   kcenter sweep (--input FILE.csv | --family <unif|gau|unb|poker|kdd> --n N [--k-prime K'])
                 --ks K1,K2,... [--phis P1,P2,...] [--builder gonzalez|eim]
                 [--coreset-size T] [--machines M] [--epsilon E] [--seed S]
-                [--skip-columns C] [--precision f32|f64] [--baseline on|off]
+                [--skip-columns C] [--precision f32|f64]
+                [--kernel auto|scalar|portable|avx2] [--baseline on|off]
   kcenter info --input FILE.csv [--skip-columns C]
   kcenter help
 
@@ -198,6 +205,12 @@ The sweep builds one weighted coreset, solves every (k, phi) grid cell on
 it, certifies each cell's full-data radius, and (unless --baseline off)
 compares against per-cell EIM reruns to report the build-once/solve-many
 amortisation.
+
+--kernel pins the distance-kernel backend for the comparison-space scans
+(certified radii are always computed with the fixed scalar f64 kernels);
+it overrides the KCENTER_KERNEL environment variable, and `auto` picks
+AVX2+FMA when the binary was built with the `simd` feature on a supporting
+CPU.  Results are bit-deterministic per (seed, precision, kernel).
 ";
 
 /// Parses the full argument vector (excluding the program name).
@@ -289,6 +302,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
     let mut skip_columns: usize = 0;
     let mut assignment_out: Option<String> = None;
     let mut precision = Precision::default();
+    let mut kernel: Option<KernelChoice> = None;
     for (flag, value) in &flags {
         match flag.as_str() {
             "--input" => input = Some(value.clone()),
@@ -306,6 +320,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
                     ))
                 })?
             }
+            "--kernel" => kernel = Some(parse_kernel(value)?),
             other => return Err(ParseError(format!("unknown flag {other:?} for solve"))),
         }
     }
@@ -320,7 +335,14 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
         skip_columns,
         assignment_out,
         precision,
+        kernel,
     })
+}
+
+/// Parses a `--kernel` value; unknown names surface the named
+/// [`kcenter_metric::KernelSelectError`] message.
+fn parse_kernel(value: &str) -> Result<KernelChoice, ParseError> {
+    KernelChoice::parse(value).map_err(|e| ParseError(format!("invalid value for --kernel: {e}")))
 }
 
 /// Parses a comma-separated list of numbers for flags like `--ks 5,10,25`.
@@ -353,6 +375,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
     let mut seed: u64 = 0;
     let mut skip_columns: usize = 0;
     let mut precision = Precision::default();
+    let mut kernel: Option<KernelChoice> = None;
     let mut baseline = true;
     for (flag, value) in &flags {
         match flag.as_str() {
@@ -381,6 +404,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
                     ))
                 })?
             }
+            "--kernel" => kernel = Some(parse_kernel(value)?),
             "--baseline" => {
                 baseline = match value.to_ascii_lowercase().as_str() {
                     "on" | "true" | "yes" => true,
@@ -430,6 +454,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
         epsilon,
         seed,
         precision,
+        kernel,
         baseline,
     })
 }
@@ -543,6 +568,52 @@ mod tests {
     fn solve_rejects_unknown_precision() {
         let err = parse(&argv("solve gon --input x.csv --k 2 --precision f16")).unwrap_err();
         assert!(err.to_string().contains("--precision"));
+    }
+
+    #[test]
+    fn kernel_flag_parses_every_backend_and_rejects_unknown_names() {
+        use kcenter_metric::KernelBackend;
+        let cases = [
+            ("auto", KernelChoice::Auto),
+            ("scalar", KernelChoice::Fixed(KernelBackend::Scalar)),
+            ("portable", KernelChoice::Fixed(KernelBackend::Portable)),
+            ("AVX2", KernelChoice::Fixed(KernelBackend::Avx2)),
+        ];
+        for (name, want) in cases {
+            let cli = parse(&argv(&format!(
+                "solve gon --input x.csv --k 2 --kernel {name}"
+            )))
+            .unwrap();
+            match cli.command {
+                Command::Solve(s) => assert_eq!(s.kernel, Some(want), "{name}"),
+                _ => panic!("expected solve"),
+            }
+        }
+        // Absent flag defers to the environment variable.
+        let cli = parse(&argv("solve gon --input x.csv --k 2")).unwrap();
+        match cli.command {
+            Command::Solve(s) => assert_eq!(s.kernel, None),
+            _ => panic!("expected solve"),
+        }
+        // Unknown override is a named error.
+        let err = parse(&argv("solve gon --input x.csv --k 2 --kernel warp9")).unwrap_err();
+        assert!(err.to_string().contains("--kernel"));
+        assert!(err.to_string().contains("warp9"));
+        let err = parse(&argv("sweep --input a.csv --ks 2 --kernel turbo")).unwrap_err();
+        assert!(err.to_string().contains("--kernel"));
+        assert!(err.to_string().contains("turbo"));
+    }
+
+    #[test]
+    fn sweep_kernel_flag_parses() {
+        use kcenter_metric::KernelBackend;
+        let cli = parse(&argv("sweep --input a.csv --ks 2 --kernel scalar")).unwrap();
+        match cli.command {
+            Command::Sweep(s) => {
+                assert_eq!(s.kernel, Some(KernelChoice::Fixed(KernelBackend::Scalar)))
+            }
+            _ => panic!("expected sweep"),
+        }
     }
 
     #[test]

@@ -8,8 +8,10 @@ use kcenter_core::evaluate::{assign, cluster_sizes};
 use kcenter_core::prelude::*;
 use kcenter_data::csv::{load_points, save_points, CsvOptions};
 use kcenter_mapreduce::{ClusterConfig, JobStats, SimulatedCluster};
+use kcenter_metric::kernel::simd;
 use kcenter_metric::{
-    BoundingBox, Euclidean, FlatPoints, MetricSpace, PointId, Precision, Scalar, VecSpace,
+    BoundingBox, Euclidean, FlatPoints, KernelBackend, KernelChoice, MetricSpace, PointId,
+    Precision, Scalar, VecSpace,
 };
 use std::fmt;
 use std::io::Write;
@@ -113,7 +115,29 @@ fn load_space<S: Scalar>(
     Ok(VecSpace::from_flat(FlatPoints::from_points(&points)))
 }
 
+/// Resolves and installs the kernel backend for this run: the `--kernel`
+/// flag wins, otherwise the `KCENTER_KERNEL` environment variable, otherwise
+/// `auto`.  Unknown names and unavailable backends surface as the named
+/// `kernel` parameter error rather than a deep panic.
+fn apply_kernel(flag: Option<KernelChoice>) -> Result<KernelBackend, CommandError> {
+    let named = |e: kcenter_metric::KernelSelectError| {
+        CommandError::Algorithm(KCenterError::InvalidParameter {
+            name: "kernel",
+            message: e.to_string(),
+        })
+    };
+    let choice = match flag {
+        Some(c) => c,
+        None => KernelChoice::from_env().map_err(named)?,
+    };
+    let backend = choice.resolve().map_err(named)?;
+    simd::set_active(backend).map_err(named)?;
+    Ok(backend)
+}
+
 fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
+    let kernel = apply_kernel(args.kernel)?;
+    writeln!(out, "kernel backend: {kernel}")?;
     // Dispatch into the monomorphised storage-precision stack once, here;
     // everything below runs entirely at the chosen precision (with the
     // covering radius still certified in f64 by the evaluation layer).
@@ -230,6 +254,8 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
 }
 
 fn sweep<W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), CommandError> {
+    let kernel = apply_kernel(args.kernel)?;
+    writeln!(out, "kernel backend: {kernel}")?;
     match args.precision {
         Precision::F64 => sweep_at::<f64, W>(args, out),
         Precision::F32 => sweep_at::<f32, W>(args, out),
@@ -433,6 +459,18 @@ mod tests {
         dir.join(name).to_string_lossy().into_owned()
     }
 
+    /// Serialises tests that are sensitive to the process-global kernel
+    /// dispatch table: `apply_kernel` installs a backend on every
+    /// solve/sweep, so a test that pins non-default backends must not
+    /// interleave with one comparing radii across runs.
+    fn kernel_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        match LOCK.get_or_init(|| std::sync::Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     #[test]
     fn help_prints_usage() {
         let out = run_cli("help").unwrap();
@@ -494,7 +532,42 @@ mod tests {
     }
 
     #[test]
+    fn solve_reports_the_kernel_backend_and_names_unavailable_ones() {
+        let _guard = kernel_lock();
+        let csv = temp_path("kernel.csv");
+        run_cli(&format!("generate unif --n 200 --seed 5 --out {csv}")).unwrap();
+        // Pinning the scalar backend always works and is reported.
+        let out = run_cli(&format!("solve gon --input {csv} --k 3 --kernel scalar")).unwrap();
+        assert!(out.contains("kernel backend: scalar"));
+        // The portable backend compiles everywhere.
+        let out = run_cli(&format!("solve gon --input {csv} --k 3 --kernel portable")).unwrap();
+        assert!(out.contains("kernel backend: portable"));
+        // `auto` resolves to whatever this build supports.
+        let out = run_cli(&format!("solve gon --input {csv} --k 3 --kernel auto")).unwrap();
+        assert!(out.contains("kernel backend: "));
+        // Requesting avx2 in a build/machine without it is the named error,
+        // not a panic deep inside a scan.
+        let avx2 = run_cli(&format!("solve gon --input {csv} --k 3 --kernel avx2"));
+        if kcenter_metric::KernelBackend::Avx2.is_available() {
+            assert!(avx2.unwrap().contains("kernel backend: avx2"));
+        } else {
+            let err = avx2.unwrap_err();
+            assert!(matches!(
+                err,
+                CommandError::Algorithm(KCenterError::InvalidParameter { name: "kernel", .. })
+            ));
+            assert!(err.to_string().contains("avx2"));
+        }
+        // Restore the default for the rest of the suite.
+        simd::set_active(KernelChoice::Auto.resolve().unwrap()).unwrap();
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
     fn solve_with_f32_precision_reports_storage_and_matches_f64_closely() {
+        // Radius-comparing test: keep the kernel backend stable across the
+        // two runs (see `kernel_lock`).
+        let _guard = kernel_lock();
         let csv = temp_path("precision.csv");
         run_cli(&format!("generate unif --n 500 --seed 4 --out {csv}")).unwrap();
         let f64_out = run_cli(&format!("solve gon --input {csv} --k 4")).unwrap();

@@ -525,12 +525,34 @@ fn gather_rows<D: Distance + Clone, S: Scalar>(
     VecSpace::from_flat_with_distance(flat, space.metric().clone())
 }
 
+/// Name of the [`JobStats`] counter the weights/certification round records:
+/// how many `(point, representative)` certification pairs its early-exit
+/// pruning skipped, summed over reducers.  Read it with
+/// `coreset.stats().counter(PRUNED_PAIRS_COUNTER)`.
+pub const PRUNED_PAIRS_COUNTER: &str = "weights round pruned pairs";
+
 /// One MapReduce round that assigns every source point to its nearest
 /// representative (comparison space, ties to the smaller representative
 /// position — the [`crate::evaluate::assign`] convention) and certifies the
 /// construction radius with the `wide_cmp_*` (`f64`-accumulating,
 /// max-pruned) discipline.  Returns per-representative weights and the
 /// certified radius.
+///
+/// The certification side is **pruned**: the dense version of this round
+/// scanned all `|reps|` representatives twice per point (once for the
+/// argmin, once for the wide max-of-mins).  Instead, each reducer seeds the
+/// wide scan with its previous-best radius (the running `wide_max`) and
+/// first checks only the point's *assigned* representative — if that single
+/// wide distance is already within `wide_max`, the point's true wide
+/// minimum is too, so it cannot raise the maximum and the whole second scan
+/// is skipped.  Only candidate new maxima (a handful of points per chunk)
+/// pay the full `wide_cmp_distance_to_set_bounded` scan, whose early exit
+/// keeps the result exact above `wide_max` — so the returned radius is
+/// bit-identical to the dense scan's while the certification cost drops
+/// from `O(n · |reps|)` to `O(n)` plus the few candidates, which is what
+/// makes EIM-built coresets (where `|reps|` is tens of thousands at large
+/// `k`) cheap to weigh.  The number of pairs skipped this way lands in the
+/// round's [`JobStats`] under [`PRUNED_PAIRS_COUNTER`].
 fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
     cluster: &mut SimulatedCluster,
     space: &Sp,
@@ -540,12 +562,13 @@ fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
 ) -> Result<(Vec<u64>, f64), KCenterError> {
     let ids: Vec<PointId> = (0..space.len()).collect();
     let parts = partition::chunks(&ids, machines);
-    let outputs: Vec<(Vec<u64>, f64)> = cluster.run_round(
+    let outputs: Vec<(Vec<u64>, f64, u64)> = cluster.run_round(
         label,
         &parts,
         |_, chunk| {
             let mut counts = vec![0u64; reps.len()];
             let mut wide_max = f64::NEG_INFINITY;
+            let mut pruned: u64 = 0;
             for &x in chunk {
                 let mut best = 0usize;
                 let mut best_d = <Sp::Cmp as Scalar>::INFINITY;
@@ -557,24 +580,34 @@ fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
                     }
                 }
                 counts[best] += 1;
+                // wide_min(x) <= wide(x, assigned rep): within the running
+                // max the point cannot raise it — skip the wide scan.
+                let w_assigned = space.wide_cmp_distance(x, reps[best]);
+                if w_assigned <= wide_max {
+                    pruned += reps.len() as u64 - 1;
+                    continue;
+                }
                 let w = space.wide_cmp_distance_to_set_bounded(x, reps, wide_max);
                 if w > wide_max {
                     wide_max = w;
                 }
             }
-            (counts, wide_max)
+            (counts, wide_max, pruned)
         },
-        |(counts, _)| counts.len(),
+        |(counts, _, _)| counts.len(),
     )?;
 
     let mut weights = vec![0u64; reps.len()];
     let mut wide_max = f64::NEG_INFINITY;
-    for (counts, local_max) in outputs {
+    let mut pruned_total = 0u64;
+    for (counts, local_max, pruned) in outputs {
         for (w, c) in weights.iter_mut().zip(counts) {
             *w += c;
         }
         wide_max = wide_max.max(local_max);
+        pruned_total += pruned;
     }
+    cluster.record_counter(PRUNED_PAIRS_COUNTER, pruned_total);
     Ok((weights, space.wide_cmp_to_distance(wide_max.max(0.0))))
 }
 
@@ -772,6 +805,51 @@ mod tests {
             )
             .unwrap();
         assert_eq!(direct, charged);
+    }
+
+    #[test]
+    fn pruned_weights_round_matches_dense_assignment_and_records_the_counter() {
+        let space = cloud(3_000, 13);
+        let coreset = GonzalezCoresetConfig::new(150).build(&space).unwrap();
+        // Weights are exactly the nearest-representative histogram (the
+        // `assign` convention): pruning only skips certification pairs,
+        // never assignment pairs.
+        let assignment = crate::evaluate::assign(&space, coreset.source_ids());
+        let mut hist = vec![0u64; coreset.len()];
+        for a in assignment {
+            hist[a] += 1;
+        }
+        assert_eq!(coreset.weights(), &hist[..]);
+        // The certificate is still the exact dense covering radius.
+        let exact = covering_radius(&space, coreset.source_ids());
+        assert!((coreset.construction_radius() - exact).abs() <= 1e-12);
+        // The early-exit certification skipped the bulk of the n·t wide
+        // pairs, and the count is visible in the job accounting.
+        let pruned = coreset.stats().counter(PRUNED_PAIRS_COUNTER);
+        assert!(
+            pruned >= (3_000 / 2) * 149,
+            "expected most certification pairs pruned, got {pruned}"
+        );
+        let round = coreset
+            .stats()
+            .rounds_labelled("coreset round 3")
+            .next()
+            .expect("weights round recorded");
+        assert_eq!(round.counter(PRUNED_PAIRS_COUNTER), Some(pruned));
+    }
+
+    #[test]
+    fn eim_weights_round_records_the_pruned_counter_too() {
+        let space = cloud(3_000, 14);
+        let config = EimConfig::new(4)
+            .with_epsilon(0.13)
+            .with_machines(6)
+            .with_seed(2);
+        let coreset = config.build_coreset(&space).unwrap();
+        assert!(coreset.stats().counter(PRUNED_PAIRS_COUNTER) > 0);
+        // Pruning must not perturb the certificate.
+        let exact = covering_radius(&space, coreset.source_ids());
+        assert!((coreset.construction_radius() - exact).abs() <= 1e-12);
     }
 
     #[test]

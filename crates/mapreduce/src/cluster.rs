@@ -144,8 +144,21 @@ impl SimulatedCluster {
             simulated_time,
             sequential_time,
             wall_time,
+            counters: Vec::new(),
         });
         Ok(outputs)
+    }
+
+    /// Attaches (or accumulates into) a named work counter on the round
+    /// that just ran — reducers return their counts with their outputs and
+    /// the caller records the total here, making quantities like pruned
+    /// scan pairs visible in the [`JobStats`] next to the round's times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has been executed yet.
+    pub fn record_counter(&mut self, name: &str, value: u64) {
+        self.stats.record_counter(name, value);
     }
 
     /// Executes a round whose input all goes to a **single** reducer — the

@@ -33,6 +33,21 @@ pub struct RoundStats {
     pub sequential_time: Duration,
     /// Real elapsed wall-clock time of the parallel execution.
     pub wall_time: Duration,
+    /// Named work counters reported by the round's reducers — e.g. the
+    /// coreset weights round records how many (point, representative)
+    /// pairs its early-exit certification pruned.  Empty for rounds that
+    /// report nothing.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RoundStats {
+    /// The value of the named counter, if this round recorded it.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// Accounting for a complete multi-round job.
@@ -116,6 +131,30 @@ impl JobStats {
     pub fn simulated_time_labelled(&self, prefix: &str) -> Duration {
         self.rounds_labelled(prefix).map(|r| r.simulated_time).sum()
     }
+
+    /// Sum of the named counter over all rounds that recorded it — how a
+    /// caller reads e.g. the coreset weights round's pruned-pair count out
+    /// of the job accounting.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.rounds.iter().filter_map(|r| r.counter(name)).sum()
+    }
+
+    /// Attaches (or accumulates into) a named counter on the most recently
+    /// executed round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has been recorded yet.
+    pub fn record_counter(&mut self, name: &str, value: u64) {
+        let round = self
+            .rounds
+            .last_mut()
+            .expect("record_counter needs at least one recorded round");
+        match round.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += value,
+            None => round.counters.push((name.to_string(), value)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +172,7 @@ mod tests {
             simulated_time: Duration::from_millis(sim_ms),
             sequential_time: Duration::from_millis(seq_ms),
             wall_time: Duration::from_millis(sim_ms + 1),
+            counters: Vec::new(),
         }
     }
 
@@ -189,6 +229,29 @@ mod tests {
             .map(|r| r.label.as_str())
             .collect();
         assert_eq!(labels, vec!["sweep solve k=2", "sweep solve k=4"]);
+    }
+
+    #[test]
+    fn counters_accumulate_per_round_and_sum_per_job() {
+        let mut job = JobStats::new();
+        job.push(round("weights", 10, 10, 100));
+        job.record_counter("pruned pairs", 40);
+        job.record_counter("pruned pairs", 2);
+        job.push(round("weights again", 10, 10, 100));
+        job.record_counter("pruned pairs", 8);
+        job.record_counter("other", 1);
+        assert_eq!(job.rounds()[0].counter("pruned pairs"), Some(42));
+        assert_eq!(job.rounds()[0].counter("other"), None);
+        assert_eq!(job.rounds()[1].counter("pruned pairs"), Some(8));
+        assert_eq!(job.counter("pruned pairs"), 50);
+        assert_eq!(job.counter("other"), 1);
+        assert_eq!(job.counter("missing"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one recorded round")]
+    fn record_counter_needs_a_round() {
+        JobStats::new().record_counter("x", 1);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! [`Distance::distance_to_surrogate`] converts a distance threshold into
 //! surrogate space for early-exit scans.
 
-use crate::kernel::{self, dist2, dist2_wide};
+use crate::kernel::{self, dist2_auto, dist2_wide, dist2_wide_auto};
 use crate::point::Point;
 use crate::scalar::Scalar;
 use serde::{Deserialize, Serialize};
@@ -107,6 +107,19 @@ pub trait Distance: Send + Sync {
     #[inline]
     fn wide_surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
         self.distance_slices(a, b)
+    }
+
+    /// [`Distance::wide_surrogate`] through the dispatched kernel backend
+    /// (`kernel::simd`): the same `f64`-accumulated quantity, but an SIMD
+    /// backend may sum it in its own pinned order, so values are
+    /// bit-deterministic per `(precision, kernel)` rather than per
+    /// precision alone.  Batch *reporting* paths (`distances_from`, the
+    /// distance-matrix build, the lower-bound scans) ride this; the
+    /// `wide_cmp_*` certification scans keep using
+    /// [`Distance::wide_surrogate`].  Defaults to the undispatched value.
+    #[inline]
+    fn wide_surrogate_auto<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
+        self.wide_surrogate(a, b)
     }
 
     /// Maps a wide-surrogate value back to the distance it stands for.
@@ -197,10 +210,11 @@ impl Distance for Euclidean {
     }
 
     /// Squared distance in `S`: order-equivalent and one `sqrt` cheaper per
-    /// pair, accumulated at storage precision (the fast path).
+    /// pair, accumulated at storage precision (the fast path, through the
+    /// dispatched kernel backend).
     #[inline]
     fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
-        dist2(a, b)
+        dist2_auto(a, b)
     }
 
     #[inline]
@@ -213,10 +227,18 @@ impl Distance for Euclidean {
         S::from_f64(d * d)
     }
 
-    /// Squared distance accumulated in `f64` — the certification scan.
+    /// Squared distance accumulated in `f64` — the certification scan
+    /// (fixed scalar kernel, independent of the dispatched backend).
     #[inline]
     fn wide_surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
         dist2_wide(a, b)
+    }
+
+    /// Squared distance accumulated in `f64` through the dispatched kernel
+    /// backend — the batch-reporting fast path.
+    #[inline]
+    fn wide_surrogate_auto<S: Scalar>(&self, a: &[S], b: &[S]) -> f64 {
+        dist2_wide_auto(a, b)
     }
 
     #[inline]
@@ -269,7 +291,7 @@ impl Distance for SquaredEuclidean {
 
     #[inline]
     fn surrogate<S: Scalar>(&self, a: &[S], b: &[S]) -> S {
-        dist2(a, b)
+        dist2_auto(a, b)
     }
 
     fn is_metric(&self) -> bool {

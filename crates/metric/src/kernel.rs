@@ -35,20 +35,39 @@
 //!   an `f32` run carries is the one-time `2^-24` input rounding of each
 //!   coordinate, never accumulated scan error.
 //!
+//! # SIMD dispatch
+//!
+//! The hot entry points ([`relax_max_rows_coords`], [`relax_max_ids_coords`],
+//! [`dist2_auto`], [`dist2_wide_auto`]) consult the [`simd`] dispatch table:
+//! a backend ([`simd::KernelBackend`]) selected once at startup —
+//! `KCENTER_KERNEL={auto,scalar,portable,avx2}`, the CLI `--kernel` flag, or
+//! [`simd::set_active`] — provides width-pinned (AVX2+FMA or portable-lane)
+//! kernels where the row shape supports them and falls back to the scalar
+//! kernels below one vector of coordinates.  The plain kernels ([`dist2`],
+//! [`dist2_wide`]) remain the fixed scalar implementations: the `wide_cmp_*`
+//! certification scans build on them so reported quality numbers never
+//! depend on the dispatched backend (see the [`simd`] module docs).
+//!
 //! # Determinism
 //!
 //! The parallel variants compute exactly the same per-element values as the
 //! sequential ones (chunking only partitions the index space), so their
-//! results are bit-for-bit identical per `(seed, precision)` pair — a
-//! property the `flat_kernels` integration test pins down.  Argmax
-//! tie-breaking is part of that contract: ties always resolve to the
-//! **lowest index** (see [`argmax`]), which matters more at `f32` where
-//! coarser rounding produces more exact ties.
+//! results are bit-for-bit identical per `(seed, precision, kernel)` triple
+//! — a property the `flat_kernels` integration test pins down (the third
+//! coordinate is the dispatched [`simd::KernelBackend`]; each backend fixes
+//! its own accumulation order, see the [`simd`] docs for the FMA rounding
+//! story).  Argmax tie-breaking is part of that contract in **every**
+//! backend: ties always resolve to the **lowest index** (see [`argmax`]),
+//! which matters more at `f32` where coarser rounding produces more exact
+//! ties.
+
+pub mod simd;
 
 use crate::flat::FlatPoints;
 use crate::scalar::Scalar;
 use crate::PointId;
 use rayon::prelude::*;
+use simd::KernelBackend;
 
 /// Chunk length for the parallel kernels: big enough to amortise a spawn,
 /// small enough to balance across cores on million-point inputs.  Shared
@@ -129,6 +148,33 @@ pub fn dist2_wide<S: Scalar>(a: &[S], b: &[S]) -> f64 {
         i += 1;
     }
     (s0 + s1) + (s2 + s3)
+}
+
+/// [`dist2`] through the dispatched kernel backend: width-pinned SIMD when
+/// the active [`simd::KernelBackend`] provides a kernel for this scalar and
+/// row length, the scalar kernel otherwise.  This is the comparison-space
+/// fast path behind `Euclidean::surrogate`; values are bit-deterministic
+/// per `(precision, kernel)` (an FMA backend may differ from the scalar
+/// kernel in the last ulps — see the [`simd`] module docs).
+#[inline]
+pub fn dist2_auto<S: Scalar>(a: &[S], b: &[S]) -> S {
+    match S::simd_dist2(simd::active(), a, b) {
+        Some(v) => v,
+        None => dist2(a, b),
+    }
+}
+
+/// [`dist2_wide`] through the dispatched kernel backend (`f64` lanes fed
+/// from the `S` rows).  Batch *reporting* helpers (`distances_from`, the
+/// distance-matrix build, the lower-bound scans) ride this; the `wide_cmp_*`
+/// certification scans deliberately keep calling the scalar [`dist2_wide`]
+/// so certified quality numbers never depend on the dispatched backend.
+#[inline]
+pub fn dist2_wide_auto<S: Scalar>(a: &[S], b: &[S]) -> f64 {
+    match S::simd_dist2_wide(simd::active(), a, b) {
+        Some(v) => v,
+        None => dist2_wide(a, b),
+    }
 }
 
 /// Squared Euclidean distance between rows `i` and `j` of the store.
@@ -241,6 +287,24 @@ pub fn relax_max_rows_coords<S: Scalar>(
     center_row: &[S],
     nearest: &mut [S],
 ) -> (usize, S) {
+    relax_max_rows_coords_with(simd::active(), coords, dim, center_row, nearest)
+}
+
+/// [`relax_max_rows_coords`] under an explicit kernel backend — the A/B
+/// entry the dispatch parity tests and benches use.  Backends without a
+/// width-pinned kernel for this `(scalar, dim)` shape (always the case for
+/// [`KernelBackend::Scalar`], and for every backend below one vector of
+/// coordinates) run the dimension-specialised scalar loop.
+pub fn relax_max_rows_coords_with<S: Scalar>(
+    backend: KernelBackend,
+    coords: &[S],
+    dim: usize,
+    center_row: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
+    if let Some(best) = S::simd_relax_rows_max(backend, coords, dim, center_row, nearest) {
+        return best;
+    }
     macro_rules! dispatch {
         ($($d:literal),*) => {
             match dim {
@@ -265,7 +329,23 @@ pub fn relax_max_ids_coords<S: Scalar>(
     center_row: &[S],
     nearest: &mut [S],
 ) -> (usize, S) {
+    relax_max_ids_coords_with(simd::active(), coords, dim, subset, center_row, nearest)
+}
+
+/// [`relax_max_ids_coords`] under an explicit kernel backend (see
+/// [`relax_max_rows_coords_with`]).
+pub fn relax_max_ids_coords_with<S: Scalar>(
+    backend: KernelBackend,
+    coords: &[S],
+    dim: usize,
+    subset: &[PointId],
+    center_row: &[S],
+    nearest: &mut [S],
+) -> (usize, S) {
     debug_assert_eq!(subset.len(), nearest.len());
+    if let Some(best) = S::simd_relax_ids_max(backend, coords, dim, subset, center_row, nearest) {
+        return best;
+    }
     macro_rules! dispatch {
         ($($d:literal),*) => {
             match dim {

@@ -24,7 +24,10 @@
 //!   comparison-only scans and `f64`-accumulated *wide* forms for
 //!   certification.
 //! * [`kernel`] — the fused scan kernels (`dist2`, `relax_nearest`,
-//!   `argmax`) plus chunked rayon variants with a sequential cutoff.
+//!   `argmax`) plus chunked rayon variants with a sequential cutoff, and
+//!   [`kernel::simd`] — width-pinned AVX2+FMA / portable-lane backends
+//!   behind a runtime dispatch table (`KCENTER_KERNEL`, the `simd` cargo
+//!   feature; see *Kernel dispatch* below).
 //! * [`MetricSpace`] — the trait the clustering algorithms are written
 //!   against, with a concrete on-demand [`VecSpace`] (generic over the
 //!   storage scalar) and a fully materialised [`MatrixSpace`].
@@ -70,8 +73,24 @@
 //! stored rows.  An `f32` run therefore only ever carries the one-time
 //! `2^-24` input rounding of each coordinate, never accumulated scan error,
 //! and results are bit-for-bit deterministic per `(seed, precision)` pair.
+//!
+//! # Kernel dispatch
+//!
+//! The hot kernels additionally dispatch through [`kernel::simd`]: a
+//! backend ([`KernelBackend`]: `scalar`, `portable` lanes, or AVX2+FMA
+//! intrinsics behind the `simd` cargo feature) selected once at startup via
+//! `KCENTER_KERNEL` / the CLI `--kernel` flag.  Comparison-space scans are
+//! then bit-deterministic per `(seed, precision, kernel)`; the `wide_cmp_*`
+//! certification scans stay on the fixed scalar `f64` kernels so reported
+//! quality numbers depend only on which centers were selected.  The default
+//! build (feature off, variable unset) resolves to the scalar kernels and
+//! is bit-identical to the pre-dispatch behaviour.
+//!
+//! `unsafe` is denied crate-wide and appears only in the [`kernel::simd`]
+//! AVX2 module, where every intrinsic call sits behind a runtime
+//! `is_x86_feature_detected!` check.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bbox;
@@ -89,6 +108,7 @@ pub use distance::{
     Chebyshev, Distance, Euclidean, Hamming, Manhattan, Minkowski, SquaredEuclidean,
 };
 pub use flat::FlatPoints;
+pub use kernel::simd::{KernelBackend, KernelChoice, KernelSelectError, KERNEL_ENV};
 pub use lower_bound::{pairwise_lower_bound, scaled_diameter_lower_bound};
 pub use matrix::DistanceMatrix;
 pub use point::Point;

@@ -47,8 +47,14 @@ impl<S: Scalar> DistanceMatrix<S> {
     }
 
     /// Builds the matrix by evaluating every pairwise distance of `space`,
-    /// in parallel over rows.  Distances are computed exactly (`f64`) and
-    /// rounded once into the storage scalar.
+    /// in parallel over rows.  Distances are computed with `f64`
+    /// accumulation and rounded once into the storage scalar.
+    ///
+    /// Each row goes through the space's batch
+    /// [`MetricSpace::distances_from`], which on coordinate-backed spaces
+    /// rides the dispatched kernel backend (`kernel::simd`) — so the build
+    /// is deterministic per `(precision, kernel)`, and bit-identical to the
+    /// pre-dispatch behaviour under the default `scalar` backend.
     pub fn from_space<M: MetricSpace + ?Sized>(space: &M) -> Self {
         let n = space.len();
         let mut m = Self::zeros(n);
@@ -56,9 +62,12 @@ impl<S: Scalar> DistanceMatrix<S> {
             return m;
         }
         // Compute rows in parallel, then scatter into the packed triangle.
+        // One shared id table serves every row's target slice, so the only
+        // per-row allocation is the result vector itself.
+        let ids: Vec<usize> = (0..n).collect();
         let rows: Vec<Vec<f64>> = (0..n - 1)
             .into_par_iter()
-            .map(|i| ((i + 1)..n).map(|j| space.distance(i, j)).collect())
+            .map(|i| space.distances_from(i, &ids[i + 1..]))
             .collect();
         for (i, row) in rows.into_iter().enumerate() {
             for (off, d) in row.into_iter().enumerate() {

@@ -41,8 +41,14 @@ mod private {
 /// (the bandwidth-halved fast path).  See the module docs for the
 /// comparison-space-in-`S` / certify-in-`f64` contract that governs which
 /// computations may legitimately run at reduced precision.
+///
+/// [`crate::kernel::simd::SimdScalar`] is a supertrait: each storage scalar
+/// carries its width-pinned kernel hooks (8 `f32` / 4 `f64` lanes), so the
+/// generic kernel entry points can consult the runtime dispatch table
+/// without naming concrete types.
 pub trait Scalar:
     private::Sealed
+    + crate::kernel::simd::SimdScalar
     + Copy
     + PartialEq
     + PartialOrd

@@ -76,8 +76,26 @@ pub trait MetricSpace: Send + Sync {
     }
 
     /// For each point in `targets`, its distance to point `from`.
+    ///
+    /// Coordinate-backed spaces override this to ride the dispatched kernel
+    /// backend (`kernel::simd`), so batch reporting — the distance-matrix
+    /// build in particular — is deterministic per `(precision, kernel)`.
     fn distances_from(&self, from: PointId, targets: &[PointId]) -> Vec<f64> {
         targets.iter().map(|&t| self.distance(from, t)).collect()
+    }
+
+    /// For each point in `targets`, its certification-space
+    /// ([`MetricSpace::wide_cmp_distance`]) value to point `from`.
+    ///
+    /// Like [`MetricSpace::distances_from`] this is a batch *reporting*
+    /// helper and may ride the dispatched kernel backend on
+    /// coordinate-backed spaces (the lower-bound scans use it); the
+    /// `wide_cmp_*` max/min certification scans do not go through it.
+    fn wide_cmp_distances_from(&self, from: PointId, targets: &[PointId]) -> Vec<f64> {
+        targets
+            .iter()
+            .map(|&t| self.wide_cmp_distance(from, t))
+            .collect()
     }
 
     /// Minimum distance from point `from` to any point in `to`.
@@ -547,6 +565,29 @@ impl<D: Distance, S: Scalar> MetricSpace for VecSpace<D, S> {
 
     fn is_metric(&self) -> bool {
         self.dist.is_metric()
+    }
+
+    fn distances_from(&self, from: PointId, targets: &[PointId]) -> Vec<f64> {
+        // Batch reporting rides the dispatched (possibly width-pinned)
+        // wide kernels: exact f64 accumulation from the stored rows, in
+        // the active backend's pinned summation order.
+        let row = self.points.row(from);
+        targets
+            .iter()
+            .map(|&t| {
+                self.dist.wide_surrogate_to_distance(
+                    self.dist.wide_surrogate_auto(row, self.points.row(t)),
+                )
+            })
+            .collect()
+    }
+
+    fn wide_cmp_distances_from(&self, from: PointId, targets: &[PointId]) -> Vec<f64> {
+        let row = self.points.row(from);
+        targets
+            .iter()
+            .map(|&t| self.dist.wide_surrogate_auto(row, self.points.row(t)))
+            .collect()
     }
 
     fn distance_to_set(&self, from: PointId, to: &[PointId]) -> f64 {

@@ -248,3 +248,131 @@ fn par_distances_to_set_matches_sequential_bit_for_bit() {
         .collect();
     assert_eq!(par, seq);
 }
+
+// ---------------------------------------------------------------------------
+// Kernel-backend (SIMD dispatch) parity: the width-pinned backends must
+// uphold the scalar kernels' argmax tie-breaking contract, and track the
+// scalar values within accumulation-order rounding on general inputs.
+// ---------------------------------------------------------------------------
+
+mod backend_parity {
+    use super::*;
+    use kcenter_metric::kernel::simd::available_backends;
+    use kcenter_metric::kernel::{relax_max_ids_coords_with, relax_max_rows_coords_with};
+
+    /// An instance engineered to produce *exact* distance ties: integer
+    /// coordinates in a range where every squared distance (and every
+    /// partial sum, in any accumulation order, fused or not) is exactly
+    /// representable at both `f32` and `f64`, plus 2–4 planted copies of a
+    /// strictly-farthest row.  Yields `(dim, base coords, dup positions)`.
+    fn tie_instance() -> impl Strategy<Value = (usize, Vec<i32>, Vec<usize>)> {
+        (0usize..2, 12usize..60).prop_flat_map(|(dsel, n)| {
+            let dim = if dsel == 0 { 8 } else { 16 };
+            (
+                Just(dim),
+                prop::collection::vec(-20i32..=20, dim * n),
+                (0usize..n, 1usize..5).prop_map(move |(start, stride)| {
+                    let mut dups = vec![start, (start + stride) % n, (start + 2 * stride) % n];
+                    dups.sort_unstable();
+                    dups.dedup();
+                    dups
+                }),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Satellite contract: on inputs with exact distance ties, every
+        /// available backend returns the identical `(index, value)` pair —
+        /// the lowest planted position — at both `f32` and `f64`.
+        #[test]
+        fn fused_backends_agree_bitwise_on_engineered_ties(
+            (dim, base, dups) in tie_instance()
+        ) {
+            let n = base.len() / dim;
+            let mut coords: Vec<f64> = base.iter().map(|&c| c as f64).collect();
+            // The planted farthest row: strictly farther from the origin
+            // than any base row (dim·100² vs at most dim·20²), duplicated
+            // at every position in `dups` — an exact multi-way tie.
+            let far: Vec<f64> = (0..dim).map(|j| 100.0 + j as f64).collect();
+            for &r in &dups {
+                coords[r * dim..(r + 1) * dim].copy_from_slice(&far);
+            }
+            let coords32: Vec<f32> = coords.iter().map(|&c| c as f32).collect();
+            let center = vec![0.0f64; dim];
+            let center32 = vec![0.0f32; dim];
+            let want_pos = dups[0];
+
+            let mut results64 = Vec::new();
+            let mut results32 = Vec::new();
+            for backend in available_backends() {
+                let mut near64 = vec![f64::INFINITY; n];
+                let got64 =
+                    relax_max_rows_coords_with(backend, &coords, dim, &center, &mut near64);
+                let mut near32 = vec![f32::INFINITY; n];
+                let got32 =
+                    relax_max_rows_coords_with(backend, &coords32, dim, &center32, &mut near32);
+                prop_assert_eq!(got64.0, want_pos, "{} f64: lowest dup must win", backend);
+                prop_assert_eq!(got32.0, want_pos, "{} f32: lowest dup must win", backend);
+                prop_assert_eq!(got64.1, got32.1 as f64, "{}: exact at both widths", backend);
+                results64.push((got64, near64));
+                results32.push((got32, near32));
+            }
+            // All backends agree bitwise on these exact inputs — values,
+            // winner, and the whole relaxed nearest array.
+            for (r64, r32) in results64.iter().zip(&results32).skip(1) {
+                prop_assert_eq!(r64, &results64[0]);
+                prop_assert_eq!(r32, &results32[0]);
+            }
+
+            // The id-subset kernel upholds the same rule: iterate rows in
+            // reverse, so the tie resolves to the *position* of the first
+            // duplicate encountered in subset order, identically everywhere.
+            let subset: Vec<usize> = (0..n).rev().collect();
+            let mut ids_results = Vec::new();
+            for backend in available_backends() {
+                let mut near = vec![f64::INFINITY; n];
+                let got = relax_max_ids_coords_with(
+                    backend, &coords, dim, &subset, &center, &mut near,
+                );
+                prop_assert_eq!(subset[got.0], *dups.last().unwrap(), "{}", backend);
+                ids_results.push((got, near));
+            }
+            for r in ids_results.iter().skip(1) {
+                prop_assert_eq!(r, &ids_results[0]);
+            }
+        }
+
+        /// On general (continuous) inputs every backend stays within
+        /// accumulation-order rounding of the scalar kernel, and its
+        /// reported winner is consistent with its own relaxed array.
+        #[test]
+        fn fused_backends_track_the_scalar_kernel_on_random_inputs(
+            (dim, coords) in (8usize..=32).prop_flat_map(|dim| {
+                (Just(dim), prop::collection::vec(-1000.0f64..1000.0, dim * 24))
+            })
+        ) {
+            let n = coords.len() / dim;
+            let center = vec![1.0f64; dim];
+            let mut scalar_near = vec![f64::INFINITY; n];
+            let scalar = relax_max_rows_coords_with(
+                kcenter_metric::KernelBackend::Scalar,
+                &coords,
+                dim,
+                &center,
+                &mut scalar_near,
+            );
+            for backend in available_backends() {
+                let mut near = vec![f64::INFINITY; n];
+                let got = relax_max_rows_coords_with(backend, &coords, dim, &center, &mut near);
+                prop_assert!(close(got.1, scalar.1), "{}: {} vs {}", backend, got.1, scalar.1);
+                prop_assert_eq!(got.1, near[got.0], "{}: winner must match its slot", backend);
+                for (slot, scalar_slot) in near.iter().zip(&scalar_near) {
+                    prop_assert!(close(*slot, *scalar_slot), "{}", backend);
+                }
+            }
+        }
+    }
+}

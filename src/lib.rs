@@ -49,6 +49,7 @@ pub mod prelude {
     };
     pub use kcenter_mapreduce::{ClusterConfig, JobStats, SimulatedCluster};
     pub use kcenter_metric::{
-        Distance, Euclidean, FlatPoints, MetricSpace, Point, PointId, Precision, Scalar, VecSpace,
+        Distance, Euclidean, FlatPoints, KernelBackend, KernelChoice, MetricSpace, Point, PointId,
+        Precision, Scalar, VecSpace,
     };
 }
