@@ -67,6 +67,80 @@ impl SolverChoice {
     }
 }
 
+/// Fault-injection options shared by `solve` and `sweep`.
+///
+/// A run is fault-free unless `--fault-plan FILE` (an explicit schedule or
+/// seeded plan in the [`kcenter_mapreduce::FaultPlan::parse_text`] format)
+/// or `--fault-seed S` (a seeded plan at the default rates) is given; the
+/// two are mutually exclusive.  `--max-attempts` and `--degrade` tune the
+/// retry budget and graceful-degradation switch and require one of the
+/// plan flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultArgs {
+    /// Path of a `--fault-plan` file (`None` = no explicit plan).
+    pub plan_file: Option<String>,
+    /// Seed of a `--fault-seed` plan (`None` = no seeded plan).
+    pub fault_seed: Option<u64>,
+    /// `--max-attempts` override for the per-shard attempt budget.
+    pub max_attempts: Option<usize>,
+    /// Whether `--degrade on` opted into graceful degradation.
+    pub degrade: bool,
+}
+
+impl FaultArgs {
+    /// Whether any fault injection was requested.
+    pub fn is_active(&self) -> bool {
+        self.plan_file.is_some() || self.fault_seed.is_some()
+    }
+
+    /// Consumes one `--flag value` pair if it is a fault flag; returns
+    /// whether the pair was consumed.
+    fn consume(&mut self, flag: &str, value: &str) -> Result<bool, ParseError> {
+        match flag {
+            "--fault-plan" => self.plan_file = Some(value.to_string()),
+            "--fault-seed" => self.fault_seed = Some(parse_number(flag, value)?),
+            "--max-attempts" => {
+                let attempts: usize = parse_number(flag, value)?;
+                if attempts == 0 {
+                    return Err(ParseError(
+                        "--max-attempts needs at least one attempt".into(),
+                    ));
+                }
+                self.max_attempts = Some(attempts);
+            }
+            "--degrade" => {
+                self.degrade = match value.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "yes" => true,
+                    "off" | "false" | "no" => false,
+                    other => {
+                        return Err(ParseError(format!(
+                            "invalid value {other:?} for --degrade (expected on or off)"
+                        )))
+                    }
+                }
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Cross-flag validation after all pairs are consumed.
+    fn validate(&self) -> Result<(), ParseError> {
+        if self.plan_file.is_some() && self.fault_seed.is_some() {
+            return Err(ParseError(
+                "--fault-plan and --fault-seed are mutually exclusive".into(),
+            ));
+        }
+        if !self.is_active() && (self.max_attempts.is_some() || self.degrade) {
+            return Err(ParseError(
+                "--max-attempts/--degrade need a fault source (--fault-plan or --fault-seed)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Arguments of the `solve` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveArgs {
@@ -94,6 +168,8 @@ pub struct SolveArgs {
     /// Kernel backend request (`--kernel auto|scalar|portable|avx2`);
     /// `None` defers to the `KCENTER_KERNEL` environment variable.
     pub kernel: Option<KernelChoice>,
+    /// Fault-injection options (inactive by default).
+    pub faults: FaultArgs,
 }
 
 /// Which builder the `sweep` subcommand uses for its one-off coreset.
@@ -161,6 +237,9 @@ pub struct SweepArgs {
     /// Whether to run the per-cell EIM reruns the sweep amortises away
     /// (disable to time the coreset path alone).
     pub baseline: bool,
+    /// Fault-injection options (inactive by default; applied to the
+    /// coreset build rounds).
+    pub faults: FaultArgs,
 }
 
 /// Arguments of the `info` subcommand.
@@ -193,11 +272,15 @@ USAGE:
   kcenter solve <gon|mrg|eim|hs> --input FILE.csv --k K [--machines M] [--phi P]
                 [--epsilon E] [--seed S] [--skip-columns C] [--assign OUT.csv]
                 [--precision f32|f64] [--kernel auto|scalar|portable|avx2]
+                [--fault-plan FILE | --fault-seed S] [--max-attempts N]
+                [--degrade on|off]
   kcenter sweep (--input FILE.csv | --family <unif|gau|unb|poker|kdd> --n N [--k-prime K'])
                 --ks K1,K2,... [--phis P1,P2,...] [--builder gonzalez|eim]
                 [--coreset-size T] [--machines M] [--epsilon E] [--seed S]
                 [--skip-columns C] [--precision f32|f64]
                 [--kernel auto|scalar|portable|avx2] [--baseline on|off]
+                [--fault-plan FILE | --fault-seed S] [--max-attempts N]
+                [--degrade on|off]
   kcenter info --input FILE.csv [--skip-columns C]
   kcenter help
 
@@ -211,6 +294,15 @@ amortisation.
 it overrides the KCENTER_KERNEL environment variable, and `auto` picks
 AVX2+FMA when the binary was built with the `simd` feature on a supporting
 CPU.  Results are bit-deterministic per (seed, precision, kernel).
+
+--fault-seed S (or --fault-plan FILE for an explicit schedule) injects
+deterministic reducer faults into the MapReduce rounds: crashes,
+stragglers and corrupt outputs, retried up to --max-attempts times with
+charged backoff and straggler speculation.  When every shard eventually
+succeeds, results stay bit-identical to the fault-free run.  --degrade on
+drops shards that exhaust their attempts and reports an explicitly
+partial result (surviving coverage fraction and dropped-shard
+provenance) instead of failing.
 ";
 
 /// Parses the full argument vector (excluding the program name).
@@ -303,7 +395,11 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
     let mut assignment_out: Option<String> = None;
     let mut precision = Precision::default();
     let mut kernel: Option<KernelChoice> = None;
+    let mut faults = FaultArgs::default();
     for (flag, value) in &flags {
+        if faults.consume(flag, value)? {
+            continue;
+        }
         match flag.as_str() {
             "--input" => input = Some(value.clone()),
             "--k" => k = Some(parse_number(flag, value)?),
@@ -324,6 +420,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
             other => return Err(ParseError(format!("unknown flag {other:?} for solve"))),
         }
     }
+    faults.validate()?;
     Ok(SolveArgs {
         algorithm,
         input: input.ok_or_else(|| ParseError("solve requires --input".into()))?,
@@ -336,6 +433,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
         assignment_out,
         precision,
         kernel,
+        faults,
     })
 }
 
@@ -377,7 +475,11 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
     let mut precision = Precision::default();
     let mut kernel: Option<KernelChoice> = None;
     let mut baseline = true;
+    let mut faults = FaultArgs::default();
     for (flag, value) in &flags {
+        if faults.consume(flag, value)? {
+            continue;
+        }
         match flag.as_str() {
             "--input" => input = Some(value.clone()),
             "--family" => family = Some(value.clone()),
@@ -419,6 +521,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
             other => return Err(ParseError(format!("unknown flag {other:?} for sweep"))),
         }
     }
+    faults.validate()?;
     let source = match (input, family) {
         (Some(_), Some(_)) => {
             return Err(ParseError(
@@ -456,6 +559,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
         precision,
         kernel,
         baseline,
+        faults,
     })
 }
 
@@ -737,6 +841,71 @@ mod tests {
             })
         );
         assert!(parse(&argv("info")).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse_on_solve_and_sweep() {
+        let cli = parse(&argv(
+            "solve mrg --input x.csv --k 5 --fault-seed 42 --max-attempts 5 --degrade on",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(
+                    s.faults,
+                    FaultArgs {
+                        plan_file: None,
+                        fault_seed: Some(42),
+                        max_attempts: Some(5),
+                        degrade: true,
+                    }
+                );
+                assert!(s.faults.is_active());
+            }
+            _ => panic!("expected solve"),
+        }
+        let cli = parse(&argv(
+            "sweep --input a.csv --ks 2 --fault-plan plan.txt --degrade off",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Sweep(s) => {
+                assert_eq!(s.faults.plan_file.as_deref(), Some("plan.txt"));
+                assert_eq!(s.faults.fault_seed, None);
+                assert!(!s.faults.degrade);
+            }
+            _ => panic!("expected sweep"),
+        }
+        // Fault-free by default.
+        let cli = parse(&argv("solve gon --input x.csv --k 2")).unwrap();
+        match cli.command {
+            Command::Solve(s) => assert!(!s.faults.is_active()),
+            _ => panic!("expected solve"),
+        }
+    }
+
+    #[test]
+    fn fault_flags_reject_inconsistent_combinations() {
+        // Plan and seed are mutually exclusive.
+        let err = parse(&argv(
+            "solve mrg --input x.csv --k 5 --fault-plan p.txt --fault-seed 1",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+        // Policy flags need a fault source.
+        assert!(parse(&argv("solve mrg --input x.csv --k 5 --max-attempts 4")).is_err());
+        assert!(parse(&argv("sweep --input a.csv --ks 2 --degrade on")).is_err());
+        // Zero attempts and bad degrade values are named errors.
+        let err = parse(&argv(
+            "solve mrg --input x.csv --k 5 --fault-seed 1 --max-attempts 0",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--max-attempts"));
+        let err = parse(&argv(
+            "solve mrg --input x.csv --k 5 --fault-seed 1 --degrade maybe",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--degrade"));
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! Execution of the parsed CLI commands.
 
 use crate::args::{
-    Cli, Command, GenerateArgs, InfoArgs, SolveArgs, SolverChoice, SweepArgs, SweepBuilderChoice,
-    SweepSource, USAGE,
+    Cli, Command, FaultArgs, GenerateArgs, InfoArgs, SolveArgs, SolverChoice, SweepArgs,
+    SweepBuilderChoice, SweepSource, USAGE,
 };
 use kcenter_core::evaluate::{assign, cluster_sizes};
 use kcenter_core::prelude::*;
 use kcenter_data::csv::{load_points, save_points, CsvOptions};
-use kcenter_mapreduce::{ClusterConfig, JobStats, SimulatedCluster};
+use kcenter_mapreduce::{
+    ClusterConfig, DegradedRun, FaultConfig, FaultPlan, FaultPolicy, JobStats, SimulatedCluster,
+};
 use kcenter_metric::kernel::simd;
 use kcenter_metric::{
     BoundingBox, Euclidean, FlatPoints, KernelBackend, KernelChoice, MetricSpace, PointId,
@@ -135,6 +137,69 @@ fn apply_kernel(flag: Option<KernelChoice>) -> Result<KernelBackend, CommandErro
     Ok(backend)
 }
 
+/// Assembles the [`FaultConfig`] requested by `--fault-plan`/`--fault-seed`
+/// plus the policy flags, or `None` for a fault-free run.  Unreadable or
+/// malformed plan files surface as named errors, not panics.
+fn build_fault_config(args: &FaultArgs) -> Result<Option<FaultConfig>, CommandError> {
+    let plan = if let Some(path) = &args.plan_file {
+        let text = std::fs::read_to_string(path)?;
+        let plan = FaultPlan::parse_text(&text).map_err(|e| {
+            CommandError::Algorithm(KCenterError::InvalidParameter {
+                name: "fault-plan",
+                message: format!("{path}: {e}"),
+            })
+        })?;
+        Some(plan)
+    } else {
+        args.fault_seed.map(FaultPlan::seeded)
+    };
+    let Some(plan) = plan else { return Ok(None) };
+    let policy = match args.max_attempts {
+        Some(attempts) => FaultPolicy::with_max_attempts(attempts),
+        None => FaultPolicy::default(),
+    };
+    Ok(Some(
+        FaultConfig::new(plan)
+            .with_policy(policy)
+            .with_degrade(args.degrade),
+    ))
+}
+
+/// Prints the job's fault accounting next to the round accounting: the
+/// summary line plus every injected/observed event, grouped by round.
+/// Quiet jobs (no faults fired) print nothing.
+fn report_fault_log<W: Write>(stats: &JobStats, out: &mut W) -> Result<(), CommandError> {
+    let summary = stats.fault_summary();
+    if summary.is_quiet() {
+        return Ok(());
+    }
+    writeln!(out, "fault injection: {summary}")?;
+    for round in stats.rounds() {
+        for event in round.faults.events() {
+            writeln!(out, "  round {}: {event}", round.round + 1)?;
+        }
+    }
+    Ok(())
+}
+
+/// Prints the partial-result disclosure of a degraded run: what fraction
+/// of the input the reported radius actually speaks for, and the
+/// provenance of every dropped shard.
+fn report_degraded<W: Write>(degraded: &DegradedRun, out: &mut W) -> Result<(), CommandError> {
+    writeln!(
+        out,
+        "DEGRADED RESULT: certificate covers {} of {} points ({:.1}%); \
+         the radius speaks only for the surviving subset",
+        degraded.covered_points,
+        degraded.total_points,
+        degraded.coverage_fraction() * 100.0,
+    )?;
+    for shard in &degraded.dropped_shards {
+        writeln!(out, "  dropped: {shard}")?;
+    }
+    Ok(())
+}
+
 fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
     let kernel = apply_kernel(args.kernel)?;
     writeln!(out, "kernel backend: {kernel}")?;
@@ -158,25 +223,44 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
         S::NAME
     )?;
 
-    let (centers, radius): (Vec<PointId>, f64) = match args.algorithm {
+    let faults = build_fault_config(&args.faults)?;
+    if faults.is_some()
+        && matches!(
+            args.algorithm,
+            SolverChoice::Gon | SolverChoice::HochbaumShmoys
+        )
+    {
+        return Err(CommandError::Algorithm(KCenterError::InvalidParameter {
+            name: "fault-plan",
+            message: "fault injection targets the MapReduce algorithms; \
+                      use mrg or eim (gon and hs run sequentially)"
+                .into(),
+        }));
+    }
+
+    let (centers, radius, degraded): (Vec<PointId>, f64, Option<DegradedRun>) = match args.algorithm
+    {
         SolverChoice::Gon => {
             let sol = GonzalezConfig::new(args.k)
                 .with_parallel_scan(true)
                 .solve(&space)?;
             writeln!(out, "GON (sequential 2-approximation)")?;
-            (sol.centers, sol.radius)
+            (sol.centers, sol.radius, None)
         }
         SolverChoice::HochbaumShmoys => {
             let sol = HochbaumShmoysConfig::new(args.k).solve(&space)?;
             writeln!(out, "Hochbaum-Shmoys (sequential 2-approximation)")?;
-            (sol.centers, sol.radius)
+            (sol.centers, sol.radius, None)
         }
         SolverChoice::Mrg => {
-            let result = MrgConfig::new(args.k)
+            let mut config = MrgConfig::new(args.k)
                 .with_machines(args.machines)
                 .with_unchecked_capacity()
-                .with_first_center(FirstCenter::Seeded(args.seed))
-                .run(&space)?;
+                .with_first_center(FirstCenter::Seeded(args.seed));
+            if let Some(faults) = faults {
+                config = config.with_faults(faults);
+            }
+            let result = config.run(&space)?;
             writeln!(
                 out,
                 "MRG on {} machines: {} MapReduce rounds, proven factor {}, simulated time {:?}, wall time {:?}",
@@ -197,15 +281,23 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
                     round.simulated_time,
                 )?;
             }
-            (result.solution.centers, result.solution.radius)
+            report_fault_log(&result.stats, out)?;
+            (
+                result.solution.centers,
+                result.solution.radius,
+                result.degraded,
+            )
         }
         SolverChoice::Eim => {
-            let result = EimConfig::new(args.k)
+            let mut config = EimConfig::new(args.k)
                 .with_machines(args.machines)
                 .with_phi(args.phi)
                 .with_epsilon(args.epsilon)
-                .with_seed(args.seed)
-                .run(&space)?;
+                .with_seed(args.seed);
+            if let Some(faults) = faults {
+                config = config.with_faults(faults);
+            }
+            let result = config.run(&space)?;
             writeln!(
                 out,
                 "EIM (phi = {}, epsilon = {}) on {} machines: {} iterations, {} MapReduce rounds, sample size {}{}",
@@ -223,11 +315,25 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
                 result.stats.simulated_time(),
                 result.stats.wall_time()
             )?;
-            (result.solution.centers, result.solution.radius)
+            report_fault_log(&result.stats, out)?;
+            (
+                result.solution.centers,
+                result.solution.radius,
+                result.degraded,
+            )
         }
     };
 
-    writeln!(out, "covering radius (solution value): {radius:.6}")?;
+    match &degraded {
+        None => writeln!(out, "covering radius (solution value): {radius:.6}")?,
+        Some(d) => {
+            writeln!(
+                out,
+                "covering radius over the surviving subset: {radius:.6}"
+            )?;
+            report_degraded(d, out)?;
+        }
+    }
     writeln!(out, "centers (point indices): {centers:?}")?;
 
     if let Some(path) = &args.assignment_out {
@@ -243,11 +349,13 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
             "wrote assignment of {} points to {path}",
             assignment.len()
         )?;
+        // `sizes` has one entry per center and k >= 1 is enforced above,
+        // but degrade to 0 rather than panicking if that ever changes.
         writeln!(
             out,
             "cluster sizes: min {}, max {}",
-            sizes.iter().min().unwrap(),
-            sizes.iter().max().unwrap()
+            sizes.iter().min().copied().unwrap_or(0),
+            sizes.iter().max().copied().unwrap_or(0)
         )?;
     }
     Ok(())
@@ -281,8 +389,16 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
         args.phis.len(),
     )?;
 
-    let k_max = *args.ks.iter().max().expect("--ks is non-empty");
+    // The parser guarantees a non-empty --ks list; surface a named error
+    // instead of panicking if a caller constructs SweepArgs by hand.
+    let k_max = *args.ks.iter().max().ok_or_else(|| {
+        CommandError::Algorithm(KCenterError::InvalidParameter {
+            name: "ks",
+            message: "sweep needs at least one k value".into(),
+        })
+    })?;
     let phi_max = args.phis.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let faults = build_fault_config(&args.faults)?;
 
     // ---- Phase 1: build the coreset exactly once.
     let coreset: WeightedCoreset<Euclidean, S> = match args.builder {
@@ -295,17 +411,25 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
             } else {
                 (20 * k_max).min(space.len()).max(1)
             };
-            GonzalezCoresetConfig::new(t)
+            let mut config = GonzalezCoresetConfig::new(t)
                 .with_machines(args.machines)
-                .with_first_center(FirstCenter::Seeded(args.seed))
-                .build(&space)?
+                .with_first_center(FirstCenter::Seeded(args.seed));
+            if let Some(faults) = faults {
+                config = config.with_faults(faults);
+            }
+            config.build(&space)?
         }
-        SweepBuilderChoice::Eim => EimConfig::new(k_max)
-            .with_machines(args.machines)
-            .with_epsilon(args.epsilon)
-            .with_phi(phi_max)
-            .with_seed(args.seed)
-            .build_coreset(&space)?,
+        SweepBuilderChoice::Eim => {
+            let mut config = EimConfig::new(k_max)
+                .with_machines(args.machines)
+                .with_epsilon(args.epsilon)
+                .with_phi(phi_max)
+                .with_seed(args.seed);
+            if let Some(faults) = faults {
+                config = config.with_faults(faults);
+            }
+            config.build_coreset(&space)?
+        }
     };
     let build_rounds = coreset.stats().num_rounds_labelled("coreset");
     let build_simulated = coreset.stats().simulated_time();
@@ -317,6 +441,19 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
         coreset.total_weight(),
         coreset.construction_radius(),
     )?;
+    if coreset.is_partial() {
+        writeln!(
+            out,
+            "PARTIAL CORESET: certificate covers {} of {} source points ({:.1}%); \
+             all radii below speak only for the surviving subset",
+            coreset.coverage().covered_source_len,
+            coreset.source_len(),
+            coreset.coverage_fraction() * 100.0,
+        )?;
+        for shard in &coreset.coverage().dropped_shards {
+            writeln!(out, "  dropped: {shard}")?;
+        }
+    }
     writeln!(
         out,
         "coreset built once: {build_rounds} MapReduce rounds, simulated {}",
@@ -337,7 +474,9 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
             &mut solve_cluster,
             &format!("sweep solve k={k}"),
         )?;
-        let certified = sol.certify(&space);
+        // For a partial coreset the certificate only speaks for the
+        // surviving points, so certify over exactly that subset.
+        let certified = coreset.certify_covered(&space, &sol);
         per_k.push((k, sol, certified));
     }
     let solve_stats = solve_cluster.into_stats();
@@ -346,10 +485,15 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
 
     // ---- Phase 3: the grid report, with optional per-cell EIM reruns.
     let mut baseline_simulated = Duration::ZERO;
+    let scope = if coreset.is_partial() {
+        " over survivors"
+    } else {
+        ""
+    };
     for (k, sol, certified) in &per_k {
         for &phi in &args.phis {
             let coreset_cell = format!(
-                "k={k:>4} phi={phi:>4}: certified radius {certified:.6} (coreset {:.6}, bound {:.6})",
+                "k={k:>4} phi={phi:>4}: certified radius{scope} {certified:.6} (coreset {:.6}, bound {:.6})",
                 sol.coreset_radius, sol.radius_bound
             );
             if args.baseline {
@@ -407,6 +551,7 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
             format_ms(round.simulated_time),
         )?;
     }
+    report_fault_log(&stats, out)?;
     Ok(())
 }
 
@@ -421,18 +566,22 @@ fn info<W: Write>(args: &InfoArgs, out: &mut W) -> Result<(), CommandError> {
         writeln!(out, "bounding box max: {:?}", bbox.max())?;
     }
     // Cheap diameter estimate: two passes of the farthest-point heuristic.
+    // Both ranges are non-empty under the len >= 2 guard; the `if let`
+    // keeps a future refactor from turning that into a panic.
     if space.len() >= 2 {
-        let far1 = (1..space.len())
-            .max_by(|&a, &b| space.distance(0, a).total_cmp(&space.distance(0, b)))
-            .unwrap();
-        let far2 = (0..space.len())
-            .max_by(|&a, &b| space.distance(far1, a).total_cmp(&space.distance(far1, b)))
-            .unwrap();
-        writeln!(
-            out,
-            "diameter estimate (double sweep): {:.6}",
-            space.distance(far1, far2)
-        )?;
+        if let Some(far1) =
+            (1..space.len()).max_by(|&a, &b| space.distance(0, a).total_cmp(&space.distance(0, b)))
+        {
+            if let Some(far2) = (0..space.len())
+                .max_by(|&a, &b| space.distance(far1, a).total_cmp(&space.distance(far1, b)))
+            {
+                writeln!(
+                    out,
+                    "diameter estimate (double sweep): {:.6}",
+                    space.distance(far1, far2)
+                )?;
+            }
+        }
     }
     Ok(())
 }
@@ -683,5 +832,138 @@ mod tests {
         let err = run_cli(&format!("solve gon --input {csv} --k 0")).unwrap_err();
         assert!(matches!(err, CommandError::Algorithm(KCenterError::ZeroK)));
         std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn faulty_solve_reports_the_log_and_matches_the_fault_free_radius() {
+        let _guard = kernel_lock();
+        let csv = temp_path("faults.csv");
+        run_cli(&format!(
+            "generate gau --n 1200 --k-prime 4 --seed 6 --out {csv}"
+        ))
+        .unwrap();
+        let clean = run_cli(&format!("solve mrg --input {csv} --k 4 --machines 8")).unwrap();
+        let faulty = run_cli(&format!(
+            "solve mrg --input {csv} --k 4 --machines 8 --fault-seed 1234 --max-attempts 64"
+        ))
+        .unwrap();
+        // The fault log is printed next to the round accounting...
+        assert!(faulty.contains("fault injection:"));
+        assert!(faulty.contains("attempts"));
+        // ...and the result is bit-identical to the fault-free run.
+        let tail = |s: &str| -> String {
+            s.lines()
+                .filter(|l| l.starts_with("covering radius") || l.starts_with("centers"))
+                .collect()
+        };
+        assert_eq!(tail(&clean), tail(&faulty));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn fault_plan_files_load_and_degrade_discloses_partial_coverage() {
+        let _guard = kernel_lock();
+        let csv = temp_path("degrade.csv");
+        let plan = temp_path("plan.txt");
+        run_cli(&format!("generate unif --n 1000 --seed 7 --out {csv}")).unwrap();
+        // Machine 2 of round 0 dies on both allowed attempts.
+        std::fs::write(
+            &plan,
+            "# kcenter fault plan v1\n\
+             fault round=0 machine=2 attempt=0 kind=crash\n\
+             fault round=0 machine=2 attempt=1 kind=crash\n",
+        )
+        .unwrap();
+        // Without degrade mode the run fails with shard provenance.
+        let err = run_cli(&format!(
+            "solve mrg --input {csv} --k 3 --machines 10 --fault-plan {plan} --max-attempts 2"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("round 0"));
+        assert!(err.to_string().contains("machine 2"));
+        // With degrade mode the run succeeds and discloses partial coverage.
+        let out = run_cli(&format!(
+            "solve mrg --input {csv} --k 3 --machines 10 --fault-plan {plan} \
+             --max-attempts 2 --degrade on"
+        ))
+        .unwrap();
+        assert!(out.contains("DEGRADED RESULT: certificate covers 900 of 1000 points (90.0%)"));
+        assert!(out.contains("covering radius over the surviving subset"));
+        assert!(out.contains("dropped:"));
+        assert!(!out.contains("covering radius (solution value)"));
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&plan).ok();
+    }
+
+    #[test]
+    fn malformed_fault_plans_and_sequential_solvers_are_named_errors() {
+        let csv = temp_path("badplan.csv");
+        let plan = temp_path("badplan.txt");
+        run_cli(&format!("generate unif --n 50 --seed 8 --out {csv}")).unwrap();
+        std::fs::write(&plan, "fault round=0 machine=zero attempt=0 kind=crash\n").unwrap();
+        let err = run_cli(&format!(
+            "solve mrg --input {csv} --k 2 --fault-plan {plan}"
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CommandError::Algorithm(KCenterError::InvalidParameter {
+                name: "fault-plan",
+                ..
+            })
+        ));
+        // A missing plan file is an I/O error, not a panic.
+        let err = run_cli(&format!(
+            "solve mrg --input {csv} --k 2 --fault-plan /not/there.txt"
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CommandError::Io(_)));
+        // Sequential solvers reject fault injection by name.
+        let err = run_cli(&format!("solve gon --input {csv} --k 2 --fault-seed 1")).unwrap_err();
+        assert!(err.to_string().contains("mrg or eim"));
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&plan).ok();
+    }
+
+    #[test]
+    fn faulty_sweep_logs_faults_and_partial_builds_mark_every_cell() {
+        let _guard = kernel_lock();
+        // Retried-to-success sweep: identical grid radii, visible fault log.
+        let clean = run_cli(
+            "sweep --family gau --n 2000 --k-prime 4 --ks 2,4 --phis 8 --machines 8 \
+             --seed 3 --coreset-size 40 --baseline off",
+        )
+        .unwrap();
+        let faulty = run_cli(
+            "sweep --family gau --n 2000 --k-prime 4 --ks 2,4 --phis 8 --machines 8 \
+             --seed 3 --coreset-size 40 --baseline off --fault-seed 99 --max-attempts 64",
+        )
+        .unwrap();
+        assert!(faulty.contains("fault injection:"));
+        let cells = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains("certified radius"))
+                .map(String::from)
+                .collect()
+        };
+        assert_eq!(cells(&clean), cells(&faulty));
+
+        // Degraded sweep: the build drops a shard and every cell is marked.
+        let plan = temp_path("sweepplan.txt");
+        std::fs::write(
+            &plan,
+            "fault round=0 machine=1 attempt=0 kind=crash\n\
+             fault round=0 machine=1 attempt=1 kind=crash\n",
+        )
+        .unwrap();
+        let out = run_cli(&format!(
+            "sweep --family unif --n 1000 --ks 2 --phis 8 --machines 10 --seed 3 \
+             --coreset-size 30 --baseline off --fault-plan {plan} --max-attempts 2 --degrade on"
+        ))
+        .unwrap();
+        assert!(out.contains("PARTIAL CORESET: certificate covers 900 of 1000 source points"));
+        assert!(out.contains("certified radius over survivors"));
+        assert!(out.contains("dropped:"));
+        std::fs::remove_file(&plan).ok();
     }
 }

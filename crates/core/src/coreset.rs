@@ -64,11 +64,13 @@
 
 use crate::eim::{sampling_phase, EimConfig};
 use crate::error::KCenterError;
-use crate::evaluate::{covering_radius, weighted_covering_radius};
+use crate::evaluate::{covering_radius, covering_radius_subset, weighted_covering_radius};
 use crate::gonzalez::{self, FirstCenter};
 use crate::solution::KCenterSolution;
 use crate::solver::SequentialSolver;
-use kcenter_mapreduce::{partition, ClusterConfig, JobStats, SimulatedCluster};
+use kcenter_mapreduce::{
+    partition, ClusterConfig, DroppedShard, FaultConfig, JobStats, MapReduceError, SimulatedCluster,
+};
 use kcenter_metric::distance::Distance;
 use kcenter_metric::{Euclidean, FlatPoints, MetricSpace, PointId, Scalar, VecSpace};
 use serde::{Deserialize, Serialize};
@@ -94,6 +96,44 @@ impl CoresetBuilder {
     }
 }
 
+/// Coverage provenance of a coreset: which part of the source the
+/// certificate actually speaks for.
+///
+/// A fault-free build covers every source point
+/// ([`CoresetCoverage::is_partial`] is `false`).  A degrade-mode build that
+/// dropped shards records here exactly which source points fell out of the
+/// claim and which shards took them — so the triangle-inequality
+/// certificate is always explicitly a statement about
+/// `covered_source_len` surviving points, never silently about the full
+/// input.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoresetCoverage {
+    /// Number of source points the construction radius certifies.
+    pub covered_source_len: usize,
+    /// Shards dropped by degrade mode during the build (empty when the
+    /// build was fault-free or every retry succeeded).
+    pub dropped_shards: Vec<DroppedShard>,
+    /// Source ids that left the coverage claim with the dropped shards,
+    /// ascending.
+    pub lost_source_ids: Vec<PointId>,
+}
+
+impl CoresetCoverage {
+    /// Full coverage of `source_len` points (the fault-free case).
+    pub fn full(source_len: usize) -> Self {
+        Self {
+            covered_source_len: source_len,
+            dropped_shards: Vec::new(),
+            lost_source_ids: Vec::new(),
+        }
+    }
+
+    /// Whether any source point is missing from the certificate.
+    pub fn is_partial(&self) -> bool {
+        !self.lost_source_ids.is_empty() || !self.dropped_shards.is_empty()
+    }
+}
+
 /// A weighted summary of a metric space: flat SoA rows of the
 /// representatives, a `u64` weight per representative (how many source
 /// points it covers), and provenance/quality metadata — most importantly
@@ -115,6 +155,7 @@ pub struct WeightedCoreset<D: Distance = Euclidean, S: Scalar = f64> {
     builder: CoresetBuilder,
     seed: Option<u64>,
     stats: JobStats,
+    coverage: CoresetCoverage,
 }
 
 impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
@@ -128,13 +169,19 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
         builder: CoresetBuilder,
         seed: Option<u64>,
         stats: JobStats,
+        coverage: CoresetCoverage,
     ) -> Self {
         assert_eq!(space.len(), source_ids.len(), "rows/ids length mismatch");
         assert_eq!(space.len(), weights.len(), "rows/weights length mismatch");
         debug_assert_eq!(
             weights.iter().sum::<u64>(),
-            source_len as u64,
-            "weights must partition the source points"
+            coverage.covered_source_len as u64,
+            "weights must partition the covered source points"
+        );
+        debug_assert_eq!(
+            coverage.covered_source_len + coverage.lost_source_ids.len(),
+            source_len,
+            "covered + lost must account for every source point"
         );
         Self {
             space,
@@ -145,6 +192,7 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
             builder,
             seed,
             stats,
+            coverage,
         }
     }
 
@@ -179,18 +227,72 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
         self.source_len
     }
 
-    /// Total covered weight; always equals [`WeightedCoreset::source_len`]
-    /// for the builders in this module (the weights partition the source).
+    /// Total covered weight; equals [`WeightedCoreset::source_len`] for a
+    /// fault-free build (the weights partition the source) and
+    /// [`CoresetCoverage::covered_source_len`] for a degraded one.
     pub fn total_weight(&self) -> u64 {
         self.weights.iter().sum()
     }
 
     /// The certified construction radius `r_c`: the exact
-    /// (`f64`-accumulated) maximum distance from any source point to its
-    /// nearest representative.  This is the additive slack of the quality
-    /// certificate (module docs).
+    /// (`f64`-accumulated) maximum distance from any **covered** source
+    /// point to its nearest representative.  This is the additive slack of
+    /// the quality certificate (module docs).  For a partial coreset
+    /// ([`WeightedCoreset::is_partial`]) the certificate speaks only for
+    /// the covered subset — never for the points lost with dropped shards.
     pub fn construction_radius(&self) -> f64 {
         self.construction_radius
+    }
+
+    /// Coverage provenance: which source points the certificate speaks for
+    /// and which shards were dropped by degrade mode.
+    pub fn coverage(&self) -> &CoresetCoverage {
+        &self.coverage
+    }
+
+    /// Fraction of the source the certificate covers (`1.0` for a
+    /// fault-free build; `0.0` for an empty source).
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.source_len == 0 {
+            0.0
+        } else {
+            self.coverage.covered_source_len as f64 / self.source_len as f64
+        }
+    }
+
+    /// Whether degrade mode dropped shards during the build, making the
+    /// certificate a statement about a strict subset of the source.
+    pub fn is_partial(&self) -> bool {
+        self.coverage.is_partial()
+    }
+
+    /// The source ids the certificate covers, ascending — the full
+    /// `0..source_len` range minus [`CoresetCoverage::lost_source_ids`].
+    pub fn covered_source_ids(&self) -> Vec<PointId> {
+        if !self.is_partial() {
+            return (0..self.source_len).collect();
+        }
+        let mut lost = vec![false; self.source_len];
+        for &id in &self.coverage.lost_source_ids {
+            lost[id] = true;
+        }
+        (0..self.source_len).filter(|&id| !lost[id]).collect()
+    }
+
+    /// Recomputes the **exact** certified covering radius of `solution`'s
+    /// centers over the covered part of the source space.  For a fault-free
+    /// coreset this is the full-data radius ([`CoresetSolution::certify`]);
+    /// for a partial one it scans only the surviving points, which is the
+    /// honest counterpart of the partial [`CoresetSolution::radius_bound`].
+    pub fn certify_covered<Sp: MetricSpace + ?Sized>(
+        &self,
+        source: &Sp,
+        solution: &CoresetSolution,
+    ) -> f64 {
+        if !self.is_partial() {
+            return covering_radius(source, &solution.centers);
+        }
+        covering_radius_subset(source, &self.covered_source_ids(), &solution.centers)
     }
 
     /// Which builder produced this coreset.
@@ -276,6 +378,7 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
             centers,
             coreset_radius,
             radius_bound: coreset_radius + self.construction_radius,
+            covered_fraction: self.coverage_fraction(),
         }
     }
 }
@@ -309,15 +412,31 @@ pub struct CoresetSolution {
     pub coreset_radius: f64,
     /// The triangle-inequality certificate:
     /// `coreset_radius + construction_radius` is an upper bound on the
-    /// covering radius of [`CoresetSolution::centers`] over the full source
-    /// space — no source scan needed.
+    /// covering radius of [`CoresetSolution::centers`] over the **covered**
+    /// source points — no source scan needed.  When
+    /// [`CoresetSolution::covered_fraction`] is `1.0` that is the full
+    /// source space; for a partial coreset the bound explicitly excludes
+    /// the points lost with dropped shards.
     pub radius_bound: f64,
+    /// Fraction of the source the certificate covers — `1.0` unless the
+    /// coreset was built in degrade mode and dropped shards (see
+    /// [`WeightedCoreset::coverage`]).
+    pub covered_fraction: f64,
 }
 
 impl CoresetSolution {
+    /// Whether the certificate covers only a strict subset of the source
+    /// (the coreset was degraded by dropped shards).
+    pub fn is_partial(&self) -> bool {
+        self.covered_fraction < 1.0
+    }
+
     /// Recomputes the **exact** certified full-data covering radius of the
     /// selected centers over the source space (an `O(n · k)` wide scan).
-    /// Always at most [`CoresetSolution::radius_bound`].
+    /// At most [`CoresetSolution::radius_bound`] when the coreset covered
+    /// the full source; for a partial coreset the bound does not speak for
+    /// the lost points, so use [`WeightedCoreset::certify_covered`]
+    /// instead.
     pub fn certify<Sp: MetricSpace + ?Sized>(&self, source: &Sp) -> f64 {
         covering_radius(source, &self.centers)
     }
@@ -338,7 +457,7 @@ impl CoresetSolution {
 /// certification round in both cases.  All rounds are labelled with the
 /// `"coreset"` prefix so [`JobStats::num_rounds_labelled`] can prove the
 /// build happened exactly once.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GonzalezCoresetConfig {
     /// Number of representatives `t` to keep (the certificate's `r_t`
     /// shrinks as `t` grows).
@@ -351,6 +470,11 @@ pub struct GonzalezCoresetConfig {
     /// inner scan (multi-machine builds already parallelise across
     /// reducers).
     pub parallel_scan: bool,
+    /// Fault injection applied to the build's MapReduce rounds (`None`
+    /// runs fault-free).  With degrade mode enabled, shards that exhaust
+    /// their attempts are dropped and the coreset comes back **partial**
+    /// (see [`WeightedCoreset::coverage`]).
+    pub faults: Option<FaultConfig>,
 }
 
 impl GonzalezCoresetConfig {
@@ -361,6 +485,7 @@ impl GonzalezCoresetConfig {
             machines: 1,
             first_center: FirstCenter::default(),
             parallel_scan: false,
+            faults: None,
         }
     }
 
@@ -380,6 +505,12 @@ impl GonzalezCoresetConfig {
     /// Enables the rayon-parallel inner scan for single-machine builds.
     pub fn with_parallel_scan(mut self, parallel: bool) -> Self {
         self.parallel_scan = parallel;
+        self
+    }
+
+    /// Installs fault injection on the build's simulated cluster.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -415,28 +546,54 @@ impl GonzalezCoresetConfig {
         }
 
         let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(self.machines, n.max(1)));
+        if let Some(faults) = &self.faults {
+            cluster.set_fault_injection(Some(faults.clone()));
+        }
+        let degrade = cluster.degrade_enabled();
+        let mut dropped: Vec<DroppedShard> = Vec::new();
+        let mut lost: Vec<PointId> = Vec::new();
         let scan = self.parallel_scan && self.machines == 1;
         let t = self.t;
         let first = self.first_center;
 
         // Round 1: every reducer builds a local coreset of its partition by
-        // farthest-point traversal (the composable-coreset map side).
+        // farthest-point traversal (the composable-coreset map side).  This
+        // round holds the source data: a shard dropped here takes its
+        // chunk's points out of the coverage claim.
         let ids: Vec<PointId> = (0..n).collect();
         let parts = partition::chunks(&ids, self.machines);
         let label = format!(
             "coreset round 1: local gonzalez (t={t} on {} machines)",
             parts.len()
         );
-        let locals = cluster.run_round(
-            &label,
-            &parts,
-            |_, chunk| gonzalez::select_centers(space, chunk, t, first, scan),
-            Vec::len,
-        )?;
+        let round1_reduce =
+            |_: usize, chunk: &[PointId]| gonzalez::select_centers(space, chunk, t, first, scan);
+        let locals: Vec<Vec<PointId>> = if degrade {
+            let out = cluster.run_round_degradable(&label, &parts, round1_reduce, Vec::len)?;
+            for shard in &out.dropped {
+                lost.extend(parts[shard.machine].iter().copied());
+            }
+            dropped.extend(out.dropped);
+            out.outputs.into_iter().flatten().collect()
+        } else {
+            cluster.run_round(&label, &parts, round1_reduce, Vec::len)?
+        };
 
         // Round 2: one reducer merges the local coresets by re-running the
         // traversal on their union (identity when only one machine ran).
+        // A single-reducer round never degrades: losing it loses the whole
+        // build, so exhaustion fails the job even in degrade mode.
         let union: Vec<PointId> = locals.into_iter().flatten().collect();
+        if union.is_empty() {
+            // Every round-1 shard died: there is nothing to degrade to.
+            let shard = dropped.last().expect("empty round output implies drops");
+            return Err(KCenterError::MapReduce(MapReduceError::RoundFailed {
+                round: shard.round,
+                machine: shard.machine,
+                attempts: shard.attempts,
+                source: shard.cause,
+            }));
+        }
         let reps = cluster.run_single(
             "coreset round 2: merge local coresets",
             union,
@@ -444,16 +601,27 @@ impl GonzalezCoresetConfig {
             Vec::len,
         )?;
 
-        // Round 3: weigh every representative by the source points it
-        // covers and certify the construction radius.
+        // Round 3: weigh every representative by the surviving source
+        // points it covers and certify the construction radius over them.
+        let survivors = surviving_ids(n, &lost);
         let (weights, construction_radius) = weight_and_certify_round(
             &mut cluster,
             space,
             &reps,
+            &survivors,
             self.machines,
             "coreset round 3: weights + certification",
+            degrade,
+            &mut dropped,
+            &mut lost,
         )?;
 
+        lost.sort_unstable();
+        let coverage = CoresetCoverage {
+            covered_source_len: n - lost.len(),
+            dropped_shards: dropped,
+            lost_source_ids: lost,
+        };
         Ok(WeightedCoreset::from_parts(
             gather_rows(space, &reps),
             reps,
@@ -463,6 +631,7 @@ impl GonzalezCoresetConfig {
             CoresetBuilder::Gonzalez,
             None,
             cluster.into_stats(),
+            coverage,
         ))
     }
 }
@@ -483,20 +652,45 @@ impl EimConfig {
     ) -> Result<WeightedCoreset<D, S>, KCenterError> {
         let n = MetricSpace::len(space);
         let (phase, mut cluster) = sampling_phase(self, space, "coreset ")?;
+        let degrade = cluster.degrade_enabled();
+        let mut dropped = phase.dropped;
+        let mut lost = phase.lost;
 
         // The hand-off set C = S ∪ R (disjoint by construction).
         let mut reps: Vec<PointId> = Vec::with_capacity(phase.sample.len() + phase.remaining.len());
         reps.extend(phase.sample.iter().copied());
         reps.extend(phase.remaining.iter().copied());
+        if reps.is_empty() {
+            // Degrade mode lost every shard before anything was sampled:
+            // there is no hand-off set to weigh.
+            let shard = dropped.last().expect("an empty hand-off implies drops");
+            return Err(KCenterError::MapReduce(MapReduceError::RoundFailed {
+                round: shard.round,
+                machine: shard.machine,
+                attempts: shard.attempts,
+                source: shard.cause,
+            }));
+        }
 
+        let survivors = surviving_ids(n, &lost);
         let (weights, construction_radius) = weight_and_certify_round(
             &mut cluster,
             space,
             &reps,
+            &survivors,
             self.machines,
             "coreset final round: weights + certification",
+            degrade,
+            &mut dropped,
+            &mut lost,
         )?;
 
+        lost.sort_unstable();
+        let coverage = CoresetCoverage {
+            covered_source_len: n - lost.len(),
+            dropped_shards: dropped,
+            lost_source_ids: lost,
+        };
         Ok(WeightedCoreset::from_parts(
             gather_rows(space, &reps),
             reps,
@@ -506,6 +700,7 @@ impl EimConfig {
             CoresetBuilder::Eim,
             Some(self.seed),
             cluster.into_stats(),
+            coverage,
         ))
     }
 }
@@ -531,12 +726,33 @@ fn gather_rows<D: Distance + Clone, S: Scalar>(
 /// `coreset.stats().counter(PRUNED_PAIRS_COUNTER)`.
 pub const PRUNED_PAIRS_COUNTER: &str = "weights round pruned pairs";
 
-/// One MapReduce round that assigns every source point to its nearest
-/// representative (comparison space, ties to the smaller representative
-/// position — the [`crate::evaluate::assign`] convention) and certifies the
-/// construction radius with the `wide_cmp_*` (`f64`-accumulating,
-/// max-pruned) discipline.  Returns per-representative weights and the
-/// certified radius.
+/// The ascending source ids not present in `lost` (which need not be
+/// sorted) — the points a degraded build still speaks for.
+fn surviving_ids(n: usize, lost: &[PointId]) -> Vec<PointId> {
+    if lost.is_empty() {
+        return (0..n).collect();
+    }
+    let mut dead = vec![false; n];
+    for &id in lost {
+        dead[id] = true;
+    }
+    (0..n).filter(|&id| !dead[id]).collect()
+}
+
+/// One MapReduce round that assigns every surviving source point (`ids`)
+/// to its nearest representative (comparison space, ties to the smaller
+/// representative position — the [`crate::evaluate::assign`] convention)
+/// and certifies the construction radius with the `wide_cmp_*`
+/// (`f64`-accumulating, max-pruned) discipline.  Returns
+/// per-representative weights and the certified radius.
+///
+/// With `degrade` set the round itself may drop shards: a dropped chunk's
+/// points leave the coverage claim (appended to `lost`, provenance to
+/// `dropped`) — including any representative whose self-weight lived in
+/// that chunk, which then simply carries the weight of its surviving
+/// coverage.  Losing *every* chunk fails the round even in degrade mode:
+/// a coreset with no certified weight is not a degraded result, it is no
+/// result.
 ///
 /// The certification side is **pruned**: the dense version of this round
 /// scanned all `|reps|` representatives twice per point (once for the
@@ -553,49 +769,72 @@ pub const PRUNED_PAIRS_COUNTER: &str = "weights round pruned pairs";
 /// makes EIM-built coresets (where `|reps|` is tens of thousands at large
 /// `k`) cheap to weigh.  The number of pairs skipped this way lands in the
 /// round's [`JobStats`] under [`PRUNED_PAIRS_COUNTER`].
+#[allow(clippy::too_many_arguments)] // crate-private round: shared verbatim by both builders
 fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
     cluster: &mut SimulatedCluster,
     space: &Sp,
     reps: &[PointId],
+    ids: &[PointId],
     machines: usize,
     label: &str,
+    degrade: bool,
+    dropped: &mut Vec<DroppedShard>,
+    lost: &mut Vec<PointId>,
 ) -> Result<(Vec<u64>, f64), KCenterError> {
-    let ids: Vec<PointId> = (0..space.len()).collect();
-    let parts = partition::chunks(&ids, machines);
-    let outputs: Vec<(Vec<u64>, f64, u64)> = cluster.run_round(
-        label,
-        &parts,
-        |_, chunk| {
-            let mut counts = vec![0u64; reps.len()];
-            let mut wide_max = f64::NEG_INFINITY;
-            let mut pruned: u64 = 0;
-            for &x in chunk {
-                let mut best = 0usize;
-                let mut best_d = <Sp::Cmp as Scalar>::INFINITY;
-                for (ri, &r) in reps.iter().enumerate() {
-                    let d = space.cmp_distance(x, r);
-                    if d < best_d {
-                        best_d = d;
-                        best = ri;
-                    }
-                }
-                counts[best] += 1;
-                // wide_min(x) <= wide(x, assigned rep): within the running
-                // max the point cannot raise it — skip the wide scan.
-                let w_assigned = space.wide_cmp_distance(x, reps[best]);
-                if w_assigned <= wide_max {
-                    pruned += reps.len() as u64 - 1;
-                    continue;
-                }
-                let w = space.wide_cmp_distance_to_set_bounded(x, reps, wide_max);
-                if w > wide_max {
-                    wide_max = w;
+    let parts = partition::chunks(ids, machines);
+    let reduce = |_: usize, chunk: &[PointId]| {
+        let mut counts = vec![0u64; reps.len()];
+        let mut wide_max = f64::NEG_INFINITY;
+        let mut pruned: u64 = 0;
+        for &x in chunk {
+            let mut best = 0usize;
+            let mut best_d = <Sp::Cmp as Scalar>::INFINITY;
+            for (ri, &r) in reps.iter().enumerate() {
+                let d = space.cmp_distance(x, r);
+                if d < best_d {
+                    best_d = d;
+                    best = ri;
                 }
             }
-            (counts, wide_max, pruned)
-        },
-        |(counts, _, _)| counts.len(),
-    )?;
+            counts[best] += 1;
+            // wide_min(x) <= wide(x, assigned rep): within the running
+            // max the point cannot raise it — skip the wide scan.
+            let w_assigned = space.wide_cmp_distance(x, reps[best]);
+            if w_assigned <= wide_max {
+                pruned += reps.len() as u64 - 1;
+                continue;
+            }
+            let w = space.wide_cmp_distance_to_set_bounded(x, reps, wide_max);
+            if w > wide_max {
+                wide_max = w;
+            }
+        }
+        (counts, wide_max, pruned)
+    };
+    let count_out = |(counts, _, _): &(Vec<u64>, f64, u64)| counts.len();
+    let outputs: Vec<(Vec<u64>, f64, u64)> = if degrade {
+        let out = cluster.run_round_degradable(label, &parts, reduce, count_out)?;
+        for shard in &out.dropped {
+            lost.extend(parts[shard.machine].iter().copied());
+        }
+        let survived: Vec<(Vec<u64>, f64, u64)> = out.outputs.into_iter().flatten().collect();
+        if survived.is_empty() {
+            let shard = out
+                .dropped
+                .last()
+                .expect("empty round output implies drops");
+            return Err(KCenterError::MapReduce(MapReduceError::RoundFailed {
+                round: shard.round,
+                machine: shard.machine,
+                attempts: shard.attempts,
+                source: shard.cause,
+            }));
+        }
+        dropped.extend(out.dropped);
+        survived
+    } else {
+        cluster.run_round(label, &parts, reduce, count_out)?
+    };
 
     let mut weights = vec![0u64; reps.len()];
     let mut wide_max = f64::NEG_INFINITY;
@@ -934,5 +1173,172 @@ mod tests {
         // The certificate is the exact f64 covering radius of the reps.
         let exact = covering_radius(&space32, a.source_ids());
         assert!((a.construction_radius() - exact).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn fault_free_builds_report_full_coverage() {
+        let space = cloud(1_000, 15);
+        let coreset = GonzalezCoresetConfig::new(32)
+            .with_machines(4)
+            .build(&space)
+            .unwrap();
+        assert!(!coreset.is_partial());
+        assert_eq!(coreset.coverage_fraction(), 1.0);
+        assert_eq!(coreset.coverage().covered_source_len, 1_000);
+        assert!(coreset.coverage().dropped_shards.is_empty());
+        let sol = coreset
+            .solve(4, SequentialSolver::Gonzalez, FirstCenter::default())
+            .unwrap();
+        assert_eq!(sol.covered_fraction, 1.0);
+        assert!(!sol.is_partial());
+        // certify_covered degenerates to the full-data certify.
+        assert_eq!(coreset.certify_covered(&space, &sol), sol.certify(&space));
+    }
+
+    #[test]
+    fn eventually_succeeding_faults_leave_both_builds_bit_identical() {
+        use kcenter_mapreduce::{FaultPlan, FaultPolicy};
+        let space = cloud(2_000, 16);
+        let faults = FaultConfig::new(FaultPlan::seeded(555))
+            .with_policy(FaultPolicy::with_max_attempts(64));
+
+        let clean = GonzalezCoresetConfig::new(64)
+            .with_machines(8)
+            .build(&space)
+            .unwrap();
+        let faulty = GonzalezCoresetConfig::new(64)
+            .with_machines(8)
+            .with_faults(faults.clone())
+            .build(&space)
+            .unwrap();
+        assert_eq!(clean.source_ids(), faulty.source_ids());
+        assert_eq!(clean.weights(), faulty.weights());
+        assert_eq!(clean.construction_radius(), faulty.construction_radius());
+        assert!(!faulty.is_partial());
+        assert!(!faulty.stats().fault_summary().is_quiet());
+
+        let eim = EimConfig::new(2)
+            .with_epsilon(0.13)
+            .with_machines(8)
+            .with_seed(9);
+        let clean = eim.build_coreset(&space).unwrap();
+        let faulty = eim
+            .clone()
+            .with_faults(faults)
+            .build_coreset(&space)
+            .unwrap();
+        assert_eq!(clean.source_ids(), faulty.source_ids());
+        assert_eq!(clean.weights(), faulty.weights());
+        assert_eq!(clean.construction_radius(), faulty.construction_radius());
+        assert!(!faulty.is_partial());
+    }
+
+    #[test]
+    fn degrade_mode_build_reports_partial_coverage_and_partial_certificates() {
+        use kcenter_mapreduce::{FaultKind, FaultPlan, FaultPolicy, ScheduledFault};
+        let space = cloud(2_000, 17);
+        // Machine 2 of the data-holding round 1 dies on all three attempts;
+        // 10 machines x 200 points each.
+        let plan = FaultPlan::explicit(
+            (0..3)
+                .map(|attempt| ScheduledFault {
+                    round: 0,
+                    machine: 2,
+                    attempt,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        );
+        let faults = FaultConfig::new(plan)
+            .with_policy(FaultPolicy::with_max_attempts(3))
+            .with_degrade(true);
+
+        // Without degrade mode the same plan fails the build outright.
+        let err = GonzalezCoresetConfig::new(64)
+            .with_machines(10)
+            .with_faults(faults.clone().with_degrade(false))
+            .build(&space)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KCenterError::MapReduce(MapReduceError::RoundFailed {
+                round: 0,
+                machine: 2,
+                attempts: 3,
+                ..
+            })
+        ));
+
+        let coreset = GonzalezCoresetConfig::new(64)
+            .with_machines(10)
+            .with_faults(faults)
+            .build(&space)
+            .unwrap();
+        assert!(coreset.is_partial());
+        assert_eq!(coreset.coverage().covered_source_len, 1_800);
+        assert_eq!(coreset.coverage_fraction(), 0.9);
+        assert_eq!(coreset.coverage().lost_source_ids.len(), 200);
+        assert_eq!(coreset.coverage().dropped_shards.len(), 1);
+        let shard = &coreset.coverage().dropped_shards[0];
+        assert_eq!((shard.round, shard.machine, shard.items), (0, 2, 200));
+        // Weights partition the survivors, not the full source.
+        assert_eq!(coreset.total_weight(), 1_800);
+        assert_eq!(coreset.source_len(), 2_000);
+        // The lost ids are exactly machine 2's contiguous chunk.
+        let lost = &coreset.coverage().lost_source_ids;
+        assert_eq!(lost[0], 400);
+        assert_eq!(lost[199], 599);
+        assert_eq!(coreset.covered_source_ids().len(), 1_800);
+        assert!(!coreset.covered_source_ids().contains(&450));
+
+        // Solutions inherit the partial coverage, and the partial bound
+        // holds over the surviving subset.
+        let sol = coreset
+            .solve(5, SequentialSolver::Gonzalez, FirstCenter::default())
+            .unwrap();
+        assert!(sol.is_partial());
+        assert_eq!(sol.covered_fraction, 0.9);
+        let covered_radius = coreset.certify_covered(&space, &sol);
+        assert!(
+            covered_radius <= sol.radius_bound + 1e-9,
+            "covered radius {covered_radius} exceeds partial bound {}",
+            sol.radius_bound
+        );
+    }
+
+    #[test]
+    fn degraded_weights_round_drops_its_chunks_points_from_coverage() {
+        use kcenter_mapreduce::{FaultKind, FaultPlan, FaultPolicy, ScheduledFault};
+        let space = cloud(1_500, 18);
+        // Round index 2 is the weights/certification round of the Gonzalez
+        // build (rounds 0 and 1 are local coresets and the merge).
+        let plan = FaultPlan::explicit(
+            (0..2)
+                .map(|attempt| ScheduledFault {
+                    round: 2,
+                    machine: 4,
+                    attempt,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        );
+        let faults = FaultConfig::new(plan)
+            .with_policy(FaultPolicy::with_max_attempts(2))
+            .with_degrade(true);
+        let coreset = GonzalezCoresetConfig::new(48)
+            .with_machines(5)
+            .with_faults(faults)
+            .build(&space)
+            .unwrap();
+        assert!(coreset.is_partial());
+        // 5 machines x 300 points: machine 4's weights chunk is lost.
+        assert_eq!(coreset.coverage().covered_source_len, 1_200);
+        assert_eq!(coreset.total_weight(), 1_200);
+        let shard = &coreset.coverage().dropped_shards[0];
+        assert_eq!((shard.round, shard.machine, shard.items), (2, 4, 300));
+        // The certificate speaks for the survivors and is exact over them.
+        let exact =
+            covering_radius_subset(&space, &coreset.covered_source_ids(), coreset.source_ids());
+        assert!((coreset.construction_radius() - exact).abs() <= 1e-12);
     }
 }

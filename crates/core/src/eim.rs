@@ -33,12 +33,15 @@
 //! paper's observation that round 3 dominates the runtime.
 
 use crate::error::KCenterError;
-use crate::evaluate::covering_radius;
+use crate::evaluate::{covering_radius, covering_radius_subset};
 use crate::gonzalez::FirstCenter;
 use crate::select::{select_pivot, PHI_ORIGINAL};
 use crate::solution::KCenterSolution;
 use crate::solver::SequentialSolver;
-use kcenter_mapreduce::{partition, ClusterConfig, JobStats, SimulatedCluster};
+use kcenter_mapreduce::{
+    partition, ClusterConfig, DegradedRun, DroppedShard, FaultConfig, JobStats, MapReduceError,
+    SimulatedCluster,
+};
 use kcenter_metric::{MetricSpace, PointId, Scalar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,7 +60,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(result.fell_back_to_sequential);
 /// assert_eq!(result.solution.centers.len(), 10);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EimConfig {
     /// Number of centers to select.
     pub k: usize,
@@ -80,6 +83,9 @@ pub struct EimConfig {
     /// if the threshold has not been reached (the paper's fixes make this
     /// unreachable in practice, but a probabilistic loop deserves a bound).
     pub max_iterations: usize,
+    /// Optional deterministic fault injection (plan + retry policy +
+    /// degrade mode) installed on the simulated cluster.
+    pub faults: Option<FaultConfig>,
 }
 
 impl EimConfig {
@@ -95,6 +101,7 @@ impl EimConfig {
             solver: SequentialSolver::Gonzalez,
             first_center: FirstCenter::default(),
             max_iterations: 64,
+            faults: None,
         }
     }
 
@@ -131,6 +138,15 @@ impl EimConfig {
     /// Sets the first-center policy of the final round.
     pub fn with_first_center(mut self, first: FirstCenter) -> Self {
         self.first_center = first;
+        self
+    }
+
+    /// Installs deterministic fault injection on the simulated cluster.
+    /// With `faults.degrade` set, a shard that exhausts its attempts is
+    /// dropped: its points leave the coverage claim and the result carries
+    /// an explicitly partial certificate (see [`EimResult::degraded`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -179,11 +195,14 @@ impl EimConfig {
 
     /// Runs EIM on the given space.
     pub fn run<S: MetricSpace + ?Sized>(&self, space: &S) -> Result<EimResult, KCenterError> {
+        let n = space.len();
         let (phase, mut cluster) = sampling_phase(self, space, "")?;
         let SamplingPhase {
             sample,
             remaining,
             iterations,
+            dropped,
+            lost,
         } = phase;
 
         // Line 10: C <- S ∪ R (disjoint by construction).
@@ -191,8 +210,21 @@ impl EimConfig {
         coreset.extend(sample.iter().copied());
         coreset.extend(remaining.iter().copied());
         let sample_size = coreset.len();
+        if coreset.is_empty() {
+            // Degrade mode lost every point: nothing to degrade to.
+            let shard = dropped.last().expect("an empty hand-off set implies drops");
+            return Err(KCenterError::MapReduce(MapReduceError::RoundFailed {
+                round: shard.round,
+                machine: shard.machine,
+                attempts: shard.attempts,
+                source: shard.cause,
+            }));
+        }
 
         // Final clean-up round: a sequential k-center algorithm on C.
+        // This round never degrades — without its single reducer there is
+        // no solution at all, so an exhausted final round is always an
+        // error, even in degrade mode.
         let solver = self.solver;
         let k = self.k;
         let first = self.first_center;
@@ -203,7 +235,27 @@ impl EimConfig {
             Vec::len,
         )?;
 
-        let radius = covering_radius(space, &centers);
+        // The certificate: a degraded run restates the covering radius over
+        // the surviving points only — never silently over the full input.
+        let radius = if lost.is_empty() {
+            covering_radius(space, &centers)
+        } else {
+            let mut is_lost = vec![false; n];
+            for &p in &lost {
+                is_lost[p] = true;
+            }
+            let survivors: Vec<PointId> = (0..n).filter(|&p| !is_lost[p]).collect();
+            covering_radius_subset(space, &survivors, &centers)
+        };
+        let degraded = if dropped.is_empty() {
+            None
+        } else {
+            Some(DegradedRun {
+                covered_points: n - lost.len(),
+                total_points: n,
+                dropped_shards: dropped,
+            })
+        };
         let solution = KCenterSolution::new(self.k, centers, radius);
         Ok(EimResult {
             solution,
@@ -214,6 +266,7 @@ impl EimConfig {
             phi: self.phi,
             epsilon: self.epsilon,
             stats: cluster.into_stats(),
+            degraded,
         })
     }
 }
@@ -230,6 +283,14 @@ pub(crate) struct SamplingPhase {
     pub remaining: Vec<PointId>,
     /// Iterations of the sampling loop that actually ran.
     pub iterations: usize,
+    /// Shards dropped by degrade mode (empty without faults or drops).
+    pub dropped: Vec<DroppedShard>,
+    /// Source points that left the coverage claim with a dropped shard:
+    /// a round-1 drop loses its whole chunk (those points were neither
+    /// sampled nor filtered), a round-3 drop loses the unsampled part of
+    /// its chunk, and a round-2 (Select) drop loses no points — only the
+    /// pivot, so that iteration simply filters nothing.
+    pub lost: Vec<PointId>,
 }
 
 /// Runs Algorithm 2's sampling loop (three MapReduce rounds per iteration)
@@ -259,6 +320,12 @@ pub(crate) fn sampling_phase<S: MetricSpace + ?Sized>(
     // EIM has no per-machine capacity parameter; partitions are always
     // `⌈|R|/m⌉` points, which the paper's setup comfortably holds.
     let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(config.machines, n.max(1)));
+    if let Some(faults) = &config.faults {
+        cluster.set_fault_injection(Some(faults.clone()));
+    }
+    let degrade = cluster.degrade_enabled();
+    let mut dropped: Vec<DroppedShard> = Vec::new();
+    let mut lost: Vec<PointId> = Vec::new();
 
     // Algorithm 2, line 1: S <- ∅, R <- V.
     let mut sample: Vec<PointId> = Vec::new();
@@ -282,28 +349,51 @@ pub(crate) fn sampling_phase<S: MetricSpace + ?Sized>(
 
         // ---- Round 1 (lines 3-4): independent sampling on every reducer.
         let parts = partition::chunks(&remaining, config.machines);
-        let sampled: Vec<(Vec<PointId>, Vec<PointId>)> = cluster.run_round(
-            &format!(
-                "{label_prefix}EIM iteration {} round 1: sample S and H",
-                iterations + 1
-            ),
-            &parts,
-            |machine, chunk| {
-                let mut rng = StdRng::seed_from_u64(mix_seed(base_seed, machine as u64));
-                let mut s_i = Vec::new();
-                let mut h_i = Vec::new();
-                for &x in chunk {
-                    if rng.gen::<f64>() < p_sample {
-                        s_i.push(x);
-                    }
-                    if rng.gen::<f64>() < p_pivot {
-                        h_i.push(x);
-                    }
+        let round1_label = format!(
+            "{label_prefix}EIM iteration {} round 1: sample S and H",
+            iterations + 1
+        );
+        let round1_reduce = |machine: usize, chunk: &[PointId]| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(base_seed, machine as u64));
+            let mut s_i = Vec::new();
+            let mut h_i = Vec::new();
+            for &x in chunk {
+                if rng.gen::<f64>() < p_sample {
+                    s_i.push(x);
                 }
-                (s_i, h_i)
-            },
-            |(s_i, h_i)| s_i.len() + h_i.len(),
-        )?;
+                if rng.gen::<f64>() < p_pivot {
+                    h_i.push(x);
+                }
+            }
+            (s_i, h_i)
+        };
+        let round1_count = |(s_i, h_i): &(Vec<PointId>, Vec<PointId>)| s_i.len() + h_i.len();
+        let sampled: Vec<(Vec<PointId>, Vec<PointId>)> = if degrade {
+            let out =
+                cluster.run_round_degradable(&round1_label, &parts, round1_reduce, round1_count)?;
+            let mut survived = Vec::new();
+            let mut lost_now: Vec<PointId> = Vec::new();
+            for (i, o) in out.outputs.into_iter().enumerate() {
+                match o {
+                    Some(pair) => survived.push(pair),
+                    // The chunk's points were neither sampled nor filtered:
+                    // they leave both R and the coverage claim.
+                    None => lost_now.extend_from_slice(&parts[i]),
+                }
+            }
+            dropped.extend(out.dropped);
+            if !lost_now.is_empty() {
+                let mut is_lost = vec![false; n];
+                for &x in &lost_now {
+                    is_lost[x] = true;
+                }
+                remaining.retain(|&x| !is_lost[x]);
+                lost.extend(lost_now);
+            }
+            survived
+        } else {
+            cluster.run_round(&round1_label, &parts, round1_reduce, round1_count)?
+        };
 
         // Line 5: S <- S ∪ (∪_i S^i), H <- ∪_i H^i.
         let mut additions: Vec<PointId> = Vec::new();
@@ -323,56 +413,81 @@ pub(crate) fn sampling_phase<S: MetricSpace + ?Sized>(
         let phi = config.phi;
         let additions_ref: &[PointId] = &additions;
         let dist_ref: &[S::Cmp] = &dist_to_sample;
-        let pivot = cluster.run_single(
-            &format!(
-                "{label_prefix}EIM iteration {} round 2: Select(H, S)",
-                iterations + 1
-            ),
-            pivot_candidates,
-            |h| {
-                let with_dist: Vec<(PointId, S::Cmp)> = h
-                    .iter()
-                    .map(|&x| {
-                        (
-                            x,
-                            distance_with_additions(space, x, dist_ref[x], additions_ref),
-                        )
-                    })
-                    .collect();
-                select_pivot(&with_dist, phi, n)
-            },
-            |p| usize::from(p.is_some()),
-        )?;
+        let round2_label = format!(
+            "{label_prefix}EIM iteration {} round 2: Select(H, S)",
+            iterations + 1
+        );
+        let round2_reduce = |h: &[PointId]| {
+            let with_dist: Vec<(PointId, S::Cmp)> = h
+                .iter()
+                .map(|&x| {
+                    (
+                        x,
+                        distance_with_additions(space, x, dist_ref[x], additions_ref),
+                    )
+                })
+                .collect();
+            select_pivot(&with_dist, phi, n)
+        };
+        let round2_count = |p: &Option<(PointId, S::Cmp)>| usize::from(p.is_some());
+        let pivot = if degrade {
+            // A dead Select round loses only the pivot, never any points:
+            // the iteration simply filters nothing beyond the sampled set.
+            let single = vec![pivot_candidates];
+            let mut out = cluster.run_round_degradable(
+                &round2_label,
+                &single,
+                |_, h| round2_reduce(h),
+                round2_count,
+            )?;
+            dropped.extend(out.dropped);
+            out.outputs.pop().unwrap_or(None).flatten()
+        } else {
+            cluster.run_single(&round2_label, pivot_candidates, round2_reduce, round2_count)?
+        };
 
         // ---- Round 3 (lines 7-9): drop points no farther than the pivot.
         let pivot_distance = pivot.map(|(_, d)| d);
         let parts = partition::chunks(&remaining, config.machines);
         let in_sample_ref: &[bool] = &in_sample;
-        let retained: Vec<Vec<(PointId, S::Cmp)>> = cluster.run_round(
-            &format!(
-                "{label_prefix}EIM iteration {} round 3: filter R",
-                iterations + 1
-            ),
-            &parts,
-            |_, chunk| {
-                chunk
-                    .iter()
-                    .filter_map(|&x| {
-                        let d = distance_with_additions(space, x, dist_ref[x], additions_ref);
-                        // Section 4.1 fixes: sampled points always leave R,
-                        // and ties with the pivot distance are removed too.
-                        if in_sample_ref[x] {
-                            return None;
-                        }
-                        match pivot_distance {
-                            Some(vd) if d <= vd => None,
-                            _ => Some((x, d)),
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            },
-            Vec::len,
-        )?;
+        let round3_label = format!(
+            "{label_prefix}EIM iteration {} round 3: filter R",
+            iterations + 1
+        );
+        let round3_reduce = |_: usize, chunk: &[PointId]| {
+            chunk
+                .iter()
+                .filter_map(|&x| {
+                    let d = distance_with_additions(space, x, dist_ref[x], additions_ref);
+                    // Section 4.1 fixes: sampled points always leave R,
+                    // and ties with the pivot distance are removed too.
+                    if in_sample_ref[x] {
+                        return None;
+                    }
+                    match pivot_distance {
+                        Some(vd) if d <= vd => None,
+                        _ => Some((x, d)),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let retained: Vec<Vec<(PointId, S::Cmp)>> = if degrade {
+            let out =
+                cluster.run_round_degradable(&round3_label, &parts, round3_reduce, Vec::len)?;
+            for (i, o) in out.outputs.iter().enumerate() {
+                if o.is_none() {
+                    // The unsampled part of a dead filter chunk is lost:
+                    // those points are unrepresented and leave both R and
+                    // the coverage claim (the sampled part is in S and
+                    // stays covered).
+                    lost.extend(parts[i].iter().copied().filter(|&x| !in_sample_ref[x]));
+                }
+            }
+            dropped.extend(out.dropped);
+            out.outputs.into_iter().flatten().collect()
+        } else {
+            cluster.run_round(&round3_label, &parts, round3_reduce, Vec::len)?
+        };
 
         let mut next_remaining = Vec::with_capacity(remaining.len());
         for part in retained {
@@ -398,6 +513,8 @@ pub(crate) fn sampling_phase<S: MetricSpace + ?Sized>(
             sample,
             remaining,
             iterations,
+            dropped,
+            lost,
         },
         cluster,
     ))
@@ -451,6 +568,12 @@ pub struct EimResult {
     pub epsilon: f64,
     /// Per-round cost accounting.
     pub stats: JobStats,
+    /// `Some` iff degrade mode dropped at least one shard.  The solution's
+    /// radius is then a certificate over `covered_points` surviving points
+    /// only, and the probabilistic 10-approximation guarantee no longer
+    /// applies — the radius is honest (directly measured over the
+    /// survivors) but the a-priori bound is void.
+    pub degraded: Option<DegradedRun>,
 }
 
 #[cfg(test)]
@@ -650,6 +773,57 @@ mod tests {
         assert!(labels[1].contains("round 2"));
         assert!(labels[2].contains("round 3"));
         assert!(labels.last().unwrap().contains("final"));
+    }
+
+    #[test]
+    fn eventually_succeeding_faults_leave_the_result_bit_identical() {
+        use kcenter_mapreduce::{FaultConfig, FaultPlan, FaultPolicy};
+        let space = cloud(4_000, 10);
+        let clean = sampling_config(2).run(&space).unwrap();
+        // Seeded chaos at the default rates with a deep attempt budget:
+        // every partition eventually succeeds, so the solution must be
+        // bit-identical and only the accounting may differ.
+        let faults =
+            FaultConfig::new(FaultPlan::seeded(77)).with_policy(FaultPolicy::with_max_attempts(64));
+        let faulty = sampling_config(2).with_faults(faults).run(&space).unwrap();
+        assert_eq!(faulty.solution, clean.solution);
+        assert_eq!(faulty.iterations, clean.iterations);
+        assert_eq!(faulty.sample_size, clean.sample_size);
+        assert!(faulty.degraded.is_none());
+        assert!(
+            !faulty.stats.fault_summary().is_quiet(),
+            "the seeded plan should have injected something at these rates"
+        );
+    }
+
+    #[test]
+    fn degrade_mode_survives_a_dead_filter_shard_with_partial_coverage() {
+        use kcenter_mapreduce::{FaultConfig, FaultKind, FaultPlan, FaultPolicy, ScheduledFault};
+        let space = cloud(4_000, 11);
+        // Round index 2 is the first iteration's round 3 (filter R): kill
+        // machine 0 there on every attempt.
+        let plan = FaultPlan::explicit(
+            (0..3)
+                .map(|attempt| ScheduledFault {
+                    round: 2,
+                    machine: 0,
+                    attempt,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        );
+        let faults = FaultConfig::new(plan)
+            .with_policy(FaultPolicy::with_max_attempts(3))
+            .with_degrade(true);
+        let result = sampling_config(2).with_faults(faults).run(&space).unwrap();
+        let degraded = result.degraded.expect("the run must be marked degraded");
+        assert_eq!(degraded.total_points, 4_000);
+        assert!(degraded.covered_points < 4_000);
+        assert!(degraded.coverage_fraction() < 1.0);
+        assert_eq!(degraded.dropped_shards.len(), 1);
+        assert_eq!(degraded.dropped_shards[0].round, 2);
+        assert_eq!(result.stats.fault_summary().shards_dropped, 1);
+        assert!(result.solution.radius.is_finite());
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod solution;
 pub mod solver;
 pub mod tightness;
 
-pub use coreset::{CoresetBuilder, CoresetSolution, GonzalezCoresetConfig, WeightedCoreset};
+pub use coreset::{
+    CoresetBuilder, CoresetCoverage, CoresetSolution, GonzalezCoresetConfig, WeightedCoreset,
+};
 pub use eim::{EimConfig, EimResult};
 pub use error::KCenterError;
 pub use gonzalez::{FirstCenter, GonzalezConfig};
@@ -74,7 +76,7 @@ pub use solver::SequentialSolver;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::coreset::{
-        CoresetBuilder, CoresetSolution, GonzalezCoresetConfig, WeightedCoreset,
+        CoresetBuilder, CoresetCoverage, CoresetSolution, GonzalezCoresetConfig, WeightedCoreset,
     };
     pub use crate::eim::{EimConfig, EimResult};
     pub use crate::error::KCenterError;

@@ -13,11 +13,14 @@
 //! factor (Lemma 3).  The runtime is `O(k·n/m + k²·m)` (Section 5.1).
 
 use crate::error::KCenterError;
-use crate::evaluate::covering_radius;
+use crate::evaluate::{covering_radius, covering_radius_subset};
 use crate::gonzalez::FirstCenter;
 use crate::solution::KCenterSolution;
 use crate::solver::SequentialSolver;
-use kcenter_mapreduce::{partition, ClusterConfig, JobStats, SimulatedCluster};
+use kcenter_mapreduce::{
+    partition, ClusterConfig, DegradedRun, DroppedShard, FaultConfig, JobStats, MapReduceError,
+    SimulatedCluster,
+};
 use kcenter_metric::{MetricSpace, PointId};
 use serde::{Deserialize, Serialize};
 
@@ -34,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(result.approximation_factor, 4.0);    // Lemma 2
 /// assert_eq!(result.solution.centers.len(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MrgConfig {
     /// Number of centers to select.
     pub k: usize,
@@ -52,6 +55,9 @@ pub struct MrgConfig {
     pub solver: SequentialSolver,
     /// First-center policy forwarded to the sub-procedure.
     pub first_center: FirstCenter,
+    /// Optional deterministic fault injection (plan + retry policy +
+    /// degrade mode) installed on the simulated cluster.
+    pub faults: Option<FaultConfig>,
 }
 
 impl MrgConfig {
@@ -65,6 +71,7 @@ impl MrgConfig {
             enforce_capacity: true,
             solver: SequentialSolver::Gonzalez,
             first_center: FirstCenter::default(),
+            faults: None,
         }
     }
 
@@ -96,6 +103,15 @@ impl MrgConfig {
     /// Sets the first-center policy of the sub-procedure.
     pub fn with_first_center(mut self, first: FirstCenter) -> Self {
         self.first_center = first;
+        self
+    }
+
+    /// Installs deterministic fault injection on the simulated cluster.
+    /// With `faults.degrade` set, a shard that exhausts its attempts is
+    /// dropped and the run continues on the survivors, reporting an
+    /// explicitly partial certificate (see [`MrgResult::degraded`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -137,6 +153,10 @@ impl MrgConfig {
             SimulatedCluster::unchecked(cluster_config)
         };
         cluster.check_fits(n)?;
+        if let Some(faults) = &self.faults {
+            cluster.set_fault_injection(Some(faults.clone()));
+        }
+        let degrade = cluster.degrade_enabled();
 
         let solver = self.solver;
         let k = self.k;
@@ -145,6 +165,13 @@ impl MrgConfig {
         // Algorithm 1, line 1: S <- V.
         let mut sample: Vec<PointId> = (0..n).collect();
         let mut reduction_rounds = 0usize;
+        // Degrade-mode bookkeeping: provenance of every dropped shard, and
+        // the source points that left coverage with a round-0 shard (later
+        // rounds hold only candidate centers, so dropping them loses no
+        // source coverage — the final radius is measured directly either
+        // way).
+        let mut dropped: Vec<DroppedShard> = Vec::new();
+        let mut lost: Vec<PointId> = Vec::new();
 
         // Lines 2-5: while |S| > c, reduce in parallel.
         while sample.len() > capacity {
@@ -164,13 +191,42 @@ impl MrgConfig {
                 solver.name(),
                 parts.len()
             );
-            let outputs = cluster.run_round(
-                &label,
-                &parts,
-                |_, part| solver.select_centers(space, part, k, first),
-                Vec::len,
-            )?;
-            let next: Vec<PointId> = outputs.into_iter().flatten().collect();
+            let next: Vec<PointId> = if degrade {
+                let out = cluster.run_round_degradable(
+                    &label,
+                    &parts,
+                    |_, part| solver.select_centers(space, part, k, first),
+                    Vec::len,
+                )?;
+                for (i, o) in out.outputs.iter().enumerate() {
+                    if o.is_none() && reduction_rounds == 0 {
+                        // Round 0 partitions hold source data: those points
+                        // leave the coverage claim with the shard.
+                        lost.extend_from_slice(&parts[i]);
+                    }
+                }
+                dropped.extend(out.dropped);
+                let next: Vec<PointId> = out.outputs.into_iter().flatten().flatten().collect();
+                if next.is_empty() {
+                    // Every shard died: there is nothing to degrade to.
+                    let shard = dropped.last().expect("empty round output implies drops");
+                    return Err(KCenterError::MapReduce(MapReduceError::RoundFailed {
+                        round: shard.round,
+                        machine: shard.machine,
+                        attempts: shard.attempts,
+                        source: shard.cause,
+                    }));
+                }
+                next
+            } else {
+                let outputs = cluster.run_round(
+                    &label,
+                    &parts,
+                    |_, part| solver.select_centers(space, part, k, first),
+                    Vec::len,
+                )?;
+                outputs.into_iter().flatten().collect()
+            };
             if next.len() >= sample.len() {
                 // k is too close to the capacity: the sample no longer
                 // shrinks (the situation discussed after Lemma 3).
@@ -192,7 +248,28 @@ impl MrgConfig {
             Vec::len,
         )?;
 
-        let radius = covering_radius(space, &centers);
+        // The certificate: a directly measured covering radius.  A degraded
+        // run restates it over the surviving points only — never silently
+        // over the full input.
+        let radius = if lost.is_empty() {
+            covering_radius(space, &centers)
+        } else {
+            let mut is_lost = vec![false; n];
+            for &p in &lost {
+                is_lost[p] = true;
+            }
+            let survivors: Vec<PointId> = (0..n).filter(|&p| !is_lost[p]).collect();
+            covering_radius_subset(space, &survivors, &centers)
+        };
+        let degraded = if dropped.is_empty() {
+            None
+        } else {
+            Some(DegradedRun {
+                covered_points: n - lost.len(),
+                total_points: n,
+                dropped_shards: dropped,
+            })
+        };
         let solution = KCenterSolution::new(self.k, centers, radius);
         let stats = cluster.into_stats();
         Ok(MrgResult {
@@ -202,6 +279,7 @@ impl MrgConfig {
             approximation_factor: 2.0 * (reduction_rounds as f64 + 1.0),
             capacity,
             stats,
+            degraded,
         })
     }
 }
@@ -224,6 +302,12 @@ pub struct MrgResult {
     /// Per-round cost accounting (the paper's simulated time plus wall
     /// clock).
     pub stats: JobStats,
+    /// `Some` iff degrade mode dropped at least one shard.  The solution's
+    /// radius is then a certificate over `covered_points` surviving points
+    /// only, and the Lemma 2/3 approximation factor no longer applies —
+    /// the radius is honest (directly measured over the survivors) but the
+    /// a-priori guarantee is void.
+    pub degraded: Option<DegradedRun>,
 }
 
 #[cfg(test)]
@@ -416,6 +500,104 @@ mod tests {
             MrgConfig::new(2).with_capacity(7).effective_capacity(1_000),
             7
         );
+    }
+
+    #[test]
+    fn eventually_succeeding_faults_leave_the_result_bit_identical() {
+        use kcenter_mapreduce::{FaultKind, FaultPlan, FaultPolicy, ScheduledFault};
+        let space = cloud(2_000, 11);
+        let clean = MrgConfig::new(5).with_machines(10).run(&space).unwrap();
+        // Crash two different reducers on their first attempt and straggle
+        // a third: every partition still succeeds within 3 attempts.
+        let plan = FaultPlan::explicit(vec![
+            ScheduledFault {
+                round: 0,
+                machine: 2,
+                attempt: 0,
+                kind: FaultKind::Crash,
+            },
+            ScheduledFault {
+                round: 0,
+                machine: 7,
+                attempt: 0,
+                kind: FaultKind::Corrupt,
+            },
+            ScheduledFault {
+                round: 0,
+                machine: 4,
+                attempt: 0,
+                kind: FaultKind::Straggle { factor: 5.0 },
+            },
+        ]);
+        let faulty = MrgConfig::new(5)
+            .with_machines(10)
+            .with_faults(FaultConfig::new(plan).with_policy(FaultPolicy::with_max_attempts(3)))
+            .run(&space)
+            .unwrap();
+        assert_eq!(faulty.solution.centers, clean.solution.centers);
+        assert_eq!(faulty.solution.radius, clean.solution.radius);
+        assert!(faulty.degraded.is_none());
+        let summary = faulty.stats.fault_summary();
+        assert_eq!(summary.crashes, 1);
+        assert_eq!(summary.rejections, 1);
+        assert_eq!(summary.stragglers, 1);
+        assert_eq!(summary.retries, 2);
+    }
+
+    #[test]
+    fn degrade_mode_drops_a_dead_shard_and_reports_partial_coverage() {
+        use kcenter_mapreduce::{FaultKind, FaultPlan, FaultPolicy, ScheduledFault};
+        let space = cloud(2_000, 12);
+        // Machine 3 dies on every attempt of round 0.
+        let plan = FaultPlan::explicit(
+            (0..3)
+                .map(|attempt| ScheduledFault {
+                    round: 0,
+                    machine: 3,
+                    attempt,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        );
+        let faults = FaultConfig::new(plan)
+            .with_policy(FaultPolicy::with_max_attempts(3))
+            .with_degrade(true);
+        let result = MrgConfig::new(5)
+            .with_machines(10)
+            .with_faults(faults.clone())
+            .run(&space)
+            .unwrap();
+        let degraded = result.degraded.expect("the run must be marked degraded");
+        // 10 machines over 2,000 points: the dead shard held 200 points.
+        assert_eq!(degraded.total_points, 2_000);
+        assert_eq!(degraded.covered_points, 1_800);
+        assert!((degraded.coverage_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(degraded.dropped_shards.len(), 1);
+        assert_eq!(degraded.dropped_shards[0].machine, 3);
+        assert_eq!(degraded.dropped_shards[0].items, 200);
+        assert_eq!(result.stats.fault_summary().shards_dropped, 1);
+        // The radius is a true certificate over the survivors.
+        assert!(result.solution.radius.is_finite());
+
+        // Without degrade mode the same plan fails the run with provenance.
+        let err = MrgConfig::new(5)
+            .with_machines(10)
+            .with_faults(faults.with_degrade(false))
+            .run(&space)
+            .unwrap_err();
+        match err {
+            KCenterError::MapReduce(MapReduceError::RoundFailed {
+                round,
+                machine,
+                attempts,
+                ..
+            }) => {
+                assert_eq!(round, 0);
+                assert_eq!(machine, 3);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected RoundFailed, got {other:?}"),
+        }
     }
 
     #[test]

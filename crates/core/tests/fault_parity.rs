@@ -1,0 +1,180 @@
+//! Fault-tolerance parity properties.
+//!
+//! The fault layer's central promise: as long as every partition
+//! eventually succeeds within its attempt budget, retries, stragglers and
+//! speculation must not change a single bit of any driver's output — the
+//! determinism tuple stays `(seed, precision, kernel)`, never "and the
+//! fault schedule".  These tests drive random seeded fault plans through
+//! MRG, EIM and both coreset builders and demand bit-identical results,
+//! plus pin the degrade-mode contract: a run that drops shards must say
+//! exactly which fraction of the input its certificate still covers.
+
+use kcenter_core::prelude::*;
+use kcenter_mapreduce::{
+    FaultConfig, FaultKind, FaultPlan, FaultPolicy, FaultRates, ScheduledFault,
+};
+use kcenter_metric::{Point, VecSpace};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random cloud of `n` points in a 100x100 square.
+fn cloud(n: usize, seed: u64) -> VecSpace {
+    VecSpace::new(
+        (0..n)
+            .map(|i| {
+                let v = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xD129_0DDB_53C4_3E49);
+                let x = (v % 10_000) as f64 / 100.0;
+                let y = ((v >> 20) % 10_000) as f64 / 100.0;
+                Point::xy(x, y)
+            })
+            .collect(),
+    )
+}
+
+/// A random seeded fault plan whose 64-attempt budget makes eventual
+/// success overwhelmingly certain (per-attempt failure stays below 45%,
+/// so a shard failing all attempts has probability under 0.45^64).
+fn chaotic_faults() -> impl Strategy<Value = FaultConfig> {
+    (
+        any::<u64>(),
+        0.0f64..0.3,
+        0.0f64..0.3,
+        0.0f64..0.15,
+        1.0f64..8.0,
+    )
+        .prop_map(|(seed, crash, straggle, corrupt, straggle_factor)| {
+            let rates = FaultRates {
+                crash,
+                straggle,
+                corrupt,
+                straggle_factor,
+            };
+            FaultConfig::new(FaultPlan::seeded_with_rates(seed, rates))
+                .with_policy(FaultPolicy::with_max_attempts(64))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mrg_output_is_bit_identical_under_survivable_faults(faults in chaotic_faults()) {
+        let space = cloud(800, 41);
+        let clean = MrgConfig::new(6).with_machines(8).run(&space).unwrap();
+        let faulty = MrgConfig::new(6)
+            .with_machines(8)
+            .with_faults(faults)
+            .run(&space)
+            .unwrap();
+        prop_assert_eq!(&clean.solution.centers, &faulty.solution.centers);
+        prop_assert_eq!(clean.solution.radius, faulty.solution.radius);
+        prop_assert_eq!(clean.mapreduce_rounds, faulty.mapreduce_rounds);
+        prop_assert!(faulty.degraded.is_none());
+    }
+
+    #[test]
+    fn eim_output_is_bit_identical_under_survivable_faults(faults in chaotic_faults()) {
+        let space = cloud(800, 42);
+        let config = EimConfig::new(3).with_machines(6).with_epsilon(0.13).with_seed(7);
+        let clean = config.run(&space).unwrap();
+        let faulty = config.clone().with_faults(faults).run(&space).unwrap();
+        prop_assert_eq!(&clean.solution.centers, &faulty.solution.centers);
+        prop_assert_eq!(clean.solution.radius, faulty.solution.radius);
+        prop_assert_eq!(clean.iterations, faulty.iterations);
+        prop_assert_eq!(clean.sample_size, faulty.sample_size);
+        prop_assert!(faulty.degraded.is_none());
+    }
+
+    #[test]
+    fn coreset_builds_and_solves_are_bit_identical_under_survivable_faults(
+        faults in chaotic_faults()
+    ) {
+        let space = cloud(800, 43);
+
+        let clean = GonzalezCoresetConfig::new(48).with_machines(6).build(&space).unwrap();
+        let faulty = GonzalezCoresetConfig::new(48)
+            .with_machines(6)
+            .with_faults(faults.clone())
+            .build(&space)
+            .unwrap();
+        prop_assert_eq!(clean.source_ids(), faulty.source_ids());
+        prop_assert_eq!(clean.weights(), faulty.weights());
+        prop_assert_eq!(clean.construction_radius(), faulty.construction_radius());
+        prop_assert!(!faulty.is_partial());
+        // The certified sweep cells downstream match bit-for-bit too.
+        let solver = SequentialSolver::Gonzalez;
+        let a = clean.solve(4, solver, FirstCenter::default()).unwrap();
+        let b = faulty.solve(4, solver, FirstCenter::default()).unwrap();
+        prop_assert_eq!(a, b);
+
+        let config = EimConfig::new(3).with_machines(6).with_epsilon(0.13).with_seed(7);
+        let clean = config.build_coreset(&space).unwrap();
+        let faulty = config.clone().with_faults(faults).build_coreset(&space).unwrap();
+        prop_assert_eq!(clean.source_ids(), faulty.source_ids());
+        prop_assert_eq!(clean.weights(), faulty.weights());
+        prop_assert_eq!(clean.construction_radius(), faulty.construction_radius());
+        prop_assert!(!faulty.is_partial());
+    }
+}
+
+/// Degrade mode pins the partial-certificate contract exactly: known dead
+/// shard, known coverage fraction, radius restated over the survivors.
+#[test]
+fn degraded_coreset_pins_its_coverage_fraction_and_provenance() {
+    let space = cloud(2_000, 44);
+    // Machine 7 of the data-holding round 0 dies on every attempt; the
+    // other nine shards (200 points each) survive.
+    let plan = FaultPlan::explicit(
+        (0..3)
+            .map(|attempt| ScheduledFault {
+                round: 0,
+                machine: 7,
+                attempt,
+                kind: FaultKind::Crash,
+            })
+            .collect(),
+    );
+    let faults = FaultConfig::new(plan)
+        .with_policy(FaultPolicy::with_max_attempts(3))
+        .with_degrade(true);
+
+    let coreset = GonzalezCoresetConfig::new(64)
+        .with_machines(10)
+        .with_faults(faults.clone())
+        .build(&space)
+        .unwrap();
+    assert!(coreset.is_partial());
+    assert_eq!(coreset.coverage().covered_source_len, 1_800);
+    assert_eq!(coreset.coverage_fraction(), 0.9);
+    assert_eq!(coreset.total_weight(), 1_800);
+    let shard = &coreset.coverage().dropped_shards[0];
+    assert_eq!(
+        (shard.round, shard.machine, shard.attempts, shard.items),
+        (0, 7, 3, 200)
+    );
+    // The lost ids are exactly machine 7's chunk, and solutions inherit
+    // the partial coverage instead of claiming the full input.
+    assert_eq!(coreset.coverage().lost_source_ids.len(), 200);
+    assert_eq!(coreset.coverage().lost_source_ids[0], 1_400);
+    let sol = coreset
+        .solve(5, SequentialSolver::Gonzalez, FirstCenter::default())
+        .unwrap();
+    assert!(sol.is_partial());
+    assert_eq!(sol.covered_fraction, 0.9);
+    let covered = coreset.certify_covered(&space, &sol);
+    assert!(covered <= sol.radius_bound + 1e-9);
+
+    // The same plan degrades MRG with the same disclosure.
+    let result = MrgConfig::new(5)
+        .with_machines(10)
+        .with_faults(faults)
+        .run(&space)
+        .unwrap();
+    let degraded = result.degraded.expect("MRG run must be marked degraded");
+    assert_eq!(degraded.covered_points, 1_800);
+    assert_eq!(degraded.total_points, 2_000);
+    assert_eq!(degraded.coverage_fraction(), 0.9);
+    assert_eq!(degraded.dropped_shards.len(), 1);
+}

@@ -131,7 +131,11 @@ fn eim_coresets_are_deterministic_per_seed_and_precision() {
         seed: u64,
     ) -> (Vec<usize>, Vec<u64>, f64) {
         let space: VecSpace<Euclidean, S> = VecSpace::from_flat(spec.generate_flat_at::<S>(1));
-        let coreset = config.with_seed(seed).build_coreset(&space).unwrap();
+        let coreset = config
+            .clone()
+            .with_seed(seed)
+            .build_coreset(&space)
+            .unwrap();
         (
             coreset.source_ids().to_vec(),
             coreset.weights().to_vec(),

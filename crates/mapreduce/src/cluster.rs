@@ -1,8 +1,13 @@
 //! The simulated cluster: parallel reducer execution with the paper's
-//! per-round cost accounting.
+//! per-round cost accounting, plus optional deterministic fault injection
+//! with retry, backoff, straggler speculation and degrade-mode shard drops
+//! (see the [`crate::faults`] module docs for the determinism contract).
 
 use crate::config::ClusterConfig;
 use crate::error::MapReduceError;
+use crate::faults::{
+    DroppedShard, FaultCause, FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPolicy,
+};
 use crate::stats::{JobStats, RoundStats};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -16,10 +21,64 @@ use std::time::{Duration, Instant};
 /// The accumulated [`JobStats`] additionally record the fully sequential
 /// cost (`Σ_i t_i`) and the real wall-clock time so all three views can be
 /// reported.
+///
+/// With [`SimulatedCluster::with_fault_injection`], every reducer execution
+/// first consults a fault plan: crashed or corrupt attempts lose their
+/// output and the failed partitions are re-executed (in ascending partition
+/// order, up to the policy's attempt budget, with simulated backoff charged
+/// between attempts); straggling attempts keep their output but are charged
+/// a multiple of their time, and may race a speculative copy.  Because
+/// reducers are pure functions of their partitions, a round in which every
+/// partition eventually succeeds returns outputs bit-identical to the
+/// fault-free round — only the accounting differs.
 pub struct SimulatedCluster {
     config: ClusterConfig,
     stats: JobStats,
     enforce_capacity: bool,
+    faults: Option<FaultConfig>,
+}
+
+/// The outputs of a degradable round: one `Some(output)` per surviving
+/// partition, `None` for each shard that exhausted its attempts, plus the
+/// provenance of every dropped shard.
+#[derive(Debug)]
+pub struct DegradableOutputs<R> {
+    /// `outputs[i]` is reducer `i`'s result, or `None` if its shard died.
+    pub outputs: Vec<Option<R>>,
+    /// Provenance of the dropped shards, ascending machine order.
+    pub dropped: Vec<DroppedShard>,
+}
+
+/// An optional per-machine output validator: `(machine, output) -> ok`.
+/// Rejected outputs count as corrupt and send the shard back for retry.
+type OutputValidator<'a, R> = Option<&'a (dyn Fn(usize, &R) -> bool + Sync)>;
+
+/// The result of one reducer execution attempt, before retry logic.
+struct AttemptOutcome<R> {
+    /// The surviving output (`None` if the attempt crashed or its output
+    /// was rejected).
+    output: Option<R>,
+    /// Time charged to the simulated machine for this attempt (slowdown
+    /// included, backoff not).
+    charged: Duration,
+    /// Real execution time (what a sequential simulation would pay).
+    work: Duration,
+    /// Cause of failure when `output` is `None`.
+    cause: Option<FaultCause>,
+    /// Events to log, machine-local order.
+    events: Vec<FaultEvent>,
+}
+
+/// Per-machine execution state across retry waves.
+struct MachineRun<R> {
+    output: Option<R>,
+    /// Simulated completion time: execution time of every attempt plus all
+    /// charged backoff.
+    charged: Duration,
+    /// Total real execution time across attempts (no backoff).
+    work: Duration,
+    attempts: usize,
+    cause: Option<FaultCause>,
 }
 
 impl SimulatedCluster {
@@ -30,6 +89,7 @@ impl SimulatedCluster {
             config,
             stats: JobStats::new(),
             enforce_capacity: true,
+            faults: None,
         }
     }
 
@@ -42,7 +102,30 @@ impl SimulatedCluster {
             config,
             stats: JobStats::new(),
             enforce_capacity: false,
+            faults: None,
         }
+    }
+
+    /// Enables fault injection: every subsequent reducer execution consults
+    /// `faults.plan`, and failures are handled per `faults.policy`.
+    pub fn with_fault_injection(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Installs (or clears) the fault configuration on an existing cluster.
+    pub fn set_fault_injection(&mut self, faults: Option<FaultConfig>) {
+        self.faults = faults;
+    }
+
+    /// The active fault configuration, if any.
+    pub fn fault_injection(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref()
+    }
+
+    /// Whether the active fault configuration allows degrade mode.
+    pub fn degrade_enabled(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.degrade)
     }
 
     /// The cluster configuration.
@@ -79,6 +162,8 @@ impl SimulatedCluster {
     ///   than machines.
     /// * [`MapReduceError::CapacityExceeded`] if any partition exceeds the
     ///   per-machine capacity (only when capacity is enforced).
+    /// * [`MapReduceError::RoundFailed`] if fault injection is active and a
+    ///   partition fails every attempt the policy allows.
     pub fn run_round<T, R, F, C>(
         &mut self,
         label: &str,
@@ -86,6 +171,102 @@ impl SimulatedCluster {
         reduce: F,
         count_out: C,
     ) -> Result<Vec<R>, MapReduceError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+        C: Fn(&R) -> usize,
+    {
+        let out = self.run_round_impl(label, partitions, &reduce, &count_out, None, false)?;
+        out.outputs
+            .into_iter()
+            .map(|o| {
+                o.ok_or(MapReduceError::MissingOutput {
+                    label: label.to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`SimulatedCluster::run_round`], with a per-round output
+    /// validator: `validate(i, &output)` returning `false` rejects reducer
+    /// `i`'s output as corrupt, which counts as a failed attempt and
+    /// triggers a retry.  Injected [`FaultKind::Corrupt`] faults are
+    /// detected the same way (modelling a checksum the validator embodies).
+    pub fn run_round_validated<T, R, F, C, V>(
+        &mut self,
+        label: &str,
+        partitions: &[Vec<T>],
+        reduce: F,
+        count_out: C,
+        validate: V,
+    ) -> Result<Vec<R>, MapReduceError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+        C: Fn(&R) -> usize,
+        V: Fn(usize, &R) -> bool + Sync,
+    {
+        let out = self.run_round_impl(
+            label,
+            partitions,
+            &reduce,
+            &count_out,
+            Some(&validate),
+            false,
+        )?;
+        out.outputs
+            .into_iter()
+            .map(|o| {
+                o.ok_or(MapReduceError::MissingOutput {
+                    label: label.to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Executes a round that is allowed to **degrade**: a partition that
+    /// exhausts its attempt budget is dropped instead of failing the round,
+    /// and the caller receives `None` in its slot plus a [`DroppedShard`]
+    /// provenance record.  The caller owns the semantic consequences — any
+    /// certificate it reports must be restated over the surviving items.
+    ///
+    /// Without fault injection this behaves exactly like
+    /// [`SimulatedCluster::run_round`] (every slot `Some`, no drops).
+    pub fn run_round_degradable<T, R, F, C>(
+        &mut self,
+        label: &str,
+        partitions: &[Vec<T>],
+        reduce: F,
+        count_out: C,
+    ) -> Result<DegradableOutputs<R>, MapReduceError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+        C: Fn(&R) -> usize,
+    {
+        self.run_round_impl(label, partitions, &reduce, &count_out, None, true)
+    }
+
+    /// The round engine behind the public `run_round*` entry points.
+    ///
+    /// Executes attempt waves: wave 0 runs every partition in parallel;
+    /// each further wave re-runs the still-failed partitions (ascending
+    /// partition index) until they succeed, exhaust the policy's attempt
+    /// budget, or — when `degrade` is false — fail the round.  Straggler
+    /// speculation runs after the waves, racing a speculative copy against
+    /// each over-median machine on the simulated clock.
+    fn run_round_impl<T, R, F, C>(
+        &mut self,
+        label: &str,
+        partitions: &[Vec<T>],
+        reduce: &F,
+        count_out: &C,
+        validate: OutputValidator<'_, R>,
+        degrade: bool,
+    ) -> Result<DegradableOutputs<R>, MapReduceError>
     where
         T: Sync,
         R: Send,
@@ -113,29 +294,194 @@ impl SimulatedCluster {
             }
         }
 
+        // The round index fault plans address: the next index this
+        // cluster's `JobStats::push` will assign.
+        let round = self.stats.num_rounds();
+        let policy = self
+            .faults
+            .as_ref()
+            .map(|f| f.policy)
+            .unwrap_or_else(|| FaultPolicy {
+                max_attempts: 1,
+                ..FaultPolicy::default()
+            });
+        let plan = self.faults.as_ref().map(|f| &f.plan);
+
         let wall_start = Instant::now();
-        // Run every reducer in parallel, timing each one individually: the
-        // per-reducer time is the "simulated machine" processing time.
-        let timed: Vec<(R, Duration)> = partitions
+        let mut log = FaultLog::new();
+
+        // Wave 0: every partition in parallel, each reducer timed
+        // individually — the per-reducer time is the "simulated machine"
+        // processing time.
+        let outcomes: Vec<AttemptOutcome<R>> = partitions
             .par_iter()
             .enumerate()
-            .map(|(i, part)| {
-                let start = Instant::now();
-                let out = reduce(i, part);
-                (out, start.elapsed())
-            })
+            .map(|(i, part)| execute_attempt(i, 0, part, reduce, plan, validate, round))
             .collect();
+        let mut runs: Vec<MachineRun<R>> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            for e in &outcome.events {
+                log.push(e.clone());
+            }
+            runs.push(MachineRun {
+                output: outcome.output,
+                charged: outcome.charged,
+                work: outcome.work,
+                attempts: 1,
+                cause: outcome.cause,
+            });
+        }
+
+        // Retry waves: failed partitions only, ascending partition index,
+        // so a run in which every partition eventually succeeds yields
+        // outputs bit-identical to the fault-free round.
+        loop {
+            let pending: Vec<(usize, usize)> = runs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.output.is_none() && r.attempts < policy.max_attempts)
+                .map(|(i, r)| (i, r.attempts))
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let retried: Vec<(usize, usize, Duration, AttemptOutcome<R>)> = pending
+                .par_iter()
+                .map(|&(i, attempt)| {
+                    let backoff = policy.backoff.delay(attempt);
+                    let outcome =
+                        execute_attempt(i, attempt, &partitions[i], reduce, plan, validate, round);
+                    (i, attempt, backoff, outcome)
+                })
+                .collect();
+            for (i, attempt, backoff, outcome) in retried {
+                log.push(FaultEvent::Retried {
+                    machine: i,
+                    attempt,
+                    backoff,
+                });
+                for e in &outcome.events {
+                    log.push(e.clone());
+                }
+                let run = &mut runs[i];
+                run.charged += backoff + outcome.charged;
+                run.work += outcome.work;
+                run.attempts += 1;
+                run.output = outcome.output;
+                run.cause = outcome.cause;
+            }
+        }
+
+        // Straggler speculation: machines whose charged completion time
+        // exceeds `threshold ×` the round median (over completed machines)
+        // race a speculative copy launched at the median mark.  Reducers
+        // are pure, so both racers produce the same bits; only the clock
+        // and the log depend on who wins, and the original wins ties.
+        if let Some(spec) = policy.speculation {
+            let mut completed: Vec<Duration> = runs
+                .iter()
+                .filter(|r| r.output.is_some())
+                .map(|r| r.charged)
+                .collect();
+            if completed.len() >= 2 {
+                completed.sort_unstable();
+                let median = completed[completed.len() / 2];
+                let cutoff = median.mul_f64(spec.threshold.max(1.0));
+                let candidates: Vec<(usize, usize)> = runs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.output.is_some() && r.charged > cutoff)
+                    .map(|(i, r)| (i, r.attempts))
+                    .collect();
+                let raced: Vec<(usize, usize, AttemptOutcome<R>)> = candidates
+                    .par_iter()
+                    .map(|&(i, attempt)| {
+                        (
+                            i,
+                            attempt,
+                            execute_attempt(
+                                i,
+                                attempt,
+                                &partitions[i],
+                                reduce,
+                                plan,
+                                validate,
+                                round,
+                            ),
+                        )
+                    })
+                    .collect();
+                for (i, attempt, outcome) in raced {
+                    log.push(FaultEvent::SpeculationLaunched {
+                        machine: i,
+                        attempt,
+                    });
+                    for e in &outcome.events {
+                        log.push(e.clone());
+                    }
+                    let run = &mut runs[i];
+                    run.attempts += 1;
+                    run.work += outcome.work;
+                    if outcome.output.is_some() {
+                        // The copy starts when the straggler is detected
+                        // (the median mark) and finishes `charged` later.
+                        let spec_completion = median + outcome.charged;
+                        if spec_completion < run.charged {
+                            run.charged = spec_completion;
+                            run.output = outcome.output;
+                            log.push(FaultEvent::SpeculationWon {
+                                machine: i,
+                                attempt,
+                            });
+                        }
+                    }
+                }
+            }
+        }
         let wall_time = wall_start.elapsed();
 
-        let simulated_time = timed.iter().map(|(_, t)| *t).max().unwrap_or_default();
-        let sequential_time = timed.iter().map(|(_, t)| *t).sum();
+        // Dead shards: degrade drops them with provenance, otherwise the
+        // round fails on the first one.
+        let mut dropped = Vec::new();
+        for (i, run) in runs.iter().enumerate() {
+            if run.output.is_none() {
+                let cause = run.cause.unwrap_or(FaultCause::Crashed);
+                if !degrade {
+                    return Err(MapReduceError::RoundFailed {
+                        round,
+                        machine: i,
+                        attempts: run.attempts,
+                        source: cause,
+                    });
+                }
+                log.push(FaultEvent::ShardDropped {
+                    machine: i,
+                    attempts: run.attempts,
+                    items: partitions[i].len(),
+                });
+                dropped.push(DroppedShard {
+                    round,
+                    machine: i,
+                    attempts: run.attempts,
+                    items: partitions[i].len(),
+                    cause,
+                });
+            }
+        }
+
+        // The paper's charged time: the slowest machine's completion time.
+        // Failed machines kept the round waiting through every attempt, so
+        // their charged time participates too.
+        let simulated_time = runs.iter().map(|r| r.charged).max().unwrap_or_default();
+        let sequential_time = runs.iter().map(|r| r.work).sum();
+        let attempts = runs.iter().map(|r| r.attempts).sum();
         let items_in: usize = partitions.iter().map(Vec::len).sum();
         let max_machine_items = partitions.iter().map(Vec::len).max().unwrap_or(0);
-        let outputs: Vec<R> = timed.into_iter().map(|(r, _)| r).collect();
-        let items_out: usize = outputs.iter().map(&count_out).sum();
+        let outputs: Vec<Option<R>> = runs.into_iter().map(|r| r.output).collect();
+        let items_out: usize = outputs.iter().flatten().map(count_out).sum();
 
         self.stats.push(RoundStats {
-            round: 0,
+            round,
             label: label.to_string(),
             machines_used: partitions.len(),
             items_in,
@@ -145,8 +491,10 @@ impl SimulatedCluster {
             sequential_time,
             wall_time,
             counters: Vec::new(),
+            attempts,
+            faults: log,
         });
-        Ok(outputs)
+        Ok(DegradableOutputs { outputs, dropped })
     }
 
     /// Attaches (or accumulates into) a named work counter on the round
@@ -164,6 +512,12 @@ impl SimulatedCluster {
     /// Executes a round whose input all goes to a **single** reducer — the
     /// final aggregation step of MRG and EIM ("the mapper sends all points
     /// in S to a single reducer").
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SimulatedCluster::run_round`] can raise, plus
+    /// [`MapReduceError::MissingOutput`] if the substrate invariant of one
+    /// output per partition is ever violated.
     pub fn run_single<T, R, F, C>(
         &mut self,
         label: &str,
@@ -179,9 +533,9 @@ impl SimulatedCluster {
     {
         let partitions = vec![items];
         let mut out = self.run_round(label, &partitions, |_, part| reduce(part), count_out)?;
-        Ok(out
-            .pop()
-            .expect("single-reducer round returns exactly one output"))
+        out.pop().ok_or(MapReduceError::MissingOutput {
+            label: label.to_string(),
+        })
     }
 
     /// Checks that `n` items fit in the cluster at all.
@@ -196,9 +550,83 @@ impl SimulatedCluster {
     }
 }
 
+/// Runs one reducer execution: times the pure reduce, applies the planned
+/// fault for `(round, machine, attempt)`, and validates the output.
+fn execute_attempt<T, R, F>(
+    machine: usize,
+    attempt: usize,
+    part: &[T],
+    reduce: &F,
+    plan: Option<&crate::faults::FaultPlan>,
+    validate: OutputValidator<'_, R>,
+    round: usize,
+) -> AttemptOutcome<R>
+where
+    F: Fn(usize, &[T]) -> R,
+{
+    let start = Instant::now();
+    let out = reduce(machine, part);
+    let work = start.elapsed();
+    let fault = plan.and_then(|p| p.fault_for(round, machine, attempt));
+
+    let mut events = Vec::new();
+    let (output, charged, cause) = match fault {
+        Some(FaultKind::Crash) => {
+            events.push(FaultEvent::Crashed { machine, attempt });
+            (None, work, Some(FaultCause::Crashed))
+        }
+        Some(FaultKind::Corrupt) => {
+            events.push(FaultEvent::Rejected {
+                machine,
+                attempt,
+                cause: FaultCause::CorruptOutput,
+            });
+            (None, work, Some(FaultCause::CorruptOutput))
+        }
+        Some(FaultKind::Straggle { factor }) => {
+            events.push(FaultEvent::Straggled {
+                machine,
+                attempt,
+                factor,
+            });
+            let charged = work.mul_f64(factor.max(0.0));
+            match validate {
+                Some(v) if !v(machine, &out) => {
+                    events.push(FaultEvent::Rejected {
+                        machine,
+                        attempt,
+                        cause: FaultCause::ValidationFailed,
+                    });
+                    (None, charged, Some(FaultCause::ValidationFailed))
+                }
+                _ => (Some(out), charged, None),
+            }
+        }
+        None => match validate {
+            Some(v) if !v(machine, &out) => {
+                events.push(FaultEvent::Rejected {
+                    machine,
+                    attempt,
+                    cause: FaultCause::ValidationFailed,
+                });
+                (None, work, Some(FaultCause::ValidationFailed))
+            }
+            _ => (Some(out), work, None),
+        },
+    };
+    AttemptOutcome {
+        output,
+        charged,
+        work,
+        cause,
+        events,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, ScheduledFault};
     use crate::partition;
 
     fn config(machines: usize, capacity: usize) -> ClusterConfig {
@@ -221,6 +649,8 @@ mod tests {
         assert_eq!(r.items_out, 3);
         assert_eq!(r.machines_used, 3);
         assert_eq!(r.label, "sum");
+        assert_eq!(r.attempts, 3);
+        assert!(r.faults.is_empty());
     }
 
     #[test]
@@ -347,5 +777,242 @@ mod tests {
         let parts = vec![vec![0u8], vec![0u8], vec![0u8]];
         let ids = cluster.run_round("ids", &parts, |i, _| i, |_| 0).unwrap();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_index_matches_job_position() {
+        let mut cluster = SimulatedCluster::new(config(2, 10));
+        for _ in 0..3 {
+            cluster
+                .run_round("r", &[vec![1u8]], |_, xs| xs.len(), |_| 0)
+                .unwrap();
+        }
+        let rounds = cluster.stats().rounds();
+        assert_eq!(rounds[0].round, 0);
+        assert_eq!(rounds[1].round, 1);
+        assert_eq!(rounds[2].round, 2);
+    }
+
+    #[test]
+    fn crashed_reducer_is_retried_and_the_round_succeeds() {
+        let plan = FaultPlan::explicit(vec![ScheduledFault {
+            round: 0,
+            machine: 1,
+            attempt: 0,
+            kind: FaultKind::Crash,
+        }]);
+        let mut cluster =
+            SimulatedCluster::new(config(4, 100)).with_fault_injection(FaultConfig::new(plan));
+        let parts: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4], vec![5]];
+        let sums = cluster
+            .run_round("sum", &parts, |_, xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        assert_eq!(sums, vec![3, 7, 5]);
+        let r = &cluster.stats().rounds()[0];
+        assert_eq!(r.attempts, 4);
+        assert_eq!(r.faults.crashes(), 1);
+        assert_eq!(r.faults.retries(), 1);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_round_with_provenance() {
+        let plan = FaultPlan::explicit(
+            (0..2)
+                .map(|attempt| ScheduledFault {
+                    round: 0,
+                    machine: 0,
+                    attempt,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        );
+        let faults = FaultConfig::new(plan).with_policy(FaultPolicy::with_max_attempts(2));
+        let mut cluster = SimulatedCluster::new(config(2, 100)).with_fault_injection(faults);
+        let err = cluster
+            .run_round("sum", &[vec![1u64]], |_, xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MapReduceError::RoundFailed {
+                round: 0,
+                machine: 0,
+                attempts: 2,
+                source: FaultCause::Crashed,
+            }
+        );
+    }
+
+    #[test]
+    fn degradable_round_drops_dead_shards_and_keeps_survivors() {
+        let plan = FaultPlan::explicit(
+            (0..3)
+                .map(|attempt| ScheduledFault {
+                    round: 0,
+                    machine: 1,
+                    attempt,
+                    kind: FaultKind::Corrupt,
+                })
+                .collect(),
+        );
+        let mut cluster =
+            SimulatedCluster::new(config(4, 100)).with_fault_injection(FaultConfig::new(plan));
+        let parts: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4, 5], vec![6]];
+        let out = cluster
+            .run_round_degradable("sum", &parts, |_, xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        assert_eq!(out.outputs[0], Some(3));
+        assert_eq!(out.outputs[1], None);
+        assert_eq!(out.outputs[2], Some(6));
+        assert_eq!(out.dropped.len(), 1);
+        let shard = &out.dropped[0];
+        assert_eq!(shard.machine, 1);
+        assert_eq!(shard.items, 3);
+        assert_eq!(shard.attempts, 3);
+        assert_eq!(shard.cause, FaultCause::CorruptOutput);
+        let r = &cluster.stats().rounds()[0];
+        assert_eq!(r.faults.shards_dropped(), 1);
+        assert_eq!(r.faults.rejections(), 3);
+        // Shuffle accounting only counts surviving outputs.
+        assert_eq!(r.items_out, 2);
+    }
+
+    #[test]
+    fn straggle_inflates_charged_time_but_keeps_output() {
+        let plan = FaultPlan::explicit(vec![ScheduledFault {
+            round: 0,
+            machine: 0,
+            attempt: 0,
+            kind: FaultKind::Straggle { factor: 100.0 },
+        }]);
+        let mut cluster =
+            SimulatedCluster::new(config(2, 100_000)).with_fault_injection(FaultConfig::new(plan));
+        let items: Vec<u64> = (0..40_000).collect();
+        let parts = partition::chunks(&items, 2);
+        let sums = cluster
+            .run_round(
+                "busy",
+                &parts,
+                |_, xs| xs.iter().map(|x| x.wrapping_mul(2654435761)).sum::<u64>(),
+                |_| 1,
+            )
+            .unwrap();
+        assert_eq!(sums.len(), 2);
+        let r = &cluster.stats().rounds()[0];
+        assert_eq!(r.faults.stragglers(), 1);
+        // The straggler's inflated time dominates the charged round time
+        // but not the sequential (real work) time.
+        assert!(r.simulated_time > r.sequential_time);
+    }
+
+    #[test]
+    fn backoff_is_charged_into_simulated_time() {
+        let plan = FaultPlan::explicit(vec![ScheduledFault {
+            round: 0,
+            machine: 0,
+            attempt: 0,
+            kind: FaultKind::Crash,
+        }]);
+        let policy = FaultPolicy {
+            max_attempts: 3,
+            backoff: crate::faults::Backoff {
+                base: Duration::from_secs(60),
+                exponential: false,
+            },
+            speculation: None,
+        };
+        let mut cluster = SimulatedCluster::new(config(2, 100))
+            .with_fault_injection(FaultConfig::new(plan).with_policy(policy));
+        cluster
+            .run_round("sum", &[vec![1u64]], |_, xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        let r = &cluster.stats().rounds()[0];
+        // One retry with a 60 s fixed backoff: the charged time must
+        // include it, the real work time must not.
+        assert!(r.simulated_time >= Duration::from_secs(60));
+        assert!(r.sequential_time < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn validator_rejection_triggers_retry_and_then_failure() {
+        // No injected faults at all: the validator itself rejects machine
+        // 0's output every time.
+        let faults = FaultConfig::new(FaultPlan::explicit(vec![]))
+            .with_policy(FaultPolicy::with_max_attempts(2));
+        let mut cluster = SimulatedCluster::new(config(2, 100)).with_fault_injection(faults);
+        let err = cluster
+            .run_round_validated(
+                "sum",
+                &[vec![1u64], vec![2u64]],
+                |_, xs| xs.iter().sum::<u64>(),
+                |_| 1,
+                |i, _| i != 0,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MapReduceError::RoundFailed {
+                round: 0,
+                machine: 0,
+                attempts: 2,
+                source: FaultCause::ValidationFailed,
+            }
+        );
+    }
+
+    #[test]
+    fn speculation_races_the_straggler_and_charges_the_winner() {
+        // Machine 0 straggles enormously on every attempt it runs directly,
+        // but the speculative copy (attempt 1) is clean.
+        let plan = FaultPlan::explicit(vec![ScheduledFault {
+            round: 0,
+            machine: 0,
+            attempt: 0,
+            kind: FaultKind::Straggle { factor: 1000.0 },
+        }]);
+        let policy = FaultPolicy {
+            max_attempts: 3,
+            backoff: crate::faults::Backoff::NONE,
+            speculation: Some(crate::faults::Speculation { threshold: 2.0 }),
+        };
+        let mut cluster = SimulatedCluster::new(config(4, 100_000))
+            .with_fault_injection(FaultConfig::new(plan).with_policy(policy));
+        let items: Vec<u64> = (0..80_000).collect();
+        let parts = partition::chunks(&items, 4);
+        let sums = cluster
+            .run_round(
+                "busy",
+                &parts,
+                |_, xs| xs.iter().map(|x| x.wrapping_mul(2654435761)).sum::<u64>(),
+                |_| 1,
+            )
+            .unwrap();
+        // Outputs are bit-identical regardless of who won the race.
+        let expected: Vec<u64> = parts
+            .iter()
+            .map(|xs| xs.iter().map(|x| x.wrapping_mul(2654435761)).sum::<u64>())
+            .collect();
+        assert_eq!(sums, expected);
+        let r = &cluster.stats().rounds()[0];
+        assert_eq!(r.faults.speculations_launched(), 1);
+        // With a 1000x straggler the clean copy must win the race.
+        assert_eq!(r.faults.speculations_won(), 1);
+    }
+
+    #[test]
+    fn seeded_chaos_with_enough_attempts_reproduces_fault_free_outputs() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let parts = partition::chunks(&items, 8);
+        let reduce = |_: usize, xs: &[u64]| xs.iter().map(|x| x.wrapping_mul(31)).sum::<u64>();
+
+        let mut clean = SimulatedCluster::new(config(8, 10_000));
+        let clean_out = clean.run_round("sum", &parts, reduce, |_| 1).unwrap();
+
+        // Default seeded rates with a deep attempt budget: every partition
+        // succeeds eventually, outputs must match bit-for-bit.
+        let faults = FaultConfig::new(FaultPlan::seeded(1234))
+            .with_policy(FaultPolicy::with_max_attempts(64));
+        let mut chaotic = SimulatedCluster::new(config(8, 10_000)).with_fault_injection(faults);
+        let chaotic_out = chaotic.run_round("sum", &parts, reduce, |_| 1).unwrap();
+        assert_eq!(clean_out, chaotic_out);
     }
 }

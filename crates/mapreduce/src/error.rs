@@ -1,5 +1,6 @@
 //! Error types for the simulated MapReduce substrate.
 
+use crate::faults::FaultCause;
 use std::fmt;
 
 /// Errors raised by the simulated cluster.
@@ -30,6 +31,26 @@ pub enum MapReduceError {
     },
     /// A round was started with no input partitions.
     EmptyRound,
+    /// A reducer exhausted its attempt budget under fault injection and the
+    /// round was not allowed to degrade.  `source` (also exposed through
+    /// [`std::error::Error::source`]) says how the final attempt died.
+    RoundFailed {
+        /// 0-based round index within the cluster's job.
+        round: usize,
+        /// The machine whose partition could not be completed.
+        machine: usize,
+        /// Number of attempts that were made.
+        attempts: usize,
+        /// The failure cause of the final attempt.
+        source: FaultCause,
+    },
+    /// A round produced a different number of outputs than partitions — a
+    /// substrate invariant violation (e.g. a single-reducer round that did
+    /// not return exactly one output).
+    MissingOutput {
+        /// Label of the offending round.
+        label: String,
+    },
 }
 
 impl fmt::Display for MapReduceError {
@@ -60,11 +81,31 @@ impl fmt::Display for MapReduceError {
             MapReduceError::EmptyRound => {
                 write!(f, "a MapReduce round needs at least one partition")
             }
+            MapReduceError::RoundFailed {
+                round,
+                machine,
+                attempts,
+                source,
+            } => write!(
+                f,
+                "round {round} failed: machine {machine} exhausted {attempts} attempts ({source})"
+            ),
+            MapReduceError::MissingOutput { label } => write!(
+                f,
+                "round {label:?} did not produce one output per partition"
+            ),
         }
     }
 }
 
-impl std::error::Error for MapReduceError {}
+impl std::error::Error for MapReduceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapReduceError::RoundFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -95,6 +136,34 @@ mod tests {
         assert!(MapReduceError::EmptyRound
             .to_string()
             .contains("at least one"));
+
+        let e = MapReduceError::RoundFailed {
+            round: 2,
+            machine: 4,
+            attempts: 3,
+            source: FaultCause::Crashed,
+        };
+        let s = e.to_string();
+        assert!(s.contains('2') && s.contains('4') && s.contains('3') && s.contains("crashed"));
+
+        let e = MapReduceError::MissingOutput {
+            label: "final".to_string(),
+        };
+        assert!(e.to_string().contains("final"));
+    }
+
+    #[test]
+    fn round_failed_carries_its_cause_as_source() {
+        use std::error::Error;
+        let e = MapReduceError::RoundFailed {
+            round: 0,
+            machine: 1,
+            attempts: 3,
+            source: FaultCause::CorruptOutput,
+        };
+        let source = e.source().expect("RoundFailed must expose a source");
+        assert!(source.to_string().contains("corrupt"));
+        assert!(MapReduceError::EmptyRound.source().is_none());
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   (simulated time, wall time, items processed and shuffled) so the bench
 //!   harness can report both the paper's metric and real elapsed time;
 //! * capacity violations surface as [`MapReduceError`] instead of silently
-//!   producing results a real cluster could not have produced.
+//!   producing results a real cluster could not have produced;
+//! * [`faults`] adds deterministic fault injection on top: a reproducible
+//!   [`FaultPlan`] can crash reducers, slow them down, or corrupt their
+//!   output, and the cluster retries, speculates, and — when the caller
+//!   opts in — degrades gracefully, with every event accounted in the
+//!   round statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +36,15 @@
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod partition;
 pub mod stats;
 
-pub use cluster::SimulatedCluster;
+pub use cluster::{DegradableOutputs, SimulatedCluster};
 pub use config::ClusterConfig;
 pub use error::MapReduceError;
+pub use faults::{
+    Backoff, DegradedRun, DroppedShard, FaultCause, FaultConfig, FaultKind, FaultLog, FaultPlan,
+    FaultPolicy, FaultRates, FaultSummary, ScheduledFault, Speculation,
+};
 pub use stats::{JobStats, RoundStats};

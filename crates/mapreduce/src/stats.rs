@@ -6,6 +6,7 @@
 //! the parallel execution, plus item counts so shuffle volume can be
 //! inspected even though it is not charged.
 
+use crate::faults::{FaultLog, FaultSummary};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -38,6 +39,12 @@ pub struct RoundStats {
     /// pairs its early-exit certification pruned.  Empty for rounds that
     /// report nothing.
     pub counters: Vec<(String, u64)>,
+    /// Total reducer executions in the round, including retries and
+    /// speculative copies (equals `machines_used` in a fault-free round).
+    pub attempts: usize,
+    /// What the fault-injection machinery did during the round (empty when
+    /// nothing fault-related happened).
+    pub faults: FaultLog,
 }
 
 impl RoundStats {
@@ -47,6 +54,11 @@ impl RoundStats {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Number of re-executions after failed attempts in this round.
+    pub fn retries(&self) -> usize {
+        self.faults.retries()
     }
 }
 
@@ -63,6 +75,12 @@ impl JobStats {
     }
 
     /// Appends a finished round.
+    ///
+    /// The round is renumbered to its position in *this* job: `extend`
+    /// relies on that when sub-job rounds are merged, and the cluster stamps
+    /// the same index on the stats it pushes (a cluster's job and its stats
+    /// agree on indices, so `RoundStats::round` always matches the round
+    /// index fault plans address).
     pub fn push(&mut self, mut round: RoundStats) {
         round.round = self.rounds.len();
         self.rounds.push(round);
@@ -139,6 +157,24 @@ impl JobStats {
         self.rounds.iter().filter_map(|r| r.counter(name)).sum()
     }
 
+    /// Fault-accounting totals over all rounds: attempts, retries, crashes,
+    /// stragglers, speculation and dropped shards.  All-zero (apart from
+    /// `attempts == Σ machines_used`) for a fault-free job.
+    pub fn fault_summary(&self) -> FaultSummary {
+        let mut s = FaultSummary::default();
+        for r in &self.rounds {
+            s.attempts += r.attempts;
+            s.retries += r.faults.retries();
+            s.crashes += r.faults.crashes();
+            s.rejections += r.faults.rejections();
+            s.stragglers += r.faults.stragglers();
+            s.speculations_launched += r.faults.speculations_launched();
+            s.speculations_won += r.faults.speculations_won();
+            s.shards_dropped += r.faults.shards_dropped();
+        }
+        s
+    }
+
     /// Attaches (or accumulates into) a named counter on the most recently
     /// executed round.
     ///
@@ -173,6 +209,8 @@ mod tests {
             sequential_time: Duration::from_millis(seq_ms),
             wall_time: Duration::from_millis(sim_ms + 1),
             counters: Vec::new(),
+            attempts: 4,
+            faults: FaultLog::new(),
         }
     }
 
@@ -252,6 +290,32 @@ mod tests {
     #[should_panic(expected = "at least one recorded round")]
     fn record_counter_needs_a_round() {
         JobStats::new().record_counter("x", 1);
+    }
+
+    #[test]
+    fn fault_summary_totals_over_rounds() {
+        use crate::faults::FaultEvent;
+        let mut job = JobStats::new();
+        let mut r = round("a", 10, 10, 100);
+        r.attempts = 6;
+        r.faults.push(FaultEvent::Crashed {
+            machine: 1,
+            attempt: 0,
+        });
+        r.faults.push(FaultEvent::Retried {
+            machine: 1,
+            attempt: 1,
+            backoff: Duration::from_millis(10),
+        });
+        job.push(r);
+        job.push(round("b", 5, 5, 50));
+        let s = job.fault_summary();
+        assert_eq!(s.attempts, 10);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.stragglers, 0);
+        assert!(!s.is_quiet());
+        assert_eq!(job.rounds()[0].retries(), 1);
     }
 
     #[test]
