@@ -7,7 +7,10 @@
 //! produces the committed `BENCH_flat.json` from the same scan code.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use kcenter_bench::flatbench::{flat_iteration_under, flat_par_iteration, old_iteration};
+use kcenter_bench::flatbench::{
+    clustered_flat, dense_assign_scan, dense_relax_rounds, flat_iteration_under,
+    flat_par_iteration, gonzalez_centers, grid_assign_scan, grid_relax_rounds, old_iteration,
+};
 use kcenter_core::coreset::GonzalezCoresetConfig;
 use kcenter_core::prelude::*;
 use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
@@ -87,6 +90,57 @@ fn bench_nearest_center_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Grid-vs-dense assignment arms (`--assign`) at reduced scale: the
+/// k-round relax loop and the k-candidate assignment scan, dense flat
+/// kernels vs the spatial grid, across the bucketing dimension range.
+/// `flat_report` measures the same arms at n = 1M and derives the
+/// `AssignChoice::Auto` crossover recorded in `BENCH_flat.json`.
+fn bench_assignment_arms(c: &mut Criterion) {
+    let simd_kernel = KernelChoice::from_env()
+        .and_then(KernelChoice::resolve)
+        .expect("KCENTER_KERNEL resolves");
+    simd::set_active(simd_kernel).unwrap();
+    let n = 200_000;
+    let k = 50;
+    let mut group = c.benchmark_group("flat/assignment_arms");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &dim in &[2usize, 4, 8, 16] {
+        let space = VecSpace::from_flat(clustered_flat::<f64>(n, dim, 25, 42));
+        let members: Vec<usize> = (0..n).collect();
+        let centers = gonzalez_centers(&space, k);
+        let label = format!("n{n}_d{dim}_k{k}");
+
+        group.bench_with_input(BenchmarkId::new("relax_dense", &label), &n, |b, _| {
+            let mut nearest = vec![f64::INFINITY; n];
+            b.iter(|| {
+                nearest.fill(f64::INFINITY);
+                black_box(dense_relax_rounds(&space, &centers, &mut nearest))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("relax_grid", &label), &n, |b, _| {
+            let mut nearest = vec![f64::INFINITY; n];
+            b.iter(|| {
+                nearest.fill(f64::INFINITY);
+                black_box(
+                    grid_relax_rounds(&space, &members, &centers, &mut nearest)
+                        .expect("clustered instance buckets fine"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("assign_dense", &label), &n, |b, _| {
+            b.iter(|| black_box(dense_assign_scan(&space, &centers)))
+        });
+        group.bench_with_input(BenchmarkId::new("assign_grid", &label), &n, |b, _| {
+            b.iter(|| {
+                black_box(grid_assign_scan(&space, &centers).expect("center set buckets fine"))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The sweep amortisation at reduced scale: one grid cell solved on a
 /// prebuilt weighted coreset vs a from-scratch EIM rerun on the full data.
 /// The build cost itself is measured separately so all three components of
@@ -141,5 +195,10 @@ fn bench_sweep_via_coreset(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nearest_center_scan, bench_sweep_via_coreset);
+criterion_group!(
+    benches,
+    bench_nearest_center_scan,
+    bench_assignment_arms,
+    bench_sweep_via_coreset
+);
 criterion_main!(benches);

@@ -15,6 +15,7 @@
 //!   `f32`; the scan is DRAM-bound at n = 1M, so the halved bytes of the
 //!   `f32` rows are the measurement that justifies the precision mode).
 
+use kcenter_metric::grid::{GridRelaxer, SpatialGrid, NEAREST_OCCUPANCY};
 use kcenter_metric::kernel::{self, simd};
 use kcenter_metric::{
     Distance, Euclidean, FlatPoints, KernelBackend, MetricSpace, Point, Scalar, VecSpace,
@@ -121,6 +122,123 @@ pub fn flat_iteration_under<S: Scalar>(
     space.relax_all_max(center, nearest)
 }
 
+/// Deterministic clustered workload for the grid-vs-dense assignment
+/// benchmark: `k_prime` cluster centres uniform in `[0, side]^dim`, each
+/// point a uniform offset of at most `side / 50` around its (round-robin)
+/// centre.  Clustered data is the regime the paper's GAU/UNB workloads
+/// live in and the one where spatial bucketing pays: most grid cells are
+/// empty and the member bboxes are tight.
+pub fn clustered_flat<S: Scalar>(n: usize, dim: usize, k_prime: usize, seed: u64) -> FlatPoints<S> {
+    let side = 1000.0;
+    let spread = side / 50.0;
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    let mut next_f64 = move || {
+        // SplitMix64 to a uniform in [0, 1).
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as f64 / (u64::MAX as f64 + 1.0)
+    };
+    let centres: Vec<f64> = (0..k_prime * dim).map(|_| next_f64() * side).collect();
+    let mut coords: Vec<S> = Vec::with_capacity(n * dim);
+    for p in 0..n {
+        let c = (p % k_prime) * dim;
+        for i in 0..dim {
+            coords.push(S::from_f64(centres[c + i] + (next_f64() - 0.5) * spread));
+        }
+    }
+    FlatPoints::from_coords(coords, dim).expect("clustered workload dimensions are consistent")
+}
+
+/// The first `k` centers a farthest-point (Gonzalez) traversal picks,
+/// starting from row 0 — the candidate distribution the assignment scans
+/// face in practice.  Solver-chosen centers are spread out by
+/// construction; an arbitrary index stride is not (on the round-robin
+/// clustered store a stride divisible by `k_prime` lands every candidate
+/// in one cluster, which neuters cell pruning on both arms and benchmarks
+/// a workload no solver produces).  Prefixes are themselves Gonzalez
+/// center sets, so one call serves a whole `k` sweep.
+pub fn gonzalez_centers<S: Scalar>(space: &VecSpace<Euclidean, S>, k: usize) -> Vec<usize> {
+    let mut nearest = vec![S::INFINITY; space.len()];
+    let mut centers = Vec::with_capacity(k);
+    let mut next = 0usize;
+    for _ in 0..k {
+        centers.push(next);
+        next = space.relax_all_max(next, &mut nearest).0;
+    }
+    centers
+}
+
+/// `k` consecutive relax rounds on the dense arm — the scan loop of
+/// `select_centers` with the grid disabled.  Returns the last round's
+/// farthest point so the work cannot be discarded.
+pub fn dense_relax_rounds<S: Scalar>(
+    space: &VecSpace<Euclidean, S>,
+    centers: &[usize],
+    nearest: &mut [S],
+) -> (usize, S) {
+    let mut last = (0, S::ZERO);
+    for &c in centers {
+        last = space.relax_all_max(c, nearest);
+    }
+    last
+}
+
+/// `k` consecutive relax rounds on the grid arm: one [`GridRelaxer`] build
+/// (charged here, exactly as `select_centers` pays it) plus `k` occupied-
+/// cell sweeps.  `members` must be the identity id list of `space`; `None`
+/// when the grid refuses the space.
+pub fn grid_relax_rounds<S: Scalar>(
+    space: &VecSpace<Euclidean, S>,
+    members: &[usize],
+    centers: &[usize],
+    nearest: &mut [S],
+) -> Option<(usize, S)> {
+    let mut relaxer = GridRelaxer::build(space, members)?;
+    let mut last = (0, S::ZERO);
+    for &c in centers {
+        last = relaxer.relax_max(space, members, c, nearest);
+    }
+    Some(last)
+}
+
+/// One dense assignment scan: per-point argmin over `centers` with
+/// smallest-position tie-breaking — the dense arm of `evaluate::assign`
+/// and the coreset weights round.  Returns a label checksum so the work
+/// cannot be discarded.
+pub fn dense_assign_scan<S: Scalar>(space: &VecSpace<Euclidean, S>, centers: &[usize]) -> u64 {
+    let mut acc = 0u64;
+    for p in 0..space.len() {
+        let mut best = 0usize;
+        let mut best_d = space.cmp_distance(p, centers[0]);
+        for (i, &c) in centers.iter().enumerate().skip(1) {
+            let d = space.cmp_distance(p, c);
+            if d < best_d {
+                best = i;
+                best_d = d;
+            }
+        }
+        acc = acc.wrapping_add(best as u64);
+    }
+    acc
+}
+
+/// One grid assignment scan: bucket the centers once ([`NEAREST_OCCUPANCY`],
+/// charged here) and answer every point's nearest-center query from the
+/// ring sweep.  `None` when the grid refuses the center set.
+pub fn grid_assign_scan<S: Scalar>(
+    space: &VecSpace<Euclidean, S>,
+    centers: &[usize],
+) -> Option<u64> {
+    let grid = SpatialGrid::build(space, centers, NEAREST_OCCUPANCY)?;
+    let mut acc = 0u64;
+    for p in 0..space.len() {
+        acc = acc.wrapping_add(grid.nearest_member(space, centers, p).0 as u64);
+    }
+    Some(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +308,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn grid_and_dense_bench_arms_agree() {
+        let space = VecSpace::from_flat(clustered_flat::<f64>(4_000, 4, 25, 11));
+        let members: Vec<usize> = (0..space.len()).collect();
+        let centers = gonzalez_centers(&space, 40);
+
+        let mut dense_nearest = vec![f64::INFINITY; space.len()];
+        let mut grid_nearest = dense_nearest.clone();
+        let dense = dense_relax_rounds(&space, &centers, &mut dense_nearest);
+        let grid = grid_relax_rounds(&space, &members, &centers, &mut grid_nearest)
+            .expect("clustered f64 instance buckets fine");
+        assert_eq!(dense, grid);
+        assert_eq!(dense_nearest, grid_nearest);
+
+        let dense_sum = dense_assign_scan(&space, &centers);
+        let grid_sum = grid_assign_scan(&space, &centers).expect("center set buckets fine");
+        assert_eq!(dense_sum, grid_sum);
     }
 
     #[test]

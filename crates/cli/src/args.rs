@@ -5,7 +5,7 @@
 //! would be overkill.
 
 use kcenter_data::DatasetSpec;
-use kcenter_metric::{KernelChoice, Precision};
+use kcenter_metric::{AssignChoice, KernelChoice, Precision};
 use std::fmt;
 
 /// The parsed command line.
@@ -160,7 +160,8 @@ pub struct SolveArgs {
     pub seed: u64,
     /// Number of trailing CSV columns to ignore (e.g. class labels).
     pub skip_columns: usize,
-    /// Optional path to write the per-point assignment to.
+    /// Optional path to write the per-point assignment to
+    /// (`--assign-out OUT.csv`).
     pub assignment_out: Option<String>,
     /// Storage precision for the coordinate store: `f32` halves the scan
     /// bandwidth (the covering radius is still certified in `f64`).
@@ -168,6 +169,9 @@ pub struct SolveArgs {
     /// Kernel backend request (`--kernel auto|scalar|portable|avx2`);
     /// `None` defers to the `KCENTER_KERNEL` environment variable.
     pub kernel: Option<KernelChoice>,
+    /// Assignment-arm request (`--assign auto|dense|grid`); `None` defers
+    /// to the `KCENTER_ASSIGN` environment variable.
+    pub assign: Option<AssignChoice>,
     /// Fault-injection options (inactive by default).
     pub faults: FaultArgs,
 }
@@ -234,6 +238,9 @@ pub struct SweepArgs {
     /// Kernel backend request (`--kernel auto|scalar|portable|avx2`);
     /// `None` defers to the `KCENTER_KERNEL` environment variable.
     pub kernel: Option<KernelChoice>,
+    /// Assignment-arm request (`--assign auto|dense|grid`); `None` defers
+    /// to the `KCENTER_ASSIGN` environment variable.
+    pub assign: Option<AssignChoice>,
     /// Whether to run the per-cell EIM reruns the sweep amortises away
     /// (disable to time the coreset path alone).
     pub baseline: bool,
@@ -270,15 +277,17 @@ kcenter — parallel k-center clustering (McClintock & Wirth, ICPP 2016)
 USAGE:
   kcenter generate <unif|gau|unb|poker|kdd> --n N [--k-prime K'] [--seed S] --out FILE.csv
   kcenter solve <gon|mrg|eim|hs> --input FILE.csv --k K [--machines M] [--phi P]
-                [--epsilon E] [--seed S] [--skip-columns C] [--assign OUT.csv]
+                [--epsilon E] [--seed S] [--skip-columns C] [--assign-out OUT.csv]
                 [--precision f32|f64] [--kernel auto|scalar|portable|avx2]
+                [--assign auto|dense|grid]
                 [--fault-plan FILE | --fault-seed S] [--max-attempts N]
                 [--degrade on|off]
   kcenter sweep (--input FILE.csv | --family <unif|gau|unb|poker|kdd> --n N [--k-prime K'])
                 --ks K1,K2,... [--phis P1,P2,...] [--builder gonzalez|eim]
                 [--coreset-size T] [--machines M] [--epsilon E] [--seed S]
                 [--skip-columns C] [--precision f32|f64]
-                [--kernel auto|scalar|portable|avx2] [--baseline on|off]
+                [--kernel auto|scalar|portable|avx2] [--assign auto|dense|grid]
+                [--baseline on|off]
                 [--fault-plan FILE | --fault-seed S] [--max-attempts N]
                 [--degrade on|off]
   kcenter info --input FILE.csv [--skip-columns C]
@@ -293,7 +302,15 @@ amortisation.
 (certified radii are always computed with the fixed scalar f64 kernels);
 it overrides the KCENTER_KERNEL environment variable, and `auto` picks
 AVX2+FMA when the binary was built with the `simd` feature on a supporting
-CPU.  Results are bit-deterministic per (seed, precision, kernel).
+CPU.
+
+--assign pins the assignment-scan arm: `dense` always runs the flat SIMD
+scans, `grid` routes relax/nearest scans through the spatial-grid index
+(falling back to dense where the grid cannot index the space), and `auto`
+(the default) applies a bench-measured crossover.  It overrides the
+KCENTER_ASSIGN environment variable; both arms select bit-identical
+centers, so results are bit-deterministic per (seed, precision, kernel,
+assign).
 
 --fault-seed S (or --fault-plan FILE for an explicit schedule) injects
 deterministic reducer faults into the MapReduce rounds: crashes,
@@ -395,6 +412,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
     let mut assignment_out: Option<String> = None;
     let mut precision = Precision::default();
     let mut kernel: Option<KernelChoice> = None;
+    let mut assign: Option<AssignChoice> = None;
     let mut faults = FaultArgs::default();
     for (flag, value) in &flags {
         if faults.consume(flag, value)? {
@@ -408,7 +426,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
             "--epsilon" => epsilon = parse_number(flag, value)?,
             "--seed" => seed = parse_number(flag, value)?,
             "--skip-columns" => skip_columns = parse_number(flag, value)?,
-            "--assign" => assignment_out = Some(value.clone()),
+            "--assign-out" => assignment_out = Some(value.clone()),
             "--precision" => {
                 precision = Precision::parse(value).ok_or_else(|| {
                     ParseError(format!(
@@ -417,6 +435,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
                 })?
             }
             "--kernel" => kernel = Some(parse_kernel(value)?),
+            "--assign" => assign = Some(parse_assign(value)?),
             other => return Err(ParseError(format!("unknown flag {other:?} for solve"))),
         }
     }
@@ -433,6 +452,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
         assignment_out,
         precision,
         kernel,
+        assign,
         faults,
     })
 }
@@ -441,6 +461,12 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
 /// [`kcenter_metric::KernelSelectError`] message.
 fn parse_kernel(value: &str) -> Result<KernelChoice, ParseError> {
     KernelChoice::parse(value).map_err(|e| ParseError(format!("invalid value for --kernel: {e}")))
+}
+
+/// Parses an `--assign` value; unknown names surface the named
+/// [`kcenter_metric::AssignSelectError`] message.
+fn parse_assign(value: &str) -> Result<AssignChoice, ParseError> {
+    AssignChoice::parse(value).map_err(|e| ParseError(format!("invalid value for --assign: {e}")))
 }
 
 /// Parses a comma-separated list of numbers for flags like `--ks 5,10,25`.
@@ -474,6 +500,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
     let mut skip_columns: usize = 0;
     let mut precision = Precision::default();
     let mut kernel: Option<KernelChoice> = None;
+    let mut assign: Option<AssignChoice> = None;
     let mut baseline = true;
     let mut faults = FaultArgs::default();
     for (flag, value) in &flags {
@@ -507,6 +534,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
                 })?
             }
             "--kernel" => kernel = Some(parse_kernel(value)?),
+            "--assign" => assign = Some(parse_assign(value)?),
             "--baseline" => {
                 baseline = match value.to_ascii_lowercase().as_str() {
                     "on" | "true" | "yes" => true,
@@ -558,6 +586,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
         seed,
         precision,
         kernel,
+        assign,
         baseline,
         faults,
     })
@@ -650,7 +679,7 @@ mod tests {
             _ => panic!("expected solve"),
         }
         let cli = parse(&argv(
-            "solve eim --input pts.csv --k 5 --machines 10 --phi 4 --epsilon 0.2 --seed 9 --skip-columns 1 --assign a.csv --precision f32",
+            "solve eim --input pts.csv --k 5 --machines 10 --phi 4 --epsilon 0.2 --seed 9 --skip-columns 1 --assign-out a.csv --precision f32",
         ))
         .unwrap();
         match cli.command {
@@ -706,6 +735,48 @@ mod tests {
         let err = parse(&argv("sweep --input a.csv --ks 2 --kernel turbo")).unwrap_err();
         assert!(err.to_string().contains("--kernel"));
         assert!(err.to_string().contains("turbo"));
+    }
+
+    #[test]
+    fn assign_flag_parses_every_arm_and_rejects_unknown_names() {
+        use kcenter_metric::AssignMode;
+        let cases = [
+            ("auto", AssignChoice::Auto),
+            ("dense", AssignChoice::Fixed(AssignMode::Dense)),
+            ("GRID", AssignChoice::Fixed(AssignMode::Grid)),
+        ];
+        for (name, want) in cases {
+            let cli = parse(&argv(&format!(
+                "solve gon --input x.csv --k 2 --assign {name}"
+            )))
+            .unwrap();
+            match cli.command {
+                Command::Solve(s) => assert_eq!(s.assign, Some(want), "{name}"),
+                _ => panic!("expected solve"),
+            }
+        }
+        // Absent flag defers to the environment variable.
+        let cli = parse(&argv("solve gon --input x.csv --k 2")).unwrap();
+        match cli.command {
+            Command::Solve(s) => assert_eq!(s.assign, None),
+            _ => panic!("expected solve"),
+        }
+        // Unknown override is a named error, on both subcommands.
+        let err = parse(&argv("solve gon --input x.csv --k 2 --assign octree")).unwrap_err();
+        assert!(err.to_string().contains("--assign"));
+        assert!(err.to_string().contains("octree"));
+        let err = parse(&argv("sweep --input a.csv --ks 2 --assign kdtree")).unwrap_err();
+        assert!(err.to_string().contains("--assign"));
+        assert!(err.to_string().contains("kdtree"));
+        // The assignment-output flag is distinct from the arm pin.
+        let cli = parse(&argv(
+            "sweep --input a.csv --ks 2 --assign grid --kernel scalar",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Sweep(s) => assert_eq!(s.assign, Some(AssignChoice::Fixed(AssignMode::Grid))),
+            _ => panic!("expected sweep"),
+        }
     }
 
     #[test]

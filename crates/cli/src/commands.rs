@@ -10,10 +10,11 @@ use kcenter_data::csv::{load_points, save_points, CsvOptions};
 use kcenter_mapreduce::{
     ClusterConfig, DegradedRun, FaultConfig, FaultPlan, FaultPolicy, JobStats, SimulatedCluster,
 };
+use kcenter_metric::grid;
 use kcenter_metric::kernel::simd;
 use kcenter_metric::{
-    BoundingBox, Euclidean, FlatPoints, KernelBackend, KernelChoice, MetricSpace, PointId,
-    Precision, Scalar, VecSpace,
+    AssignChoice, BoundingBox, Euclidean, FlatPoints, KernelBackend, KernelChoice, MetricSpace,
+    PointId, Precision, Scalar, VecSpace,
 };
 use std::fmt;
 use std::io::Write;
@@ -137,6 +138,40 @@ fn apply_kernel(flag: Option<KernelChoice>) -> Result<KernelBackend, CommandErro
     Ok(backend)
 }
 
+/// Resolves and installs the assignment arm for this run: the `--assign`
+/// flag wins, otherwise the `KCENTER_ASSIGN` environment variable,
+/// otherwise `auto`.  Unknown environment values surface as the named
+/// `assign` parameter error rather than a deep panic.  Also zeroes the
+/// scan telemetry so [`report_assign_scans`] accounts for this command
+/// alone.
+fn apply_assign(flag: Option<AssignChoice>) -> Result<AssignChoice, CommandError> {
+    let choice = match flag {
+        Some(c) => c,
+        None => AssignChoice::from_env().map_err(|e| {
+            CommandError::Algorithm(KCenterError::InvalidParameter {
+                name: "assign",
+                message: e.to_string(),
+            })
+        })?,
+    };
+    grid::set_choice(choice);
+    grid::reset_scan_counts();
+    Ok(choice)
+}
+
+/// Prints which assignment arm the scans actually ran on — a pinned `grid`
+/// can still fall back to dense per scan (non-Euclidean surrogate, missing
+/// coordinates, degenerate extents), and `auto` decides per shape, so the
+/// request alone does not tell the user what executed.
+fn report_assign_scans<W: Write>(out: &mut W) -> Result<(), CommandError> {
+    let (grid_scans, dense_scans) = grid::scan_counts();
+    writeln!(
+        out,
+        "assignment scans: {grid_scans} grid, {dense_scans} dense"
+    )?;
+    Ok(())
+}
+
 /// Assembles the [`FaultConfig`] requested by `--fault-plan`/`--fault-seed`
 /// plus the policy flags, or `None` for a fault-free run.  Unreadable or
 /// malformed plan files surface as named errors, not panics.
@@ -203,13 +238,16 @@ fn report_degraded<W: Write>(degraded: &DegradedRun, out: &mut W) -> Result<(), 
 fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
     let kernel = apply_kernel(args.kernel)?;
     writeln!(out, "kernel backend: {kernel}")?;
+    let assign_arm = apply_assign(args.assign)?;
+    writeln!(out, "assignment arm: {assign_arm}")?;
     // Dispatch into the monomorphised storage-precision stack once, here;
     // everything below runs entirely at the chosen precision (with the
     // covering radius still certified in f64 by the evaluation layer).
     match args.precision {
-        Precision::F64 => solve_at::<f64, W>(args, out),
-        Precision::F32 => solve_at::<f32, W>(args, out),
+        Precision::F64 => solve_at::<f64, W>(args, out)?,
+        Precision::F32 => solve_at::<f32, W>(args, out)?,
     }
+    report_assign_scans(out)
 }
 
 fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
@@ -364,10 +402,13 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
 fn sweep<W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), CommandError> {
     let kernel = apply_kernel(args.kernel)?;
     writeln!(out, "kernel backend: {kernel}")?;
+    let assign_arm = apply_assign(args.assign)?;
+    writeln!(out, "assignment arm: {assign_arm}")?;
     match args.precision {
-        Precision::F64 => sweep_at::<f64, W>(args, out),
-        Precision::F32 => sweep_at::<f32, W>(args, out),
+        Precision::F64 => sweep_at::<f64, W>(args, out)?,
+        Precision::F32 => sweep_at::<f32, W>(args, out)?,
     }
+    report_assign_scans(out)
 }
 
 fn format_ms(d: Duration) -> String {
@@ -653,7 +694,7 @@ mod tests {
         let assignment = temp_path("assignment.csv");
         run_cli(&format!("generate unif --n 600 --seed 1 --out {csv}")).unwrap();
         let out = run_cli(&format!(
-            "solve mrg --input {csv} --k 5 --machines 6 --assign {assignment}"
+            "solve mrg --input {csv} --k 5 --machines 6 --assign-out {assignment}"
         ))
         .unwrap();
         assert!(out.contains("MRG on 6 machines"));
@@ -709,6 +750,39 @@ mod tests {
         }
         // Restore the default for the rest of the suite.
         simd::set_active(KernelChoice::Auto.resolve().unwrap()).unwrap();
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn solve_reports_the_assignment_arm_and_scan_accounting() {
+        // `apply_assign` installs a process-global choice, like the kernel
+        // dispatch table — serialise with the other dispatch-pinning tests.
+        let _guard = kernel_lock();
+        let csv = temp_path("assign-arm.csv");
+        run_cli(&format!("generate unif --n 400 --seed 4 --out {csv}")).unwrap();
+        // Pinned dense: everything runs on the dense arm.
+        let out = run_cli(&format!("solve gon --input {csv} --k 4 --assign dense")).unwrap();
+        assert!(out.contains("assignment arm: dense"));
+        assert!(out.contains("assignment scans: 0 grid"));
+        // Pinned grid: the arm is reported and the scan accounting line is
+        // printed (exact counts are asserted in the core parity suite —
+        // concurrent tests share the process-global counters, so only the
+        // "no grid scans under a dense pin" direction is race-free here).
+        let grid_out = run_cli(&format!("solve gon --input {csv} --k 4 --assign grid")).unwrap();
+        assert!(grid_out.contains("assignment arm: grid"));
+        assert!(grid_out.contains("assignment scans: "));
+        let radius_of = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("covering radius"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(radius_of(&out), radius_of(&grid_out));
+        // `auto` is the default and is reported as such.
+        let out = run_cli(&format!("solve gon --input {csv} --k 4")).unwrap();
+        assert!(out.contains("assignment arm: auto"));
+        // Restore the default for the rest of the suite.
+        grid::set_choice(AssignChoice::Auto);
         std::fs::remove_file(&csv).ok();
     }
 

@@ -72,6 +72,7 @@ use kcenter_mapreduce::{
     partition, ClusterConfig, DroppedShard, FaultConfig, JobStats, MapReduceError, SimulatedCluster,
 };
 use kcenter_metric::distance::Distance;
+use kcenter_metric::grid::{self, SpatialGrid};
 use kcenter_metric::{Euclidean, FlatPoints, MetricSpace, PointId, Scalar, VecSpace};
 use serde::{Deserialize, Serialize};
 
@@ -782,20 +783,57 @@ fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
     lost: &mut Vec<PointId>,
 ) -> Result<(Vec<u64>, f64), KCenterError> {
     let parts = partition::chunks(ids, machines);
+    // Grid arm for the nearest-rep argmin (and the wide fallback scan):
+    // bucket the representatives once, then each point probes Chebyshev
+    // rings of cells around itself instead of scanning all |reps|.  The
+    // argmin is bit-identical to the dense loop (same per-pair values,
+    // ties to the smaller rep position), the wide scans keep the same
+    // exact-above-`wide_max` contract, and the assignment pair for the
+    // weights histogram is never pruned — so weights, radius, and even the
+    // pruned-pairs counter are arm-independent.
+    let dim = reps
+        .first()
+        .and_then(|&r| space.coord_row(r))
+        .map_or(0, <[Sp::Cmp]>::len);
+    let shape = grid::ScanShape {
+        points: ids.len(),
+        candidates: reps.len(),
+        dim,
+    };
+    let rep_grid = if grid::select_mode(shape) == grid::AssignMode::Grid {
+        SpatialGrid::build(space, reps, grid::NEAREST_OCCUPANCY)
+    } else {
+        None
+    };
+    let arm = if rep_grid.is_some() {
+        grid::AssignMode::Grid
+    } else {
+        grid::AssignMode::Dense
+    };
+    grid::note_scan(arm);
+    // Round accounting shows which arm actually ran.
+    let label = format!("{label} [{arm}]");
+    let label = label.as_str();
     let reduce = |_: usize, chunk: &[PointId]| {
         let mut counts = vec![0u64; reps.len()];
         let mut wide_max = f64::NEG_INFINITY;
         let mut pruned: u64 = 0;
         for &x in chunk {
-            let mut best = 0usize;
-            let mut best_d = <Sp::Cmp as Scalar>::INFINITY;
-            for (ri, &r) in reps.iter().enumerate() {
-                let d = space.cmp_distance(x, r);
-                if d < best_d {
-                    best_d = d;
-                    best = ri;
+            let (best, _) = match &rep_grid {
+                Some(g) => g.nearest_member(space, reps, x),
+                None => {
+                    let mut best = 0usize;
+                    let mut best_d = <Sp::Cmp as Scalar>::INFINITY;
+                    for (ri, &r) in reps.iter().enumerate() {
+                        let d = space.cmp_distance(x, r);
+                        if d < best_d {
+                            best_d = d;
+                            best = ri;
+                        }
+                    }
+                    (best, best_d)
                 }
-            }
+            };
             counts[best] += 1;
             // wide_min(x) <= wide(x, assigned rep): within the running
             // max the point cannot raise it — skip the wide scan.
@@ -804,7 +842,10 @@ fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
                 pruned += reps.len() as u64 - 1;
                 continue;
             }
-            let w = space.wide_cmp_distance_to_set_bounded(x, reps, wide_max);
+            let w = match &rep_grid {
+                Some(g) => g.wide_nearest_bounded(space, reps, x, wide_max),
+                None => space.wide_cmp_distance_to_set_bounded(x, reps, wide_max),
+            };
             if w > wide_max {
                 wide_max = w;
             }

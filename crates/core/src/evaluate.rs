@@ -27,6 +27,7 @@
 //! converted back to a real distance once at the end, so exactly one `sqrt`
 //! is taken per evaluation.
 
+use kcenter_metric::grid::{self, SpatialGrid};
 use kcenter_metric::{MetricSpace, PointId, Scalar};
 use rayon::prelude::*;
 
@@ -237,8 +238,30 @@ pub fn assign<S: MetricSpace + ?Sized>(space: &S, centers: &[PointId]) -> Vec<us
     // Argmin is order-invariant, so the scan runs in comparison space (at
     // storage precision — assignment is a selection, not a reported
     // distance; ties from coarser rounding still resolve to the smaller
-    // center position, deterministically).
+    // center position, deterministically).  The grid arm buckets the
+    // centers and probes cell rings per point — bit-identical to the dense
+    // loop (see `kcenter_metric::grid`) — when the `--assign` dispatch and
+    // the space allow it.
+    let dim = space.coord_row(centers[0]).map_or(0, <[S::Cmp]>::len);
+    let shape = grid::ScanShape {
+        points: space.len(),
+        candidates: centers.len(),
+        dim,
+    };
+    let center_grid = if grid::select_mode(shape) == grid::AssignMode::Grid {
+        SpatialGrid::build(space, centers, grid::NEAREST_OCCUPANCY)
+    } else {
+        None
+    };
+    grid::note_scan(if center_grid.is_some() {
+        grid::AssignMode::Grid
+    } else {
+        grid::AssignMode::Dense
+    });
     let assign_one = |p: PointId| -> usize {
+        if let Some(g) = &center_grid {
+            return g.nearest_member(space, centers, p).0;
+        }
         let mut best = 0usize;
         let mut best_d = <S::Cmp as Scalar>::INFINITY;
         for (ci, &c) in centers.iter().enumerate() {

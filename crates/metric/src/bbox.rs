@@ -11,6 +11,28 @@ use crate::point::Point;
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 
+/// A [`Point`] slice handed to [`BoundingBox::of`] mixed coordinate
+/// dimensions: box corners would be meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionMismatch {
+    /// Dimension of the first point (the one the box was sized for).
+    pub expected: usize,
+    /// The offending point's dimension.
+    pub found: usize,
+}
+
+impl std::fmt::Display for DimensionMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dimension mismatch in bounding box: expected {}, found {}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for DimensionMismatch {}
+
 /// An axis-aligned bounding box in `R^d`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundingBox {
@@ -21,14 +43,24 @@ pub struct BoundingBox {
 impl BoundingBox {
     /// Computes the bounding box of a non-empty point slice.
     ///
-    /// Returns `None` for an empty slice.
-    pub fn of(points: &[Point]) -> Option<Self> {
-        let first = points.first()?;
+    /// Returns `Ok(None)` for an empty slice and a named
+    /// [`DimensionMismatch`] when the points do not share one dimension
+    /// (the flat-store variants cannot hit this — a [`FlatPoints`]
+    /// guarantees uniform rows).
+    pub fn of(points: &[Point]) -> Result<Option<Self>, DimensionMismatch> {
+        let Some(first) = points.first() else {
+            return Ok(None);
+        };
         let dim = first.dim();
         let mut min = first.coords().to_vec();
         let mut max = first.coords().to_vec();
         for p in &points[1..] {
-            assert_eq!(p.dim(), dim, "dimension mismatch in bounding box");
+            if p.dim() != dim {
+                return Err(DimensionMismatch {
+                    expected: dim,
+                    found: p.dim(),
+                });
+            }
             for (i, &c) in p.coords().iter().enumerate() {
                 if c < min[i] {
                     min[i] = c;
@@ -38,18 +70,33 @@ impl BoundingBox {
                 }
             }
         }
-        Some(Self { min, max })
+        Ok(Some(Self { min, max }))
     }
 
     /// Parallel variant of [`BoundingBox::of`] for large point sets.
-    pub fn par_of(points: &[Point]) -> Option<Self> {
+    pub fn par_of(points: &[Point]) -> Result<Option<Self>, DimensionMismatch> {
         if points.is_empty() {
-            return None;
+            return Ok(None);
         }
+        let expected = points[0].dim();
         points
             .par_chunks(4096)
-            .filter_map(BoundingBox::of)
-            .reduce_with(|a, b| a.merged(&b))
+            .map(BoundingBox::of)
+            .reduce_with(|a, b| match (a?, b?) {
+                (Some(a), Some(b)) => {
+                    if a.dim() != b.dim() {
+                        // Chunk boundaries can split a mismatch that the
+                        // sequential scan would catch inside one chunk.
+                        return Err(DimensionMismatch {
+                            expected,
+                            found: if a.dim() == expected { b.dim() } else { a.dim() },
+                        });
+                    }
+                    Ok(Some(a.merged(&b)))
+                }
+                (a, b) => Ok(a.or(b)),
+            })
+            .unwrap_or(Ok(None))
     }
 
     /// Computes the bounding box of a flat point store (at any storage
@@ -184,13 +231,13 @@ mod tests {
 
     #[test]
     fn of_empty_is_none() {
-        assert_eq!(BoundingBox::of(&[]), None);
-        assert_eq!(BoundingBox::par_of(&[]), None);
+        assert_eq!(BoundingBox::of(&[]), Ok(None));
+        assert_eq!(BoundingBox::par_of(&[]), Ok(None));
     }
 
     #[test]
     fn of_single_point_is_degenerate() {
-        let b = BoundingBox::of(&[Point::xy(1.0, 2.0)]).unwrap();
+        let b = BoundingBox::of(&[Point::xy(1.0, 2.0)]).unwrap().unwrap();
         assert_eq!(b.min(), &[1.0, 2.0]);
         assert_eq!(b.max(), &[1.0, 2.0]);
         assert_eq!(b.diagonal(), 0.0);
@@ -199,7 +246,7 @@ mod tests {
     #[test]
     fn of_covers_all_points() {
         let pts = cloud();
-        let b = BoundingBox::of(&pts).unwrap();
+        let b = BoundingBox::of(&pts).unwrap().unwrap();
         assert_eq!(b.min(), &[-1.0, -2.0]);
         assert_eq!(b.max(), &[2.0, 3.0]);
         assert!(pts.iter().all(|p| b.contains(p)));
@@ -216,8 +263,12 @@ mod tests {
 
     #[test]
     fn merged_covers_both() {
-        let a = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)]).unwrap();
-        let b = BoundingBox::of(&[Point::xy(-5.0, 2.0), Point::xy(0.5, 3.0)]).unwrap();
+        let a = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)])
+            .unwrap()
+            .unwrap();
+        let b = BoundingBox::of(&[Point::xy(-5.0, 2.0), Point::xy(0.5, 3.0)])
+            .unwrap()
+            .unwrap();
         let m = a.merged(&b);
         assert_eq!(m.min(), &[-5.0, 0.0]);
         assert_eq!(m.max(), &[1.0, 3.0]);
@@ -225,7 +276,9 @@ mod tests {
 
     #[test]
     fn diagonal_and_extent() {
-        let b = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(3.0, 4.0)]).unwrap();
+        let b = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(3.0, 4.0)])
+            .unwrap()
+            .unwrap();
         assert!((b.diagonal() - 5.0).abs() < 1e-12);
         assert_eq!(b.extent(0), 3.0);
         assert_eq!(b.extent(1), 4.0);
@@ -233,13 +286,27 @@ mod tests {
 
     #[test]
     fn center_is_midpoint() {
-        let b = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(2.0, 4.0)]).unwrap();
+        let b = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xy(2.0, 4.0)])
+            .unwrap()
+            .unwrap();
         assert_eq!(b.center(), Point::xy(1.0, 2.0));
     }
 
     #[test]
-    #[should_panic(expected = "dimension mismatch")]
-    fn of_rejects_mixed_dimensions() {
-        BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xyz(0.0, 0.0, 0.0)]);
+    fn of_rejects_mixed_dimensions_with_named_error() {
+        let err = BoundingBox::of(&[Point::xy(0.0, 0.0), Point::xyz(0.0, 0.0, 0.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            DimensionMismatch {
+                expected: 2,
+                found: 3
+            }
+        );
+        assert!(err.to_string().contains("expected 2, found 3"));
+        // The parallel variant surfaces the same class of error instead of
+        // panicking mid-reduce.
+        let mut pts = vec![Point::xy(0.0, 0.0); 5000];
+        pts.push(Point::xyz(1.0, 2.0, 3.0));
+        assert!(BoundingBox::par_of(&pts).is_err());
     }
 }

@@ -195,6 +195,16 @@ pub trait Distance: Send + Sync {
         true
     }
 
+    /// Whether the comparison-space scans of this distance can be served
+    /// by the axis-aligned spatial grid (`crate::grid`): true only when
+    /// [`Distance::surrogate`] and [`Distance::wide_surrogate`] are the
+    /// squared Euclidean norm of the coordinate rows, so an axis-aligned
+    /// box distance is a valid lower bound in both spaces.  Defaults to
+    /// `false`; the grid arm falls back to the dense scan.
+    fn supports_grid(&self) -> bool {
+        false
+    }
+
     /// Human-readable name used in experiment reports.
     fn name(&self) -> &'static str;
 }
@@ -274,6 +284,12 @@ impl Distance for Euclidean {
 
     fn name(&self) -> &'static str {
         "euclidean"
+    }
+
+    /// Both surrogates are squared L2 over the rows, so box lower bounds
+    /// are valid and the grid arm may serve the scans.
+    fn supports_grid(&self) -> bool {
+        true
     }
 }
 

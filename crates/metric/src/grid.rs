@@ -1,0 +1,1084 @@
+//! Axis-aligned spatial grid bucketing for sub-quadratic assignment scans.
+//!
+//! Every solver and the coreset weights round pay a dense `O(n · k)`
+//! comparison-space scan per assignment/relax step.  For the
+//! constant-dimensional Euclidean case this module buckets flat-store rows
+//! into an axis-aligned grid built over the [`crate::bbox`] layer, so the
+//! hot scans visit only *candidate* cells instead of every pair — the
+//! output-sensitive probing that Coy–Czumaj–Mishra's parallel k-center
+//! bounds are built on.  Two accelerators are provided:
+//!
+//! * [`GridRelaxer`] backs the fused Gonzalez relaxation
+//!   ([`MetricSpace::relax_nearest_max`] / `relax_all_max`): the member
+//!   rows are bucketed once, and each relax pass sweeps the occupied cells
+//!   in ascending cell order, skipping any cell whose bounding-box distance
+//!   to the new center proves that no `nearest[]` slot in it can change.
+//! * [`SpatialGrid::nearest_member`] and
+//!   [`SpatialGrid::wide_nearest_bounded`] back the nearest-candidate
+//!   argmin scans (the coreset weights round, per-point assignment) by
+//!   expanding Chebyshev rings of cells around the query until the ring
+//!   lower bound exceeds the best distance seen.
+//!
+//! # Cell-width choice
+//!
+//! The classical analysis buckets at cell width `~r/√d` so that a cell's
+//! diagonal is at most the current radius `r`.  `r` changes every Gonzalez
+//! round, though, and rebucketing per round would erase the win.  Instead
+//! the grid picks a *fixed* resolution from the member count: with `m`
+//! members and a target occupancy `OCC`, each dimension of positive extent
+//! gets `res = max(1, floor((m / OCC)^(1/d_eff)))` cells, i.e. about
+//! `m / OCC` cells total and `OCC` members per cell on uniform data.  The
+//! radius-dependence moves into the *pruning* instead of the bucketing:
+//! every cell stores the tight bounding box of its members, and a scan
+//! skips the cell when the squared box distance (a lower bound on every
+//! member's squared distance) proves the scan outcome cannot change.  That
+//! is exactly the `r/√d` test, evaluated per cell per query against the
+//! current radius rather than baked into the cell width.
+//!
+//! Dimensions of zero extent (duplicate-heavy data) get a single cell and
+//! do not count toward `d_eff`, so a cell width can never be zero; if
+//! *every* dimension is degenerate the build returns `None` and callers
+//! fall back to the dense scan.
+//!
+//! # Probe order and determinism
+//!
+//! Grid results are **bit-identical** to the dense scans, so the
+//! determinism tuple extends cleanly to `(seed, precision, kernel,
+//! assign)`:
+//!
+//! * Cells are enumerated in fixed ascending cell order; within a cell,
+//!   rows are scanned in ascending member order.  The relax sweep folds
+//!   per-cell records with a "greater value, or equal value at a lower
+//!   position" rule, which reproduces the dense lowest-index argmax
+//!   regardless of which cells were skipped; the ring argmin keeps the
+//!   lowest candidate index on ties for the same reason.
+//! * Pruning never changes a value: a cell is skipped only when a
+//!   conservative rounding-slack margin (`(d + 8) · 4 · u` for storage
+//!   unit roundoff `u`) proves every member comparison in it is a no-op.
+//!   Comparison-space distances themselves come from the same per-pair
+//!   [`MetricSpace::cmp_distance`] path as the dense argmin, and the
+//!   `wide_cmp_*` f64 certification scans stay ground truth.
+//! * The per-pair comparison values match the dense fused relax kernels
+//!   bit-for-bit under the `scalar` and `portable` backends (identical
+//!   summation order); the AVX2 fused-rows kernels use a different
+//!   reduction tree, so under `avx2` the relax arms agree exactly only on
+//!   inputs whose squared distances are exactly representable (e.g.
+//!   integer lattices) — same caveat as the kernel A/B in
+//!   [`crate::kernel::simd`].
+//!
+//! # Dispatch
+//!
+//! Mirroring the kernel table, the active arm is selected once per process
+//! from the `--assign` flag / [`ASSIGN_ENV`] (`auto` | `dense` | `grid`)
+//! via [`set_choice`] / [`active_choice`], and `auto` applies a *measured*
+//! dense-scan crossover (see [`auto_mode`]) — brute force wins when the
+//! candidate count or point count is small.  Call sites report which arm
+//! actually ran through the [`note_scan`] / [`scan_counts`] telemetry.
+
+use crate::scalar::Scalar;
+use crate::space::MetricSpace;
+use crate::PointId;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Environment variable naming the assignment arm (`auto` | `dense` |
+/// `grid`), mirroring `KCENTER_KERNEL`; the CLI `--assign` flag wins over
+/// it.
+pub const ASSIGN_ENV: &str = "KCENTER_ASSIGN";
+
+/// Dimensions above this never build a grid (the cells-per-ring blowup
+/// makes bucketing useless long before this, and the coordinate scratch
+/// buffers are stack-pinned to this length).
+pub const MAX_GRID_DIM: usize = 32;
+
+/// Target members per cell for the relax grids (built once over the whole
+/// subset, swept many times).
+pub const RELAX_OCCUPANCY: usize = 8;
+
+/// Target members per cell for the small candidate grids behind the
+/// nearest-member argmin (centers / coreset reps): smaller cells give the
+/// ring search tighter bounds.
+pub const NEAREST_OCCUPANCY: usize = 2;
+
+/// An assignment-scan implementation the dispatcher can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AssignMode {
+    /// The dense SIMD scan over every candidate (the pre-grid behaviour).
+    Dense = 0,
+    /// Spatial-grid bucketing with box-distance pruning.
+    Grid = 1,
+}
+
+impl AssignMode {
+    /// Every mode, in preference order.
+    pub const ALL: [AssignMode; 2] = [AssignMode::Dense, AssignMode::Grid];
+
+    /// The name used by `KCENTER_ASSIGN`, the CLI `--assign` flag, and
+    /// reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssignMode::Dense => "dense",
+            AssignMode::Grid => "grid",
+        }
+    }
+}
+
+impl fmt::Display for AssignMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed assignment request: either defer to the measured crossover
+/// (`auto`) or pin one arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignChoice {
+    /// Pick per scan via [`auto_mode`]'s measured crossover.
+    Auto,
+    /// Pin this arm everywhere (grid still falls back to dense on spaces
+    /// it cannot index — non-Euclidean surrogates, degenerate extents).
+    Fixed(AssignMode),
+}
+
+impl AssignChoice {
+    /// Parses an assignment name (`auto` | `dense` | `grid`,
+    /// case-insensitive).  Unknown names are a named
+    /// [`AssignSelectError::Unknown`].
+    pub fn parse(name: &str) -> Result<AssignChoice, AssignSelectError> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Ok(AssignChoice::Auto),
+            "dense" => Ok(AssignChoice::Fixed(AssignMode::Dense)),
+            "grid" => Ok(AssignChoice::Fixed(AssignMode::Grid)),
+            _ => Err(AssignSelectError::Unknown { value: name.into() }),
+        }
+    }
+
+    /// Reads the request from [`ASSIGN_ENV`]; unset means `auto`.
+    pub fn from_env() -> Result<AssignChoice, AssignSelectError> {
+        match std::env::var(ASSIGN_ENV) {
+            Ok(value) => AssignChoice::parse(&value),
+            Err(_) => Ok(AssignChoice::Auto),
+        }
+    }
+
+    /// The name this request parses from.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssignChoice::Auto => "auto",
+            AssignChoice::Fixed(m) => m.name(),
+        }
+    }
+}
+
+impl fmt::Display for AssignChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an assignment request could not be honoured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignSelectError {
+    /// The name is not one of `auto` / `dense` / `grid`.
+    Unknown {
+        /// The rejected name.
+        value: String,
+    },
+}
+
+impl fmt::Display for AssignSelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignSelectError::Unknown { value } => write!(
+                f,
+                "unknown assignment mode {value:?} (expected auto, dense, or grid)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AssignSelectError {}
+
+const CHOICE_AUTO: u8 = 0;
+const CHOICE_DENSE: u8 = 1;
+const CHOICE_GRID: u8 = 2;
+const CHOICE_UNSET: u8 = u8::MAX;
+
+/// The process-wide assignment choice; `UNSET` until first queried, then
+/// latched from [`ASSIGN_ENV`] (or [`set_choice`]).
+static ACTIVE: AtomicU8 = AtomicU8::new(CHOICE_UNSET);
+
+fn choice_to_u8(choice: AssignChoice) -> u8 {
+    match choice {
+        AssignChoice::Auto => CHOICE_AUTO,
+        AssignChoice::Fixed(AssignMode::Dense) => CHOICE_DENSE,
+        AssignChoice::Fixed(AssignMode::Grid) => CHOICE_GRID,
+    }
+}
+
+fn choice_from_u8(v: u8) -> AssignChoice {
+    match v {
+        CHOICE_DENSE => AssignChoice::Fixed(AssignMode::Dense),
+        CHOICE_GRID => AssignChoice::Fixed(AssignMode::Grid),
+        _ => AssignChoice::Auto,
+    }
+}
+
+/// The active assignment choice, initialised from [`ASSIGN_ENV`] on first
+/// use.
+///
+/// # Panics
+///
+/// Panics if [`ASSIGN_ENV`] is set to an unknown name.  The CLI validates
+/// the variable up front (surfacing a named `InvalidParameter` error)
+/// before any scan runs; library users hitting the panic should call
+/// [`AssignChoice::from_env`] themselves and [`set_choice`] the result.
+pub fn active_choice() -> AssignChoice {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v != CHOICE_UNSET {
+        return choice_from_u8(v);
+    }
+    let choice = AssignChoice::from_env().unwrap_or_else(|e| panic!("{ASSIGN_ENV}: {e}"));
+    ACTIVE.store(choice_to_u8(choice), Ordering::Relaxed);
+    choice
+}
+
+/// Pins the process-wide assignment choice (the CLI `--assign` path).
+/// Infallible: both arms always exist — a pinned `grid` still falls back
+/// to dense per scan on spaces the grid cannot index.
+pub fn set_choice(choice: AssignChoice) {
+    ACTIVE.store(choice_to_u8(choice), Ordering::Relaxed);
+}
+
+/// The shape of one assignment scan, for the crossover decision.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanShape {
+    /// How many points get scanned (queries / relax slots).
+    pub points: usize,
+    /// How many candidates each point is compared against (`k` centers,
+    /// coreset reps, or Gonzalez rounds for the relax grid).
+    pub candidates: usize,
+    /// Coordinate dimension (0 when the space has no coordinate rows).
+    pub dim: usize,
+}
+
+/// What `auto` resolves to for a scan of this shape: the measured
+/// dense-scan crossover.
+///
+/// The constants come from `flat_report`'s dense-vs-grid columns
+/// (`BENCH_flat.json`, `assign_crossover` records): per dimension, the
+/// smallest candidate count at which the grid arm beat the dense SIMD
+/// scan on the clustered 1M-point workload, with a point-count floor below
+/// which grid build cost dominates.  Brute force wins at small `k` or `d`
+/// above the bucketing range, so those shapes stay dense.
+pub fn auto_mode(shape: ScanShape) -> AssignMode {
+    if shape.dim == 0 || shape.dim > 16 || shape.points < 1 << 12 {
+        return AssignMode::Dense;
+    }
+    // Measured crossover (candidates axis) per dimension band; see
+    // BENCH_flat.json "assign_crossover".
+    let min_candidates = match shape.dim {
+        1..=2 => 16,
+        3..=4 => 16,
+        5..=8 => 24,
+        _ => 48,
+    };
+    if shape.candidates >= min_candidates {
+        AssignMode::Grid
+    } else {
+        AssignMode::Dense
+    }
+}
+
+/// Resolves the arm for one scan: the pinned arm if the active choice is
+/// fixed, the measured crossover otherwise.  Callers still fall back to
+/// dense when the grid build refuses the space (see
+/// [`SpatialGrid::build`]) and report the arm that actually ran via
+/// [`note_scan`].
+pub fn select_mode(shape: ScanShape) -> AssignMode {
+    match active_choice() {
+        AssignChoice::Auto => auto_mode(shape),
+        AssignChoice::Fixed(m) => m,
+    }
+}
+
+static GRID_SCANS: AtomicU64 = AtomicU64::new(0);
+static DENSE_SCANS: AtomicU64 = AtomicU64::new(0);
+
+/// Records that one assignment scan (a full relax loop, weights round, or
+/// per-point assignment pass) ran on `mode`'s arm.  The CLI prints these
+/// next to the round accounting so A/B runs show which arm actually
+/// executed.
+pub fn note_scan(mode: AssignMode) {
+    match mode {
+        AssignMode::Grid => GRID_SCANS.fetch_add(1, Ordering::Relaxed),
+        AssignMode::Dense => DENSE_SCANS.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// `(grid, dense)` scan counts recorded by [`note_scan`] since process
+/// start (or the last [`reset_scan_counts`]).
+pub fn scan_counts() -> (u64, u64) {
+    (
+        GRID_SCANS.load(Ordering::Relaxed),
+        DENSE_SCANS.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the [`scan_counts`] telemetry (tests; per-command accounting).
+pub fn reset_scan_counts() {
+    GRID_SCANS.store(0, Ordering::Relaxed);
+    DENSE_SCANS.store(0, Ordering::Relaxed);
+}
+
+/// A uniform axis-aligned grid over a member list of a coordinate-backed
+/// space, with per-cell tight bounding boxes for distance lower bounds.
+///
+/// Members are addressed by their *position* in the member list handed to
+/// [`SpatialGrid::build`] (matching the position-based contracts of the
+/// relax/argmin scans).  All box geometry is kept in `f64`, widened
+/// exactly from the storage rows.
+pub struct SpatialGrid {
+    dim: usize,
+    len: usize,
+    origin: Vec<f64>,
+    inv_width: Vec<f64>,
+    res: Vec<usize>,
+    stride: Vec<usize>,
+    /// CSR cell starts (`cells + 1` entries).
+    starts: Vec<u32>,
+    /// Member positions, grouped by cell, ascending within each cell.
+    bucket: Vec<u32>,
+    /// Indices of non-empty cells, ascending.
+    occupied: Vec<u32>,
+    /// Per-cell tight member bounding boxes (`cells × dim`, `±inf` for
+    /// empty cells).
+    cell_lo: Vec<f64>,
+    cell_hi: Vec<f64>,
+    /// Smallest positive cell width, for the ring lower bound.
+    min_cell_width: f64,
+    /// Relative slack covering storage-precision comparison rounding: a
+    /// cell is pruned only when `lb · (1 - cmp_slack)` already decides it.
+    cmp_slack: f64,
+    /// Same, for the f64 `wide_cmp_*` scans.
+    wide_slack: f64,
+}
+
+impl SpatialGrid {
+    /// Buckets `members` of `space` into a grid of roughly
+    /// `members.len() / occupancy` cells.
+    ///
+    /// Returns `None` — callers fall back to the dense scan — when the
+    /// space exposes no coordinate rows or its surrogate is not squared
+    /// Euclidean ([`MetricSpace::grid_compatible`]), when the member list
+    /// is empty or larger than `u32` positions, when the dimension is 0 or
+    /// above [`MAX_GRID_DIM`], or when every dimension has zero extent
+    /// (all members identical — the degenerate case where a cell width
+    /// would be zero).
+    pub fn build<Sp: MetricSpace + ?Sized>(
+        space: &Sp,
+        members: &[PointId],
+        occupancy: usize,
+    ) -> Option<SpatialGrid> {
+        if !space.grid_compatible() || members.is_empty() || members.len() > u32::MAX as usize {
+            return None;
+        }
+        let dim = space.coord_row(members[0])?.len();
+        if dim == 0 || dim > MAX_GRID_DIM {
+            return None;
+        }
+
+        // Member bounding box, widened exactly to f64.
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for &m in members {
+            let row = space.coord_row(m)?;
+            for (i, &c) in row.iter().enumerate() {
+                let c = c.to_f64();
+                if c < lo[i] {
+                    lo[i] = c;
+                }
+                if c > hi[i] {
+                    hi[i] = c;
+                }
+            }
+        }
+        let d_eff = (0..dim).filter(|&i| hi[i] > lo[i]).count();
+        if d_eff == 0 {
+            return None;
+        }
+
+        // Uniform per-dimension resolution from the target cell count:
+        // res^d_eff ≈ members / occupancy, so the product of resolutions
+        // can never exceed the member count.
+        let target_cells = (members.len() / occupancy.max(1)).max(1);
+        let res_eff = ((target_cells as f64).powf(1.0 / d_eff as f64).floor() as usize).max(1);
+        let mut res = vec![1usize; dim];
+        let mut inv_width = vec![0.0f64; dim];
+        let mut stride = vec![0usize; dim];
+        let mut min_cell_width = f64::INFINITY;
+        for i in 0..dim {
+            if hi[i] > lo[i] {
+                res[i] = res_eff;
+                let extent = hi[i] - lo[i];
+                inv_width[i] = res[i] as f64 / extent;
+                min_cell_width = min_cell_width.min(extent / res[i] as f64);
+            }
+        }
+        let mut cells = 1usize;
+        for i in (0..dim).rev() {
+            stride[i] = cells;
+            cells = cells.checked_mul(res[i])?;
+        }
+
+        let mut grid = SpatialGrid {
+            dim,
+            len: members.len(),
+            origin: lo,
+            inv_width,
+            res,
+            stride,
+            starts: vec![0; cells + 1],
+            bucket: vec![0; members.len()],
+            occupied: Vec::new(),
+            cell_lo: vec![f64::INFINITY; cells * dim],
+            cell_hi: vec![f64::NEG_INFINITY; cells * dim],
+            min_cell_width,
+            cmp_slack: cmp_slack::<Sp::Cmp>(dim),
+            wide_slack: cmp_slack::<f64>(dim),
+        };
+
+        // Counting sort by cell: positions placed in ascending order land
+        // ascending within each cell.
+        let mut counts = vec![0u32; cells];
+        for &m in members {
+            counts[grid.cell_of(space.coord_row(m)?)] += 1;
+        }
+        let mut acc = 0u32;
+        for (c, &count) in counts.iter().enumerate() {
+            grid.starts[c] = acc;
+            acc += count;
+            if count > 0 {
+                grid.occupied.push(c as u32);
+            }
+        }
+        grid.starts[cells] = acc;
+        let mut cursor: Vec<u32> = grid.starts[..cells].to_vec();
+        for (pos, &m) in members.iter().enumerate() {
+            let row = space.coord_row(m)?;
+            let cell = grid.cell_of(row);
+            grid.bucket[cursor[cell] as usize] = pos as u32;
+            cursor[cell] += 1;
+            for (i, &c) in row.iter().enumerate() {
+                let c = c.to_f64();
+                let slot = cell * dim + i;
+                if c < grid.cell_lo[slot] {
+                    grid.cell_lo[slot] = c;
+                }
+                if c > grid.cell_hi[slot] {
+                    grid.cell_hi[slot] = c;
+                }
+            }
+        }
+        Some(grid)
+    }
+
+    /// Coordinate dimension of the indexed rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of member positions indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid indexes no members (never true for a built grid).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Per-dimension clamped cell coordinates of a row.
+    fn coords_of<S: Scalar>(&self, row: &[S], out: &mut [usize; MAX_GRID_DIM]) {
+        for i in 0..self.dim {
+            let f = (row[i].to_f64() - self.origin[i]) * self.inv_width[i];
+            // `as usize` saturates: negative / NaN → 0.
+            out[i] = (f as usize).min(self.res[i] - 1);
+        }
+    }
+
+    /// Flat cell index of a row (clamped into the grid).
+    fn cell_of<S: Scalar>(&self, row: &[S]) -> usize {
+        let mut c = [0usize; MAX_GRID_DIM];
+        self.coords_of(row, &mut c);
+        (0..self.dim).map(|i| c[i] * self.stride[i]).sum()
+    }
+
+    /// Squared box distance (f64) from `row` to the tight member bounding
+    /// box of `cell` — a lower bound on the exact squared distance from
+    /// `row` to every member in the cell.  Meaningful only for non-empty
+    /// cells.
+    fn lb_dist2<S: Scalar>(&self, cell: usize, row: &[S]) -> f64 {
+        let base = cell * self.dim;
+        let mut acc = 0.0f64;
+        for i in 0..self.dim {
+            let x = row[i].to_f64();
+            let lo = self.cell_lo[base + i];
+            let hi = self.cell_hi[base + i];
+            let gap = if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// Lower bound (f64, squared) on the distance from any query to any
+    /// member in a cell at Chebyshev ring `rho` from the query's cell: the
+    /// offset dimension spans at least `rho - 1` whole cells.
+    fn ring_lb(&self, rho: usize) -> f64 {
+        if rho <= 1 {
+            0.0
+        } else {
+            let gap = (rho - 1) as f64 * self.min_cell_width;
+            gap * gap
+        }
+    }
+
+    /// Visits every non-empty cell at Chebyshev distance exactly `rho`
+    /// from cell coordinates `q`, in ascending flat-index order, until
+    /// `visit` returns `false`.  Returns `false` if the visitor stopped.
+    fn for_each_ring_cell(
+        &self,
+        q: &[usize; MAX_GRID_DIM],
+        rho: usize,
+        mut visit: impl FnMut(usize) -> bool,
+    ) -> bool {
+        let dim = self.dim;
+        let mut lo = [0usize; MAX_GRID_DIM];
+        let mut hi = [0usize; MAX_GRID_DIM];
+        let mut cur = [0usize; MAX_GRID_DIM];
+        for i in 0..dim {
+            lo[i] = q[i].saturating_sub(rho);
+            hi[i] = (q[i] + rho).min(self.res[i] - 1);
+            cur[i] = lo[i];
+        }
+        loop {
+            let cheb = (0..dim).map(|i| cur[i].abs_diff(q[i])).max().unwrap_or(0);
+            if cheb == rho {
+                let cell: usize = (0..dim).map(|i| cur[i] * self.stride[i]).sum();
+                if self.starts[cell] < self.starts[cell + 1] && !visit(cell) {
+                    return false;
+                }
+            }
+            // Odometer: last dimension fastest = ascending flat index.
+            let mut i = dim;
+            loop {
+                if i == 0 {
+                    return true;
+                }
+                i -= 1;
+                if cur[i] < hi[i] {
+                    cur[i] += 1;
+                    break;
+                }
+                cur[i] = lo[i];
+            }
+        }
+    }
+
+    /// Largest ring that still contains cells, from `q`.
+    fn max_ring(&self, q: &[usize; MAX_GRID_DIM]) -> usize {
+        (0..self.dim)
+            .map(|i| q[i].max(self.res[i] - 1 - q[i]))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The comparison-space nearest member to `query`: bit-identical to
+    /// the dense argmin `min_pos (cmp_distance(query, members[pos]))` with
+    /// ties toward the smaller position, returned as
+    /// `(position, cmp value)`.
+    ///
+    /// `members` must be the list the grid was built over.
+    pub fn nearest_member<Sp: MetricSpace + ?Sized>(
+        &self,
+        space: &Sp,
+        members: &[PointId],
+        query: PointId,
+    ) -> (usize, Sp::Cmp) {
+        debug_assert_eq!(members.len(), self.len, "grid/member list mismatch");
+        let row = space.coord_row(query).expect("grid-compatible space");
+        let mut q = [0usize; MAX_GRID_DIM];
+        self.coords_of(row, &mut q);
+        let mut best = (0usize, <Sp::Cmp as Scalar>::INFINITY);
+        let mut found = false;
+        for rho in 0..=self.max_ring(&q) {
+            // Every member beyond this ring is strictly farther than the
+            // best (slack covers comparison-space rounding), and strict
+            // inequality protects the lowest-position tie rule.
+            if found && self.ring_lb(rho) * (1.0 - self.cmp_slack) > best.1.to_f64() {
+                break;
+            }
+            self.for_each_ring_cell(&q, rho, |cell| {
+                if !found || self.lb_dist2(cell, row) * (1.0 - self.cmp_slack) <= best.1.to_f64() {
+                    for &pos in &self.bucket[self.starts[cell] as usize..self.starts[cell + 1] as usize]
+                    {
+                        let d = space.cmp_distance(query, members[pos as usize]);
+                        if d < best.1 || (d == best.1 && (pos as usize) < best.0) {
+                            best = (pos as usize, d);
+                            found = true;
+                        }
+                    }
+                }
+                true
+            });
+        }
+        best
+    }
+
+    /// Grid variant of [`MetricSpace::wide_cmp_distance_to_set_bounded`]
+    /// over the grid's members: an upper bound on the true
+    /// certification-space minimum, exact whenever it exceeds
+    /// `stop_below`.  All distances are the ground-truth f64
+    /// [`MetricSpace::wide_cmp_distance`] pairs.
+    pub fn wide_nearest_bounded<Sp: MetricSpace + ?Sized>(
+        &self,
+        space: &Sp,
+        members: &[PointId],
+        query: PointId,
+        stop_below: f64,
+    ) -> f64 {
+        debug_assert_eq!(members.len(), self.len, "grid/member list mismatch");
+        let row = space.coord_row(query).expect("grid-compatible space");
+        let mut q = [0usize; MAX_GRID_DIM];
+        self.coords_of(row, &mut q);
+        let mut best = f64::INFINITY;
+        for rho in 0..=self.max_ring(&q) {
+            // A ring that cannot *lower* the minimum cannot change the
+            // result (non-strict: an equal value is not an improvement).
+            if self.ring_lb(rho) * (1.0 - self.wide_slack) >= best {
+                break;
+            }
+            let keep_going = self.for_each_ring_cell(&q, rho, |cell| {
+                if self.lb_dist2(cell, row) * (1.0 - self.wide_slack) < best {
+                    for &pos in &self.bucket[self.starts[cell] as usize..self.starts[cell + 1] as usize]
+                    {
+                        let w = space.wide_cmp_distance(query, members[pos as usize]);
+                        if w < best {
+                            best = w;
+                            if best <= stop_below {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            });
+            if !keep_going {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Conservative relative slack covering the worst-case rounding of a
+/// storage-precision squared-distance accumulation plus the f64 box-bound
+/// arithmetic: `(d + 8) · 4 · u` for unit roundoff `u`, several times the
+/// `~(d + 3) · u` analytic bound.
+fn cmp_slack<S: Scalar>(dim: usize) -> f64 {
+    (dim as f64 + 8.0) * 4.0 * S::UNIT_ROUNDOFF
+}
+
+/// Grid accelerator for the fused Gonzalez relaxation: buckets the subset
+/// once, then serves [`GridRelaxer::relax_max`] passes that sweep occupied
+/// cells in ascending order, skipping cells the new center provably cannot
+/// touch.
+///
+/// Each occupied cell caches `(position, value)` of the lowest-position
+/// maximum `nearest[]` entry among its members; a skipped cell's cache
+/// stays valid because the skip condition proves no slot in it changed.
+/// Folding the caches with a "greater value, or equal value at a lower
+/// position" rule reproduces the dense lowest-index argmax bit-for-bit.
+pub struct GridRelaxer<S: Scalar> {
+    grid: SpatialGrid,
+    /// Per *occupied* cell (parallel to `grid.occupied`): lowest-position
+    /// argmax of `nearest[]` over the cell's members.  Starts at
+    /// `(first member, +inf)` — every slot is `+inf` before the first
+    /// relax pass.
+    cell_best: Vec<(u32, S)>,
+}
+
+impl<S: Scalar> GridRelaxer<S> {
+    /// Buckets `members` (the relax subset, positions `0..members.len()`)
+    /// of `space`; `None` exactly when [`SpatialGrid::build`] refuses the
+    /// space ([`RELAX_OCCUPANCY`] members per cell).
+    pub fn build<Sp: MetricSpace<Cmp = S> + ?Sized>(
+        space: &Sp,
+        members: &[PointId],
+    ) -> Option<GridRelaxer<S>> {
+        let grid = SpatialGrid::build(space, members, RELAX_OCCUPANCY)?;
+        let cell_best = grid
+            .occupied
+            .iter()
+            .map(|&c| (grid.bucket[grid.starts[c as usize] as usize], S::INFINITY))
+            .collect();
+        Some(GridRelaxer { grid, cell_best })
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &SpatialGrid {
+        &self.grid
+    }
+
+    /// One fused Gonzalez iteration, bit-identical to
+    /// [`MetricSpace::relax_nearest_max`] (lower `nearest[pos]` to the
+    /// distance to `center`, return the lowest-position maximum entry)
+    /// whenever the per-pair comparison values match the dense kernel's —
+    /// see the module docs for the backend caveat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members`/`nearest` do not match the list the relaxer was
+    /// built over.
+    pub fn relax_max<Sp: MetricSpace<Cmp = S> + ?Sized>(
+        &mut self,
+        space: &Sp,
+        members: &[PointId],
+        center: PointId,
+        nearest: &mut [S],
+    ) -> (usize, S) {
+        assert_eq!(members.len(), self.grid.len, "grid/member list mismatch");
+        assert_eq!(
+            members.len(),
+            nearest.len(),
+            "subset/nearest length mismatch"
+        );
+        let center_row = space.coord_row(center).expect("grid-compatible space");
+        for (oi, &cell_u) in self.grid.occupied.iter().enumerate() {
+            let cell = cell_u as usize;
+            let cached = self.cell_best[oi].1.to_f64();
+            // No member of this cell can get closer than the box bound; if
+            // even that (with comparison-rounding slack) cannot undercut
+            // the cell's current maximum slot, no slot in the cell changes
+            // and the cached record stays exact.
+            if self.grid.lb_dist2(cell, center_row) * (1.0 - self.grid.cmp_slack) >= cached {
+                continue;
+            }
+            let mut rec = (u32::MAX, S::NEG_INFINITY);
+            let span = self.grid.starts[cell] as usize..self.grid.starts[cell + 1] as usize;
+            for &pos in &self.grid.bucket[span] {
+                let p = pos as usize;
+                let d = space.cmp_distance(members[p], center);
+                let slot = &mut nearest[p];
+                if d < *slot {
+                    *slot = d;
+                }
+                if *slot > rec.1 {
+                    rec = (pos, *slot);
+                }
+            }
+            self.cell_best[oi] = rec;
+        }
+        let mut best = (usize::MAX, S::NEG_INFINITY);
+        for &(p, v) in &self.cell_best {
+            if v > best.1 || (v == best.1 && (p as usize) < best.0) {
+                best = (p as usize, v);
+            }
+        }
+        if best.0 == usize::MAX {
+            (0, S::NEG_INFINITY)
+        } else {
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Euclidean, Manhattan};
+    use crate::flat::FlatPoints;
+    use crate::matrix::DistanceMatrix;
+    use crate::space::{MatrixSpace, VecSpace};
+
+    /// Deterministic integer-lattice coordinates: squared distances stay
+    /// exactly representable at f32, so grid/dense parity is exact under
+    /// every kernel backend.
+    fn lattice_flat<S: Scalar>(n: usize, dim: usize, seed: u64) -> FlatPoints<S> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coords = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            coords.push(S::from_f64((next() % 1000) as f64));
+        }
+        FlatPoints::from_coords(coords, dim).unwrap()
+    }
+
+    fn dense_nearest<Sp: MetricSpace + ?Sized>(
+        space: &Sp,
+        members: &[PointId],
+        query: PointId,
+    ) -> (usize, Sp::Cmp) {
+        let mut best = (0usize, <Sp::Cmp as Scalar>::INFINITY);
+        for (i, &m) in members.iter().enumerate() {
+            let d = space.cmp_distance(query, m);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn choice_parses_and_rejects() {
+        assert_eq!(AssignChoice::parse("auto").unwrap(), AssignChoice::Auto);
+        assert_eq!(
+            AssignChoice::parse("DENSE").unwrap(),
+            AssignChoice::Fixed(AssignMode::Dense)
+        );
+        assert_eq!(
+            AssignChoice::parse("grid").unwrap(),
+            AssignChoice::Fixed(AssignMode::Grid)
+        );
+        let err = AssignChoice::parse("quadtree").unwrap_err();
+        assert_eq!(
+            err,
+            AssignSelectError::Unknown {
+                value: "quadtree".into()
+            }
+        );
+        assert!(err.to_string().contains("quadtree"));
+        assert_eq!(AssignChoice::Fixed(AssignMode::Grid).name(), "grid");
+    }
+
+    #[test]
+    fn auto_mode_prefers_dense_for_small_shapes() {
+        // Tiny scans and coordinate-free spaces stay dense.
+        for shape in [
+            ScanShape {
+                points: 100,
+                candidates: 1000,
+                dim: 2,
+            },
+            ScanShape {
+                points: 1 << 20,
+                candidates: 2,
+                dim: 2,
+            },
+            ScanShape {
+                points: 1 << 20,
+                candidates: 1000,
+                dim: 0,
+            },
+            ScanShape {
+                points: 1 << 20,
+                candidates: 1000,
+                dim: 64,
+            },
+        ] {
+            assert_eq!(auto_mode(shape), AssignMode::Dense, "{shape:?}");
+        }
+        assert_eq!(
+            auto_mode(ScanShape {
+                points: 1 << 20,
+                candidates: 64,
+                dim: 2,
+            }),
+            AssignMode::Grid
+        );
+    }
+
+    #[test]
+    fn scan_telemetry_counts_both_arms() {
+        reset_scan_counts();
+        note_scan(AssignMode::Grid);
+        note_scan(AssignMode::Grid);
+        note_scan(AssignMode::Dense);
+        assert_eq!(scan_counts(), (2, 1));
+        reset_scan_counts();
+        assert_eq!(scan_counts(), (0, 0));
+    }
+
+    #[test]
+    fn build_refuses_degenerate_inputs() {
+        // All-duplicate members: every extent is zero.
+        let flat = FlatPoints::from_coords(vec![3.0, 4.0, 3.0, 4.0, 3.0, 4.0], 2).unwrap();
+        let space = VecSpace::from_flat(flat);
+        assert!(SpatialGrid::build(&space, &[0, 1, 2], RELAX_OCCUPANCY).is_none());
+        // Empty member list.
+        assert!(SpatialGrid::build(&space, &[], RELAX_OCCUPANCY).is_none());
+        // Non-Euclidean surrogate: box bounds would be invalid.
+        let flat = FlatPoints::from_coords(vec![0.0, 0.0, 5.0, 1.0], 2).unwrap();
+        let manhattan = VecSpace::from_flat_with_distance(flat, Manhattan);
+        assert!(SpatialGrid::build(&manhattan, &[0, 1], RELAX_OCCUPANCY).is_none());
+        // Matrix spaces expose no coordinate rows.
+        let mut m = DistanceMatrix::<f64>::zeros(2);
+        m.set(0, 1, 1.0);
+        let ms = MatrixSpace::new(m);
+        assert!(SpatialGrid::build(&ms, &[0, 1], RELAX_OCCUPANCY).is_none());
+    }
+
+    #[test]
+    fn duplicate_heavy_but_not_degenerate_data_builds_and_matches() {
+        // One dimension collapses to a point; the other carries extent.
+        let mut coords = Vec::new();
+        for i in 0..64 {
+            coords.push(7.0);
+            coords.push((i % 4) as f64);
+        }
+        let flat = FlatPoints::from_coords(coords, 2).unwrap();
+        let space = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..64).collect();
+        let grid = SpatialGrid::build(&space, &members, NEAREST_OCCUPANCY).unwrap();
+        for q in 0..64 {
+            assert_eq!(
+                grid.nearest_member(&space, &members, q),
+                dense_nearest(&space, &members, q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_member_matches_dense_argmin_with_ties() {
+        let flat = lattice_flat::<f64>(256, 3, 11);
+        let space = VecSpace::from_flat(flat);
+        // Members: a strided candidate subset (with deliberate duplicate
+        // coordinates from the small lattice forcing distance ties).
+        let members: Vec<PointId> = (0..256).step_by(3).collect();
+        let grid = SpatialGrid::build(&space, &members, NEAREST_OCCUPANCY).unwrap();
+        for q in 0..256 {
+            assert_eq!(
+                grid.nearest_member(&space, &members, q),
+                dense_nearest(&space, &members, q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_member_matches_dense_at_f32() {
+        let flat = lattice_flat::<f32>(300, 4, 23);
+        let space: VecSpace<Euclidean, f32> = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..300).step_by(7).collect();
+        let grid = SpatialGrid::build(&space, &members, NEAREST_OCCUPANCY).unwrap();
+        for q in 0..300 {
+            assert_eq!(
+                grid.nearest_member(&space, &members, q),
+                dense_nearest(&space, &members, q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_nearest_bounded_is_exact_above_stop_and_upper_bound_below() {
+        let flat = lattice_flat::<f64>(200, 2, 5);
+        let space = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..200).step_by(5).collect();
+        let grid = SpatialGrid::build(&space, &members, NEAREST_OCCUPANCY).unwrap();
+        for q in 0..200 {
+            let exact = space.wide_cmp_distance_to_set(q, &members);
+            // Threshold below the minimum: exact.
+            let got = grid.wide_nearest_bounded(&space, &members, q, -1.0);
+            assert_eq!(got, exact, "query {q}");
+            // Generous threshold: never understates.
+            let bounded = grid.wide_nearest_bounded(&space, &members, q, f64::INFINITY);
+            assert!(bounded >= exact, "query {q}");
+        }
+    }
+
+    #[test]
+    fn relax_trajectory_matches_dense_over_many_centers() {
+        let flat = lattice_flat::<f64>(512, 2, 42);
+        let space = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..512).collect();
+        let mut relaxer = GridRelaxer::build(&space, &members).unwrap();
+        let mut grid_nearest = vec![f64::INFINITY; members.len()];
+        let mut dense_nearest = vec![f64::INFINITY; members.len()];
+        let mut center = 17;
+        for round in 0..24 {
+            let g = relaxer.relax_max(&space, &members, center, &mut grid_nearest);
+            let d = space.relax_nearest_max(&members, center, &mut dense_nearest);
+            assert_eq!(g, d, "round {round}");
+            assert_eq!(grid_nearest, dense_nearest, "round {round}");
+            center = members[g.0];
+        }
+    }
+
+    #[test]
+    fn relax_trajectory_matches_dense_at_f32_with_duplicates() {
+        let mut flat = lattice_flat::<f32>(400, 3, 9);
+        // Duplicate a block of rows to force exact ties in the argmax.
+        for i in 0..40 {
+            let row: Vec<f32> = flat.row(i).to_vec();
+            flat.push_row(&row);
+        }
+        let space: VecSpace<Euclidean, f32> = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..440).collect();
+        let mut relaxer = GridRelaxer::build(&space, &members).unwrap();
+        let mut grid_nearest = vec![f32::INFINITY; members.len()];
+        let mut dense_nearest = vec![f32::INFINITY; members.len()];
+        let mut center = 3;
+        for round in 0..16 {
+            let g = relaxer.relax_max(&space, &members, center, &mut grid_nearest);
+            let d = space.relax_nearest_max(&members, center, &mut dense_nearest);
+            assert_eq!(g, d, "round {round}");
+            assert_eq!(grid_nearest, dense_nearest, "round {round}");
+            center = members[g.0];
+        }
+    }
+
+    #[test]
+    fn relax_handles_non_identity_subsets() {
+        let flat = lattice_flat::<f64>(600, 4, 77);
+        let space = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..600).step_by(2).collect();
+        let mut relaxer = GridRelaxer::build(&space, &members).unwrap();
+        let mut grid_nearest = vec![f64::INFINITY; members.len()];
+        let mut dense_nearest = vec![f64::INFINITY; members.len()];
+        let mut center = members[5];
+        for round in 0..12 {
+            let g = relaxer.relax_max(&space, &members, center, &mut grid_nearest);
+            let d = space.relax_nearest_max(&members, center, &mut dense_nearest);
+            assert_eq!(g, d, "round {round}");
+            assert_eq!(grid_nearest, dense_nearest, "round {round}");
+            center = members[g.0];
+        }
+    }
+
+    #[test]
+    fn grid_shape_is_bounded_by_member_count() {
+        let flat = lattice_flat::<f64>(1000, 2, 1);
+        let space = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..1000).collect();
+        let grid = SpatialGrid::build(&space, &members, RELAX_OCCUPANCY).unwrap();
+        assert!(grid.cells() <= 1000 / RELAX_OCCUPANCY);
+        assert!(grid.occupied_cells() <= grid.cells());
+        assert_eq!(grid.len(), 1000);
+        assert!(!grid.is_empty());
+        assert_eq!(grid.dim(), 2);
+    }
+}

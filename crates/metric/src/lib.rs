@@ -86,6 +86,18 @@
 //! build (feature off, variable unset) resolves to the scalar kernels and
 //! is bit-identical to the pre-dispatch behaviour.
 //!
+//! # Assignment dispatch
+//!
+//! Orthogonally to the kernel backend, the assignment/relax *scans*
+//! dispatch between the dense SIMD path and the spatial-grid path of
+//! [`grid`] (`KCENTER_ASSIGN` / the CLI `--assign` flag: `auto` | `dense`
+//! | `grid`, where `auto` applies a bench-measured crossover).  The grid
+//! arm is bit-identical to the dense arm — same per-pair comparison
+//! values, same lowest-index tie-breaking, `wide_cmp_*` certification
+//! untouched — so the determinism tuple extends to `(seed, precision,
+//! kernel, assign)`; see the [`grid`] module docs for the one AVX2
+//! fused-kernel caveat.
+//!
 //! `unsafe` is denied crate-wide and appears only in the [`kernel::simd`]
 //! AVX2 module, where every intrinsic call sits behind a runtime
 //! `is_x86_feature_detected!` check.
@@ -96,6 +108,7 @@
 pub mod bbox;
 pub mod distance;
 pub mod flat;
+pub mod grid;
 pub mod kernel;
 pub mod lower_bound;
 pub mod matrix;
@@ -103,11 +116,14 @@ pub mod point;
 pub mod scalar;
 pub mod space;
 
-pub use bbox::BoundingBox;
+pub use bbox::{BoundingBox, DimensionMismatch};
 pub use distance::{
     Chebyshev, Distance, Euclidean, Hamming, Manhattan, Minkowski, SquaredEuclidean,
 };
 pub use flat::FlatPoints;
+pub use grid::{
+    AssignChoice, AssignMode, AssignSelectError, GridRelaxer, SpatialGrid, ASSIGN_ENV,
+};
 pub use kernel::simd::{KernelBackend, KernelChoice, KernelSelectError, KERNEL_ENV};
 pub use lower_bound::{pairwise_lower_bound, scaled_diameter_lower_bound};
 pub use matrix::DistanceMatrix;

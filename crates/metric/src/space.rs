@@ -75,6 +75,25 @@ pub trait MetricSpace: Send + Sync {
         <Self::Cmp as Scalar>::NAME
     }
 
+    /// The coordinate row of point `id` in the comparison scalar, when the
+    /// space is backed by coordinates ([`VecSpace`] overrides this with
+    /// its flat-store row).  The spatial grid (`crate::grid`) builds its
+    /// geometry from these rows; spaces returning `None` always take the
+    /// dense scans.
+    fn coord_row(&self, id: PointId) -> Option<&[Self::Cmp]> {
+        let _ = id;
+        None
+    }
+
+    /// Whether the spatial grid's axis-aligned box distance is a valid
+    /// lower bound for this space's comparison surrogates — i.e. the space
+    /// has coordinate rows and a squared-Euclidean surrogate
+    /// ([`crate::distance::Distance::supports_grid`]).  Defaults to
+    /// `false` (dense scans only).
+    fn grid_compatible(&self) -> bool {
+        false
+    }
+
     /// For each point in `targets`, its distance to point `from`.
     ///
     /// Coordinate-backed spaces override this to ride the dispatched kernel
@@ -565,6 +584,15 @@ impl<D: Distance, S: Scalar> MetricSpace for VecSpace<D, S> {
 
     fn is_metric(&self) -> bool {
         self.dist.is_metric()
+    }
+
+    #[inline]
+    fn coord_row(&self, id: PointId) -> Option<&[S]> {
+        Some(self.points.row(id))
+    }
+
+    fn grid_compatible(&self) -> bool {
+        self.dist.supports_grid()
     }
 
     fn distances_from(&self, from: PointId, targets: &[PointId]) -> Vec<f64> {

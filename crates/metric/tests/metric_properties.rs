@@ -102,7 +102,7 @@ proptest! {
 
     #[test]
     fn bounding_box_contains_all_points_and_bounds_distances(points in cloud()) {
-        let bbox = BoundingBox::of(&points).unwrap();
+        let bbox = BoundingBox::of(&points).unwrap().unwrap();
         let space = VecSpace::new(points.clone());
         for p in &points {
             prop_assert!(bbox.contains(p));

@@ -49,7 +49,7 @@ pub mod prelude {
     };
     pub use kcenter_mapreduce::{ClusterConfig, JobStats, SimulatedCluster};
     pub use kcenter_metric::{
-        Distance, Euclidean, FlatPoints, KernelBackend, KernelChoice, MetricSpace, Point, PointId,
-        Precision, Scalar, VecSpace,
+        AssignChoice, AssignMode, Distance, Euclidean, FlatPoints, KernelBackend, KernelChoice,
+        MetricSpace, Point, PointId, Precision, Scalar, VecSpace,
     };
 }
