@@ -16,10 +16,18 @@
 //! build-once/solve-many amortisation: one weighted coreset (Gonzalez and
 //! EIM builders, both storage precisions) against per-cell EIM reruns over
 //! a `(k, φ)` grid, charged in the paper's simulated-time metric.
+//!
+//! A third section (`executor_results`) runs the same MRG job on the
+//! simulated executor and on the threaded one per worker budget,
+//! verifying bit-identical outputs and recording real wall-clock round
+//! time next to `executor` / `threads` / `host_cores` — so a single-core
+//! measuring host's thread overhead is disclosed rather than hidden.
 
+use kcenter_bench::execbench::{run_executor_comparison, ExecutorComparison};
 use kcenter_bench::flatbench::{
-    clustered_flat, dense_assign_scan, dense_relax_rounds, flat_iteration_under, gonzalez_centers,
-    flat_par_iteration, grid_assign_scan, grid_relax_rounds, old_iteration, to_points_aged_heap,
+    clustered_flat, dense_assign_scan, dense_relax_rounds, flat_iteration_under,
+    flat_par_iteration, gonzalez_centers, grid_assign_scan, grid_relax_rounds, old_iteration,
+    to_points_aged_heap,
 };
 use kcenter_bench::sweepbench::{run_sweep_comparison, SweepBuilder, SweepComparison};
 use kcenter_data::{DatasetSpec, PointGenerator, UnifGenerator};
@@ -63,7 +71,11 @@ fn best_interleaved(variants: &mut [&mut dyn FnMut()]) -> Vec<u128> {
 
 /// [`best_interleaved`] with explicit round counts (the assignment
 /// sections use fewer rounds per configuration — each block is k scans).
-fn best_interleaved_n(warmup: usize, repeats: usize, variants: &mut [&mut dyn FnMut()]) -> Vec<u128> {
+fn best_interleaved_n(
+    warmup: usize,
+    repeats: usize,
+    variants: &mut [&mut dyn FnMut()],
+) -> Vec<u128> {
     let mut best = vec![u128::MAX; variants.len()];
     for round in 0..warmup + repeats {
         for (slot, f) in best.iter_mut().zip(variants.iter_mut()) {
@@ -253,7 +265,11 @@ fn main() {
             &mut [
                 &mut || {
                     nearest.borrow_mut().fill(f64::INFINITY);
-                    black_box(dense_relax_rounds(&space, &centers, &mut nearest.borrow_mut()));
+                    black_box(dense_relax_rounds(
+                        &space,
+                        &centers,
+                        &mut nearest.borrow_mut(),
+                    ));
                 },
                 &mut || {
                     nearest.borrow_mut().fill(f64::INFINITY);
@@ -379,7 +395,11 @@ fn main() {
             *dense_relax_ns as f64 / *grid_relax_ns as f64,
             *dense_assign_ns as f64 / *grid_assign_ns as f64,
         );
-        json.push_str(if i + 1 < assign_rows.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < assign_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ],\n");
     json.push_str("  \"assign_crossover_note\": \"per dimension, the smallest probed candidate count at which the grid assignment scan beats the dense one; AssignChoice::Auto's constants in kcenter_metric::grid::auto_mode are read from these records\",\n");
@@ -396,7 +416,11 @@ fn main() {
             grid.join(", "),
             crossover_k.map_or("null".to_string(), |k| k.to_string()),
         );
-        json.push_str(if i + 1 < crossover_rows.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < crossover_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ],\n");
 
@@ -440,6 +464,59 @@ fn main() {
         &[1.0, 2.0, 4.0, 6.0, 8.0],
         SweepBuilder::Eim,
     ));
+
+    // ---- Executor A/B (ISSUE 8): the same MRG job on the simulated
+    // executor and on real threads, per worker budget.  Outputs are
+    // verified bit-identical on every row; only the wall clock is allowed
+    // to move, and on a single-core host the threaded rows are *expected*
+    // to pay scope spawn/join overhead — recorded, not hidden.
+    let mut budgets = vec![1usize, threads];
+    budgets.dedup();
+    let executor_cmp: ExecutorComparison = run_executor_comparison(&gau100k, 42, 25, 50, &budgets);
+    assert!(
+        executor_cmp.all_bit_identical(),
+        "executor determinism contract violated"
+    );
+    for run in &executor_cmp.runs {
+        eprintln!(
+            "executor {} ({} threads, host {threads} cores): {} rounds, simulated {:.1}ms, sequential {:.1}ms, wall {:.1}ms, bit_identical {}",
+            run.executor,
+            run.executor.thread_count(),
+            run.rounds,
+            run.simulated.as_secs_f64() * 1e3,
+            run.sequential.as_secs_f64() * 1e3,
+            run.wall.as_secs_f64() * 1e3,
+            run.bit_identical,
+        );
+    }
+
+    json.push_str("  \"executor_benchmark\": \"one MRG job (GAU 100k, k=25, 50 machines) per executor: the paper's sequential simulated mode vs std::thread::scope fan-out per worker budget; outputs verified bit-identical on every row — the timing columns are measurements\",\n");
+    json.push_str("  \"executor_note\": \"wall_ns is real concurrent elapsed round time; on a 1-core host the threaded rows pay spawn/join overhead with no parallelism to buy it back — compare wall_ns against the simulated executor's row, not against simulated_ns\",\n");
+    json.push_str("  \"executor_results\": [\n");
+    for (i, run) in executor_cmp.runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"n\": {}, \"k\": {}, \"machines\": {}, \"executor\": \"{}\", \"threads\": {}, \"host_cores\": {threads}, \"rounds\": {}, \"simulated_ns\": {}, \"sequential_ns\": {}, \"wall_ns\": {}, \"radius\": {:.6}, \"bit_identical\": {}}}",
+            executor_cmp.workload,
+            executor_cmp.n,
+            executor_cmp.k,
+            executor_cmp.machines,
+            run.executor.name(),
+            run.executor.thread_count(),
+            run.rounds,
+            run.simulated.as_nanos(),
+            run.sequential.as_nanos(),
+            run.wall.as_nanos(),
+            run.radius,
+            run.bit_identical,
+        );
+        json.push_str(if i + 1 < executor_cmp.runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
 
     json.push_str("  \"sweep_benchmark\": \"build one weighted coreset, solve a (k, phi) grid on it, vs rerunning EIM per cell; simulated = paper's per-round max machine time\",\n");
     json.push_str("  \"sweep_results\": [\n");

@@ -1,0 +1,149 @@
+//! Executor A/B: the same MapReduce job on the paper's simulated executor
+//! and on the threaded one at several worker budgets.
+//!
+//! The determinism contract says the executor never changes an *output*:
+//! centers, radii and round counts are bit-identical at any thread count.
+//! The timing columns are measurements — the simulated column charges the
+//! paper's per-round max machine time either way, while the wall column
+//! records what really elapsed.  This harness measures what the threaded
+//! executor
+//! actually buys — or costs — on the measuring host, and verifies the
+//! contract on every run it times.  On a single-core host the threaded
+//! rows are expected to run *slower* than simulated (scope spawn/join
+//! overhead with no parallelism to pay for it); the report records
+//! `host_cores` next to every row so that overhead is disclosed rather
+//! than hidden.
+
+use kcenter_core::prelude::*;
+use kcenter_data::DatasetSpec;
+use kcenter_mapreduce::Executor;
+use std::time::Duration;
+
+/// One timed run of the comparison job under one executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorRun {
+    /// The executor the run used.
+    pub executor: Executor,
+    /// MapReduce rounds the job spent.
+    pub rounds: usize,
+    /// The paper's metric: per-round max simulated machine time, summed.
+    pub simulated: Duration,
+    /// Total work (sum of all machines' processing time over all rounds).
+    pub sequential: Duration,
+    /// Real concurrent elapsed time, summed over rounds.
+    pub wall: Duration,
+    /// Covering radius of the run's solution.
+    pub radius: f64,
+    /// Whether centers, radius and round count equal the simulated
+    /// baseline's bit for bit (trivially true for the baseline itself).
+    pub bit_identical: bool,
+}
+
+/// The outcome of one executor comparison: the simulated baseline first,
+/// then one row per requested thread budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorComparison {
+    /// Workload description (spec + seed).
+    pub workload: String,
+    /// Instance size.
+    pub n: usize,
+    /// Number of centers.
+    pub k: usize,
+    /// Simulated machines per round.
+    pub machines: usize,
+    /// The baseline, then one run per budget, in request order.
+    pub runs: Vec<ExecutorRun>,
+}
+
+impl ExecutorComparison {
+    /// Whether every threaded run reproduced the simulated baseline.
+    pub fn all_bit_identical(&self) -> bool {
+        self.runs.iter().all(|r| r.bit_identical)
+    }
+}
+
+/// Runs MRG on `spec` once per executor — the simulated baseline first,
+/// then `Executor::threads(b)` for each budget in `thread_budgets` — and
+/// checks every threaded solution against the baseline bit for bit.
+pub fn run_executor_comparison(
+    spec: &DatasetSpec,
+    seed: u64,
+    k: usize,
+    machines: usize,
+    thread_budgets: &[usize],
+) -> ExecutorComparison {
+    let dataset = spec.build_at::<f64>(seed);
+    let space = &dataset.space;
+    // The paper's two-round capacity, sized to *this* machine count.
+    let capacity = dataset.len().div_ceil(machines.max(1)).max(k * machines);
+
+    let mut executors = vec![Executor::Simulated];
+    executors.extend(thread_budgets.iter().map(|&b| Executor::threads(b)));
+
+    let mut baseline: Option<MrgResult> = None;
+    let mut runs = Vec::with_capacity(executors.len());
+    for executor in executors {
+        let result = MrgConfig::new(k)
+            .with_machines(machines)
+            .with_capacity(capacity)
+            .with_executor(executor)
+            .run(space)
+            .expect("MRG runs");
+        let bit_identical = baseline.as_ref().is_none_or(|base| {
+            base.solution.centers == result.solution.centers
+                && base.solution.radius == result.solution.radius
+                && base.mapreduce_rounds == result.mapreduce_rounds
+        });
+        runs.push(ExecutorRun {
+            executor,
+            rounds: result.stats.num_rounds(),
+            simulated: result.stats.simulated_time(),
+            sequential: result.stats.sequential_time(),
+            wall: result.stats.wall_time(),
+            radius: result.solution.radius,
+            bit_identical,
+        });
+        if baseline.is_none() {
+            baseline = Some(result);
+        }
+    }
+
+    ExecutorComparison {
+        workload: format!("{} seed {seed}", spec.describe()),
+        n: dataset.len(),
+        k,
+        machines,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_times_every_executor_and_verifies_identity() {
+        let spec = DatasetSpec::Gau {
+            n: 4_000,
+            k_prime: 5,
+        };
+        let cmp = run_executor_comparison(&spec, 7, 5, 8, &[1, 2]);
+        assert_eq!(cmp.runs.len(), 3);
+        assert_eq!(cmp.runs[0].executor, Executor::Simulated);
+        assert_eq!(cmp.runs[1].executor, Executor::threads(1));
+        assert_eq!(cmp.runs[2].executor, Executor::threads(2));
+        assert!(cmp.all_bit_identical());
+        for run in &cmp.runs {
+            assert!(run.rounds > 0);
+            assert!(run.wall > Duration::ZERO);
+            assert!(run.simulated > Duration::ZERO);
+            assert!(run.sequential >= run.simulated);
+            assert!(run.radius.is_finite());
+        }
+        // The *outputs* are executor-invariant; the timing columns are
+        // measurements and may differ run to run.
+        assert_eq!(cmp.runs[0].radius, cmp.runs[1].radius);
+        assert_eq!(cmp.runs[0].radius, cmp.runs[2].radius);
+        assert_eq!(cmp.runs[0].rounds, cmp.runs[1].rounds);
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod execbench;
 pub mod experiments;
 pub mod flatbench;
 pub mod measure;

@@ -17,7 +17,7 @@
 use kcenter_core::coreset::{GonzalezCoresetConfig, WeightedCoreset};
 use kcenter_core::prelude::*;
 use kcenter_data::DatasetSpec;
-use kcenter_mapreduce::{ClusterConfig, SimulatedCluster};
+use kcenter_mapreduce::{Cluster, ClusterConfig};
 use kcenter_metric::{Euclidean, Scalar};
 use std::time::{Duration, Instant};
 
@@ -141,8 +141,7 @@ pub fn run_sweep_comparison<S: Scalar>(
     let build_rounds = coreset.stats().num_rounds_labelled("coreset");
     let build_simulated = coreset.stats().simulated_time();
 
-    let mut solve_cluster =
-        SimulatedCluster::unchecked(ClusterConfig::new(machines, coreset.len().max(1)));
+    let mut solve_cluster = Cluster::unchecked(ClusterConfig::new(machines, coreset.len().max(1)));
     let per_k: Vec<(usize, f64)> = ks
         .iter()
         .map(|&k| {

@@ -5,6 +5,7 @@
 //! would be overkill.
 
 use kcenter_data::DatasetSpec;
+use kcenter_mapreduce::ExecutorChoice;
 use kcenter_metric::{AssignChoice, KernelChoice, Precision};
 use std::fmt;
 
@@ -172,6 +173,13 @@ pub struct SolveArgs {
     /// Assignment-arm request (`--assign auto|dense|grid`); `None` defers
     /// to the `KCENTER_ASSIGN` environment variable.
     pub assign: Option<AssignChoice>,
+    /// Cluster-executor request (`--executor simulated|threads`); `None`
+    /// defers to the `KCENTER_EXECUTOR` environment variable.
+    pub executor: Option<ExecutorChoice>,
+    /// Worker-thread budget (`--threads N`); `None` defers to the
+    /// `KCENTER_THREADS` environment variable, then to the host's
+    /// available parallelism.
+    pub threads: Option<usize>,
     /// Fault-injection options (inactive by default).
     pub faults: FaultArgs,
 }
@@ -241,6 +249,13 @@ pub struct SweepArgs {
     /// Assignment-arm request (`--assign auto|dense|grid`); `None` defers
     /// to the `KCENTER_ASSIGN` environment variable.
     pub assign: Option<AssignChoice>,
+    /// Cluster-executor request (`--executor simulated|threads`); `None`
+    /// defers to the `KCENTER_EXECUTOR` environment variable.
+    pub executor: Option<ExecutorChoice>,
+    /// Worker-thread budget (`--threads N`); `None` defers to the
+    /// `KCENTER_THREADS` environment variable, then to the host's
+    /// available parallelism.
+    pub threads: Option<usize>,
     /// Whether to run the per-cell EIM reruns the sweep amortises away
     /// (disable to time the coreset path alone).
     pub baseline: bool,
@@ -280,6 +295,7 @@ USAGE:
                 [--epsilon E] [--seed S] [--skip-columns C] [--assign-out OUT.csv]
                 [--precision f32|f64] [--kernel auto|scalar|portable|avx2]
                 [--assign auto|dense|grid]
+                [--executor simulated|threads] [--threads N]
                 [--fault-plan FILE | --fault-seed S] [--max-attempts N]
                 [--degrade on|off]
   kcenter sweep (--input FILE.csv | --family <unif|gau|unb|poker|kdd> --n N [--k-prime K'])
@@ -287,6 +303,7 @@ USAGE:
                 [--coreset-size T] [--machines M] [--epsilon E] [--seed S]
                 [--skip-columns C] [--precision f32|f64]
                 [--kernel auto|scalar|portable|avx2] [--assign auto|dense|grid]
+                [--executor simulated|threads] [--threads N]
                 [--baseline on|off]
                 [--fault-plan FILE | --fault-seed S] [--max-attempts N]
                 [--degrade on|off]
@@ -311,6 +328,15 @@ scans, `grid` routes relax/nearest scans through the spatial-grid index
 KCENTER_ASSIGN environment variable; both arms select bit-identical
 centers, so results are bit-deterministic per (seed, precision, kernel,
 assign).
+
+--executor selects how the MapReduce rounds run the simulated machines:
+`simulated` (the default) executes them sequentially with the paper's
+max-per-machine cost accounting, `threads` fans each round out over real
+std::thread::scope workers.  Results are bit-identical either way — only
+the wall-clock column changes.  --threads N pins the worker budget
+(default: the host's available parallelism) and also caps the chunked
+par_* distance kernels.  Both flags override the KCENTER_EXECUTOR /
+KCENTER_THREADS environment variables.
 
 --fault-seed S (or --fault-plan FILE for an explicit schedule) injects
 deterministic reducer faults into the MapReduce rounds: crashes,
@@ -413,6 +439,8 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
     let mut precision = Precision::default();
     let mut kernel: Option<KernelChoice> = None;
     let mut assign: Option<AssignChoice> = None;
+    let mut executor: Option<ExecutorChoice> = None;
+    let mut threads: Option<usize> = None;
     let mut faults = FaultArgs::default();
     for (flag, value) in &flags {
         if faults.consume(flag, value)? {
@@ -436,6 +464,8 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
             }
             "--kernel" => kernel = Some(parse_kernel(value)?),
             "--assign" => assign = Some(parse_assign(value)?),
+            "--executor" => executor = Some(parse_executor(value)?),
+            "--threads" => threads = Some(parse_threads(value)?),
             other => return Err(ParseError(format!("unknown flag {other:?} for solve"))),
         }
     }
@@ -453,6 +483,8 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
         precision,
         kernel,
         assign,
+        executor,
+        threads,
         faults,
     })
 }
@@ -467,6 +499,23 @@ fn parse_kernel(value: &str) -> Result<KernelChoice, ParseError> {
 /// [`kcenter_metric::AssignSelectError`] message.
 fn parse_assign(value: &str) -> Result<AssignChoice, ParseError> {
     AssignChoice::parse(value).map_err(|e| ParseError(format!("invalid value for --assign: {e}")))
+}
+
+/// Parses an `--executor` value; unknown names surface the named
+/// [`kcenter_mapreduce::ExecutorSelectError`] message.
+fn parse_executor(value: &str) -> Result<ExecutorChoice, ParseError> {
+    ExecutorChoice::parse(value)
+        .map_err(|e| ParseError(format!("invalid value for --executor: {e}")))
+}
+
+/// Parses a `--threads` value (a positive integer).
+fn parse_threads(value: &str) -> Result<usize, ParseError> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ParseError(format!(
+            "invalid value {value:?} for --threads (expected an integer >= 1)"
+        ))),
+    }
 }
 
 /// Parses a comma-separated list of numbers for flags like `--ks 5,10,25`.
@@ -501,6 +550,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
     let mut precision = Precision::default();
     let mut kernel: Option<KernelChoice> = None;
     let mut assign: Option<AssignChoice> = None;
+    let mut executor: Option<ExecutorChoice> = None;
+    let mut threads: Option<usize> = None;
     let mut baseline = true;
     let mut faults = FaultArgs::default();
     for (flag, value) in &flags {
@@ -535,6 +586,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
             }
             "--kernel" => kernel = Some(parse_kernel(value)?),
             "--assign" => assign = Some(parse_assign(value)?),
+            "--executor" => executor = Some(parse_executor(value)?),
+            "--threads" => threads = Some(parse_threads(value)?),
             "--baseline" => {
                 baseline = match value.to_ascii_lowercase().as_str() {
                     "on" | "true" | "yes" => true,
@@ -587,6 +640,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
         precision,
         kernel,
         assign,
+        executor,
+        threads,
         baseline,
         faults,
     })
@@ -777,6 +832,46 @@ mod tests {
             Command::Sweep(s) => assert_eq!(s.assign, Some(AssignChoice::Fixed(AssignMode::Grid))),
             _ => panic!("expected sweep"),
         }
+    }
+
+    #[test]
+    fn executor_flags_parse_and_reject_unknown_values() {
+        let cli = parse(&argv(
+            "solve gon --input x.csv --k 2 --executor threads --threads 4",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(s.executor, Some(ExecutorChoice::Threads));
+                assert_eq!(s.threads, Some(4));
+            }
+            _ => panic!("expected solve"),
+        }
+        let cli = parse(&argv("sweep --input a.csv --ks 2 --executor SIMULATED")).unwrap();
+        match cli.command {
+            Command::Sweep(s) => {
+                assert_eq!(s.executor, Some(ExecutorChoice::Simulated));
+                assert_eq!(s.threads, None);
+            }
+            _ => panic!("expected sweep"),
+        }
+        // Absent flags defer to the environment variables.
+        let cli = parse(&argv("solve gon --input x.csv --k 2")).unwrap();
+        match cli.command {
+            Command::Solve(s) => {
+                assert_eq!(s.executor, None);
+                assert_eq!(s.threads, None);
+            }
+            _ => panic!("expected solve"),
+        }
+        // Unknown executor names and bad thread counts are named errors.
+        let err = parse(&argv("solve gon --input x.csv --k 2 --executor gpu")).unwrap_err();
+        assert!(err.to_string().contains("--executor"));
+        assert!(err.to_string().contains("gpu"));
+        let err = parse(&argv("solve gon --input x.csv --k 2 --threads 0")).unwrap_err();
+        assert!(err.to_string().contains("--threads"));
+        let err = parse(&argv("sweep --input a.csv --ks 2 --threads many")).unwrap_err();
+        assert!(err.to_string().contains("--threads"));
     }
 
     #[test]

@@ -8,7 +8,8 @@ use kcenter_core::evaluate::{assign, cluster_sizes};
 use kcenter_core::prelude::*;
 use kcenter_data::csv::{load_points, save_points, CsvOptions};
 use kcenter_mapreduce::{
-    ClusterConfig, DegradedRun, FaultConfig, FaultPlan, FaultPolicy, JobStats, SimulatedCluster,
+    install_thread_budget, threads_from_env, Cluster, ClusterConfig, DegradedRun, Executor,
+    ExecutorChoice, FaultConfig, FaultPlan, FaultPolicy, JobStats,
 };
 use kcenter_metric::grid;
 use kcenter_metric::kernel::simd;
@@ -159,6 +160,38 @@ fn apply_assign(flag: Option<AssignChoice>) -> Result<AssignChoice, CommandError
     Ok(choice)
 }
 
+/// Resolves and installs the cluster executor for this run: the
+/// `--executor` flag wins, otherwise the `KCENTER_EXECUTOR` environment
+/// variable, otherwise the paper's simulated mode.  The worker budget is
+/// resolved `--threads`, then `KCENTER_THREADS`, then the host's available
+/// parallelism; an explicit budget is also installed as the rayon
+/// stand-in's thread override so the chunked `par_*` kernels honour it
+/// regardless of executor.  Results are executor-invariant — only the
+/// wall-clock accounting changes.
+fn apply_executor(
+    flag: Option<ExecutorChoice>,
+    threads_flag: Option<usize>,
+) -> Result<Executor, CommandError> {
+    let named = |e: kcenter_mapreduce::ExecutorSelectError| {
+        CommandError::Algorithm(KCenterError::InvalidParameter {
+            name: "executor",
+            message: e.to_string(),
+        })
+    };
+    let choice = match flag {
+        Some(c) => c,
+        None => ExecutorChoice::from_env().map_err(named)?,
+    };
+    let threads = match threads_flag {
+        Some(n) => Some(n),
+        None => threads_from_env().map_err(named)?,
+    };
+    if let Some(n) = threads {
+        install_thread_budget(n);
+    }
+    Ok(choice.resolve(threads))
+}
+
 /// Prints which assignment arm the scans actually ran on — a pinned `grid`
 /// can still fall back to dense per scan (non-Euclidean surrogate, missing
 /// coordinates, degenerate extents), and `auto` decides per shape, so the
@@ -240,17 +273,23 @@ fn solve<W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
     writeln!(out, "kernel backend: {kernel}")?;
     let assign_arm = apply_assign(args.assign)?;
     writeln!(out, "assignment arm: {assign_arm}")?;
+    let executor = apply_executor(args.executor, args.threads)?;
+    writeln!(out, "cluster executor: {executor}")?;
     // Dispatch into the monomorphised storage-precision stack once, here;
     // everything below runs entirely at the chosen precision (with the
     // covering radius still certified in f64 by the evaluation layer).
     match args.precision {
-        Precision::F64 => solve_at::<f64, W>(args, out)?,
-        Precision::F32 => solve_at::<f32, W>(args, out)?,
+        Precision::F64 => solve_at::<f64, W>(args, executor, out)?,
+        Precision::F32 => solve_at::<f32, W>(args, executor, out)?,
     }
     report_assign_scans(out)
 }
 
-fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), CommandError> {
+fn solve_at<S: Scalar, W: Write>(
+    args: &SolveArgs,
+    executor: Executor,
+    out: &mut W,
+) -> Result<(), CommandError> {
     let space = load_space::<S>(&args.input, args.skip_columns)?;
     writeln!(
         out,
@@ -294,29 +333,32 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
             let mut config = MrgConfig::new(args.k)
                 .with_machines(args.machines)
                 .with_unchecked_capacity()
-                .with_first_center(FirstCenter::Seeded(args.seed));
+                .with_first_center(FirstCenter::Seeded(args.seed))
+                .with_executor(executor);
             if let Some(faults) = faults {
                 config = config.with_faults(faults);
             }
             let result = config.run(&space)?;
             writeln!(
                 out,
-                "MRG on {} machines: {} MapReduce rounds, proven factor {}, simulated time {:?}, wall time {:?}",
+                "MRG on {} machines: {} MapReduce rounds, proven factor {}, simulated time {:?}, wall time {:?} on {}",
                 args.machines,
                 result.mapreduce_rounds,
                 result.approximation_factor,
                 result.stats.simulated_time(),
                 result.stats.wall_time(),
+                executor,
             )?;
             for round in result.stats.rounds() {
                 writeln!(
                     out,
-                    "  round {}: {} ({} machines, {} items, max machine time {:?})",
+                    "  round {}: {} ({} machines, {} items, max machine time {:?}, wall {:?})",
                     round.round + 1,
                     round.label,
                     round.machines_used,
                     round.items_in,
                     round.simulated_time,
+                    round.wall_time,
                 )?;
             }
             report_fault_log(&result.stats, out)?;
@@ -331,7 +373,8 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
                 .with_machines(args.machines)
                 .with_phi(args.phi)
                 .with_epsilon(args.epsilon)
-                .with_seed(args.seed);
+                .with_seed(args.seed)
+                .with_executor(executor);
             if let Some(faults) = faults {
                 config = config.with_faults(faults);
             }
@@ -349,9 +392,10 @@ fn solve_at<S: Scalar, W: Write>(args: &SolveArgs, out: &mut W) -> Result<(), Co
             )?;
             writeln!(
                 out,
-                "  simulated time {:?}, wall time {:?}",
+                "  simulated time {:?}, wall time {:?} on {}",
                 result.stats.simulated_time(),
-                result.stats.wall_time()
+                result.stats.wall_time(),
+                executor,
             )?;
             report_fault_log(&result.stats, out)?;
             (
@@ -404,9 +448,11 @@ fn sweep<W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), CommandError> {
     writeln!(out, "kernel backend: {kernel}")?;
     let assign_arm = apply_assign(args.assign)?;
     writeln!(out, "assignment arm: {assign_arm}")?;
+    let executor = apply_executor(args.executor, args.threads)?;
+    writeln!(out, "cluster executor: {executor}")?;
     match args.precision {
-        Precision::F64 => sweep_at::<f64, W>(args, out)?,
-        Precision::F32 => sweep_at::<f32, W>(args, out)?,
+        Precision::F64 => sweep_at::<f64, W>(args, executor, out)?,
+        Precision::F32 => sweep_at::<f32, W>(args, executor, out)?,
     }
     report_assign_scans(out)
 }
@@ -415,7 +461,11 @@ fn format_ms(d: Duration) -> String {
     format!("{:.1}ms", d.as_secs_f64() * 1e3)
 }
 
-fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), CommandError> {
+fn sweep_at<S: Scalar, W: Write>(
+    args: &SweepArgs,
+    executor: Executor,
+    out: &mut W,
+) -> Result<(), CommandError> {
     let space: VecSpace<Euclidean, S> = match &args.source {
         SweepSource::Csv { path, skip_columns } => load_space::<S>(path, *skip_columns)?,
         SweepSource::Generated(spec) => spec.build_at::<S>(args.seed).space,
@@ -454,7 +504,8 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
             };
             let mut config = GonzalezCoresetConfig::new(t)
                 .with_machines(args.machines)
-                .with_first_center(FirstCenter::Seeded(args.seed));
+                .with_first_center(FirstCenter::Seeded(args.seed))
+                .with_executor(executor);
             if let Some(faults) = faults {
                 config = config.with_faults(faults);
             }
@@ -465,7 +516,8 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
                 .with_machines(args.machines)
                 .with_epsilon(args.epsilon)
                 .with_phi(phi_max)
-                .with_seed(args.seed);
+                .with_seed(args.seed)
+                .with_executor(executor);
             if let Some(faults) = faults {
                 config = config.with_faults(faults);
             }
@@ -474,6 +526,7 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
     };
     let build_rounds = coreset.stats().num_rounds_labelled("coreset");
     let build_simulated = coreset.stats().simulated_time();
+    let build_wall = coreset.stats().wall_time();
     writeln!(
         out,
         "coreset: builder {}, {} representatives covering {} points, construction radius {:.6}",
@@ -497,15 +550,18 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
     }
     writeln!(
         out,
-        "coreset built once: {build_rounds} MapReduce rounds, simulated {}",
-        format_ms(build_simulated)
+        "coreset built once: {build_rounds} MapReduce rounds, simulated {}, wall {} on {}",
+        format_ms(build_simulated),
+        format_ms(build_wall),
+        executor,
     )?;
 
     // ---- Phase 2: one cheap weighted solve per k, charged to the same
     // accounting so the round labels prove the build was not repeated.
     let mut stats: JobStats = coreset.stats().clone();
     let mut solve_cluster =
-        SimulatedCluster::unchecked(ClusterConfig::new(args.machines, coreset.len().max(1)));
+        Cluster::unchecked(ClusterConfig::new(args.machines, coreset.len().max(1)))
+            .with_executor(executor);
     let mut per_k: Vec<(usize, CoresetSolution, f64)> = Vec::with_capacity(args.ks.len());
     for &k in &args.ks {
         let sol = coreset.solve_on_cluster(
@@ -578,18 +634,19 @@ fn sweep_at<S: Scalar, W: Write>(args: &SweepArgs, out: &mut W) -> Result<(), Co
     }
     writeln!(
         out,
-        "round accounting ({} rounds total):",
+        "round accounting ({} rounds total, executor {executor}):",
         stats.num_rounds()
     )?;
     for round in stats.rounds() {
         writeln!(
             out,
-            "  round {}: {} ({} machines, {} items, simulated {})",
+            "  round {}: {} ({} machines, {} items, simulated {}, wall {})",
             round.round + 1,
             round.label,
             round.machines_used,
             round.items_in,
             format_ms(round.simulated_time),
+            format_ms(round.wall_time),
         )?;
     }
     report_fault_log(&stats, out)?;
@@ -931,6 +988,54 @@ mod tests {
                 .collect()
         };
         assert_eq!(tail(&clean), tail(&faulty));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn threaded_executor_is_reported_and_matches_the_simulated_output() {
+        let _guard = kernel_lock();
+        let csv = temp_path("executor.csv");
+        run_cli(&format!(
+            "generate gau --n 1500 --k-prime 4 --seed 9 --out {csv}"
+        ))
+        .unwrap();
+        let simulated = run_cli(&format!("solve mrg --input {csv} --k 4 --machines 8")).unwrap();
+        assert!(simulated.contains("cluster executor: simulated"));
+        let threaded = run_cli(&format!(
+            "solve mrg --input {csv} --k 4 --machines 8 --executor threads --threads 2"
+        ))
+        .unwrap();
+        assert!(threaded.contains("cluster executor: threads(x2)"));
+        assert!(threaded.contains("wall time"));
+        // Bit-identical results — only the timing columns may differ.
+        let tail = |s: &str| -> String {
+            s.lines()
+                .filter(|l| l.starts_with("covering radius") || l.starts_with("centers"))
+                .collect()
+        };
+        assert_eq!(tail(&simulated), tail(&threaded));
+
+        // The sweep reports the executor in its round accounting too.
+        let sweep_out = run_cli(
+            "sweep --family unif --n 1000 --ks 2 --phis 8 --machines 4 --seed 1 \
+             --coreset-size 30 --baseline off --executor threads --threads 2",
+        )
+        .unwrap();
+        assert!(sweep_out.contains("cluster executor: threads(x2)"));
+        assert!(sweep_out.contains("executor threads(x2)"));
+        assert!(sweep_out.contains("wall"));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn executor_flag_rejects_unknown_env_free_values() {
+        let csv = temp_path("badexec.csv");
+        run_cli(&format!("generate unif --n 50 --seed 2 --out {csv}")).unwrap();
+        let err = parse(&argv(&format!(
+            "solve gon --input {csv} --k 2 --executor quantum"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("quantum"));
         std::fs::remove_file(&csv).ok();
     }
 

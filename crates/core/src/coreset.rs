@@ -42,7 +42,7 @@
 //!   construction radius the classic `r_t` (the `(t+1)`-th farthest-point
 //!   distance), giving the usual `r_t`-additive certificate; `r_t ≤ 2·OPT_t`
 //!   shrinks as `t` grows.  The build runs as MapReduce rounds on a
-//!   [`SimulatedCluster`] — per-reducer local coresets merged in a second
+//!   [`Cluster`] — per-reducer local coresets merged in a second
 //!   round (the composable construction), then one weight/certification
 //!   round — so construction cost shows up in [`JobStats`] next to the
 //!   solve rounds it amortises.  With one machine the build degenerates to
@@ -69,10 +69,11 @@ use crate::gonzalez::{self, FirstCenter};
 use crate::solution::KCenterSolution;
 use crate::solver::SequentialSolver;
 use kcenter_mapreduce::{
-    partition, ClusterConfig, DroppedShard, FaultConfig, JobStats, MapReduceError, SimulatedCluster,
+    partition, Cluster, ClusterConfig, DroppedShard, Executor, FaultConfig, JobStats,
+    MapReduceError,
 };
 use kcenter_metric::distance::Distance;
-use kcenter_metric::grid::{self, SpatialGrid};
+use kcenter_metric::grid::{self, RelaxGridCache, SpatialGrid};
 use kcenter_metric::{Euclidean, FlatPoints, MetricSpace, PointId, Scalar, VecSpace};
 use serde::{Deserialize, Serialize};
 
@@ -157,6 +158,11 @@ pub struct WeightedCoreset<D: Distance = Euclidean, S: Scalar = f64> {
     seed: Option<u64>,
     stats: JobStats,
     coverage: CoresetCoverage,
+    /// Build-once bucketing of the representative rows for the grid-mode
+    /// Gonzalez selections of a `(k, φ)` sweep — the rows never change
+    /// after construction, so every solve shares one [`SpatialGrid`]
+    /// (clones share it too; results are bit-identical either way).
+    relax_grid: RelaxGridCache,
 }
 
 impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
@@ -194,6 +200,7 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
             seed,
             stats,
             coverage,
+            relax_grid: RelaxGridCache::new(),
         }
     }
 
@@ -321,7 +328,10 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
     /// sequential solver and returns the solution together with its quality
     /// certificate.  Cost is `O(k · t)` for Gonzalez on `t` representatives
     /// — independent of the source size, which is what makes a `(k, φ)`
-    /// sweep over one coreset cheap.
+    /// sweep over one coreset cheap.  Grid-mode selections share one
+    /// build-once bucketing of the representative rows across all solves
+    /// on this coreset (the rows are immutable); outputs are bit-identical
+    /// to a fresh build per call.
     pub fn solve(
         &self,
         k: usize,
@@ -335,8 +345,14 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
             return Err(KCenterError::ZeroK);
         }
         let local_ids: Vec<PointId> = (0..self.len()).collect();
-        let local_centers =
-            solver.select_centers_weighted(&self.space, &local_ids, &self.weights, k, first);
+        let local_centers = solver.select_centers_weighted_cached(
+            &self.space,
+            &local_ids,
+            &self.weights,
+            k,
+            first,
+            Some(&self.relax_grid),
+        );
         Ok(self.package_solution(k, local_centers))
     }
 
@@ -349,7 +365,7 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
         k: usize,
         solver: SequentialSolver,
         first: FirstCenter,
-        cluster: &mut SimulatedCluster,
+        cluster: &mut Cluster,
         label: &str,
     ) -> Result<CoresetSolution, KCenterError> {
         if self.is_empty() {
@@ -361,10 +377,20 @@ impl<D: Distance, S: Scalar> WeightedCoreset<D, S> {
         let local_ids: Vec<PointId> = (0..self.len()).collect();
         let weights = &self.weights;
         let space = &self.space;
+        let relax_grid = &self.relax_grid;
         let local_centers = cluster.run_single(
             label,
             local_ids,
-            |ids| solver.select_centers_weighted(space, ids, weights, k, first),
+            |ids| {
+                solver.select_centers_weighted_cached(
+                    space,
+                    ids,
+                    weights,
+                    k,
+                    first,
+                    Some(relax_grid),
+                )
+            },
             Vec::len,
         )?;
         Ok(self.package_solution(k, local_centers))
@@ -476,6 +502,10 @@ pub struct GonzalezCoresetConfig {
     /// their attempts are dropped and the coreset comes back **partial**
     /// (see [`WeightedCoreset::coverage`]).
     pub faults: Option<FaultConfig>,
+    /// How the cluster executes each round's machines: the paper's
+    /// sequential simulation (the default) or real scoped threads.
+    /// Outputs are bit-identical either way.
+    pub executor: Executor,
 }
 
 impl GonzalezCoresetConfig {
@@ -487,6 +517,7 @@ impl GonzalezCoresetConfig {
             first_center: FirstCenter::default(),
             parallel_scan: false,
             faults: None,
+            executor: Executor::Simulated,
         }
     }
 
@@ -512,6 +543,12 @@ impl GonzalezCoresetConfig {
     /// Installs fault injection on the build's simulated cluster.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Selects the cluster executor (simulated by default).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -546,7 +583,8 @@ impl GonzalezCoresetConfig {
             });
         }
 
-        let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(self.machines, n.max(1)));
+        let mut cluster = Cluster::unchecked(ClusterConfig::new(self.machines, n.max(1)))
+            .with_executor(self.executor);
         if let Some(faults) = &self.faults {
             cluster.set_fault_injection(Some(faults.clone()));
         }
@@ -772,7 +810,7 @@ fn surviving_ids(n: usize, lost: &[PointId]) -> Vec<PointId> {
 /// round's [`JobStats`] under [`PRUNED_PAIRS_COUNTER`].
 #[allow(clippy::too_many_arguments)] // crate-private round: shared verbatim by both builders
 fn weight_and_certify_round<Sp: MetricSpace + ?Sized>(
-    cluster: &mut SimulatedCluster,
+    cluster: &mut Cluster,
     space: &Sp,
     reps: &[PointId],
     ids: &[PointId],
@@ -987,6 +1025,37 @@ mod tests {
     }
 
     #[test]
+    fn sweep_solves_share_one_relax_grid_and_stay_bit_identical() {
+        // Large enough that the auto crossover picks the grid arm for the
+        // per-k selections: ≥ 4096 representatives, k ≥ 16, dim 2.
+        let space = cloud(4_800, 11);
+        let coreset = GonzalezCoresetConfig::new(4_200).build(&space).unwrap();
+        assert_eq!(coreset.len(), 4_200);
+        assert!(!coreset.relax_grid.is_built());
+        let local_ids: Vec<PointId> = (0..coreset.len()).collect();
+        for k in [16usize, 24, 40] {
+            let sol = coreset
+                .solve(k, SequentialSolver::Gonzalez, FirstCenter::default())
+                .unwrap();
+            // Uncached reference: a fresh selection (fresh grid build)
+            // for every k.
+            let fresh = SequentialSolver::Gonzalez.select_centers_weighted(
+                coreset.space(),
+                &local_ids,
+                coreset.weights(),
+                k,
+                FirstCenter::default(),
+            );
+            assert_eq!(sol.local_centers, fresh, "k={k}");
+            // The first grid-mode solve latches the bucketing; every
+            // later solve reuses it.
+            assert!(coreset.relax_grid.is_built(), "k={k}");
+        }
+        // Clones share the latched grid rather than rebuilding.
+        assert!(coreset.clone().relax_grid.is_built());
+    }
+
+    #[test]
     fn mapreduce_build_stays_close_to_the_sequential_build() {
         let space = cloud(4_000, 5);
         let seq = GonzalezCoresetConfig::new(80).build(&space).unwrap();
@@ -1049,13 +1118,45 @@ mod tests {
     }
 
     #[test]
+    fn threaded_executor_builds_bit_identical_coresets() {
+        let space = cloud(3_000, 9);
+        let gon_sim = GonzalezCoresetConfig::new(60)
+            .with_machines(6)
+            .build(&space)
+            .unwrap();
+        let eim_cfg = EimConfig::new(2)
+            .with_epsilon(0.13)
+            .with_machines(8)
+            .with_seed(5);
+        let eim_sim = eim_cfg.build_coreset(&space).unwrap();
+        for threads in [1usize, 4] {
+            let gon_thr = GonzalezCoresetConfig::new(60)
+                .with_machines(6)
+                .with_executor(Executor::threads(threads))
+                .build(&space)
+                .unwrap();
+            assert_eq!(gon_thr.source_ids(), gon_sim.source_ids());
+            assert_eq!(gon_thr.weights(), gon_sim.weights());
+            assert_eq!(gon_thr.construction_radius(), gon_sim.construction_radius());
+            let eim_thr = eim_cfg
+                .clone()
+                .with_executor(Executor::threads(threads))
+                .build_coreset(&space)
+                .unwrap();
+            assert_eq!(eim_thr.source_ids(), eim_sim.source_ids());
+            assert_eq!(eim_thr.weights(), eim_sim.weights());
+            assert_eq!(eim_thr.construction_radius(), eim_sim.construction_radius());
+        }
+    }
+
+    #[test]
     fn solve_on_cluster_charges_one_round_per_cell() {
         let space = cloud(2_000, 8);
         let coreset = GonzalezCoresetConfig::new(50)
             .with_machines(4)
             .build(&space)
             .unwrap();
-        let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(4, coreset.len()));
+        let mut cluster = Cluster::unchecked(ClusterConfig::new(4, coreset.len()));
         for (i, k) in [2usize, 4, 8].iter().enumerate() {
             let label = format!("sweep solve k={k}");
             let sol = coreset

@@ -39,8 +39,8 @@ use crate::select::{select_pivot, PHI_ORIGINAL};
 use crate::solution::KCenterSolution;
 use crate::solver::SequentialSolver;
 use kcenter_mapreduce::{
-    partition, ClusterConfig, DegradedRun, DroppedShard, FaultConfig, JobStats, MapReduceError,
-    SimulatedCluster,
+    partition, Cluster, ClusterConfig, DegradedRun, DroppedShard, Executor, FaultConfig, JobStats,
+    MapReduceError,
 };
 use kcenter_metric::{MetricSpace, PointId, Scalar};
 use rand::rngs::StdRng;
@@ -86,6 +86,10 @@ pub struct EimConfig {
     /// Optional deterministic fault injection (plan + retry policy +
     /// degrade mode) installed on the simulated cluster.
     pub faults: Option<FaultConfig>,
+    /// How the cluster executes each round's machines: the paper's
+    /// sequential simulation (the default) or real scoped threads.
+    /// Outputs are bit-identical either way.
+    pub executor: Executor,
 }
 
 impl EimConfig {
@@ -102,6 +106,7 @@ impl EimConfig {
             first_center: FirstCenter::default(),
             max_iterations: 64,
             faults: None,
+            executor: Executor::Simulated,
         }
     }
 
@@ -147,6 +152,12 @@ impl EimConfig {
     /// an explicitly partial certificate (see [`EimResult::degraded`]).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Selects the cluster executor (simulated by default).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -303,7 +314,7 @@ pub(crate) fn sampling_phase<S: MetricSpace + ?Sized>(
     config: &EimConfig,
     space: &S,
     label_prefix: &str,
-) -> Result<(SamplingPhase, SimulatedCluster), KCenterError> {
+) -> Result<(SamplingPhase, Cluster), KCenterError> {
     let n = space.len();
     config.validate(n)?;
     if !space.is_metric() {
@@ -319,7 +330,8 @@ pub(crate) fn sampling_phase<S: MetricSpace + ?Sized>(
 
     // EIM has no per-machine capacity parameter; partitions are always
     // `⌈|R|/m⌉` points, which the paper's setup comfortably holds.
-    let mut cluster = SimulatedCluster::unchecked(ClusterConfig::new(config.machines, n.max(1)));
+    let mut cluster = Cluster::unchecked(ClusterConfig::new(config.machines, n.max(1)))
+        .with_executor(config.executor);
     if let Some(faults) = &config.faults {
         cluster.set_fault_injection(Some(faults.clone()));
     }
@@ -643,6 +655,23 @@ mod tests {
         );
         assert_eq!(result.solution.centers.len(), 1);
         assert!(result.solution.radius.is_finite() && result.solution.radius > 0.0);
+    }
+
+    #[test]
+    fn threaded_executor_reproduces_the_sampling_run_bit_for_bit() {
+        let space = cloud(4_000, 2);
+        let simulated = sampling_config(2).run(&space).unwrap();
+        assert!(!simulated.fell_back_to_sequential);
+        for threads in [1usize, 4] {
+            let threaded = sampling_config(2)
+                .with_executor(Executor::threads(threads))
+                .run(&space)
+                .unwrap();
+            assert_eq!(threaded.solution.centers, simulated.solution.centers);
+            assert_eq!(threaded.solution.radius, simulated.solution.radius);
+            assert_eq!(threaded.iterations, simulated.iterations);
+            assert_eq!(threaded.sample_size, simulated.sample_size);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::error::KCenterError;
 use crate::evaluate::covering_radius;
 use crate::solution::KCenterSolution;
-use kcenter_metric::grid::{self, GridRelaxer};
+use kcenter_metric::grid::{self, GridRelaxer, RelaxGridCache};
 use kcenter_metric::space::is_identity_subset;
 use kcenter_metric::{MetricSpace, PointId, Scalar};
 use serde::{Deserialize, Serialize};
@@ -141,6 +141,29 @@ pub fn select_centers<S: MetricSpace + ?Sized>(
     first: FirstCenter,
     parallel_scan: bool,
 ) -> Vec<PointId> {
+    select_centers_cached(space, subset, k, first, parallel_scan, None)
+}
+
+/// [`select_centers`] with an optional build-once cache for the relax
+/// grid's bucketing.
+///
+/// A `(k, φ)` sweep re-selects centers many times over the *same* subset
+/// (a coreset's representatives); with a [`RelaxGridCache`] the
+/// [`SpatialGrid`](kcenter_metric::grid::SpatialGrid) is built on the
+/// first grid-mode selection and every later one pays only the cheap
+/// relax-state reset.  The cache must belong to this exact `(space,
+/// subset)` pair — keying is the caller's responsibility — and results are
+/// bit-identical with or without it.  The grid-vs-dense crossover still
+/// runs per selection (it depends on `k`), so the cache is consulted only
+/// when the grid arm is selected.
+pub fn select_centers_cached<S: MetricSpace + ?Sized>(
+    space: &S,
+    subset: &[PointId],
+    k: usize,
+    first: FirstCenter,
+    parallel_scan: bool,
+    relax_cache: Option<&RelaxGridCache>,
+) -> Vec<PointId> {
     if subset.is_empty() || k == 0 {
         return Vec::new();
     }
@@ -180,7 +203,10 @@ pub fn select_centers<S: MetricSpace + ?Sized>(
         dim,
     };
     let mut relaxer = if grid::select_mode(shape) == grid::AssignMode::Grid {
-        GridRelaxer::build(space, subset)
+        match relax_cache {
+            Some(cache) => cache.get_or_build(space, subset),
+            None => GridRelaxer::build(space, subset),
+        }
     } else {
         None
     };
@@ -235,13 +261,34 @@ pub fn select_centers_weighted<S: MetricSpace + ?Sized>(
     first: FirstCenter,
     parallel_scan: bool,
 ) -> Vec<PointId> {
+    select_centers_weighted_cached(space, subset, weights, k, first, parallel_scan, None)
+}
+
+/// [`select_centers_weighted`] with an optional relax-grid cache (see
+/// [`select_centers_cached`] for the contract).  The cache is keyed on the
+/// **full** `subset`, so it is consulted only on the all-positive-weights
+/// fast path; a zero-weight entry changes the member list the grid would
+/// bucket, and that selection falls back to a fresh build.
+///
+/// # Panics
+///
+/// Panics if `subset` and `weights` have different lengths.
+pub fn select_centers_weighted_cached<S: MetricSpace + ?Sized>(
+    space: &S,
+    subset: &[PointId],
+    weights: &[u64],
+    k: usize,
+    first: FirstCenter,
+    parallel_scan: bool,
+    relax_cache: Option<&RelaxGridCache>,
+) -> Vec<PointId> {
     assert_eq!(
         subset.len(),
         weights.len(),
         "subset/weights length mismatch"
     );
     if weights.iter().all(|&w| w > 0) {
-        return select_centers(space, subset, k, first, parallel_scan);
+        return select_centers_cached(space, subset, k, first, parallel_scan, relax_cache);
     }
     let support: Vec<PointId> = subset
         .iter()

@@ -18,8 +18,8 @@ use crate::gonzalez::FirstCenter;
 use crate::solution::KCenterSolution;
 use crate::solver::SequentialSolver;
 use kcenter_mapreduce::{
-    partition, ClusterConfig, DegradedRun, DroppedShard, FaultConfig, JobStats, MapReduceError,
-    SimulatedCluster,
+    partition, Cluster, ClusterConfig, DegradedRun, DroppedShard, Executor, FaultConfig, JobStats,
+    MapReduceError,
 };
 use kcenter_metric::{MetricSpace, PointId};
 use serde::{Deserialize, Serialize};
@@ -58,6 +58,10 @@ pub struct MrgConfig {
     /// Optional deterministic fault injection (plan + retry policy +
     /// degrade mode) installed on the simulated cluster.
     pub faults: Option<FaultConfig>,
+    /// How the cluster executes each round's machines: the paper's
+    /// sequential simulation (the default) or real scoped threads.
+    /// Outputs are bit-identical either way.
+    pub executor: Executor,
 }
 
 impl MrgConfig {
@@ -72,6 +76,7 @@ impl MrgConfig {
             solver: SequentialSolver::Gonzalez,
             first_center: FirstCenter::default(),
             faults: None,
+            executor: Executor::Simulated,
         }
     }
 
@@ -115,6 +120,12 @@ impl MrgConfig {
         self
     }
 
+    /// Selects the cluster executor (simulated by default).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
     /// The capacity that will actually be used for an instance of `n`
     /// points: the explicit capacity if set, otherwise the paper's
     /// two-round default `max(⌈n/m⌉, k·m)`.
@@ -148,10 +159,11 @@ impl MrgConfig {
         let capacity = self.effective_capacity(n);
         let cluster_config = ClusterConfig::new(self.machines, capacity);
         let mut cluster = if self.enforce_capacity {
-            SimulatedCluster::new(cluster_config)
+            Cluster::new(cluster_config)
         } else {
-            SimulatedCluster::unchecked(cluster_config)
-        };
+            Cluster::unchecked(cluster_config)
+        }
+        .with_executor(self.executor);
         cluster.check_fits(n)?;
         if let Some(faults) = &self.faults {
             cluster.set_fault_injection(Some(faults.clone()));
@@ -597,6 +609,25 @@ mod tests {
                 assert_eq!(attempts, 3);
             }
             other => panic!("expected RoundFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_executor_reproduces_the_simulated_run_bit_for_bit() {
+        let space = cloud(2_000, 13);
+        let simulated = MrgConfig::new(5).with_machines(10).run(&space).unwrap();
+        for threads in [1usize, 3, 8] {
+            let threaded = MrgConfig::new(5)
+                .with_machines(10)
+                .with_executor(Executor::threads(threads))
+                .run(&space)
+                .unwrap();
+            assert_eq!(threaded.solution.centers, simulated.solution.centers);
+            assert_eq!(threaded.solution.radius, simulated.solution.radius);
+            assert_eq!(threaded.reduction_rounds, simulated.reduction_rounds);
+            for r in threaded.stats.rounds() {
+                assert_eq!(r.executor, Executor::threads(threads));
+            }
         }
     }
 

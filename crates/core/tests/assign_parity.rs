@@ -235,7 +235,11 @@ fn engineered_tie_parity() {
         let (d, g) = both_arms(|| {
             let gon = GonzalezConfig::new(k).solve(&space).unwrap();
             let labels = evaluate::assign(&space, &gon.centers);
-            let eim = EimConfig::new(k).with_seed(7).with_machines(2).run(&space).unwrap();
+            let eim = EimConfig::new(k)
+                .with_seed(7)
+                .with_machines(2)
+                .run(&space)
+                .unwrap();
             (
                 (gon.centers, gon.radius),
                 labels,

@@ -3,15 +3,22 @@
 //! The fault layer's central promise: as long as every partition
 //! eventually succeeds within its attempt budget, retries, stragglers and
 //! speculation must not change a single bit of any driver's output — the
-//! determinism tuple stays `(seed, precision, kernel)`, never "and the
-//! fault schedule".  These tests drive random seeded fault plans through
-//! MRG, EIM and both coreset builders and demand bit-identical results,
-//! plus pin the degrade-mode contract: a run that drops shards must say
-//! exactly which fraction of the input its certificate still covers.
+//! determinism tuple stays `(seed, precision, kernel, assign)`, never
+//! "and the fault schedule".  These tests drive random seeded fault plans
+//! through MRG, EIM and both coreset builders and demand bit-identical
+//! results, plus pin the degrade-mode contract: a run that drops shards
+//! must say exactly which fraction of the input its certificate still
+//! covers.
+//!
+//! The executor is held to the same standard: running the same drivers on
+//! the threaded executor at a *random* worker budget — with the same
+//! random survivable fault plan active — must reproduce the simulated
+//! run's outputs bit for bit, so "executor" never joins the determinism
+//! tuple either.
 
 use kcenter_core::prelude::*;
 use kcenter_mapreduce::{
-    FaultConfig, FaultKind, FaultPlan, FaultPolicy, FaultRates, ScheduledFault,
+    Executor, FaultConfig, FaultKind, FaultPlan, FaultPolicy, FaultRates, ScheduledFault,
 };
 use kcenter_metric::{Point, VecSpace};
 use proptest::prelude::*;
@@ -116,6 +123,87 @@ proptest! {
         prop_assert_eq!(clean.weights(), faulty.weights());
         prop_assert_eq!(clean.construction_radius(), faulty.construction_radius());
         prop_assert!(!faulty.is_partial());
+    }
+
+    #[test]
+    fn mrg_threaded_executor_matches_simulated_under_survivable_faults(
+        threads in 1usize..=8,
+        faults in chaotic_faults(),
+    ) {
+        let space = cloud(800, 45);
+        let config = MrgConfig::new(6).with_machines(8).with_faults(faults);
+        let simulated = config.clone().run(&space).unwrap();
+        let threaded = config
+            .with_executor(Executor::threads(threads))
+            .run(&space)
+            .unwrap();
+        prop_assert_eq!(&simulated.solution.centers, &threaded.solution.centers);
+        prop_assert_eq!(simulated.solution.radius, threaded.solution.radius);
+        prop_assert_eq!(simulated.mapreduce_rounds, threaded.mapreduce_rounds);
+        prop_assert!(threaded.degraded.is_none());
+    }
+
+    #[test]
+    fn eim_threaded_executor_matches_simulated_under_survivable_faults(
+        threads in 1usize..=8,
+        faults in chaotic_faults(),
+    ) {
+        let space = cloud(800, 46);
+        let config = EimConfig::new(3)
+            .with_machines(6)
+            .with_epsilon(0.13)
+            .with_seed(7)
+            .with_faults(faults);
+        let simulated = config.clone().run(&space).unwrap();
+        let threaded = config
+            .with_executor(Executor::threads(threads))
+            .run(&space)
+            .unwrap();
+        prop_assert_eq!(&simulated.solution.centers, &threaded.solution.centers);
+        prop_assert_eq!(simulated.solution.radius, threaded.solution.radius);
+        prop_assert_eq!(simulated.iterations, threaded.iterations);
+        prop_assert_eq!(simulated.sample_size, threaded.sample_size);
+        prop_assert!(threaded.degraded.is_none());
+    }
+
+    #[test]
+    fn coreset_builders_threaded_executor_matches_simulated_under_survivable_faults(
+        threads in 1usize..=8,
+        faults in chaotic_faults(),
+    ) {
+        let space = cloud(800, 47);
+
+        let config = GonzalezCoresetConfig::new(48)
+            .with_machines(6)
+            .with_faults(faults.clone());
+        let simulated = config.clone().build(&space).unwrap();
+        let threaded = config
+            .with_executor(Executor::threads(threads))
+            .build(&space)
+            .unwrap();
+        prop_assert_eq!(simulated.source_ids(), threaded.source_ids());
+        prop_assert_eq!(simulated.weights(), threaded.weights());
+        prop_assert_eq!(simulated.construction_radius(), threaded.construction_radius());
+        prop_assert!(!threaded.is_partial());
+        let solver = SequentialSolver::Gonzalez;
+        let a = simulated.solve(4, solver, FirstCenter::default()).unwrap();
+        let b = threaded.solve(4, solver, FirstCenter::default()).unwrap();
+        prop_assert_eq!(a, b);
+
+        let config = EimConfig::new(3)
+            .with_machines(6)
+            .with_epsilon(0.13)
+            .with_seed(7)
+            .with_faults(faults);
+        let simulated = config.clone().build_coreset(&space).unwrap();
+        let threaded = config
+            .with_executor(Executor::threads(threads))
+            .build_coreset(&space)
+            .unwrap();
+        prop_assert_eq!(simulated.source_ids(), threaded.source_ids());
+        prop_assert_eq!(simulated.weights(), threaded.weights());
+        prop_assert_eq!(simulated.construction_radius(), threaded.construction_radius());
+        prop_assert!(!threaded.is_partial());
     }
 }
 

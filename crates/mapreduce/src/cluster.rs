@@ -1,42 +1,62 @@
-//! The simulated cluster: parallel reducer execution with the paper's
-//! per-round cost accounting, plus optional deterministic fault injection
-//! with retry, backoff, straggler speculation and degrade-mode shard drops
-//! (see the [`crate::faults`] module docs for the determinism contract).
+//! The cluster round engine: machine execution behind an [`Executor`]
+//! (sequential simulated machines, or real `std::thread::scope` fan-out)
+//! with the paper's per-round cost accounting, plus optional deterministic
+//! fault injection with retry, backoff, straggler speculation and
+//! degrade-mode shard drops (see the [`crate::faults`] module docs for the
+//! determinism contract).
 
 use crate::config::ClusterConfig;
 use crate::error::MapReduceError;
+use crate::executor::{run_wave, Executor};
 use crate::faults::{
     DroppedShard, FaultCause, FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPolicy,
 };
 use crate::stats::{JobStats, RoundStats};
-use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
-/// A simulated MapReduce cluster.
+/// A MapReduce cluster with the paper's cost accounting.
 ///
 /// A round is executed by handing every partition to one reducer closure;
-/// reducers run in parallel through rayon (the machine actually has multiple
-/// cores), but the round is charged `max_i t_i` — the processing time of the
-/// slowest simulated machine — exactly as in the paper's experimental setup.
-/// The accumulated [`JobStats`] additionally record the fully sequential
-/// cost (`Σ_i t_i`) and the real wall-clock time so all three views can be
-/// reported.
+/// the active [`Executor`] decides how the machines actually run —
+/// sequentially on the calling thread ([`Executor::Simulated`], the
+/// paper's mode and the default) or concurrently as `std::thread::scope`
+/// tasks ([`Executor::Threads`]).  Either way the round is charged
+/// `max_i t_i` — the processing time of the slowest simulated machine —
+/// exactly as in the paper's experimental setup.  The accumulated
+/// [`JobStats`] additionally record the fully sequential cost (`Σ_i t_i`)
+/// and the real wall-clock time so all three views can be reported.
 ///
-/// With [`SimulatedCluster::with_fault_injection`], every reducer execution
+/// Outputs are **executor-invariant**: every wave merges its results in
+/// ascending partition order, so a round returns bit-identical outputs
+/// under either executor at any thread count (reducers are pure functions
+/// of their partitions).
+///
+/// With [`Cluster::with_fault_injection`], every reducer execution
 /// first consults a fault plan: crashed or corrupt attempts lose their
 /// output and the failed partitions are re-executed (in ascending partition
 /// order, up to the policy's attempt budget, with simulated backoff charged
 /// between attempts); straggling attempts keep their output but are charged
-/// a multiple of their time, and may race a speculative copy.  Because
-/// reducers are pure functions of their partitions, a round in which every
-/// partition eventually succeeds returns outputs bit-identical to the
-/// fault-free round — only the accounting differs.
-pub struct SimulatedCluster {
+/// a multiple of their time, and may race a speculative copy — on the
+/// simulated clock under [`Executor::Simulated`], on the measured wall
+/// clock under [`Executor::Threads`].  Because reducers are pure, a round
+/// in which every partition eventually succeeds returns outputs
+/// bit-identical to the fault-free round — only the accounting differs.
+pub struct Cluster {
     config: ClusterConfig,
     stats: JobStats,
     enforce_capacity: bool,
     faults: Option<FaultConfig>,
+    executor: Executor,
 }
+
+/// The historical name of [`Cluster`]: a cluster whose default executor
+/// simulates the machines sequentially.  Kept as an alias so existing
+/// call sites read naturally when they mean the paper's simulated mode.
+pub type SimulatedCluster = Cluster;
+
+/// A [`Cluster`] intended to run with [`Executor::Threads`] — construct
+/// one with [`Cluster::threaded`] or [`Cluster::with_executor`].
+pub type ThreadedCluster = Cluster;
 
 /// The outputs of a degradable round: one `Some(output)` per surviving
 /// partition, `None` for each shard that exhausted its attempts, plus the
@@ -81,15 +101,18 @@ struct MachineRun<R> {
     cause: Option<FaultCause>,
 }
 
-impl SimulatedCluster {
+impl Cluster {
     /// Creates a cluster with the given configuration; partition sizes are
-    /// checked against the per-machine capacity on every round.
+    /// checked against the per-machine capacity on every round.  The
+    /// executor defaults to [`Executor::Simulated`] (the paper's mode);
+    /// switch with [`Cluster::with_executor`].
     pub fn new(config: ClusterConfig) -> Self {
         Self {
             config,
             stats: JobStats::new(),
             enforce_capacity: true,
             faults: None,
+            executor: Executor::Simulated,
         }
     }
 
@@ -103,7 +126,32 @@ impl SimulatedCluster {
             stats: JobStats::new(),
             enforce_capacity: false,
             faults: None,
+            executor: Executor::Simulated,
         }
+    }
+
+    /// Creates a capacity-checked cluster whose rounds fan out over
+    /// `threads` real worker threads (see [`Executor::Threads`]).
+    pub fn threaded(config: ClusterConfig, threads: usize) -> Self {
+        Cluster::new(config).with_executor(Executor::threads(threads))
+    }
+
+    /// Selects the executor for all subsequent rounds.  Outputs are
+    /// executor-invariant; only the `wall_time` accounting (and, under
+    /// faults, which speculation racer wins) depends on this choice.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Installs the executor on an existing cluster.
+    pub fn set_executor(&mut self, executor: Executor) {
+        self.executor = executor;
+    }
+
+    /// The active executor.
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// Enables fault injection: every subsequent reducer execution consults
@@ -188,7 +236,7 @@ impl SimulatedCluster {
             .collect()
     }
 
-    /// Like [`SimulatedCluster::run_round`], with a per-round output
+    /// Like [`Cluster::run_round`], with a per-round output
     /// validator: `validate(i, &output)` returning `false` rejects reducer
     /// `i`'s output as corrupt, which counts as a failed attempt and
     /// triggers a retry.  Injected [`FaultKind::Corrupt`] faults are
@@ -233,7 +281,7 @@ impl SimulatedCluster {
     /// certificate it reports must be restated over the surviving items.
     ///
     /// Without fault injection this behaves exactly like
-    /// [`SimulatedCluster::run_round`] (every slot `Some`, no drops).
+    /// [`Cluster::run_round`] (every slot `Some`, no drops).
     pub fn run_round_degradable<T, R, F, C>(
         &mut self,
         label: &str,
@@ -252,12 +300,14 @@ impl SimulatedCluster {
 
     /// The round engine behind the public `run_round*` entry points.
     ///
-    /// Executes attempt waves: wave 0 runs every partition in parallel;
-    /// each further wave re-runs the still-failed partitions (ascending
-    /// partition index) until they succeed, exhaust the policy's attempt
-    /// budget, or — when `degrade` is false — fail the round.  Straggler
-    /// speculation runs after the waves, racing a speculative copy against
-    /// each over-median machine on the simulated clock.
+    /// Executes attempt waves on the active executor: wave 0 runs every
+    /// partition; each further wave re-runs the still-failed partitions
+    /// (ascending partition index) until they succeed, exhaust the
+    /// policy's attempt budget, or — when `degrade` is false — fail the
+    /// round.  Straggler speculation runs after the waves, racing a
+    /// speculative copy against each over-median machine — on the
+    /// simulated clock under [`Executor::Simulated`], on the measured
+    /// wall clock under [`Executor::Threads`].
     fn run_round_impl<T, R, F, C>(
         &mut self,
         label: &str,
@@ -307,17 +357,18 @@ impl SimulatedCluster {
             });
         let plan = self.faults.as_ref().map(|f| &f.plan);
 
+        let executor = self.executor;
         let wall_start = Instant::now();
         let mut log = FaultLog::new();
 
-        // Wave 0: every partition in parallel, each reducer timed
+        // Wave 0: every partition on the executor, each reducer timed
         // individually — the per-reducer time is the "simulated machine"
         // processing time.
-        let outcomes: Vec<AttemptOutcome<R>> = partitions
-            .par_iter()
-            .enumerate()
-            .map(|(i, part)| execute_attempt(i, 0, part, reduce, plan, validate, round))
-            .collect();
+        let outcomes: Vec<AttemptOutcome<R>> = run_wave(
+            executor,
+            partitions.iter().enumerate().collect(),
+            |(i, part)| execute_attempt(i, 0, part, reduce, plan, validate, round),
+        );
         let mut runs: Vec<MachineRun<R>> = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             for e in &outcome.events {
@@ -345,15 +396,13 @@ impl SimulatedCluster {
             if pending.is_empty() {
                 break;
             }
-            let retried: Vec<(usize, usize, Duration, AttemptOutcome<R>)> = pending
-                .par_iter()
-                .map(|&(i, attempt)| {
+            let retried: Vec<(usize, usize, Duration, AttemptOutcome<R>)> =
+                run_wave(executor, pending, |(i, attempt)| {
                     let backoff = policy.backoff.delay(attempt);
                     let outcome =
                         execute_attempt(i, attempt, &partitions[i], reduce, plan, validate, round);
                     (i, attempt, backoff, outcome)
-                })
-                .collect();
+                });
             for (i, attempt, backoff, outcome) in retried {
                 log.push(FaultEvent::Retried {
                     machine: i,
@@ -372,16 +421,23 @@ impl SimulatedCluster {
             }
         }
 
-        // Straggler speculation: machines whose charged completion time
-        // exceeds `threshold ×` the round median (over completed machines)
-        // race a speculative copy launched at the median mark.  Reducers
-        // are pure, so both racers produce the same bits; only the clock
-        // and the log depend on who wins, and the original wins ties.
+        // Straggler speculation: machines whose completion time exceeds
+        // `threshold ×` the round median (over completed machines) race a
+        // speculative copy launched at the median mark.  The race clock is
+        // the executor's: the simulated (charged) clock in simulated mode,
+        // the measured wall clock of the actual executions in threaded
+        // mode.  Reducers are pure, so both racers produce the same bits;
+        // only the clock and the log depend on who wins, and the original
+        // wins ties.
         if let Some(spec) = policy.speculation {
+            let race_run = |r: &MachineRun<R>| match executor {
+                Executor::Simulated => r.charged,
+                Executor::Threads { .. } => r.work,
+            };
             let mut completed: Vec<Duration> = runs
                 .iter()
                 .filter(|r| r.output.is_some())
-                .map(|r| r.charged)
+                .map(race_run)
                 .collect();
             if completed.len() >= 2 {
                 completed.sort_unstable();
@@ -390,12 +446,11 @@ impl SimulatedCluster {
                 let candidates: Vec<(usize, usize)> = runs
                     .iter()
                     .enumerate()
-                    .filter(|(_, r)| r.output.is_some() && r.charged > cutoff)
+                    .filter(|(_, r)| r.output.is_some() && race_run(r) > cutoff)
                     .map(|(i, r)| (i, r.attempts))
                     .collect();
-                let raced: Vec<(usize, usize, AttemptOutcome<R>)> = candidates
-                    .par_iter()
-                    .map(|&(i, attempt)| {
+                let raced: Vec<(usize, usize, AttemptOutcome<R>)> =
+                    run_wave(executor, candidates, |(i, attempt)| {
                         (
                             i,
                             attempt,
@@ -409,8 +464,7 @@ impl SimulatedCluster {
                                 round,
                             ),
                         )
-                    })
-                    .collect();
+                    });
                 for (i, attempt, outcome) in raced {
                     log.push(FaultEvent::SpeculationLaunched {
                         machine: i,
@@ -421,13 +475,25 @@ impl SimulatedCluster {
                     }
                     let run = &mut runs[i];
                     run.attempts += 1;
-                    run.work += outcome.work;
                     if outcome.output.is_some() {
                         // The copy starts when the straggler is detected
-                        // (the median mark) and finishes `charged` later.
-                        let spec_completion = median + outcome.charged;
-                        if spec_completion < run.charged {
-                            run.charged = spec_completion;
+                        // (the median mark) and finishes one execution
+                        // later, measured on the race clock.
+                        let spec_cost = match executor {
+                            Executor::Simulated => outcome.charged,
+                            Executor::Threads { .. } => outcome.work,
+                        };
+                        let spec_completion = median + spec_cost;
+                        if spec_completion < race_run(run) {
+                            // The winner's completion replaces the
+                            // straggler's on the simulated clock; `work`
+                            // stays Σ of real execution time on both
+                            // executors (the wall-clock race changes who
+                            // delivers the output, not how much real work
+                            // was done).
+                            if executor == Executor::Simulated {
+                                run.charged = spec_completion;
+                            }
                             run.output = outcome.output;
                             log.push(FaultEvent::SpeculationWon {
                                 machine: i,
@@ -435,6 +501,7 @@ impl SimulatedCluster {
                             });
                         }
                     }
+                    run.work += outcome.work;
                 }
             }
         }
@@ -490,6 +557,7 @@ impl SimulatedCluster {
             simulated_time,
             sequential_time,
             wall_time,
+            executor,
             counters: Vec::new(),
             attempts,
             faults: log,
@@ -515,7 +583,7 @@ impl SimulatedCluster {
     ///
     /// # Errors
     ///
-    /// Everything [`SimulatedCluster::run_round`] can raise, plus
+    /// Everything [`Cluster::run_round`] can raise, plus
     /// [`MapReduceError::MissingOutput`] if the substrate invariant of one
     /// output per partition is ever violated.
     pub fn run_single<T, R, F, C>(
@@ -996,6 +1064,73 @@ mod tests {
         assert_eq!(r.faults.speculations_launched(), 1);
         // With a 1000x straggler the clean copy must win the race.
         assert_eq!(r.faults.speculations_won(), 1);
+    }
+
+    #[test]
+    fn threaded_executor_returns_bit_identical_outputs_at_any_width() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let parts = partition::chunks(&items, 8);
+        let reduce = |_: usize, xs: &[u64]| xs.iter().map(|x| x.wrapping_mul(31)).sum::<u64>();
+
+        let mut simulated = Cluster::new(config(8, 10_000));
+        let expected = simulated.run_round("sum", &parts, reduce, |_| 1).unwrap();
+        assert_eq!(simulated.stats().rounds()[0].executor, Executor::Simulated);
+
+        for threads in [1, 2, 3, 8] {
+            let mut threaded = Cluster::threaded(config(8, 10_000), threads);
+            assert_eq!(threaded.executor(), Executor::threads(threads));
+            let out = threaded.run_round("sum", &parts, reduce, |_| 1).unwrap();
+            assert_eq!(out, expected, "threads = {threads}");
+            let r = &threaded.stats().rounds()[0];
+            assert_eq!(r.executor, Executor::threads(threads));
+            assert!(r.wall_time > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn threaded_executor_survives_seeded_chaos_bit_identically() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let parts = partition::chunks(&items, 8);
+        let reduce = |_: usize, xs: &[u64]| xs.iter().map(|x| x.wrapping_mul(31)).sum::<u64>();
+
+        let mut clean = Cluster::new(config(8, 10_000));
+        let clean_out = clean.run_round("sum", &parts, reduce, |_| 1).unwrap();
+
+        // The identical fault plan (retries, stragglers, corruption) under
+        // the threaded executor, with speculation racing on the wall clock:
+        // every partition eventually succeeds, so the outputs must match the
+        // fault-free simulated round bit for bit.
+        let faults = FaultConfig::new(FaultPlan::seeded(1234))
+            .with_policy(FaultPolicy::with_max_attempts(64));
+        let mut chaotic = Cluster::threaded(config(8, 10_000), 4).with_fault_injection(faults);
+        let chaotic_out = chaotic.run_round("sum", &parts, reduce, |_| 1).unwrap();
+        assert_eq!(clean_out, chaotic_out);
+        let summary = chaotic.stats().fault_summary();
+        assert_eq!(summary.executor, Executor::threads(4));
+    }
+
+    #[test]
+    fn threaded_degradable_round_keeps_drop_provenance() {
+        let plan = FaultPlan::explicit(
+            (0..3)
+                .map(|attempt| ScheduledFault {
+                    round: 0,
+                    machine: 1,
+                    attempt,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        );
+        let mut cluster =
+            Cluster::threaded(config(4, 100), 3).with_fault_injection(FaultConfig::new(plan));
+        let parts: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4, 5], vec![6]];
+        let out = cluster
+            .run_round_degradable("sum", &parts, |_, xs| xs.iter().sum::<u64>(), |_| 1)
+            .unwrap();
+        assert_eq!(out.outputs, vec![Some(3), None, Some(6)]);
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.dropped[0].machine, 1);
+        assert_eq!(out.dropped[0].cause, FaultCause::Crashed);
     }
 
     #[test]

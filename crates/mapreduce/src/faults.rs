@@ -45,6 +45,7 @@
 //!   certificate it reports can be restated over the surviving subset —
 //!   never silently claimed over the full input.
 
+use crate::executor::Executor;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
@@ -793,6 +794,13 @@ pub struct FaultSummary {
     pub speculations_won: usize,
     /// Shards dropped by degrade mode.
     pub shards_dropped: usize,
+    /// The job's total simulated time (the paper's charged metric).
+    pub simulated_time: Duration,
+    /// The job's total real elapsed time — concurrent elapsed under the
+    /// threaded executor, sequential elapsed under the simulated one.
+    pub wall_time: Duration,
+    /// The executor the job ran on (labels the `wall_time` column).
+    pub executor: Executor,
 }
 
 impl FaultSummary {
@@ -813,7 +821,8 @@ impl fmt::Display for FaultSummary {
         write!(
             f,
             "{} attempts, {} retries, {} crashes, {} rejected outputs, {} stragglers, \
-             {} speculative copies ({} won), {} shards dropped",
+             {} speculative copies ({} won), {} shards dropped; \
+             simulated {:?}, wall {:?} on {}",
             self.attempts,
             self.retries,
             self.crashes,
@@ -821,7 +830,10 @@ impl fmt::Display for FaultSummary {
             self.stragglers,
             self.speculations_launched,
             self.speculations_won,
-            self.shards_dropped
+            self.shards_dropped,
+            self.simulated_time,
+            self.wall_time,
+            self.executor
         )
     }
 }
@@ -1066,10 +1078,22 @@ mod tests {
             speculations_launched: 1,
             speculations_won: 1,
             shards_dropped: 0,
+            simulated_time: Duration::from_millis(12),
+            wall_time: Duration::from_millis(34),
+            executor: Executor::threads(2),
         };
         let text = s.to_string();
-        for word in ["attempts", "retries", "crashes", "stragglers", "dropped"] {
-            assert!(text.contains(word), "summary missing {word}");
+        for word in [
+            "attempts",
+            "retries",
+            "crashes",
+            "stragglers",
+            "dropped",
+            "simulated 12ms",
+            "wall 34ms",
+            "threads(x2)",
+        ] {
+            assert!(text.contains(word), "summary missing {word}: {text}");
         }
         assert!(!s.is_quiet());
         assert!(FaultSummary::default().is_quiet());

@@ -12,11 +12,15 @@
 //!
 //! * a [`ClusterConfig`] describes the number of simulated machines `m` and
 //!   the per-machine capacity `c` (measured in points);
-//! * a [`SimulatedCluster`] executes *rounds*: the caller supplies one input
-//!   partition per reducer and a reduce closure, the reducers actually run
-//!   in parallel through rayon, and the round is **charged** the maximum
-//!   per-reducer processing time — exactly the paper's accounting — while
-//!   the wall-clock time is recorded alongside;
+//! * a [`Cluster`] executes *rounds*: the caller supplies one input
+//!   partition per reducer and a reduce closure, the machines run on the
+//!   selected [`Executor`] — sequentially in the paper's simulated mode
+//!   (the default), or as real `std::thread::scope` tasks with a fixed
+//!   worker budget — and the round is **charged** the maximum per-reducer
+//!   processing time — exactly the paper's accounting — while the
+//!   wall-clock time is recorded alongside.  Outputs are bit-identical
+//!   across executors (waves merge in ascending partition order), so the
+//!   executor extends the determinism tuple only as an *invariant*;
 //! * [`partition`] provides the mapper side: deterministic chunking,
 //!   round-robin, and seeded random partitioners;
 //! * [`JobStats`] / [`RoundStats`] accumulate per-round accounting
@@ -36,13 +40,18 @@
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod executor;
 pub mod faults;
 pub mod partition;
 pub mod stats;
 
-pub use cluster::{DegradableOutputs, SimulatedCluster};
+pub use cluster::{Cluster, DegradableOutputs, SimulatedCluster, ThreadedCluster};
 pub use config::ClusterConfig;
 pub use error::MapReduceError;
+pub use executor::{
+    host_parallelism, install_thread_budget, threads_from_env, Executor, ExecutorChoice,
+    ExecutorSelectError, EXECUTOR_ENV, THREADS_ENV,
+};
 pub use faults::{
     Backoff, DegradedRun, DroppedShard, FaultCause, FaultConfig, FaultKind, FaultLog, FaultPlan,
     FaultPolicy, FaultRates, FaultSummary, ScheduledFault, Speculation,

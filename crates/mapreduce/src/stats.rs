@@ -6,6 +6,7 @@
 //! the parallel execution, plus item counts so shuffle volume can be
 //! inspected even though it is not charged.
 
+use crate::executor::Executor;
 use crate::faults::{FaultLog, FaultSummary};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -32,8 +33,13 @@ pub struct RoundStats {
     /// Sum of all per-machine processing times (what a fully sequential
     /// simulation would have cost).
     pub sequential_time: Duration,
-    /// Real elapsed wall-clock time of the parallel execution.
+    /// Real elapsed wall-clock time of the round's execution — concurrent
+    /// elapsed time under [`Executor::Threads`], sequential elapsed time
+    /// under [`Executor::Simulated`].
     pub wall_time: Duration,
+    /// The executor the round ran on.  Outputs are executor-invariant;
+    /// this records which mode produced the `wall_time` column.
+    pub executor: Executor,
     /// Named work counters reported by the round's reducers — e.g. the
     /// coreset weights round records how many (point, representative)
     /// pairs its early-exit certification pruned.  Empty for rounds that
@@ -158,8 +164,10 @@ impl JobStats {
     }
 
     /// Fault-accounting totals over all rounds: attempts, retries, crashes,
-    /// stragglers, speculation and dropped shards.  All-zero (apart from
-    /// `attempts == Σ machines_used`) for a fault-free job.
+    /// stragglers, speculation and dropped shards, plus the job's total
+    /// simulated and wall-clock time labelled with the executor that ran
+    /// it.  All-zero (apart from `attempts == Σ machines_used` and the
+    /// time columns) for a fault-free job.
     pub fn fault_summary(&self) -> FaultSummary {
         let mut s = FaultSummary::default();
         for r in &self.rounds {
@@ -171,7 +179,13 @@ impl JobStats {
             s.speculations_launched += r.faults.speculations_launched();
             s.speculations_won += r.faults.speculations_won();
             s.shards_dropped += r.faults.shards_dropped();
+            // A job's rounds all run on one cluster, hence one executor;
+            // record the one that actually executed (the last round wins
+            // if a caller ever mixes them).
+            s.executor = r.executor;
         }
+        s.simulated_time = self.simulated_time();
+        s.wall_time = self.wall_time();
         s
     }
 
@@ -208,6 +222,7 @@ mod tests {
             simulated_time: Duration::from_millis(sim_ms),
             sequential_time: Duration::from_millis(seq_ms),
             wall_time: Duration::from_millis(sim_ms + 1),
+            executor: Executor::Simulated,
             counters: Vec::new(),
             attempts: 4,
             faults: FaultLog::new(),
@@ -316,6 +331,10 @@ mod tests {
         assert_eq!(s.stragglers, 0);
         assert!(!s.is_quiet());
         assert_eq!(job.rounds()[0].retries(), 1);
+        // The summary also carries the job's time totals and executor.
+        assert_eq!(s.executor, Executor::Simulated);
+        assert_eq!(s.simulated_time, Duration::from_millis(15));
+        assert_eq!(s.wall_time, Duration::from_millis(17));
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl BoundingBox {
                         // sequential scan would catch inside one chunk.
                         return Err(DimensionMismatch {
                             expected,
-                            found: if a.dim() == expected { b.dim() } else { a.dim() },
+                            found: if a.dim() == expected {
+                                b.dim()
+                            } else {
+                                a.dim()
+                            },
                         });
                     }
                     Ok(Some(a.merged(&b)))

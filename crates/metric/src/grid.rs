@@ -80,6 +80,7 @@ use crate::space::MetricSpace;
 use crate::PointId;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Environment variable naming the assignment arm (`auto` | `dense` |
 /// `grid`), mirroring `KCENTER_KERNEL`; the CLI `--assign` flag wins over
@@ -532,8 +533,8 @@ impl SpatialGrid {
     fn lb_dist2<S: Scalar>(&self, cell: usize, row: &[S]) -> f64 {
         let base = cell * self.dim;
         let mut acc = 0.0f64;
-        for i in 0..self.dim {
-            let x = row[i].to_f64();
+        for (i, coord) in row.iter().enumerate().take(self.dim) {
+            let x = coord.to_f64();
             let lo = self.cell_lo[base + i];
             let hi = self.cell_hi[base + i];
             let gap = if x < lo {
@@ -637,7 +638,8 @@ impl SpatialGrid {
             }
             self.for_each_ring_cell(&q, rho, |cell| {
                 if !found || self.lb_dist2(cell, row) * (1.0 - self.cmp_slack) <= best.1.to_f64() {
-                    for &pos in &self.bucket[self.starts[cell] as usize..self.starts[cell + 1] as usize]
+                    for &pos in
+                        &self.bucket[self.starts[cell] as usize..self.starts[cell + 1] as usize]
                     {
                         let d = space.cmp_distance(query, members[pos as usize]);
                         if d < best.1 || (d == best.1 && (pos as usize) < best.0) {
@@ -677,7 +679,8 @@ impl SpatialGrid {
             }
             let keep_going = self.for_each_ring_cell(&q, rho, |cell| {
                 if self.lb_dist2(cell, row) * (1.0 - self.wide_slack) < best {
-                    for &pos in &self.bucket[self.starts[cell] as usize..self.starts[cell + 1] as usize]
+                    for &pos in
+                        &self.bucket[self.starts[cell] as usize..self.starts[cell + 1] as usize]
                     {
                         let w = space.wide_cmp_distance(query, members[pos as usize]);
                         if w < best {
@@ -717,7 +720,10 @@ fn cmp_slack<S: Scalar>(dim: usize) -> f64 {
 /// Folding the caches with a "greater value, or equal value at a lower
 /// position" rule reproduces the dense lowest-index argmax bit-for-bit.
 pub struct GridRelaxer<S: Scalar> {
-    grid: SpatialGrid,
+    /// Shared so a sweep can rebuild relaxers from one cached bucketing —
+    /// [`SpatialGrid::build`] (bbox pass + counting sort) is the expensive
+    /// part; the per-selection `cell_best` state below is O(occupied).
+    grid: Arc<SpatialGrid>,
     /// Per *occupied* cell (parallel to `grid.occupied`): lowest-position
     /// argmax of `nearest[]` over the cell's members.  Starts at
     /// `(first member, +inf)` — every slot is `+inf` before the first
@@ -733,17 +739,31 @@ impl<S: Scalar> GridRelaxer<S> {
         space: &Sp,
         members: &[PointId],
     ) -> Option<GridRelaxer<S>> {
-        let grid = SpatialGrid::build(space, members, RELAX_OCCUPANCY)?;
+        SpatialGrid::build(space, members, RELAX_OCCUPANCY)
+            .map(Arc::new)
+            .map(Self::from_grid)
+    }
+
+    /// Wraps an already-built bucketing (of the *same* member list) with
+    /// fresh relax state — the cheap part of [`GridRelaxer::build`], so a
+    /// sweep can run many selections against one [`SpatialGrid`] (see
+    /// [`RelaxGridCache`]).
+    pub fn from_grid(grid: Arc<SpatialGrid>) -> GridRelaxer<S> {
         let cell_best = grid
             .occupied
             .iter()
             .map(|&c| (grid.bucket[grid.starts[c as usize] as usize], S::INFINITY))
             .collect();
-        Some(GridRelaxer { grid, cell_best })
+        GridRelaxer { grid, cell_best }
     }
 
     /// The underlying grid.
     pub fn grid(&self) -> &SpatialGrid {
+        &self.grid
+    }
+
+    /// The underlying grid, shareable with further relaxers.
+    pub fn shared_grid(&self) -> &Arc<SpatialGrid> {
         &self.grid
     }
 
@@ -807,6 +827,62 @@ impl<S: Scalar> GridRelaxer<S> {
         } else {
             best
         }
+    }
+}
+
+/// Build-once cache of the relax bucketing for a **fixed** member list.
+///
+/// A `(k, φ)` sweep re-runs the Gonzalez selection many times over the
+/// same candidate rows (a coreset's representatives never change once
+/// built), and each selection used to re-bucket them from scratch.  The
+/// cache latches the first [`SpatialGrid::build`] outcome — including a
+/// refusal (`None`), so incompatible spaces are probed exactly once — and
+/// every later selection pays only the O(occupied) relax-state reset in
+/// [`GridRelaxer::from_grid`].  Results are bit-identical to fresh builds
+/// because the grid depends only on the rows and the occupancy target.
+///
+/// The caller owns the keying: a cache is valid for exactly one
+/// `(space, members)` pair at [`RELAX_OCCUPANCY`].  Cloning shares the
+/// latched grid (it is behind an [`Arc`]).
+#[derive(Clone, Default)]
+pub struct RelaxGridCache {
+    slot: OnceLock<Option<Arc<SpatialGrid>>>,
+}
+
+impl RelaxGridCache {
+    /// An empty cache; the grid is built on first use.
+    pub fn new() -> RelaxGridCache {
+        RelaxGridCache::default()
+    }
+
+    /// A relaxer over `members` of `space`, bucketing on the first call
+    /// and reusing the cached [`SpatialGrid`] afterwards.  `None` exactly
+    /// when [`GridRelaxer::build`] would refuse the space.
+    pub fn get_or_build<S: Scalar, Sp: MetricSpace<Cmp = S> + ?Sized>(
+        &self,
+        space: &Sp,
+        members: &[PointId],
+    ) -> Option<GridRelaxer<S>> {
+        self.slot
+            .get_or_init(|| SpatialGrid::build(space, members, RELAX_OCCUPANCY).map(Arc::new))
+            .clone()
+            .map(GridRelaxer::from_grid)
+    }
+
+    /// Whether the build outcome (grid or refusal) is already latched.
+    pub fn is_built(&self) -> bool {
+        self.slot.get().is_some()
+    }
+}
+
+impl fmt::Debug for RelaxGridCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match self.slot.get() {
+            None => "unbuilt",
+            Some(Some(_)) => "built",
+            Some(None) => "refused",
+        };
+        write!(f, "RelaxGridCache({state})")
     }
 }
 
@@ -1067,6 +1143,54 @@ mod tests {
             assert_eq!(grid_nearest, dense_nearest, "round {round}");
             center = members[g.0];
         }
+    }
+
+    #[test]
+    fn relax_grid_cache_builds_once_and_reuses_bit_identically() {
+        let flat = lattice_flat::<f64>(512, 2, 42);
+        let space = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = (0..512).collect();
+        let cache = RelaxGridCache::new();
+        assert!(!cache.is_built());
+        assert_eq!(format!("{cache:?}"), "RelaxGridCache(unbuilt)");
+
+        let first: GridRelaxer<f64> = cache.get_or_build(&space, &members).unwrap();
+        assert!(cache.is_built());
+        assert_eq!(format!("{cache:?}"), "RelaxGridCache(built)");
+        // The second relaxer shares the first's bucketing rather than
+        // rebuilding it — and a clone of the cache shares it too.
+        let second: GridRelaxer<f64> = cache.get_or_build(&space, &members).unwrap();
+        assert!(Arc::ptr_eq(first.shared_grid(), second.shared_grid()));
+        let cloned: GridRelaxer<f64> = cache.clone().get_or_build(&space, &members).unwrap();
+        assert!(Arc::ptr_eq(first.shared_grid(), cloned.shared_grid()));
+
+        // A cached relaxer replays the exact trajectory of a fresh build.
+        let mut fresh = GridRelaxer::build(&space, &members).unwrap();
+        let mut cached = second;
+        let mut fresh_nearest = vec![f64::INFINITY; members.len()];
+        let mut cached_nearest = vec![f64::INFINITY; members.len()];
+        let mut center = 17;
+        for round in 0..24 {
+            let c = cached.relax_max(&space, &members, center, &mut cached_nearest);
+            let f = fresh.relax_max(&space, &members, center, &mut fresh_nearest);
+            assert_eq!(c, f, "round {round}");
+            assert_eq!(cached_nearest, fresh_nearest, "round {round}");
+            center = members[c.0];
+        }
+    }
+
+    #[test]
+    fn relax_grid_cache_latches_a_refusal() {
+        // All-duplicate members: the build refuses, and the cache records
+        // that outcome instead of re-probing on every selection.
+        let flat = FlatPoints::from_coords(vec![3.0, 4.0, 3.0, 4.0, 3.0, 4.0], 2).unwrap();
+        let space = VecSpace::from_flat(flat);
+        let members: Vec<PointId> = vec![0, 1, 2];
+        let cache = RelaxGridCache::new();
+        assert!(cache.get_or_build::<f64, _>(&space, &members).is_none());
+        assert!(cache.is_built());
+        assert_eq!(format!("{cache:?}"), "RelaxGridCache(refused)");
+        assert!(cache.get_or_build::<f64, _>(&space, &members).is_none());
     }
 
     #[test]

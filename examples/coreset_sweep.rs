@@ -49,7 +49,7 @@ fn main() {
     // Solve many: each k costs O(k · t) on the 1,000-row summary, and the
     // certificate bounds the full-data radius without rescanning anything.
     let mut sweep_simulated = coreset.stats().simulated_time();
-    let mut solve_cluster = SimulatedCluster::unchecked(ClusterConfig::new(50, coreset.len()));
+    let mut solve_cluster = Cluster::unchecked(ClusterConfig::new(50, coreset.len()));
     let mut eim_simulated = Duration::ZERO;
     for &k in &ks {
         let sol = coreset

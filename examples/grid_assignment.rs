@@ -43,18 +43,15 @@ fn main() {
         grid::set_choice(arm);
         grid::reset_scan_counts();
         let start = Instant::now();
-        let solution = GonzalezConfig::new(k)
-            .solve(space)
-            .expect("gonzalez solve");
+        let solution = GonzalezConfig::new(k).solve(space).expect("gonzalez solve");
         let labels = assign(space, &solution.centers);
         let wall = start.elapsed();
         let (grid_scans, dense_scans) = grid::scan_counts();
         println!(
-            "{arm:>5}: radius {:.6}, first centers {:?}, {} in {:.1}ms \
-             ({grid_scans} grid / {dense_scans} dense scans)",
+            "{arm:>5}: radius {:.6}, first centers {:?}, selection + assignment \
+             in {:.1}ms ({grid_scans} grid / {dense_scans} dense scans)",
             solution.radius,
             &solution.centers[..4.min(solution.centers.len())],
-            "selection + assignment",
             wall.as_secs_f64() * 1e3,
         );
         outcomes.push((solution.centers, solution.radius, labels));

@@ -9,11 +9,30 @@
 //! stealing, so callers should keep their own sequential-cutoff heuristics
 //! (the workspace does).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-/// Number of worker threads a parallel stage may use.
+/// Process-wide override of the worker-thread count; `0` means "no
+/// override" (use the host's available parallelism).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the number of worker threads every parallel stage may use (real
+/// rayon configures this through `ThreadPoolBuilder::num_threads`; the
+/// stand-in keeps one process-global knob).  `0` clears the override and
+/// returns to the host's available parallelism.  `1` makes every
+/// combinator run strictly sequentially on the calling thread.
+pub fn set_num_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Number of worker threads a parallel stage may use: the
+/// [`set_num_threads`] override when set, the host's available
+/// parallelism otherwise.
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
 }
 
 /// Below this many items a "parallel" stage runs sequentially: spawning
@@ -22,8 +41,22 @@ const SPAWN_CUTOFF: usize = 2;
 
 /// Applies `f` to every item, in parallel, preserving order.
 fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    parallel_map_with_threads(items, current_num_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread budget: splits the
+/// items into one contiguous chunk per thread, runs the chunks as
+/// `std::thread::scope` tasks, and joins in order — results land at
+/// their item's position, so the merge order is the ascending input
+/// order regardless of which worker finishes first.  A budget of 1 (or
+/// fewer items than [`SPAWN_CUTOFF`]) runs sequentially on the caller.
+pub fn parallel_map_with_threads<T: Send, R: Send, F: Fn(T) -> R + Sync>(
+    items: Vec<T>,
+    threads: usize,
+    f: F,
+) -> Vec<R> {
     let n = items.len();
-    let threads = current_num_threads().min(n.max(1));
+    let threads = threads.max(1).min(n.max(1));
     if n < SPAWN_CUTOFF || threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -357,6 +390,25 @@ mod tests {
             .flat_map_iter(|c| (0..3).map(move |i| c * 3 + i))
             .collect();
         assert_eq!(out, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_thread_budget_preserves_order_at_any_width() {
+        let v: Vec<usize> = (0..997).collect();
+        let expected: Vec<usize> = v.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = crate::parallel_map_with_threads(v.clone(), threads, |x| x * 3 + 1);
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn thread_override_is_read_back_and_clearable() {
+        crate::set_num_threads(3);
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::set_num_threads(0);
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(crate::current_num_threads(), host);
     }
 
     #[test]
