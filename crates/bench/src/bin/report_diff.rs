@@ -1,0 +1,98 @@
+//! Compares two scenario reports against per-metric tolerances — the CI
+//! regression gate.
+//!
+//! Usage:
+//! `cargo run --release -p kcenter-bench --bin report_diff -- BASE.json
+//!  CURRENT.json [--radius-tol T] [--sim-tol F] [--wall-tol F]`
+//!
+//! The deterministic metrics (center-set digest, center count, MapReduce
+//! rounds, coverage fraction) are always compared exactly; the certified
+//! radii admit an absolute tolerance `--radius-tol` (default 0: exact,
+//! which is sound because reports round-trip `f64` bit-exactly).  The
+//! timing columns are only gated when `--sim-tol` / `--wall-tol` give an
+//! allowed fractional slowdown (e.g. `0.25` = 25%) — committed baselines
+//! come from other machines, so wall time stays ungated by default.
+//!
+//! Exit status: 0 when the gate passes, 1 on any regression, 2 on a
+//! usage/parse error.
+
+use kcenter_bench::scenario::{diff_reports, DiffTolerances, ScenarioReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(regressions) if regressions.is_empty() => {
+            eprintln!("report_diff: gate passes (no regressions)");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            eprintln!("report_diff: {} regression(s):", regressions.len());
+            for line in &regressions {
+                eprintln!("  {line}");
+            }
+            ExitCode::from(1)
+        }
+        Err(message) => {
+            eprintln!("report_diff: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<Vec<String>, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tol = DiffTolerances::default();
+
+    let parse_frac = |raw: &str, flag: &str| {
+        raw.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite() && *f >= 0.0)
+            .ok_or_else(|| format!("{flag} {raw:?} is not a non-negative number"))
+    };
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--radius-tol" => {
+                let raw = it.next().ok_or("--radius-tol needs a value")?;
+                tol.radius = parse_frac(&raw, "--radius-tol")?;
+            }
+            "--sim-tol" => {
+                let raw = it.next().ok_or("--sim-tol needs a value")?;
+                tol.simulated_frac = Some(parse_frac(&raw, "--sim-tol")?);
+            }
+            "--wall-tol" => {
+                let raw = it.next().ok_or("--wall-tol needs a value")?;
+                tol.wall_frac = Some(parse_frac(&raw, "--wall-tol")?);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: report_diff BASE.json CURRENT.json [--radius-tol T] [--sim-tol F] [--wall-tol F]"
+                );
+                return Ok(Vec::new());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err("expected exactly two report files: BASE.json CURRENT.json".to_string());
+    }
+
+    let load = |path: &str| -> Result<ScenarioReport, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        ScenarioReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = load(&paths[0])?;
+    let current = load(&paths[1])?;
+    eprintln!(
+        "comparing {} cells (baseline) vs {} cells (current), radius tol {}",
+        baseline.cells.len(),
+        current.cells.len(),
+        tol.radius
+    );
+    Ok(diff_reports(&baseline, &current, &tol))
+}

@@ -1,0 +1,89 @@
+//! Runs a declarative scenario spec and writes the JSON report.
+//!
+//! Usage:
+//! `cargo run --release -p kcenter-bench --bin scenario_run -- SPEC
+//!  [--out OUT.json] [--scale F]`
+//!
+//! `SPEC` is a TOML (or JSON) scenario file — see
+//! `kcenter_bench::scenario` for the format and `scenarios/` for the
+//! committed matrices.  `--scale F` multiplies every dataset's `n` by `F`
+//! (CI runs the committed scenarios shrunk this way).  The report lands in
+//! `--out`, defaulting to `REPORT_<name>.json` next to the working
+//! directory.
+//!
+//! Exit status: 0 on success, 2 on any spec/runtime error.
+
+use kcenter_bench::scenario::{run_scenario_with, ScenarioSpec};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("scenario_run: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut spec_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut scale: f64 = 1.0;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = Some(it.next().ok_or("--out needs a file path")?);
+            }
+            "--scale" => {
+                let raw = it.next().ok_or("--scale needs a factor")?;
+                scale = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| f.is_finite() && *f > 0.0)
+                    .ok_or_else(|| format!("--scale {raw:?} is not a positive number"))?;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: scenario_run SPEC [--out OUT.json] [--scale F]");
+                return Ok(());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => {
+                if spec_path.replace(other.to_string()).is_some() {
+                    return Err("exactly one SPEC file expected".to_string());
+                }
+            }
+        }
+    }
+
+    let spec_path = spec_path.ok_or("usage: scenario_run SPEC [--out OUT.json] [--scale F]")?;
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read {spec_path:?}: {e}"))?;
+    let mut spec = ScenarioSpec::parse(&text).map_err(|e| e.to_string())?;
+    if scale != 1.0 {
+        spec = spec.scaled(scale);
+    }
+
+    let cells = spec.cells();
+    eprintln!(
+        "scenario {:?}: {} cells (seed {}, k {})",
+        spec.name,
+        cells.len(),
+        spec.seed,
+        spec.k
+    );
+    let report = run_scenario_with(&spec, |index, id| {
+        eprintln!("  [{}/{}] {id}", index + 1, cells.len());
+    })
+    .map_err(|e| e.to_string())?;
+
+    let out_path = out_path.unwrap_or_else(|| format!("REPORT_{}.json", spec.name));
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}

@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod flatbench;
 pub mod measure;
 pub mod report;
+pub mod scenario;
 pub mod sweepbench;
 
 pub use experiments::{all_experiments, Experiment, ExperimentKind, ExperimentResult};

@@ -180,6 +180,10 @@ pub struct SolveArgs {
     /// `KCENTER_THREADS` environment variable, then to the host's
     /// available parallelism.
     pub threads: Option<usize>,
+    /// With-outliers objective: additionally certify the radius over the
+    /// `n − z` kept points after dropping the `z` farthest (`--outliers Z`;
+    /// 0 disables the extra report).
+    pub outliers: usize,
     /// Fault-injection options (inactive by default).
     pub faults: FaultArgs,
 }
@@ -290,12 +294,14 @@ pub const USAGE: &str = "\
 kcenter — parallel k-center clustering (McClintock & Wirth, ICPP 2016)
 
 USAGE:
-  kcenter generate <unif|gau|unb|poker|kdd> --n N [--k-prime K'] [--seed S] --out FILE.csv
+  kcenter generate <unif|gau|unb|poker|kdd|exp|dup|gau-hd|gau+out> --n N
+                [--k-prime K'] [--distinct D] [--dim DIM] [--outliers Z]
+                [--seed S] --out FILE.csv
   kcenter solve <gon|mrg|eim|hs> --input FILE.csv --k K [--machines M] [--phi P]
                 [--epsilon E] [--seed S] [--skip-columns C] [--assign-out OUT.csv]
                 [--precision f32|f64] [--kernel auto|scalar|portable|avx2]
                 [--assign auto|dense|grid]
-                [--executor simulated|threads] [--threads N]
+                [--executor simulated|threads] [--threads N] [--outliers Z]
                 [--fault-plan FILE | --fault-seed S] [--max-attempts N]
                 [--degrade on|off]
   kcenter sweep (--input FILE.csv | --family <unif|gau|unb|poker|kdd> --n N [--k-prime K'])
@@ -314,6 +320,19 @@ The sweep builds one weighted coreset, solves every (k, phi) grid cell on
 it, certifies each cell's full-data radius, and (unless --baseline off)
 compares against per-cell EIM reruns to report the build-once/solve-many
 amortisation.
+
+generate's adversarial families: `exp` places K' clusters at
+exponentially growing magnitudes (spread ratio 2), `dup` draws every
+point from only --distinct D lattice locations (duplicate-heavy,
+tie-dense), `gau-hd` is the Gaussian family in --dim DIM dimensions
+(64/128 stress the grid-index crossover), and `gau+out` (alias
+`planted`) is Gaussian data with --outliers Z planted far points
+(default 1% of n).
+
+solve --outliers Z additionally certifies the k-center-with-outliers
+objective: the radius over the n - z kept points after dropping the z
+farthest from the chosen centers (ties drop the lowest point id).  With
+Z = 0 the kept radius is bit-identical to the plain certified radius.
 
 --kernel pins the distance-kernel backend for the comparison-space scans
 (certified radii are always computed with the fixed scalar f64 kernels);
@@ -399,12 +418,18 @@ fn parse_generate(args: &[String]) -> Result<GenerateArgs, ParseError> {
     let mut k_prime: usize = 25;
     let mut seed: u64 = 1;
     let mut output: Option<String> = None;
+    let mut distinct: usize = 16;
+    let mut dim: usize = 64;
+    let mut outliers: Option<usize> = None;
     for (flag, value) in &flags {
         match flag.as_str() {
             "--n" => n = Some(parse_number(flag, value)?),
             "--k-prime" => k_prime = parse_number(flag, value)?,
             "--seed" => seed = parse_number(flag, value)?,
             "--out" => output = Some(value.clone()),
+            "--distinct" => distinct = parse_number(flag, value)?,
+            "--dim" => dim = parse_number(flag, value)?,
+            "--outliers" => outliers = Some(parse_number(flag, value)?),
             other => return Err(ParseError(format!("unknown flag {other:?} for generate"))),
         }
     }
@@ -416,8 +441,22 @@ fn parse_generate(args: &[String]) -> Result<GenerateArgs, ParseError> {
         "unb" => DatasetSpec::Unb { n, k_prime },
         "poker" => DatasetSpec::PokerHand { n },
         "kdd" => DatasetSpec::KddCup { n },
+        "exp" => DatasetSpec::Exp { n, k_prime },
+        "dup" => DatasetSpec::Dup { n, distinct },
+        "gau-hd" => DatasetSpec::HighDim { n, k_prime, dim },
+        "gau+out" | "planted" => DatasetSpec::PlantedOutliers {
+            n,
+            k_prime,
+            // Default: 1% planted outliers, at least one.
+            outliers: outliers.unwrap_or_else(|| (n / 100).max(1)),
+        },
         other => return Err(ParseError(format!("unknown workload family {other:?}"))),
     };
+    if outliers.is_some() && !matches!(spec, DatasetSpec::PlantedOutliers { .. }) {
+        return Err(ParseError(
+            "--outliers only applies to the gau+out (planted) family".into(),
+        ));
+    }
     Ok(GenerateArgs { spec, seed, output })
 }
 
@@ -441,6 +480,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
     let mut assign: Option<AssignChoice> = None;
     let mut executor: Option<ExecutorChoice> = None;
     let mut threads: Option<usize> = None;
+    let mut outliers: usize = 0;
     let mut faults = FaultArgs::default();
     for (flag, value) in &flags {
         if faults.consume(flag, value)? {
@@ -466,6 +506,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
             "--assign" => assign = Some(parse_assign(value)?),
             "--executor" => executor = Some(parse_executor(value)?),
             "--threads" => threads = Some(parse_threads(value)?),
+            "--outliers" => outliers = parse_number(flag, value)?,
             other => return Err(ParseError(format!("unknown flag {other:?} for solve"))),
         }
     }
@@ -485,6 +526,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, ParseError> {
         assign,
         executor,
         threads,
+        outliers,
         faults,
     })
 }
@@ -719,6 +761,74 @@ mod tests {
     }
 
     #[test]
+    fn generate_parses_the_adversarial_families() {
+        let spec = |cmd: &str| match parse(&argv(cmd)).unwrap().command {
+            Command::Generate(g) => g.spec,
+            _ => panic!("expected generate"),
+        };
+        assert_eq!(
+            spec("generate exp --n 100 --k-prime 6 --out o.csv"),
+            DatasetSpec::Exp { n: 100, k_prime: 6 }
+        );
+        assert_eq!(
+            spec("generate dup --n 100 --distinct 4 --out o.csv"),
+            DatasetSpec::Dup {
+                n: 100,
+                distinct: 4
+            }
+        );
+        // DUP defaults to 16 distinct locations.
+        assert_eq!(
+            spec("generate dup --n 100 --out o.csv"),
+            DatasetSpec::Dup {
+                n: 100,
+                distinct: 16
+            }
+        );
+        assert_eq!(
+            spec("generate gau-hd --n 100 --k-prime 3 --dim 128 --out o.csv"),
+            DatasetSpec::HighDim {
+                n: 100,
+                k_prime: 3,
+                dim: 128
+            }
+        );
+        let planted = DatasetSpec::PlantedOutliers {
+            n: 500,
+            k_prime: 5,
+            outliers: 20,
+        };
+        assert_eq!(
+            spec("generate gau+out --n 500 --k-prime 5 --outliers 20 --out o.csv"),
+            planted.clone()
+        );
+        assert_eq!(
+            spec("generate planted --n 500 --k-prime 5 --outliers 20 --out o.csv"),
+            planted
+        );
+        // Planted outliers default to 1% of n (at least one).
+        assert_eq!(
+            spec("generate gau+out --n 500 --out o.csv"),
+            DatasetSpec::PlantedOutliers {
+                n: 500,
+                k_prime: 25,
+                outliers: 5
+            }
+        );
+        assert_eq!(
+            spec("generate planted --n 10 --out o.csv"),
+            DatasetSpec::PlantedOutliers {
+                n: 10,
+                k_prime: 25,
+                outliers: 1
+            }
+        );
+        // --outliers is a planted-family knob only.
+        let err = parse(&argv("generate gau --n 10 --outliers 2 --out o.csv")).unwrap_err();
+        assert!(err.to_string().contains("--outliers"));
+    }
+
+    #[test]
     fn solve_parses_defaults_and_overrides() {
         let cli = parse(&argv("solve mrg --input pts.csv --k 10")).unwrap();
         match cli.command {
@@ -750,6 +860,23 @@ mod tests {
             }
             _ => panic!("expected solve"),
         }
+    }
+
+    #[test]
+    fn solve_parses_the_outlier_budget() {
+        // Defaults to 0 (no outlier report).
+        let cli = parse(&argv("solve gon --input x.csv --k 3")).unwrap();
+        match cli.command {
+            Command::Solve(s) => assert_eq!(s.outliers, 0),
+            _ => panic!("expected solve"),
+        }
+        let cli = parse(&argv("solve gon --input x.csv --k 3 --outliers 25")).unwrap();
+        match cli.command {
+            Command::Solve(s) => assert_eq!(s.outliers, 25),
+            _ => panic!("expected solve"),
+        }
+        let err = parse(&argv("solve gon --input x.csv --k 3 --outliers few")).unwrap_err();
+        assert!(err.to_string().contains("--outliers"));
     }
 
     #[test]

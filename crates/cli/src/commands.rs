@@ -418,6 +418,22 @@ fn solve_at<S: Scalar, W: Write>(
     }
     writeln!(out, "centers (point indices): {centers:?}")?;
 
+    if args.outliers > 0 {
+        let eval = evaluate_with_outliers(&space, &centers, args.outliers);
+        writeln!(
+            out,
+            "with-outliers objective (z = {}): kept radius {:.6} over {} points",
+            eval.z(),
+            eval.radius,
+            space.len() - eval.z(),
+        )?;
+        writeln!(
+            out,
+            "  dropped point ids (farthest first): {:?}",
+            eval.dropped
+        )?;
+    }
+
     if let Some(path) = &args.assignment_out {
         let assignment = assign(&space, &centers);
         let sizes = cluster_sizes(&assignment, centers.len());
@@ -762,6 +778,38 @@ mod tests {
         assert_eq!(written.lines().count(), 601);
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&assignment).ok();
+    }
+
+    #[test]
+    fn solve_with_outliers_reports_the_kept_radius_and_dropped_ids() {
+        let csv = temp_path("planted.csv");
+        run_cli(&format!(
+            "generate gau+out --n 600 --k-prime 4 --outliers 12 --seed 9 --out {csv}"
+        ))
+        .unwrap();
+        let out = run_cli(&format!("solve gon --input {csv} --k 4 --outliers 12")).unwrap();
+        assert!(out.contains("with-outliers objective (z = 12)"));
+        assert!(out.contains("kept radius"));
+        assert!(out.contains("over 588 points"));
+        assert!(out.contains("dropped point ids (farthest first):"));
+        // The plain certified radius is still reported alongside.
+        assert!(out.contains("covering radius (solution value):"));
+        // z = 0 stays silent: no outlier lines without the flag.
+        let plain = run_cli(&format!("solve gon --input {csv} --k 4")).unwrap();
+        assert!(!plain.contains("with-outliers"));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn generate_writes_the_adversarial_families() {
+        for fam in ["exp", "dup", "gau-hd"] {
+            let csv = temp_path(&format!("{fam}.csv"));
+            let out = run_cli(&format!("generate {fam} --n 150 --seed 4 --out {csv}")).unwrap();
+            assert!(out.contains("150 points"), "{fam}: {out}");
+            let info = run_cli(&format!("info --input {csv}")).unwrap();
+            assert!(info.contains("points: 150"), "{fam}: {info}");
+            std::fs::remove_file(&csv).ok();
+        }
     }
 
     #[test]

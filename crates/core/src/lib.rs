@@ -21,6 +21,8 @@
 //!   approximation factors in tests;
 //! * [`evaluate`] — covering radius / assignment evaluation (the paper's
 //!   "solution value");
+//! * [`outliers`] — the robust with-outliers objective: certify a center
+//!   set over the `n − z` kept points after dropping the `z` farthest;
 //! * [`cost_model`] — the theoretical comparison of Table 1 as executable
 //!   formulas.
 //!
@@ -57,6 +59,7 @@ pub mod evaluate;
 pub mod gonzalez;
 pub mod hochbaum_shmoys;
 pub mod mrg;
+pub mod outliers;
 pub mod select;
 pub mod solution;
 pub mod solver;
@@ -70,6 +73,7 @@ pub use error::KCenterError;
 pub use gonzalez::{FirstCenter, GonzalezConfig};
 pub use hochbaum_shmoys::HochbaumShmoysConfig;
 pub use mrg::{MrgConfig, MrgResult};
+pub use outliers::{evaluate_with_outliers, OutlierEvaluation};
 pub use solution::KCenterSolution;
 pub use solver::SequentialSolver;
 
@@ -84,6 +88,7 @@ pub mod prelude {
     pub use crate::gonzalez::{FirstCenter, GonzalezConfig};
     pub use crate::hochbaum_shmoys::HochbaumShmoysConfig;
     pub use crate::mrg::{MrgConfig, MrgResult};
+    pub use crate::outliers::{evaluate_with_outliers, OutlierEvaluation};
     pub use crate::solution::KCenterSolution;
     pub use crate::solver::SequentialSolver;
 }

@@ -1,0 +1,198 @@
+//! Outlier-variant parity (ISSUE 9 satellites).
+//!
+//! Two promises are pinned here:
+//!
+//! 1. **z = 0 is the plain objective, to the bit.**  Evaluating any
+//!    solver's center set with `evaluate_with_outliers(…, 0)` must
+//!    reproduce the solver's own certified radius bit-for-bit — across
+//!    both storage precisions, every available kernel backend, and both
+//!    assignment arms, because certification always runs in the same
+//!    `wide_cmp_*` space regardless of how the selection scans were
+//!    dispatched.
+//! 2. **Kept ≤ full, always.**  The certified radius over the kept
+//!    `n − z` points never exceeds the full-space radius, for any cloud,
+//!    any center set and any `z` (a proptest, not an example).
+//!
+//! A third satellite lives here because this crate has the solvers and the
+//! data crate in scope: **duplicate-heavy data never panics any solver**
+//! — fully degenerate inputs (down to `n` copies of one point) run through
+//! GON, HS, MRG and EIM, and ties resolve to the lowest index per the
+//! documented selection contract.
+
+use std::sync::Mutex;
+
+use kcenter_core::evaluate::covering_radius;
+use kcenter_core::outliers::evaluate_with_outliers;
+use kcenter_core::prelude::*;
+use kcenter_data::{DupGenerator, PlantedOutlierGenerator, PointGenerator};
+use kcenter_metric::grid::{self, AssignChoice, AssignMode};
+use kcenter_metric::kernel::simd::{self, KernelBackend};
+use kcenter_metric::{Euclidean, FlatPoints, Scalar, VecSpace};
+use proptest::prelude::*;
+
+/// Serialises tests that flip the process-global kernel / assignment state.
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn space_of<S: Scalar>(coords: &[f64], dim: usize) -> VecSpace<Euclidean, S> {
+    let coords: Vec<S> = coords.iter().map(|&c| S::from_f64(c)).collect();
+    VecSpace::from_flat(FlatPoints::from_coords(coords, dim).unwrap())
+}
+
+/// Every kernel backend available in this build/host.
+fn backends() -> Vec<KernelBackend> {
+    [
+        KernelBackend::Scalar,
+        KernelBackend::Portable,
+        KernelBackend::Avx2,
+    ]
+    .into_iter()
+    .filter(|b| b.is_available())
+    .collect()
+}
+
+/// z = 0 parity for one monomorphised precision under the currently
+/// installed dispatch state.
+fn assert_z0_parity_at<S: Scalar>(coords: &[f64], dim: usize, k: usize) {
+    let space = space_of::<S>(coords, dim);
+    let sol = GonzalezConfig::new(k).solve(&space).unwrap();
+    let eval = evaluate_with_outliers(&space, &sol.centers, 0);
+    assert_eq!(
+        eval.radius.to_bits(),
+        sol.radius.to_bits(),
+        "z=0 outlier radius diverged from the plain certified radius ({})",
+        S::NAME
+    );
+    assert_eq!(eval.full_radius.to_bits(), sol.radius.to_bits());
+    assert!(eval.dropped.is_empty());
+    // And against the evaluation entry point directly.
+    let plain = covering_radius(&space, &sol.centers);
+    assert_eq!(eval.radius.to_bits(), plain.to_bits());
+}
+
+#[test]
+fn z_zero_is_bit_identical_across_precisions_kernels_and_assign_arms() {
+    let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // An integer lattice cloud with planted duplicates: exactly
+    // representable at both precisions, tie-heavy on purpose.
+    let n = 400;
+    let dim = 3;
+    let coords: Vec<f64> = (0..n * dim)
+        .map(|i| f64::from((i as i32 * 37 + (i as i32 / 5) * 11) % 41))
+        .collect();
+    for backend in backends() {
+        simd::set_active(backend).unwrap();
+        for arm in [AssignMode::Dense, AssignMode::Grid] {
+            grid::set_choice(AssignChoice::Fixed(arm));
+            for k in [1, 3, 8] {
+                assert_z0_parity_at::<f64>(&coords, dim, k);
+                assert_z0_parity_at::<f32>(&coords, dim, k);
+            }
+        }
+    }
+    // Restore the build's defaults so sibling tests see pristine dispatch.
+    grid::set_choice(AssignChoice::Auto);
+    simd::set_active(kcenter_metric::KernelChoice::Auto.resolve().unwrap()).unwrap();
+}
+
+#[test]
+fn duplicate_heavy_data_never_panics_any_solver() {
+    // (n, distinct) grids including k far above the number of distinct
+    // locations and the fully degenerate single-location case.
+    for (n, distinct) in [(200, 1), (300, 2), (500, 7), (400, 64)] {
+        let flat = DupGenerator::new(n, distinct).generate_flat_at::<f64>(9);
+        let space = VecSpace::from_flat(flat);
+        for k in [1, 2, distinct, distinct + 5, 16] {
+            let gon = GonzalezConfig::new(k).solve(&space).unwrap();
+            assert!(gon.centers.len() <= k && !gon.centers.is_empty());
+            let hs = HochbaumShmoysConfig::new(k).solve(&space).unwrap();
+            assert!(hs.centers.len() <= k);
+            let mrg = MrgConfig::new(k)
+                .with_machines(4)
+                .with_unchecked_capacity()
+                .run(&space)
+                .unwrap();
+            assert!(mrg.solution.centers.len() <= k);
+            let eim = EimConfig::new(k)
+                .with_machines(4)
+                .with_seed(7)
+                .run(&space)
+                .unwrap();
+            assert!(eim.solution.centers.len() <= k);
+            // Once every distinct location is a center the radius is 0.
+            if k >= distinct {
+                assert_eq!(gon.radius, 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn fully_degenerate_data_ties_resolve_lowest_index() {
+    // n identical points: the first center is position 0 (the documented
+    // default) and the selection loop stops rather than duplicating it.
+    let flat = DupGenerator::new(120, 1).generate_flat_at::<f64>(3);
+    let space = VecSpace::from_flat(flat);
+    let sol = GonzalezConfig::new(5).solve(&space).unwrap();
+    assert_eq!(sol.centers, vec![0]);
+    assert_eq!(sol.radius, 0.0);
+}
+
+#[test]
+fn planted_outlier_workload_improves_strictly_under_drops() {
+    // The library-level version of the shape test: on GAU+OUT, dropping
+    // exactly the planted z strictly shrinks the certified radius.
+    let gen = PlantedOutlierGenerator::new(2_000, 5, 20);
+    let space = VecSpace::from_flat(gen.generate_flat_at::<f64>(11));
+    let sol = GonzalezConfig::new(5).solve(&space).unwrap();
+    let eval = evaluate_with_outliers(&space, &sol.centers, 20);
+    assert!(
+        eval.radius < eval.full_radius,
+        "dropping the planted outliers must strictly improve: kept {} vs full {}",
+        eval.radius,
+        eval.full_radius
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The certified kept radius never exceeds the full radius — any cloud,
+    /// any k, any z (including z ≥ n), at both precisions.
+    #[test]
+    fn kept_radius_never_exceeds_full_radius(
+        dim in 1usize..=4,
+        n in 2usize..=160,
+        k in 1usize..=6,
+        z_frac in 0.0f64..=1.2,
+        seed in 0u64..512,
+    ) {
+        let coords: Vec<f64> = {
+            // Cheap deterministic pseudo-cloud: SplitMix-style hash of the
+            // index, folded to a small range.
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            (0..n * dim)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 33) % 1000) as f64 / 10.0
+                })
+                .collect()
+        };
+        let z = ((n as f64) * z_frac) as usize;
+
+        let f64_space = space_of::<f64>(&coords, dim);
+        let sol = GonzalezConfig::new(k).solve(&f64_space).unwrap();
+        let eval = evaluate_with_outliers(&f64_space, &sol.centers, z);
+        prop_assert!(eval.radius <= eval.full_radius);
+        prop_assert_eq!(eval.z(), z.min(n));
+        // Monotone in z as well: dropping more never hurts.
+        if z > 0 {
+            let fewer = evaluate_with_outliers(&f64_space, &sol.centers, z - 1);
+            prop_assert!(eval.radius <= fewer.radius);
+        }
+
+        let f32_space = space_of::<f32>(&coords, dim);
+        let sol32 = GonzalezConfig::new(k).solve(&f32_space).unwrap();
+        let eval32 = evaluate_with_outliers(&f32_space, &sol32.centers, z);
+        prop_assert!(eval32.radius <= eval32.full_radius);
+    }
+}

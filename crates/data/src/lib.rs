@@ -29,7 +29,9 @@ pub mod synthetic;
 
 pub use real::{KddCupSim, PokerHandSim};
 pub use spec::{DatasetSpec, GeneratedDataset};
-pub use synthetic::{GauGenerator, UnbGenerator, UnifGenerator};
+pub use synthetic::{
+    DupGenerator, ExpGenerator, GauGenerator, PlantedOutlierGenerator, UnbGenerator, UnifGenerator,
+};
 
 use kcenter_metric::{FlatPoints, Point, Scalar};
 

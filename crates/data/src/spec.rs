@@ -7,7 +7,9 @@
 //! serialised next to the measured results.
 
 use crate::real::{KddCupSim, PokerHandSim};
-use crate::synthetic::{GauGenerator, UnbGenerator, UnifGenerator};
+use crate::synthetic::{
+    DupGenerator, ExpGenerator, GauGenerator, PlantedOutlierGenerator, UnbGenerator, UnifGenerator,
+};
 use crate::PointGenerator;
 use kcenter_metric::{Euclidean, FlatPoints, Point, Scalar, VecSpace};
 use serde::{Deserialize, Serialize};
@@ -44,6 +46,43 @@ pub enum DatasetSpec {
         /// Number of rows (the UCI 10 % sample has ~494k).
         n: usize,
     },
+    /// EXP: adversarial exponential-spread clusters (aspect ratio
+    /// `2^(k'-1)`), the worst case for uniform-spacing heuristics.
+    Exp {
+        /// Number of points.
+        n: usize,
+        /// Number of inherent clusters.
+        k_prime: usize,
+    },
+    /// DUP: adversarial duplicate-heavy data — `n` points collapsed onto
+    /// `distinct` exact lattice locations.
+    Dup {
+        /// Number of points.
+        n: usize,
+        /// Number of distinct locations.
+        distinct: usize,
+    },
+    /// GAU-HD: balanced Gaussian clusters in high dimension (the d ∈
+    /// {64, 128} regime where the width-pinned kernels earn their keep and
+    /// grid bucketing must fall back to dense).
+    HighDim {
+        /// Number of points.
+        n: usize,
+        /// Number of inherent clusters.
+        k_prime: usize,
+        /// Dimension (e.g. 64 or 128).
+        dim: usize,
+    },
+    /// GAU+OUT: Gaussian clusters plus planted far outliers, the workload
+    /// for the robust with-outliers variant.
+    PlantedOutliers {
+        /// Number of points (including the planted outliers).
+        n: usize,
+        /// Number of inherent clusters.
+        k_prime: usize,
+        /// Number of planted outliers among the `n` points.
+        outliers: usize,
+    },
 }
 
 impl DatasetSpec {
@@ -55,6 +94,10 @@ impl DatasetSpec {
             DatasetSpec::Unb { .. } => "UNB",
             DatasetSpec::PokerHand { .. } => "POKER HAND",
             DatasetSpec::KddCup { .. } => "KDD CUP 1999",
+            DatasetSpec::Exp { .. } => "EXP",
+            DatasetSpec::Dup { .. } => "DUP",
+            DatasetSpec::HighDim { .. } => "GAU-HD",
+            DatasetSpec::PlantedOutliers { .. } => "GAU+OUT",
         }
     }
 
@@ -65,7 +108,11 @@ impl DatasetSpec {
             | DatasetSpec::Gau { n, .. }
             | DatasetSpec::Unb { n, .. }
             | DatasetSpec::PokerHand { n }
-            | DatasetSpec::KddCup { n } => n,
+            | DatasetSpec::KddCup { n }
+            | DatasetSpec::Exp { n, .. }
+            | DatasetSpec::Dup { n, .. }
+            | DatasetSpec::HighDim { n, .. }
+            | DatasetSpec::PlantedOutliers { n, .. } => n,
         }
     }
 
@@ -90,6 +137,30 @@ impl DatasetSpec {
             },
             DatasetSpec::PokerHand { n } => DatasetSpec::PokerHand { n: scale(n) },
             DatasetSpec::KddCup { n } => DatasetSpec::KddCup { n: scale(n) },
+            DatasetSpec::Exp { n, k_prime } => DatasetSpec::Exp {
+                n: scale(n),
+                k_prime,
+            },
+            DatasetSpec::Dup { n, distinct } => DatasetSpec::Dup {
+                n: scale(n),
+                distinct,
+            },
+            DatasetSpec::HighDim { n, k_prime, dim } => DatasetSpec::HighDim {
+                n: scale(n),
+                k_prime,
+                dim,
+            },
+            DatasetSpec::PlantedOutliers {
+                n,
+                k_prime,
+                outliers,
+            } => DatasetSpec::PlantedOutliers {
+                // Planted outliers scale with the instance so the robust
+                // variant keeps the same z/n shape at reduced CI scale.
+                n: scale(n),
+                k_prime,
+                outliers: scale(n).min(((outliers as f64 * factor).round() as usize).max(1)),
+            },
         }
     }
 
@@ -105,6 +176,18 @@ impl DatasetSpec {
             DatasetSpec::Unb { n, k_prime } => UnbGenerator::new(n, k_prime).generate_flat_at(seed),
             DatasetSpec::PokerHand { n } => PokerHandSim::with_rows(n).generate_flat_at(seed),
             DatasetSpec::KddCup { n } => KddCupSim::with_rows(n).generate_flat_at(seed),
+            DatasetSpec::Exp { n, k_prime } => ExpGenerator::new(n, k_prime).generate_flat_at(seed),
+            DatasetSpec::Dup { n, distinct } => {
+                DupGenerator::new(n, distinct).generate_flat_at(seed)
+            }
+            DatasetSpec::HighDim { n, k_prime, dim } => {
+                GauGenerator::with_params(n, k_prime, dim, 100.0, 0.002).generate_flat_at(seed)
+            }
+            DatasetSpec::PlantedOutliers {
+                n,
+                k_prime,
+                outliers,
+            } => PlantedOutlierGenerator::new(n, k_prime, outliers).generate_flat_at(seed),
         }
     }
 
@@ -146,6 +229,16 @@ impl DatasetSpec {
             DatasetSpec::Unb { n, k_prime } => format!("UNB (n = {n}, k' = {k_prime})"),
             DatasetSpec::PokerHand { n } => format!("POKER HAND (n = {n})"),
             DatasetSpec::KddCup { n } => format!("KDD CUP 1999 (n = {n})"),
+            DatasetSpec::Exp { n, k_prime } => format!("EXP (n = {n}, k' = {k_prime})"),
+            DatasetSpec::Dup { n, distinct } => format!("DUP (n = {n}, distinct = {distinct})"),
+            DatasetSpec::HighDim { n, k_prime, dim } => {
+                format!("GAU-HD (n = {n}, k' = {k_prime}, d = {dim})")
+            }
+            DatasetSpec::PlantedOutliers {
+                n,
+                k_prime,
+                outliers,
+            } => format!("GAU+OUT (n = {n}, k' = {k_prime}, z = {outliers})"),
         }
     }
 }
@@ -191,6 +284,26 @@ mod tests {
         assert_eq!(DatasetSpec::PokerHand { n: 10 }.family(), "POKER HAND");
         assert_eq!(DatasetSpec::KddCup { n: 10 }.family(), "KDD CUP 1999");
         assert_eq!(DatasetSpec::KddCup { n: 123 }.n(), 123);
+        assert_eq!(DatasetSpec::Exp { n: 10, k_prime: 3 }.family(), "EXP");
+        assert_eq!(DatasetSpec::Dup { n: 10, distinct: 2 }.family(), "DUP");
+        assert_eq!(
+            DatasetSpec::HighDim {
+                n: 10,
+                k_prime: 2,
+                dim: 64
+            }
+            .family(),
+            "GAU-HD"
+        );
+        assert_eq!(
+            DatasetSpec::PlantedOutliers {
+                n: 10,
+                k_prime: 2,
+                outliers: 1
+            }
+            .family(),
+            "GAU+OUT"
+        );
     }
 
     #[test]
@@ -201,9 +314,49 @@ mod tests {
             DatasetSpec::Unb { n: 50, k_prime: 3 },
             DatasetSpec::PokerHand { n: 50 },
             DatasetSpec::KddCup { n: 50 },
+            DatasetSpec::Exp { n: 50, k_prime: 3 },
+            DatasetSpec::Dup { n: 50, distinct: 5 },
+            DatasetSpec::HighDim {
+                n: 50,
+                k_prime: 3,
+                dim: 64,
+            },
+            DatasetSpec::PlantedOutliers {
+                n: 50,
+                k_prime: 3,
+                outliers: 5,
+            },
         ] {
             assert_eq!(spec.generate(1).len(), 50, "{}", spec.describe());
         }
+    }
+
+    #[test]
+    fn high_dim_spec_generates_the_requested_dimension() {
+        let flat = DatasetSpec::HighDim {
+            n: 20,
+            k_prime: 2,
+            dim: 128,
+        }
+        .generate_flat(1);
+        assert_eq!(flat.dim(), 128);
+    }
+
+    #[test]
+    fn planted_outlier_spec_scales_z_with_n() {
+        let spec = DatasetSpec::PlantedOutliers {
+            n: 10_000,
+            k_prime: 5,
+            outliers: 100,
+        };
+        assert_eq!(
+            spec.scaled(0.1),
+            DatasetSpec::PlantedOutliers {
+                n: 1_000,
+                k_prime: 5,
+                outliers: 10,
+            }
+        );
     }
 
     #[test]

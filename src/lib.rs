@@ -44,8 +44,8 @@ pub use kcenter_metric as metric;
 pub mod prelude {
     pub use kcenter_core::prelude::*;
     pub use kcenter_data::{
-        DatasetSpec, GauGenerator, KddCupSim, PointGenerator, PokerHandSim, UnbGenerator,
-        UnifGenerator,
+        DatasetSpec, DupGenerator, ExpGenerator, GauGenerator, KddCupSim, PlantedOutlierGenerator,
+        PointGenerator, PokerHandSim, UnbGenerator, UnifGenerator,
     };
     pub use kcenter_mapreduce::{Cluster, ClusterConfig, Executor, JobStats, SimulatedCluster};
     pub use kcenter_metric::{

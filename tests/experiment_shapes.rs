@@ -138,6 +138,66 @@ fn lowering_phi_reduces_eim_work() {
 }
 
 #[test]
+fn grid_auto_falls_back_to_dense_in_high_dimension() {
+    // The spatial-grid crossover only pays off while cells still prune:
+    // in the adversarial d ∈ {64, 128} regime every point lands in its
+    // own cell and bucketing is pure overhead, so `auto` must resolve to
+    // the dense scan no matter how large the scan is.  (`auto_mode` is the
+    // pure decision function behind `select_mode`; asserting on it keeps
+    // this test immune to the process-global scan telemetry that parallel
+    // tests in this binary are updating.)
+    use kcenter::metric::grid::{auto_mode, AssignMode, ScanShape};
+    for dim in [64, 128] {
+        for (points, candidates) in [(30_000, 25), (1 << 20, 512)] {
+            assert_eq!(
+                auto_mode(ScanShape {
+                    points,
+                    candidates,
+                    dim
+                }),
+                AssignMode::Dense,
+                "d={dim} must stay dense (points={points}, candidates={candidates})"
+            );
+        }
+    }
+    // Contrast: the same scan in a bucketing-friendly dimension goes grid.
+    assert_eq!(
+        auto_mode(ScanShape {
+            points: 30_000,
+            candidates: 25,
+            dim: 2
+        }),
+        AssignMode::Grid
+    );
+    // End to end, the high-dimensional workload solves under auto dispatch.
+    let flat = GauGenerator::with_params(4_096, 8, 64, 100.0, 0.002).generate_flat_at::<f64>(12);
+    let space: VecSpace = VecSpace::from_flat(flat);
+    let sol = GonzalezConfig::new(8).solve(&space).unwrap();
+    assert_eq!(sol.centers.len(), 8);
+}
+
+#[test]
+fn dropping_planted_outliers_strictly_improves_the_certified_radius() {
+    // The robust objective's shape claim: on GAU+OUT the full-space radius
+    // is set by the planted far outliers, so certifying over the kept
+    // n − z points must strictly shrink it — substantially, not by noise.
+    let gen = PlantedOutlierGenerator::new(N, 25, N / 100);
+    let space: VecSpace = VecSpace::from_flat(gen.generate_flat_at::<f64>(13));
+    let sol = GonzalezConfig::new(25).solve(&space).unwrap();
+    let eval = evaluate_with_outliers(&space, &sol.centers, N / 100);
+    assert_eq!(eval.full_radius.to_bits(), sol.radius.to_bits());
+    assert!(
+        eval.radius < 0.9 * eval.full_radius,
+        "dropping the planted z must clearly improve: kept {} vs full {}",
+        eval.radius,
+        eval.full_radius
+    );
+    // Monotone: half the budget still never hurts.
+    let half = evaluate_with_outliers(&space, &sol.centers, N / 200);
+    assert!(eval.radius <= half.radius && half.radius <= eval.full_radius);
+}
+
+#[test]
 fn mrg_runtime_grows_roughly_linearly_in_n() {
     // Figure 4a: for fixed k, MRG's runtime is dominated by the k*n/m term,
     // so quadrupling n should increase the simulated time clearly, but far
