@@ -68,16 +68,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
         spec = spec.scaled(scale);
     }
 
-    let cells = spec.cells();
+    let total = spec.cells().len() + spec.ingest_cells().len();
     eprintln!(
         "scenario {:?}: {} cells (seed {}, k {})",
-        spec.name,
-        cells.len(),
-        spec.seed,
-        spec.k
+        spec.name, total, spec.seed, spec.k
     );
     let report = run_scenario_with(&spec, |index, id| {
-        eprintln!("  [{}/{}] {id}", index + 1, cells.len());
+        eprintln!("  [{}/{}] {id}", index + 1, total);
     })
     .map_err(|e| e.to_string())?;
 

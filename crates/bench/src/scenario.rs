@@ -53,6 +53,24 @@
 //! Cells pairing a sequential solver (gon/hs) with an active fault spec
 //! are skipped at expansion — fault injection targets the MapReduce
 //! rounds — so a fault axis multiplies only the parallel solvers.
+//!
+//! An optional `[ingest]` table additionally replays every dataset as a
+//! checkpointed batch stream through the durable serve loop
+//! (`kcenter_serve`), one cell per `batches × faults × precisions`
+//! combination.  Each ingest cell also re-runs itself with an injected
+//! mid-checkpoint-write crash and resumes from the surviving checkpoint;
+//! the resumed state must be bit-identical to the uninterrupted twin or
+//! the cell errors out, so a committed ingest baseline gates crash
+//! consistency as well as determinism:
+//!
+//! ```toml
+//! [ingest]
+//! batches = [3, 5]       # batch-count axis
+//! coreset_size = 16      # representatives per batch summary
+//! budget = 48            # re-compression threshold (default 4×size)
+//! kernel = "scalar"      # pin for committed baselines, like the grid
+//! faults = ["none", "seed=9"]
+//! ```
 
 use kcenter_core::outliers::evaluate_with_outliers;
 use kcenter_core::prelude::*;
@@ -66,6 +84,7 @@ use kcenter_metric::{
     Distance, Euclidean, KernelBackend, KernelChoice, Manhattan, PointId, Precision, Scalar,
     VecSpace,
 };
+use kcenter_serve::{IngestConfig, IngestError, Ingestor, KillPoint, KillStage, StreamConfig};
 use std::fmt;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -736,6 +755,77 @@ pub struct ScenarioSpec {
     pub faults: Vec<FaultSpec>,
     /// The datasets, in spec order.
     pub datasets: Vec<DatasetSpec>,
+    /// Optional streaming-ingest axes (`[ingest]` table); `None` runs no
+    /// ingest cells.
+    pub ingest: Option<IngestAxes>,
+}
+
+/// The `[ingest]` table: every dataset is additionally replayed as a
+/// checkpointed batch stream, once per `batches × faults × precisions`
+/// combination.  Each ingest cell folds the stream through the durable
+/// serve loop, then *re-runs itself with an injected mid-checkpoint crash
+/// and resumes* — the resumed state must be bit-identical to the
+/// uninterrupted twin or the cell fails, so the committed baseline gates
+/// crash consistency, not just the final radius.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestAxes {
+    /// Batch-count axis (each ≥ 1).
+    pub batches: Vec<usize>,
+    /// Representatives per batch summary.
+    pub coreset_size: usize,
+    /// Re-compression budget of the accumulated coreset.
+    pub budget: usize,
+    /// Kernel backend for the ingest cells (pin `"scalar"` in committed
+    /// baselines, like the grid axis).
+    pub kernel: KernelChoice,
+    /// Assignment arm for the ingest cells.
+    pub assign: AssignChoice,
+    /// Fault axis for the batch builds (same labels as the grid axis).
+    pub faults: Vec<FaultSpec>,
+}
+
+/// One fully specified ingest cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestCellConfig {
+    /// Index of the dataset in the spec's list.
+    pub dataset_index: usize,
+    /// The dataset, replayed as a stream.
+    pub dataset: DatasetSpec,
+    /// Storage precision.
+    pub precision: Precision,
+    /// Number of contiguous batches.
+    pub batches: usize,
+    /// Representatives per batch summary.
+    pub coreset_size: usize,
+    /// Re-compression budget.
+    pub budget: usize,
+    /// Kernel backend request.
+    pub kernel: KernelChoice,
+    /// Assignment arm request.
+    pub assign: AssignChoice,
+    /// Fault-injection arm.
+    pub fault: FaultSpec,
+}
+
+impl IngestCellConfig {
+    /// The cell's stable identity.  The `ingest/` prefix keeps the ingest
+    /// namespace disjoint from the solve-cell ids, so adding an `[ingest]`
+    /// table never perturbs an existing committed baseline.
+    pub fn id(&self) -> String {
+        format!(
+            "ingest/d{}-{}-n{}/b{}/t{}/g{}/{}/{}/{}/{}",
+            self.dataset_index,
+            self.dataset.family().to_ascii_lowercase().replace(' ', "-"),
+            self.dataset.n(),
+            self.batches,
+            self.coreset_size,
+            self.budget,
+            self.precision.name(),
+            kernel_label(self.kernel),
+            assign_label(self.assign),
+            self.fault.label(),
+        )
+    }
 }
 
 /// One fully specified grid cell.
@@ -906,6 +996,11 @@ impl ScenarioSpec {
             .map(parse_dataset)
             .collect::<Result<Vec<_>, _>>()?;
 
+        let ingest = match doc.get("ingest") {
+            None => None,
+            Some(v) => Some(parse_ingest_axes(v)?),
+        };
+
         Ok(ScenarioSpec {
             name,
             seed,
@@ -924,6 +1019,7 @@ impl ScenarioSpec {
             outliers,
             faults,
             datasets,
+            ingest,
         })
     }
 
@@ -934,6 +1030,37 @@ impl ScenarioSpec {
         let mut scaled = self.clone();
         scaled.datasets = self.datasets.iter().map(|d| d.scaled(factor)).collect();
         scaled
+    }
+
+    /// Expands the `[ingest]` table into runnable ingest cells (empty when
+    /// the spec has no ingest table): `dataset × precision × batches ×
+    /// fault`, in deterministic order, appended after the solve cells by
+    /// [`run_scenario`].
+    pub fn ingest_cells(&self) -> Vec<IngestCellConfig> {
+        let Some(axes) = &self.ingest else {
+            return Vec::new();
+        };
+        let mut cells = Vec::new();
+        for (dataset_index, dataset) in self.datasets.iter().enumerate() {
+            for &precision in &self.precisions {
+                for &batches in &axes.batches {
+                    for &fault in &axes.faults {
+                        cells.push(IngestCellConfig {
+                            dataset_index,
+                            dataset: dataset.clone(),
+                            precision,
+                            batches,
+                            coreset_size: axes.coreset_size,
+                            budget: axes.budget,
+                            kernel: axes.kernel,
+                            assign: axes.assign,
+                            fault,
+                        });
+                    }
+                }
+            }
+        }
+        cells
     }
 
     /// Expands the grid into runnable cells, in deterministic order.
@@ -1040,6 +1167,57 @@ fn axis<T>(
         ));
     }
     named.iter().map(|s| parse(s)).collect()
+}
+
+/// Interprets the `[ingest]` table.
+fn parse_ingest_axes(value: &Value) -> Result<IngestAxes, ScenarioError> {
+    let batch_values = value
+        .get("batches")
+        .ok_or_else(|| missing("ingest.batches"))?
+        .as_array()
+        .ok_or_else(|| invalid("ingest.batches", "<non-array>", "an integer array"))?;
+    let mut batches = Vec::new();
+    for item in batch_values {
+        let b = item
+            .as_usize()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| invalid("ingest.batches entry", "<non-positive>", "an integer ≥ 1"))?;
+        batches.push(b);
+    }
+    if batches.is_empty() {
+        return Err(invalid("ingest.batches", "[]", "at least one batch count"));
+    }
+    let coreset_size = opt_usize(value, "coreset_size", 32)?.max(1);
+    let budget = opt_usize(value, "budget", 4 * coreset_size)?.max(1);
+    let kernel = match value.get("kernel") {
+        None => KernelChoice::Auto,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| invalid("ingest.kernel", "<non-string>", "a kernel name"))?;
+            KernelChoice::parse(name).map_err(|e| invalid("ingest.kernel", name, &e.to_string()))?
+        }
+    };
+    let assign = match value.get("assign") {
+        None => AssignChoice::Auto,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| invalid("ingest.assign", "<non-string>", "an assign-arm name"))?;
+            AssignChoice::parse(name).map_err(|e| invalid("ingest.assign", name, &e.to_string()))?
+        }
+    };
+    let faults = axis(value, "faults", &["none"], |s| {
+        FaultSpec::parse(s).ok_or_else(|| invalid("fault", s, "none | seed=S | seed=S+degrade"))
+    })?;
+    Ok(IngestAxes {
+        batches,
+        coreset_size,
+        budget,
+        kernel,
+        assign,
+        faults,
+    })
 }
 
 /// Interprets one `[[dataset]]` table.
@@ -1185,12 +1363,18 @@ pub fn run_scenario_with(
     mut progress: impl FnMut(usize, &str),
 ) -> Result<ScenarioReport, ScenarioError> {
     let cells = spec.cells();
-    let mut results = Vec::with_capacity(cells.len());
+    let ingest_cells = spec.ingest_cells();
+    let mut results = Vec::with_capacity(cells.len() + ingest_cells.len());
     install_thread_budget(spec.threads);
     for (index, cell) in cells.iter().enumerate() {
         let id = cell.id();
         progress(index, &id);
         results.push(run_one_cell(spec, cell, id)?);
+    }
+    for (index, cell) in ingest_cells.iter().enumerate() {
+        let id = cell.id();
+        progress(cells.len() + index, &id);
+        results.push(run_ingest_cell(spec, cell, id)?);
     }
     // Restore the build defaults so later work sees pristine dispatch.
     grid::set_choice(AssignChoice::Auto);
@@ -1263,6 +1447,139 @@ fn run_one_cell(
     }?;
     result.wall_ns = start.elapsed().as_nanos();
     Ok(result)
+}
+
+fn run_ingest_cell(
+    spec: &ScenarioSpec,
+    cell: &IngestCellConfig,
+    id: String,
+) -> Result<CellResult, ScenarioError> {
+    let backend: KernelBackend = cell
+        .kernel
+        .resolve()
+        .map_err(|e| invalid("kernel", kernel_label(cell.kernel), &e.to_string()))?;
+    simd::set_active(backend).map_err(|e| invalid("kernel", backend.name(), &e.to_string()))?;
+    grid::set_choice(cell.assign);
+    let start = Instant::now();
+    let mut result = match cell.precision {
+        Precision::F64 => ingest_cell_at::<f64>(spec, cell, &id),
+        Precision::F32 => ingest_cell_at::<f32>(spec, cell, &id),
+    }?;
+    result.wall_ns = start.elapsed().as_nanos();
+    Ok(result)
+}
+
+/// Folds the cell's stream through the durable serve loop twice — once
+/// uninterrupted, once killed mid-checkpoint-write and resumed — and
+/// fails the cell unless the two final states are bit-identical.  The
+/// reported columns come from the uninterrupted twin.
+fn ingest_cell_at<S: Scalar>(
+    spec: &ScenarioSpec,
+    cell: &IngestCellConfig,
+    id: &str,
+) -> Result<CellResult, ScenarioError> {
+    let fail = |what: String| invalid("cell", id, &what);
+    let faults = match cell.fault {
+        FaultSpec::None => None,
+        FaultSpec::Seeded { seed, degrade } => Some(
+            FaultConfig::new(FaultPlan::seeded(seed))
+                .with_policy(FaultPolicy::with_max_attempts(spec.max_attempts))
+                .with_degrade(degrade),
+        ),
+    };
+    let config = |kill: Option<KillPoint>| IngestConfig {
+        stream: StreamConfig {
+            spec: cell.dataset.clone(),
+            seed: spec.seed,
+            batches: cell.batches,
+        },
+        t: cell.coreset_size,
+        budget: cell.budget,
+        machines: spec.machines,
+        faults: faults.clone(),
+        executor: Executor::Simulated,
+        solve_k: spec.k,
+        kill,
+    };
+    // Fresh temp checkpoints per cell: the scenario gate pins the final
+    // state, not an on-disk resume across runs.
+    let ckpt = |tag: &str| {
+        std::env::temp_dir().join(format!(
+            "kcenter-scenario-{}-{}-{tag}.ckpt",
+            std::process::id(),
+            id.replace(['/', '='], "-"),
+        ))
+    };
+    let twin_path = ckpt("twin");
+    let _ = std::fs::remove_file(&twin_path);
+    let twin: Ingestor<Euclidean, S> = Ingestor::new(config(None), &twin_path)
+        .map_err(|e| fail(format!("ingest setup failed: {e}")))?;
+    let outcome = twin
+        .run()
+        .map_err(|e| fail(format!("ingest run failed: {e}")))?;
+
+    // Crash-consistency leg: die mid-write at the middle batch, resume,
+    // and require the bit-identical accumulated state.
+    if cell.batches >= 2 {
+        let killed_path = ckpt("killed");
+        let _ = std::fs::remove_file(&killed_path);
+        let kill = Some(KillPoint {
+            batch: cell.batches / 2,
+            stage: KillStage::DuringCheckpoint,
+        });
+        let killed: Ingestor<Euclidean, S> = Ingestor::new(config(kill), &killed_path)
+            .map_err(|e| fail(format!("ingest setup failed: {e}")))?;
+        match killed.run() {
+            Err(IngestError::Killed { .. }) => {}
+            Err(e) => return Err(fail(format!("killed run failed early: {e}"))),
+            Ok(_) => return Err(fail("kill point did not fire".to_string())),
+        }
+        let resumed: Ingestor<Euclidean, S> = Ingestor::new(config(None), &killed_path)
+            .map_err(|e| fail(format!("ingest setup failed: {e}")))?;
+        let resumed_out = resumed
+            .run()
+            .map_err(|e| fail(format!("resume failed: {e}")))?;
+        if resumed_out.resumed_from.is_none() {
+            return Err(fail("resume did not load the checkpoint".to_string()));
+        }
+        if resumed_out.coreset.to_bytes() != outcome.coreset.to_bytes() {
+            return Err(fail(
+                "crash-consistency violated: resumed state differs from the uninterrupted twin"
+                    .to_string(),
+            ));
+        }
+        let _ = std::fs::remove_file(&killed_path);
+    }
+
+    let k = spec.k.min(outcome.coreset.len());
+    let solution = outcome
+        .coreset
+        .solve(k, SequentialSolver::Gonzalez, FirstCenter::default())
+        .map_err(|e| fail(format!("final solve failed: {e}")))?;
+    let full = twin.stream().full_space();
+    let radius = solution.certify(&full);
+    let _ = std::fs::remove_file(&twin_path);
+    Ok(CellResult {
+        id: id.to_string(),
+        dataset: cell.dataset.describe(),
+        n: cell.dataset.n(),
+        solver: "ingest".to_string(),
+        precision: cell.precision.name().to_string(),
+        kernel: kernel_label(cell.kernel).to_string(),
+        assign: assign_label(cell.assign).to_string(),
+        executor: "simulated".to_string(),
+        distance: "euclidean".to_string(),
+        z: 0,
+        fault: cell.fault.label(),
+        radius,
+        kept_radius: radius,
+        centers: solution.centers.len(),
+        coverage: outcome.coreset.coverage_fraction(),
+        rounds: outcome.meta.rounds as usize,
+        simulated_ns: outcome.meta.simulated_ns,
+        wall_ns: 0, // filled by the caller
+        digest: center_digest(&solution.centers),
+    })
 }
 
 /// Generates the cell's data, runs its solver, and certifies the plain and
@@ -1814,5 +2131,146 @@ k_prime = 3
         assert_eq!(scaled.datasets[0].n(), 60);
         assert_eq!(scaled.k, spec.k);
         assert_eq!(scaled.solvers, spec.solvers);
+    }
+
+    const INGEST_SPEC: &str = r#"
+name = "unit-ingest"
+seed = 11
+k = 3
+machines = 4
+
+[grid]
+solvers = ["gon"]
+precisions = ["f64"]
+kernels = ["scalar"]
+
+[ingest]
+batches = [2, 3]
+coreset_size = 12
+kernel = "scalar"
+assign = "dense"
+faults = ["none", "seed=9"]
+
+[[dataset]]
+family = "gau"
+n = 240
+k_prime = 3
+"#;
+
+    #[test]
+    fn ingest_table_parses_and_expands() {
+        let spec = ScenarioSpec::parse(INGEST_SPEC).unwrap();
+        let axes = spec.ingest.as_ref().expect("ingest table parsed");
+        assert_eq!(axes.batches, vec![2, 3]);
+        assert_eq!(axes.coreset_size, 12);
+        // Budget defaults to 4 × coreset_size.
+        assert_eq!(axes.budget, 48);
+        assert_eq!(axes.kernel, KernelChoice::Fixed(KernelBackend::Scalar));
+        assert_eq!(axes.assign, AssignChoice::Fixed(AssignMode::Dense));
+
+        let cells = spec.ingest_cells();
+        // 1 dataset × 1 precision × 2 batch counts × 2 faults.
+        assert_eq!(cells.len(), 4);
+        let ids: std::collections::HashSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), cells.len());
+        // Disjoint namespace: every ingest id carries the prefix, no solve
+        // cell does.
+        assert!(cells.iter().all(|c| c.id().starts_with("ingest/")));
+        assert!(spec.cells().iter().all(|c| !c.id().starts_with("ingest/")));
+        assert_eq!(
+            cells[0].id(),
+            "ingest/d0-gau-n240/b2/t12/g48/f64/scalar/dense/none"
+        );
+    }
+
+    #[test]
+    fn specs_without_an_ingest_table_run_no_ingest_cells() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        assert!(spec.ingest.is_none());
+        assert!(spec.ingest_cells().is_empty());
+    }
+
+    #[test]
+    fn malformed_ingest_tables_are_named_errors() {
+        // Missing batches axis.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\nk = 2\n[ingest]\ncoreset_size = 8\n[[dataset]]\nfamily = \"gau\"\nn = 10\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Missing { ref what } if what == "ingest.batches"));
+        // Zero batch count.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\nk = 2\n[ingest]\nbatches = [0]\n[[dataset]]\nfamily = \"gau\"\nn = 10\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Invalid { ref what, .. } if what == "ingest.batches entry")
+        );
+        // Unknown kernel.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\nk = 2\n[ingest]\nbatches = [2]\nkernel = \"warp\"\n[[dataset]]\nfamily = \"gau\"\nn = 10\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid { ref what, .. } if what == "ingest.kernel"));
+    }
+
+    #[test]
+    fn ingest_cells_run_deterministically_end_to_end() {
+        // Small spec: 1 solve cell + 2 ingest cells, each of which also
+        // exercises the inline kill/resume crash-consistency leg.
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "unit-ingest-run"
+seed = 11
+k = 3
+machines = 4
+
+[grid]
+solvers = ["gon"]
+precisions = ["f64"]
+kernels = ["scalar"]
+
+[ingest]
+batches = [3]
+coreset_size = 10
+kernel = "scalar"
+assign = "dense"
+faults = ["none", "seed=9"]
+
+[[dataset]]
+family = "gau"
+n = 200
+k_prime = 3
+"#,
+        )
+        .unwrap();
+        let a = run_scenario(&spec).unwrap();
+        let b = run_scenario(&spec).unwrap();
+        assert_eq!(a.cells.len(), 3);
+        let ingest: Vec<&CellResult> = a
+            .cells
+            .iter()
+            .filter(|c| c.id.starts_with("ingest/"))
+            .collect();
+        assert_eq!(ingest.len(), 2);
+        for cell in &ingest {
+            assert_eq!(cell.solver, "ingest");
+            assert!(cell.centers >= 1 && cell.centers <= 3);
+            assert!(cell.radius.is_finite() && cell.radius > 0.0);
+            assert!(cell.coverage > 0.0 && cell.coverage <= 1.0);
+        }
+        // Deterministic columns repeat bit-exactly (timing columns are
+        // measurements and excluded, as in report diffing).
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.id, cb.id);
+            assert_eq!(ca.digest, cb.digest);
+            assert_eq!(ca.centers, cb.centers);
+            assert_eq!(ca.rounds, cb.rounds);
+            assert_eq!(ca.radius.to_bits(), cb.radius.to_bits(), "{}", ca.id);
+            assert_eq!(ca.coverage.to_bits(), cb.coverage.to_bits());
+        }
+        // The retried fault arm converges to the fault-free digest: retries
+        // change attempt counts, never the accumulated summary.
+        assert_eq!(ingest[0].digest, ingest[1].digest);
     }
 }

@@ -7,6 +7,7 @@
 use kcenter_data::DatasetSpec;
 use kcenter_mapreduce::ExecutorChoice;
 use kcenter_metric::{AssignChoice, KernelChoice, Precision};
+use kcenter_serve::{KillPoint, KillStage};
 use std::fmt;
 
 /// The parsed command line.
@@ -25,6 +26,8 @@ pub enum Command {
     Solve(SolveArgs),
     /// Build a weighted coreset once and evaluate a `(k, φ)` grid on it.
     Sweep(SweepArgs),
+    /// Fold a batched stream into a checkpointed coreset service.
+    Ingest(IngestArgs),
     /// Print statistics about a CSV point file.
     Info(InfoArgs),
     /// Print the usage text.
@@ -268,6 +271,55 @@ pub struct SweepArgs {
     pub faults: FaultArgs,
 }
 
+/// Arguments of the `ingest` subcommand: the durable streaming coreset
+/// service.  A generated workload is replayed as `--batches` contiguous
+/// batches; each batch is summarised (optionally under fault injection),
+/// merged into the accumulated coreset (re-compressed to `--budget`), and
+/// the state is atomically checkpointed to `--checkpoint` after every
+/// fold.  Re-running the same command resumes from the last durable
+/// checkpoint and produces bit-identical deterministic results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestArgs {
+    /// The workload replayed as a stream.
+    pub spec: DatasetSpec,
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of contiguous batches.
+    pub batches: usize,
+    /// Representatives per batch summary (`--coreset-size`).
+    pub coreset_size: usize,
+    /// Budget of the accumulated coreset (re-compression threshold).
+    pub budget: usize,
+    /// Simulated machines per batch build.
+    pub machines: usize,
+    /// Centers for the published query snapshot (`--k`).
+    pub k: usize,
+    /// Checkpoint file path.
+    pub checkpoint: String,
+    /// Storage precision of the coordinate store.
+    pub precision: Precision,
+    /// Kernel backend request; `None` defers to `KCENTER_KERNEL`.
+    pub kernel: Option<KernelChoice>,
+    /// Assignment-arm request; `None` defers to `KCENTER_ASSIGN`.
+    pub assign: Option<AssignChoice>,
+    /// Cluster-executor request; `None` defers to `KCENTER_EXECUTOR`.
+    pub executor: Option<ExecutorChoice>,
+    /// Worker-thread budget; `None` defers to `KCENTER_THREADS`.
+    pub threads: Option<usize>,
+    /// Fault-injection options for the batch builds (dropped shards are
+    /// healed by re-ingestion from the stream, not disclosed as lost).
+    pub faults: FaultArgs,
+    /// Deterministic crash injection: die at `--kill-stage` of batch
+    /// `--kill-after-batch` (composes with `--fault-seed`).
+    pub kill: Option<KillPoint>,
+    /// Points to answer from the final published snapshot (`--query
+    /// X,Y,...`, repeatable).
+    pub queries: Vec<Vec<f64>>,
+    /// Optional path for a single-cell scenario-report JSON
+    /// (`report_diff`-comparable) of the final state.
+    pub report: Option<String>,
+}
+
 /// Arguments of the `info` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InfoArgs {
@@ -313,6 +365,17 @@ USAGE:
                 [--baseline on|off]
                 [--fault-plan FILE | --fault-seed S] [--max-attempts N]
                 [--degrade on|off]
+  kcenter ingest --family <unif|gau|unb|poker|kdd> --n N [--k-prime K']
+                --batches B --k K --checkpoint FILE.ckpt [--seed S]
+                [--coreset-size T] [--budget C] [--machines M]
+                [--precision f32|f64] [--kernel auto|scalar|portable|avx2]
+                [--assign auto|dense|grid]
+                [--executor simulated|threads] [--threads N]
+                [--fault-plan FILE | --fault-seed S] [--max-attempts N]
+                [--degrade on|off]
+                [--kill-after-batch B
+                 [--kill-stage before-checkpoint|during-checkpoint|after-checkpoint]]
+                [--query X,Y,...] [--report OUT.json]
   kcenter info --input FILE.csv [--skip-columns C]
   kcenter help
 
@@ -357,6 +420,21 @@ the wall-clock column changes.  --threads N pins the worker budget
 par_* distance kernels.  Both flags override the KCENTER_EXECUTOR /
 KCENTER_THREADS environment variables.
 
+ingest replays the workload as --batches contiguous batches and folds
+them into one durable coreset service: each batch is summarised with
+--coreset-size representatives (under fault injection if requested —
+dropped shards are healed by re-ingesting their rows from the stream,
+never disclosed as lost), merged into the accumulated summary
+(re-compressed once it exceeds --budget), and atomically checkpointed to
+--checkpoint after every fold (write-temp + fsync + rename).  Re-running
+the identical command resumes from the last durable checkpoint; all
+deterministic outputs are bit-identical to an uninterrupted run.
+--kill-after-batch B [--kill-stage ...] injects a deterministic crash for
+testing that contract (during-checkpoint dies mid-write and must leave
+the previous checkpoint intact).  --query X,Y,... answers nearest-center
+queries from the final published snapshot; --report OUT.json writes a
+single-cell scenario report comparable with report_diff.
+
 --fault-seed S (or --fault-plan FILE for an explicit schedule) injects
 deterministic reducer faults into the MapReduce rounds: crashes,
 stragglers and corrupt outputs, retried up to --max-attempts times with
@@ -379,6 +457,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         Some("generate") => Command::Generate(parse_generate(&args[1..])?),
         Some("solve") => Command::Solve(parse_solve(&args[1..])?),
         Some("sweep") => Command::Sweep(parse_sweep(&args[1..])?),
+        Some("ingest") => Command::Ingest(parse_ingest(&args[1..])?),
         Some("info") => Command::Info(parse_info(&args[1..])?),
         Some(other) => return Err(ParseError(format!("unknown subcommand {other:?}"))),
     };
@@ -654,15 +733,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
         (Some(path), None) => SweepSource::Csv { path, skip_columns },
         (None, Some(fam)) => {
             let n = n.ok_or_else(|| ParseError("sweep --family requires --n".into()))?;
-            let spec = match fam.to_ascii_lowercase().as_str() {
-                "unif" => DatasetSpec::Unif { n },
-                "gau" => DatasetSpec::Gau { n, k_prime },
-                "unb" => DatasetSpec::Unb { n, k_prime },
-                "poker" => DatasetSpec::PokerHand { n },
-                "kdd" => DatasetSpec::KddCup { n },
-                other => return Err(ParseError(format!("unknown workload family {other:?}"))),
-            };
-            SweepSource::Generated(spec)
+            SweepSource::Generated(parse_family_spec(&fam, n, k_prime)?)
         }
         (None, None) => {
             return Err(ParseError(
@@ -686,6 +757,130 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, ParseError> {
         threads,
         baseline,
         faults,
+    })
+}
+
+/// Parses a generated-workload family shared by `sweep` and `ingest`.
+fn parse_family_spec(fam: &str, n: usize, k_prime: usize) -> Result<DatasetSpec, ParseError> {
+    match fam.to_ascii_lowercase().as_str() {
+        "unif" => Ok(DatasetSpec::Unif { n }),
+        "gau" => Ok(DatasetSpec::Gau { n, k_prime }),
+        "unb" => Ok(DatasetSpec::Unb { n, k_prime }),
+        "poker" => Ok(DatasetSpec::PokerHand { n }),
+        "kdd" => Ok(DatasetSpec::KddCup { n }),
+        other => Err(ParseError(format!("unknown workload family {other:?}"))),
+    }
+}
+
+fn parse_ingest(args: &[String]) -> Result<IngestArgs, ParseError> {
+    let flags = collect_flags(args)?;
+    let mut family: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut k_prime: usize = 25;
+    let mut seed: u64 = 0;
+    let mut batches: Option<usize> = None;
+    let mut coreset_size: usize = 32;
+    let mut budget: Option<usize> = None;
+    let mut machines: usize = 10;
+    let mut k: Option<usize> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut precision = Precision::default();
+    let mut kernel: Option<KernelChoice> = None;
+    let mut assign: Option<AssignChoice> = None;
+    let mut executor: Option<ExecutorChoice> = None;
+    let mut threads: Option<usize> = None;
+    let mut faults = FaultArgs::default();
+    let mut kill_after_batch: Option<usize> = None;
+    let mut kill_stage: Option<KillStage> = None;
+    let mut queries: Vec<Vec<f64>> = Vec::new();
+    let mut report: Option<String> = None;
+    for (flag, value) in &flags {
+        if faults.consume(flag, value)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--family" => family = Some(value.clone()),
+            "--n" => n = Some(parse_number(flag, value)?),
+            "--k-prime" => k_prime = parse_number(flag, value)?,
+            "--seed" => seed = parse_number(flag, value)?,
+            "--batches" => batches = Some(parse_number(flag, value)?),
+            "--coreset-size" => coreset_size = parse_number(flag, value)?,
+            "--budget" => budget = Some(parse_number(flag, value)?),
+            "--machines" => machines = parse_number(flag, value)?,
+            "--k" => k = Some(parse_number(flag, value)?),
+            "--checkpoint" => checkpoint = Some(value.clone()),
+            "--precision" => {
+                precision = Precision::parse(value).ok_or_else(|| {
+                    ParseError(format!(
+                        "invalid value {value:?} for --precision (expected f32 or f64)"
+                    ))
+                })?
+            }
+            "--kernel" => kernel = Some(parse_kernel(value)?),
+            "--assign" => assign = Some(parse_assign(value)?),
+            "--executor" => executor = Some(parse_executor(value)?),
+            "--threads" => threads = Some(parse_threads(value)?),
+            "--kill-after-batch" => kill_after_batch = Some(parse_number(flag, value)?),
+            "--kill-stage" => {
+                kill_stage = Some(KillStage::parse(value).ok_or_else(|| {
+                    ParseError(format!(
+                        "invalid value {value:?} for --kill-stage (expected \
+                         before-checkpoint, during-checkpoint or after-checkpoint)"
+                    ))
+                })?)
+            }
+            "--query" => queries.push(parse_number_list(flag, value)?),
+            "--report" => report = Some(value.clone()),
+            other => return Err(ParseError(format!("unknown flag {other:?} for ingest"))),
+        }
+    }
+    faults.validate()?;
+    let fam = family.ok_or_else(|| ParseError("ingest requires --family".into()))?;
+    let n = n.ok_or_else(|| ParseError("ingest requires --n".into()))?;
+    let spec = parse_family_spec(&fam, n, k_prime)?;
+    let batches = batches.ok_or_else(|| ParseError("ingest requires --batches".into()))?;
+    if coreset_size == 0 {
+        return Err(ParseError(
+            "--coreset-size needs at least one representative".into(),
+        ));
+    }
+    // Default budget: four batch summaries' worth before re-compression.
+    let budget = budget.unwrap_or(4 * coreset_size);
+    if budget == 0 {
+        return Err(ParseError(
+            "--budget needs at least one representative".into(),
+        ));
+    }
+    let kill = match (kill_after_batch, kill_stage) {
+        (Some(batch), stage) => Some(KillPoint {
+            batch,
+            stage: stage.unwrap_or(KillStage::AfterCheckpoint),
+        }),
+        (None, Some(_)) => {
+            return Err(ParseError(
+                "--kill-stage needs --kill-after-batch to name the batch".into(),
+            ))
+        }
+        (None, None) => None,
+    };
+    Ok(IngestArgs {
+        spec,
+        seed,
+        batches,
+        coreset_size,
+        budget,
+        machines,
+        k: k.ok_or_else(|| ParseError("ingest requires --k".into()))?,
+        checkpoint: checkpoint.ok_or_else(|| ParseError("ingest requires --checkpoint".into()))?,
+        precision,
+        kernel,
+        assign,
+        executor,
+        threads,
+        faults,
+        kill,
+        queries,
+        report,
     })
 }
 
@@ -1203,8 +1398,147 @@ mod tests {
 
     #[test]
     fn usage_mentions_all_subcommands() {
-        for word in ["generate", "solve", "sweep", "info", "gon", "mrg", "eim"] {
+        for word in [
+            "generate", "solve", "sweep", "ingest", "info", "gon", "mrg", "eim",
+        ] {
             assert!(USAGE.contains(word), "usage text is missing {word}");
         }
+    }
+
+    #[test]
+    fn ingest_parses_defaults_and_overrides() {
+        let cli = parse(&argv(
+            "ingest --family gau --n 2000 --batches 8 --k 5 --checkpoint state.ckpt",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Ingest(i) => {
+                assert_eq!(
+                    i.spec,
+                    DatasetSpec::Gau {
+                        n: 2000,
+                        k_prime: 25
+                    }
+                );
+                assert_eq!(i.seed, 0);
+                assert_eq!(i.batches, 8);
+                assert_eq!(i.coreset_size, 32);
+                assert_eq!(i.budget, 128, "default budget is 4 batch summaries");
+                assert_eq!(i.machines, 10);
+                assert_eq!(i.k, 5);
+                assert_eq!(i.checkpoint, "state.ckpt");
+                assert_eq!(i.precision, Precision::F64);
+                assert_eq!(i.kill, None);
+                assert!(i.queries.is_empty());
+                assert_eq!(i.report, None);
+                assert!(!i.faults.is_active());
+            }
+            _ => panic!("expected ingest"),
+        }
+        let cli = parse(&argv(
+            "ingest --family unif --n 500 --seed 9 --batches 4 --coreset-size 16 \
+             --budget 48 --machines 5 --k 3 --checkpoint /tmp/s.ckpt --precision f32 \
+             --fault-seed 7 --degrade on --kill-after-batch 2 --kill-stage during-checkpoint \
+             --query 1.5,2.5 --query 0,0 --report out.json",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Ingest(i) => {
+                assert_eq!(i.spec, DatasetSpec::Unif { n: 500 });
+                assert_eq!(i.seed, 9);
+                assert_eq!(i.batches, 4);
+                assert_eq!(i.coreset_size, 16);
+                assert_eq!(i.budget, 48);
+                assert_eq!(i.machines, 5);
+                assert_eq!(i.k, 3);
+                assert_eq!(i.precision, Precision::F32);
+                assert_eq!(i.faults.fault_seed, Some(7));
+                assert!(i.faults.degrade);
+                assert_eq!(
+                    i.kill,
+                    Some(KillPoint {
+                        batch: 2,
+                        stage: KillStage::DuringCheckpoint
+                    })
+                );
+                assert_eq!(i.queries, vec![vec![1.5, 2.5], vec![0.0, 0.0]]);
+                assert_eq!(i.report.as_deref(), Some("out.json"));
+            }
+            _ => panic!("expected ingest"),
+        }
+        // --kill-stage defaults to after-checkpoint when only the batch is
+        // named.
+        let cli = parse(&argv(
+            "ingest --family gau --n 100 --batches 2 --k 2 --checkpoint c --kill-after-batch 1",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Ingest(i) => assert_eq!(
+                i.kill,
+                Some(KillPoint {
+                    batch: 1,
+                    stage: KillStage::AfterCheckpoint
+                })
+            ),
+            _ => panic!("expected ingest"),
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_missing_or_inconsistent_flags() {
+        // Required flags.
+        assert!(parse(&argv("ingest --n 100 --batches 2 --k 2 --checkpoint c")).is_err());
+        assert!(parse(&argv(
+            "ingest --family gau --batches 2 --k 2 --checkpoint c"
+        ))
+        .is_err());
+        assert!(parse(&argv("ingest --family gau --n 100 --k 2 --checkpoint c")).is_err());
+        assert!(parse(&argv(
+            "ingest --family gau --n 100 --batches 2 --checkpoint c"
+        ))
+        .is_err());
+        assert!(parse(&argv("ingest --family gau --n 100 --batches 2 --k 2")).is_err());
+        // Kill stage without a batch, bad stage names, degenerate sizes.
+        let err = parse(&argv(
+            "ingest --family gau --n 100 --batches 2 --k 2 --checkpoint c \
+             --kill-stage before-checkpoint",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--kill-after-batch"));
+        let err = parse(&argv(
+            "ingest --family gau --n 100 --batches 2 --k 2 --checkpoint c \
+             --kill-after-batch 0 --kill-stage sometime",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--kill-stage"));
+        assert!(parse(&argv(
+            "ingest --family gau --n 100 --batches 2 --k 2 --checkpoint c --coreset-size 0"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "ingest --family gau --n 100 --batches 2 --k 2 --checkpoint c --budget 0"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "ingest --family martian --n 100 --batches 2 --k 2 --checkpoint c"
+        ))
+        .is_err());
+        // Fault flags validate exactly as on solve/sweep.
+        assert!(parse(&argv(
+            "ingest --family gau --n 100 --batches 2 --k 2 --checkpoint c --degrade on"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn kill_stage_names_round_trip() {
+        for stage in [
+            KillStage::BeforeCheckpoint,
+            KillStage::DuringCheckpoint,
+            KillStage::AfterCheckpoint,
+        ] {
+            assert_eq!(KillStage::parse(stage.name()), Some(stage));
+        }
+        assert_eq!(KillStage::parse("mid-flight"), None);
     }
 }

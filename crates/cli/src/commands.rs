@@ -1,9 +1,10 @@
 //! Execution of the parsed CLI commands.
 
 use crate::args::{
-    Cli, Command, FaultArgs, GenerateArgs, InfoArgs, SolveArgs, SolverChoice, SweepArgs,
-    SweepBuilderChoice, SweepSource, USAGE,
+    Cli, Command, FaultArgs, GenerateArgs, InfoArgs, IngestArgs, SolveArgs, SolverChoice,
+    SweepArgs, SweepBuilderChoice, SweepSource, USAGE,
 };
+use kcenter_bench::scenario::{center_digest, CellResult, ScenarioReport};
 use kcenter_core::evaluate::{assign, cluster_sizes};
 use kcenter_core::prelude::*;
 use kcenter_data::csv::{load_points, save_points, CsvOptions};
@@ -17,6 +18,7 @@ use kcenter_metric::{
     AssignChoice, BoundingBox, Euclidean, FlatPoints, KernelBackend, KernelChoice, MetricSpace,
     PointId, Precision, Scalar, VecSpace,
 };
+use kcenter_serve::{IngestConfig, IngestError, Ingestor, SnapshotCell, StreamConfig};
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
@@ -31,6 +33,8 @@ pub enum CommandError {
     Io(std::io::Error),
     /// The clustering algorithm reported an error.
     Algorithm(KCenterError),
+    /// The checkpointed ingest loop reported an error.
+    Ingest(IngestError),
 }
 
 impl fmt::Display for CommandError {
@@ -39,6 +43,7 @@ impl fmt::Display for CommandError {
             CommandError::Csv(e) => write!(f, "CSV error: {e}"),
             CommandError::Io(e) => write!(f, "I/O error: {e}"),
             CommandError::Algorithm(e) => write!(f, "algorithm error: {e}"),
+            CommandError::Ingest(e) => write!(f, "ingest error: {e}"),
         }
     }
 }
@@ -63,6 +68,12 @@ impl From<KCenterError> for CommandError {
     }
 }
 
+impl From<IngestError> for CommandError {
+    fn from(e: IngestError) -> Self {
+        CommandError::Ingest(e)
+    }
+}
+
 /// Runs the parsed command, writing human-readable output to `out`.
 pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), CommandError> {
     match &cli.command {
@@ -73,6 +84,7 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), CommandError> {
         Command::Generate(args) => generate(args, out),
         Command::Solve(args) => solve(args, out),
         Command::Sweep(args) => sweep(args, out),
+        Command::Ingest(args) => ingest(args, out),
         Command::Info(args) => info(args, out),
     }
 }
@@ -669,6 +681,199 @@ fn sweep_at<S: Scalar, W: Write>(
     Ok(())
 }
 
+fn ingest<W: Write>(args: &IngestArgs, out: &mut W) -> Result<(), CommandError> {
+    let kernel = apply_kernel(args.kernel)?;
+    writeln!(out, "kernel backend: {kernel}")?;
+    let assign_arm = apply_assign(args.assign)?;
+    writeln!(out, "assignment arm: {assign_arm}")?;
+    let executor = apply_executor(args.executor, args.threads)?;
+    writeln!(out, "cluster executor: {executor}")?;
+    match args.precision {
+        Precision::F64 => ingest_at::<f64, W>(args, executor, kernel, assign_arm, out)?,
+        Precision::F32 => ingest_at::<f32, W>(args, executor, kernel, assign_arm, out)?,
+    }
+    report_assign_scans(out)
+}
+
+/// The fault-arm label stamped into the ingest report cell: the twin and
+/// the killed-then-resumed run must produce the *same* label (kill flags
+/// are deliberately excluded), so their reports diff cell-for-cell.
+fn ingest_fault_label(faults: &FaultArgs) -> String {
+    let mut label = match (&faults.plan_file, faults.fault_seed) {
+        (Some(_), _) => "fault-plan".to_string(),
+        (None, Some(seed)) => format!("fault-seed-{seed}"),
+        (None, None) => "fault-free".to_string(),
+    };
+    if let Some(attempts) = faults.max_attempts {
+        label.push_str(&format!("+attempts-{attempts}"));
+    }
+    if faults.degrade {
+        label.push_str("+degrade");
+    }
+    label
+}
+
+fn ingest_at<S: Scalar, W: Write>(
+    args: &IngestArgs,
+    executor: Executor,
+    kernel: KernelBackend,
+    assign_arm: AssignChoice,
+    out: &mut W,
+) -> Result<(), CommandError> {
+    let faults = build_fault_config(&args.faults)?;
+    let config = IngestConfig {
+        stream: StreamConfig {
+            spec: args.spec.clone(),
+            seed: args.seed,
+            batches: args.batches,
+        },
+        t: args.coreset_size,
+        budget: args.budget,
+        machines: args.machines,
+        faults,
+        executor,
+        solve_k: args.k,
+        kill: args.kill,
+    };
+    let ingestor: Ingestor<Euclidean, S> = Ingestor::new(config, Path::new(&args.checkpoint))?;
+    writeln!(
+        out,
+        "ingest {} as {} batches, seed {}, {} storage, checkpoint {}",
+        args.spec.describe(),
+        args.batches,
+        args.seed,
+        S::NAME,
+        args.checkpoint,
+    )?;
+    let cell: SnapshotCell<Euclidean, S> = SnapshotCell::new();
+    let outcome = match ingestor.run_with_cell(Some(&cell)) {
+        Ok(outcome) => outcome,
+        Err(IngestError::Killed { batch, stage }) => {
+            // The injected crash is an *expected* outcome of a kill-point
+            // run, not a failure: report it and exit cleanly so CI can
+            // script kill-then-resume without parsing exit codes.
+            writeln!(out, "INGEST KILLED at batch {batch} ({})", stage.name())?;
+            writeln!(
+                out,
+                "restart with the same flags (minus --kill-after-batch) to resume from {}",
+                args.checkpoint,
+            )?;
+            return Ok(());
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    match outcome.resumed_from {
+        Some(done) => writeln!(
+            out,
+            "resumed from checkpoint: {done} of {} batches already folded, {} folded now",
+            args.batches, outcome.batches_folded,
+        )?,
+        None => writeln!(
+            out,
+            "folded {} batches from scratch",
+            outcome.batches_folded
+        )?,
+    }
+    let coreset = &outcome.coreset;
+    writeln!(
+        out,
+        "accumulated coreset: {} representatives covering {} points ({:.1}% coverage), construction radius {:.6}",
+        coreset.len(),
+        coreset.total_weight(),
+        coreset.coverage_fraction() * 100.0,
+        coreset.construction_radius(),
+    )?;
+    writeln!(
+        out,
+        "cumulative accounting: {} MapReduce rounds, re-ingested {} points from {} dropped shards",
+        outcome.meta.rounds, outcome.meta.reingested_points, outcome.meta.reingested_shards,
+    )?;
+
+    // Final solution + full-stream certification for the report columns.
+    let k = args.k.min(coreset.len());
+    let solution = coreset.solve(k, SequentialSolver::Gonzalez, FirstCenter::default())?;
+    let full = ingestor.stream().full_space();
+    let certified = solution.certify(&full);
+    writeln!(
+        out,
+        "certified covering radius {certified:.6} (coreset {:.6}, bound {:.6})",
+        solution.coreset_radius, solution.radius_bound,
+    )?;
+    writeln!(out, "centers (source ids): {:?}", solution.centers)?;
+
+    let snapshot = cell.load();
+    writeln!(
+        out,
+        "published snapshot v{} ({} centers, digest {:016x})",
+        snapshot.version(),
+        snapshot.k(),
+        snapshot.digest(),
+    )?;
+    for query in &args.queries {
+        match snapshot.query(query) {
+            Some(ans) => writeln!(
+                out,
+                "query {query:?} -> center {} (index {}) at distance {:.6}, bound {:.6}, snapshot v{}",
+                ans.center, ans.index, ans.distance, ans.radius_bound, ans.version,
+            )?,
+            None => writeln!(
+                out,
+                "query {query:?} -> no answer (snapshot is empty or the dimension differs)",
+            )?,
+        }
+    }
+
+    if let Some(path) = &args.report {
+        // A single-cell scenario report: the deterministic columns (radius,
+        // centers, digest, rounds, coverage) are gated exactly by
+        // `report_diff`; the timing columns are measurements and stay
+        // ungated unless a tolerance is requested.  The cell id excludes
+        // the kill flags so a killed-then-resumed run diffs cleanly
+        // against its uninterrupted twin.
+        let id = format!(
+            "ingest-{}-n{}-b{}-t{}-g{}-m{}-{}-{}",
+            args.spec.family().to_ascii_lowercase().replace(' ', "-"),
+            args.spec.n(),
+            args.batches,
+            args.coreset_size,
+            args.budget,
+            args.machines,
+            S::NAME,
+            ingest_fault_label(&args.faults),
+        );
+        let report = ScenarioReport {
+            scenario: "ingest".to_string(),
+            seed: args.seed,
+            k: args.k,
+            cells: vec![CellResult {
+                id,
+                dataset: args.spec.describe(),
+                n: args.spec.n(),
+                solver: "ingest-gonzalez".to_string(),
+                precision: S::NAME.to_string(),
+                kernel: kernel.to_string(),
+                assign: assign_arm.to_string(),
+                executor: executor.to_string(),
+                distance: "euclidean".to_string(),
+                z: 0,
+                fault: ingest_fault_label(&args.faults),
+                radius: certified,
+                kept_radius: certified,
+                centers: solution.centers.len(),
+                coverage: coreset.coverage_fraction(),
+                rounds: outcome.meta.rounds as usize,
+                simulated_ns: outcome.meta.simulated_ns,
+                wall_ns: 0,
+                digest: center_digest(&solution.centers),
+            }],
+        };
+        std::fs::write(path, report.to_json())?;
+        writeln!(out, "wrote ingest report to {path}")?;
+    }
+    Ok(())
+}
+
 fn info<W: Write>(args: &InfoArgs, out: &mut W) -> Result<(), CommandError> {
     let space = load_space::<f64>(&args.input, args.skip_columns)?;
     writeln!(out, "file: {}", args.input)?;
@@ -1150,6 +1355,144 @@ mod tests {
         assert!(err.to_string().contains("mrg or eim"));
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&plan).ok();
+    }
+
+    #[test]
+    fn ingest_folds_a_stream_answers_queries_and_writes_a_report() {
+        let _guard = kernel_lock();
+        let ckpt = temp_path("ingest-basic.ckpt");
+        let report = temp_path("ingest-basic.json");
+        std::fs::remove_file(&ckpt).ok();
+        let out = run_cli(&format!(
+            "ingest --family gau --n 400 --k-prime 4 --seed 33 --batches 4 \
+             --coreset-size 16 --budget 40 --machines 4 --k 4 --checkpoint {ckpt} \
+             --query 0,0,0 --query 50,50,50 --report {report}"
+        ))
+        .unwrap();
+        assert!(out.contains("ingest GAU"));
+        assert!(out.contains("folded 4 batches from scratch"));
+        assert!(out.contains("(100.0% coverage)"));
+        assert!(out.contains("certified covering radius"));
+        assert!(out.contains("published snapshot v4"));
+        assert_eq!(out.matches("at distance").count(), 2);
+        assert!(out.contains("snapshot v4"));
+        // The report round-trips through the scenario-report parser and
+        // carries the deterministic columns report_diff gates on.
+        let parsed = ScenarioReport::from_json(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(parsed.scenario, "ingest");
+        assert_eq!(parsed.cells.len(), 1);
+        let cell = &parsed.cells[0];
+        assert_eq!(cell.id, "ingest-gau-n400-b4-t16-g40-m4-f64-fault-free");
+        assert_eq!(cell.solver, "ingest-gonzalez");
+        assert_eq!(cell.centers, 4);
+        assert_eq!(cell.coverage, 1.0);
+        assert!(cell.radius > 0.0);
+        assert_eq!(cell.digest.len(), 16);
+        // A second run resumes from the complete checkpoint: zero new
+        // folds, but the same final state, snapshot, and report columns.
+        let report2 = temp_path("ingest-basic2.json");
+        let again = run_cli(&format!(
+            "ingest --family gau --n 400 --k-prime 4 --seed 33 --batches 4 \
+             --coreset-size 16 --budget 40 --machines 4 --k 4 --checkpoint {ckpt} \
+             --report {report2}"
+        ))
+        .unwrap();
+        assert!(again.contains("resumed from checkpoint: 4 of 4 batches already folded"));
+        let parsed2 =
+            ScenarioReport::from_json(&std::fs::read_to_string(&report2).unwrap()).unwrap();
+        let strip_timing = |c: &CellResult| {
+            let mut c = c.clone();
+            c.simulated_ns = 0;
+            c.wall_ns = 0;
+            c
+        };
+        assert_eq!(strip_timing(cell), strip_timing(&parsed2.cells[0]));
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&report).ok();
+        std::fs::remove_file(&report2).ok();
+    }
+
+    #[test]
+    fn killed_ingest_exits_cleanly_and_resumes_to_the_twin_report() {
+        let _guard = kernel_lock();
+        let twin_ckpt = temp_path("ingest-twin.ckpt");
+        let twin_report = temp_path("ingest-twin.json");
+        let ckpt = temp_path("ingest-killed.ckpt");
+        let report = temp_path("ingest-killed.json");
+        std::fs::remove_file(&twin_ckpt).ok();
+        std::fs::remove_file(&ckpt).ok();
+        let flags = "ingest --family gau --n 400 --k-prime 4 --seed 33 --batches 5 \
+                     --coreset-size 16 --budget 40 --machines 4 --k 4";
+        let twin = run_cli(&format!(
+            "{flags} --checkpoint {twin_ckpt} --report {twin_report}"
+        ))
+        .unwrap();
+        assert!(twin.contains("folded 5 batches from scratch"));
+        // The kill is a clean, reported exit — not an error.
+        let killed = run_cli(&format!(
+            "{flags} --checkpoint {ckpt} --kill-after-batch 2 --kill-stage during-checkpoint"
+        ))
+        .unwrap();
+        assert!(killed.contains("INGEST KILLED at batch 2 (during-checkpoint)"));
+        assert!(killed.contains("restart with the same flags"));
+        // Resume without the kill flags: same cell id, same deterministic
+        // columns as the uninterrupted twin.
+        let resumed = run_cli(&format!("{flags} --checkpoint {ckpt} --report {report}")).unwrap();
+        assert!(resumed.contains("resumed from checkpoint: 2 of 5"));
+        let twin_parsed =
+            ScenarioReport::from_json(&std::fs::read_to_string(&twin_report).unwrap()).unwrap();
+        let parsed = ScenarioReport::from_json(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let strip_timing = |c: &CellResult| {
+            let mut c = c.clone();
+            c.simulated_ns = 0;
+            c.wall_ns = 0;
+            c
+        };
+        assert_eq!(
+            strip_timing(&twin_parsed.cells[0]),
+            strip_timing(&parsed.cells[0])
+        );
+        std::fs::remove_file(&twin_ckpt).ok();
+        std::fs::remove_file(&twin_report).ok();
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&report).ok();
+    }
+
+    #[test]
+    fn ingest_refuses_a_checkpoint_from_another_configuration() {
+        let ckpt = temp_path("ingest-mismatch.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        run_cli(&format!(
+            "ingest --family gau --n 400 --k-prime 4 --seed 33 --batches 4 \
+             --coreset-size 16 --k 4 --checkpoint {ckpt}"
+        ))
+        .unwrap();
+        let err = run_cli(&format!(
+            "ingest --family gau --n 400 --k-prime 4 --seed 34 --batches 4 \
+             --coreset-size 16 --k 4 --checkpoint {ckpt}"
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CommandError::Ingest(IngestError::ConfigMismatch { .. })
+        ));
+        assert!(err.to_string().contains("different configuration"));
+        // A corrupted checkpoint is a named format error, not a panic.
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        let err = run_cli(&format!(
+            "ingest --family gau --n 400 --k-prime 4 --seed 33 --batches 4 \
+             --coreset-size 16 --k 4 --checkpoint {ckpt}"
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CommandError::Ingest(IngestError::Checkpoint(_))
+        ));
+        assert!(err.to_string().contains("checksum"));
+        std::fs::remove_file(&ckpt).ok();
     }
 
     #[test]

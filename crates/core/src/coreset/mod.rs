@@ -61,6 +61,27 @@
 //! coverage, and the weighted covering radius is certified with the same
 //! `wide_cmp_*` (`f64`-accumulating) discipline as every other reported
 //! number in this workspace.
+//!
+//! # Streaming composition and persistence
+//!
+//! Two submodules turn the one-shot summary into a streaming artifact:
+//!
+//! * [`merge`] — [`WeightedCoreset::merge`] composes batch summaries with a
+//!   `max`-composed certificate, [`WeightedCoreset::recompress`] shrinks an
+//!   accumulated summary back under a budget with an *additively* composed
+//!   certificate, and [`WeightedCoreset::absorb_reingested`] heals the
+//!   coverage of a degraded build by folding in a summary of the lost
+//!   points (re-replication from the source of record);
+//! * [`persist`] — a versioned, checksummed binary format
+//!   ([`WeightedCoreset::to_bytes`] / [`WeightedCoreset::from_bytes`]) so
+//!   summaries cross process boundaries; corrupt, truncated or
+//!   wrong-version inputs come back as named [`PersistError`]s, never
+//!   panics.
+
+pub mod merge;
+pub mod persist;
+
+pub use persist::PersistError;
 
 use crate::eim::{sampling_phase, EimConfig};
 use crate::error::KCenterError;
@@ -86,6 +107,11 @@ pub enum CoresetBuilder {
     /// EIM's iterative-sampling loop, run once; the representatives are the
     /// paper's hand-off set `C = S ∪ R`.
     Eim,
+    /// The composition of two or more coresets ([`WeightedCoreset::merge`]),
+    /// possibly re-compressed against a budget
+    /// ([`WeightedCoreset::recompress`]).  The certificate is the composed
+    /// triangle-inequality bound, not a single builder's.
+    Merged,
 }
 
 impl CoresetBuilder {
@@ -94,6 +120,7 @@ impl CoresetBuilder {
         match self {
             CoresetBuilder::Gonzalez => "gonzalez",
             CoresetBuilder::Eim => "eim",
+            CoresetBuilder::Merged => "merged",
         }
     }
 }

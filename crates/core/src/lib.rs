@@ -66,7 +66,8 @@ pub mod solver;
 pub mod tightness;
 
 pub use coreset::{
-    CoresetBuilder, CoresetCoverage, CoresetSolution, GonzalezCoresetConfig, WeightedCoreset,
+    CoresetBuilder, CoresetCoverage, CoresetSolution, GonzalezCoresetConfig, PersistError,
+    WeightedCoreset,
 };
 pub use eim::{EimConfig, EimResult};
 pub use error::KCenterError;

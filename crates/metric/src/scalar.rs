@@ -87,6 +87,13 @@ pub trait Scalar:
     /// beyond any coordinate a real workload carries.  [`crate::FlatPoints`]
     /// validates against it wherever it validates finiteness.
     const MAX_ABS_COORD: f64;
+    /// Stable one-byte tag identifying this storage type in binary formats
+    /// (`1` for `f32`, `2` for `f64`).  Tags are part of the on-disk
+    /// coreset format: never renumber or reuse them.
+    const TAG: u8;
+    /// Number of bytes one coordinate occupies in binary formats (the
+    /// IEEE-754 storage width).
+    const BYTE_WIDTH: usize;
 
     /// Rounds an `f64` to this type (the one-time input rounding an `f32`
     /// store applies to each coordinate).  Values beyond the type's range
@@ -107,10 +114,17 @@ pub trait Scalar:
     fn max(self, other: Self) -> Self;
     /// IEEE-754 `totalOrder` comparison (for deterministic sorts).
     fn total_cmp(&self, other: &Self) -> Ordering;
+    /// Appends the little-endian IEEE-754 byte encoding of `self` to `out`
+    /// (bit-exact: round-tripping through [`Scalar::read_le_bytes`] yields
+    /// the identical bit pattern, NaNs and signed zeros included).
+    fn write_le_bytes(self, out: &mut Vec<u8>);
+    /// Decodes a value from exactly [`Scalar::BYTE_WIDTH`] little-endian
+    /// bytes; `None` if `bytes` has the wrong length.
+    fn read_le_bytes(bytes: &[u8]) -> Option<Self>;
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $name:literal, $roundoff:expr, $max_coord:expr) => {
+    ($t:ty, $name:literal, $roundoff:expr, $max_coord:expr, $tag:expr) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const INFINITY: Self = <$t>::INFINITY;
@@ -118,6 +132,8 @@ macro_rules! impl_scalar {
             const UNIT_ROUNDOFF: f64 = $roundoff;
             const NAME: &'static str = $name;
             const MAX_ABS_COORD: f64 = $max_coord;
+            const TAG: u8 = $tag;
+            const BYTE_WIDTH: usize = std::mem::size_of::<$t>();
 
             #[inline(always)]
             fn from_f64(v: f64) -> Self {
@@ -151,12 +167,20 @@ macro_rules! impl_scalar {
             fn total_cmp(&self, other: &Self) -> Ordering {
                 <$t>::total_cmp(self, other)
             }
+            #[inline(always)]
+            fn write_le_bytes(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline(always)]
+            fn read_le_bytes(bytes: &[u8]) -> Option<Self> {
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
         }
     };
 }
 
-impl_scalar!(f32, "f32", 5.960_464_477_539_063e-8, 1e15); // 2^-24
-impl_scalar!(f64, "f64", 1.110_223_024_625_156_5e-16, 1e150); // 2^-53
+impl_scalar!(f32, "f32", 5.960_464_477_539_063e-8, 1e15, 1); // 2^-24
+impl_scalar!(f64, "f64", 1.110_223_024_625_156_5e-16, 1e150, 2); // 2^-53
 
 /// A runtime storage-precision choice, used by the CLI's `--precision` flag
 /// and the bench harness to dispatch into the monomorphised `f32` / `f64`
@@ -222,6 +246,27 @@ mod tests {
         let huge = 1e300f64;
         assert!(!f32::from_f64(huge).is_finite());
         assert!(f64::from_f64(huge).is_finite());
+    }
+
+    #[test]
+    fn le_byte_round_trip_is_bit_exact() {
+        for v in [0.0f64, -0.0, 1.5, 1.0e-300, f64::INFINITY, f64::NAN] {
+            let mut buf = Vec::new();
+            v.write_le_bytes(&mut buf);
+            assert_eq!(buf.len(), f64::BYTE_WIDTH);
+            let back = f64::read_le_bytes(&buf).expect("width matches");
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::NAN] {
+            let mut buf = Vec::new();
+            v.write_le_bytes(&mut buf);
+            assert_eq!(buf.len(), f32::BYTE_WIDTH);
+            let back = f32::read_le_bytes(&buf).expect("width matches");
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        assert_eq!(f64::read_le_bytes(&[0u8; 4]), None);
+        assert_eq!(f32::read_le_bytes(&[0u8; 8]), None);
+        assert_ne!(f32::TAG, f64::TAG);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property tests for the durable serve loop (ISSUE 10 satellite):
+//!
+//! 1. **Resume parity** — an ingestion killed at *any* batch boundary
+//!    (any batch, any kill stage) and restarted from its checkpoint
+//!    reaches the bit-identical accumulated summary of the uninterrupted
+//!    twin.
+//! 2. **Corruption containment** — a corrupted checkpoint (bit flip or
+//!    truncation) is rejected with a named error and never panics; with
+//!    the original bytes restored, the resume proceeds to the twin's
+//!    bit-identical state — the previous checkpoint stays usable.
+//!
+//! `CheckpointMeta::simulated_ns` is a *measurement* (per-attempt wall
+//! time accumulated across rounds), so parity is asserted on the
+//! deterministic fields only, never on timing.
+
+use kcenter_data::DatasetSpec;
+use kcenter_metric::Euclidean;
+use kcenter_serve::{IngestConfig, IngestError, Ingestor, KillPoint, KillStage, StreamConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinct checkpoint path per test case (proptest may run cases
+/// concurrently in the future; cheap insurance either way).
+fn temp_ckpt(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "kcenter-serve-prop-{}-{tag}-{id}.ckpt",
+        std::process::id()
+    ))
+}
+
+fn config(n: usize, seed: u64, batches: usize, kill: Option<KillPoint>) -> IngestConfig {
+    IngestConfig {
+        stream: StreamConfig {
+            spec: DatasetSpec::Gau { n, k_prime: 4 },
+            seed,
+            batches,
+        },
+        t: 10,
+        budget: 30,
+        machines: 3,
+        faults: None,
+        executor: kcenter_mapreduce::Executor::Simulated,
+        solve_k: 4,
+        kill,
+    }
+}
+
+/// Runs the uninterrupted twin, returning its accumulated summary bytes
+/// and deterministic meta fields.
+fn twin_state(n: usize, seed: u64, batches: usize) -> (Vec<u8>, u64, u64) {
+    let path = temp_ckpt("twin");
+    let _ = std::fs::remove_file(&path);
+    let ingestor: Ingestor<Euclidean, f64> =
+        Ingestor::new(config(n, seed, batches, None), &path).unwrap();
+    let out = ingestor.run().unwrap();
+    let _ = std::fs::remove_file(&path);
+    (
+        out.coreset.to_bytes(),
+        out.meta.batches_done,
+        out.meta.rounds,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill at every batch boundary × every kill stage, resume, and
+    /// require the bit-identical accumulated state of the uninterrupted
+    /// twin.  `DuringCheckpoint` leaves a torn temp file behind, so this
+    /// also exercises recovery from a crash mid-write.
+    #[test]
+    fn resume_at_any_batch_boundary_is_bit_identical(
+        n in 120usize..=240,
+        seed in 0u64..1000,
+        batches in 2usize..=4,
+    ) {
+        let (twin_bytes, twin_done, twin_rounds) = twin_state(n, seed, batches);
+        for batch in 1..batches {
+            for stage in [
+                KillStage::BeforeCheckpoint,
+                KillStage::DuringCheckpoint,
+                KillStage::AfterCheckpoint,
+            ] {
+                let path = temp_ckpt("kill");
+                let _ = std::fs::remove_file(&path);
+                let kill = Some(KillPoint { batch, stage });
+                let killed: Ingestor<Euclidean, f64> =
+                    Ingestor::new(config(n, seed, batches, kill), &path).unwrap();
+                match killed.run() {
+                    Err(IngestError::Killed { batch: b, stage: s }) => {
+                        prop_assert_eq!(b, batch);
+                        prop_assert_eq!(s, stage);
+                    }
+                    other => prop_assert!(false, "expected kill, got {:?}", other.is_ok()),
+                }
+
+                let resumed: Ingestor<Euclidean, f64> =
+                    Ingestor::new(config(n, seed, batches, None), &path).unwrap();
+                let out = resumed.run().unwrap();
+                // BeforeCheckpoint at batch 1 dies before the first
+                // checkpoint ever lands, so only later kills must resume.
+                if !(batch == 1 && matches!(stage, KillStage::BeforeCheckpoint)) {
+                    prop_assert!(out.resumed_from.is_some(), "no checkpoint at batch {batch}");
+                }
+                prop_assert_eq!(
+                    &out.coreset.to_bytes(),
+                    &twin_bytes,
+                    "kill at batch {} ({}) diverged from the twin",
+                    batch,
+                    stage.name()
+                );
+                prop_assert_eq!(out.meta.batches_done, twin_done);
+                prop_assert_eq!(out.meta.rounds, twin_rounds);
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    /// A corrupted checkpoint is rejected with a named error (never a
+    /// panic), and the original bytes — the "previous checkpoint" a real
+    /// deployment would still hold — resume to the twin's exact state.
+    #[test]
+    fn corrupted_checkpoints_are_rejected_and_the_original_still_resumes(
+        n in 120usize..=240,
+        seed in 0u64..1000,
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+        truncate in 0u8..2,
+    ) {
+        let batches = 3;
+        let (twin_bytes, _, _) = twin_state(n, seed, batches);
+
+        // Land a real checkpoint at batch 2 of 3.
+        let path = temp_ckpt("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let kill = Some(KillPoint { batch: 2, stage: KillStage::AfterCheckpoint });
+        let killed: Ingestor<Euclidean, f64> =
+            Ingestor::new(config(n, seed, batches, kill), &path).unwrap();
+        prop_assert!(matches!(killed.run(), Err(IngestError::Killed { .. })));
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Corrupt it: either truncate to a proper prefix or flip one bit.
+        let mut mangled = pristine.clone();
+        if truncate == 1 {
+            let len = ((mangled.len() as f64) * pos) as usize;
+            mangled.truncate(len);
+        } else {
+            let at = ((mangled.len() as f64) * pos) as usize;
+            mangled[at] ^= 1 << bit;
+        }
+        std::fs::write(&path, &mangled).unwrap();
+        let err = Ingestor::<Euclidean, f64>::new(config(n, seed, batches, None), &path)
+            .and_then(|i| i.run())
+            .expect_err("a corrupted checkpoint must be rejected");
+        prop_assert!(
+            matches!(err, IngestError::Checkpoint(_)),
+            "unexpected rejection: {err}"
+        );
+
+        // The surviving previous checkpoint still resumes to the twin.
+        std::fs::write(&path, &pristine).unwrap();
+        let resumed: Ingestor<Euclidean, f64> =
+            Ingestor::new(config(n, seed, batches, None), &path).unwrap();
+        let out = resumed.run().unwrap();
+        prop_assert!(out.resumed_from.is_some());
+        prop_assert_eq!(&out.coreset.to_bytes(), &twin_bytes);
+        let _ = std::fs::remove_file(&path);
+    }
+}
